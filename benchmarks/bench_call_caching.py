@@ -1,0 +1,109 @@
+"""Ablation -- materializing (caching) external function calls.
+
+The paper's discussion (Section 5) points at Kemper/Kilger/Moerkotte's
+function materialization as the complementary technique "as soon as we want
+to guarantee an efficient evaluation of the ``in`` predicate by
+materializing the external function calls".  The reproduction's
+:class:`~repro.domains.base.DomainRegistry` supports exactly that through
+``cache_calls=True`` (with explicit invalidation on source updates); this
+ablation measures what the cache buys during query evaluation of a mediated
+view, and what an update costs when the cache has to be invalidated and
+rebuilt.
+
+Run with::
+
+    pytest benchmarks/bench_call_caching.py --benchmark-only --benchmark-group-by=group
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constraints import ConstraintSolver
+from repro.datalog import compute_wp_fixpoint, parse_program
+from repro.domains import DomainRegistry, make_relational_domain
+
+RULES = """
+order_line(C, T) <- in(R, shop:select_eq('orders', 'status', 'open')) &
+                    in(C, shop:field(R, 'customer')) &
+                    in(T, shop:field(R, 'total')).
+big(C) <- order_line(C, T) & T >= 50.
+flagged(C) <- big(C).
+"""
+
+
+def _build(cache_calls: bool, orders: int = 120):
+    rows = [
+        (f"cust{i % 20:02d}", (i * 7) % 100, "open" if i % 3 else "closed")
+        for i in range(orders)
+    ]
+    shop = make_relational_domain(
+        "shop", {"orders": (("customer", "total", "status"), rows)}
+    )
+    registry = DomainRegistry([shop], cache_calls=cache_calls)
+    solver = ConstraintSolver(registry)
+    program = parse_program(RULES)
+    view = compute_wp_fixpoint(program, solver)
+    return registry, solver, view, shop
+
+
+@pytest.mark.benchmark(group="ablation-call-caching-query")
+class TestQueryWithAndWithoutCallCache:
+    def test_query_without_cache(self, benchmark):
+        _, solver, view, _ = _build(cache_calls=False)
+        benchmark.extra_info["variant"] = "cache=off"
+        benchmark(view.instances_for, "flagged", solver)
+
+    def test_query_with_cache(self, benchmark):
+        _, solver, view, _ = _build(cache_calls=True)
+        benchmark.extra_info["variant"] = "cache=on"
+        benchmark(view.instances_for, "flagged", solver)
+
+
+@pytest.mark.benchmark(group="ablation-call-caching-update")
+class TestUpdateAndRequery:
+    """A source update invalidates the cache; measure update+query cycles."""
+
+    CYCLES = 3
+
+    def test_cycle_without_cache(self, benchmark):
+        _, solver, view, shop = _build(cache_calls=False)
+        benchmark.extra_info["variant"] = "cache=off"
+
+        def run():
+            for step in range(self.CYCLES):
+                shop.database.insert("orders", (f"newcust{step}", 90, "open"))
+                view.instances_for("flagged", solver)
+
+        benchmark(run)
+
+    def test_cycle_with_cache(self, benchmark):
+        registry, solver, view, shop = _build(cache_calls=True)
+        benchmark.extra_info["variant"] = "cache=on"
+
+        def run():
+            for step in range(self.CYCLES):
+                shop.database.insert("orders", (f"newcust{step}", 90, "open"))
+                registry.invalidate_cache()
+                view.instances_for("flagged", solver)
+
+        benchmark(run)
+
+
+class TestCallCachingShape:
+    def test_cached_and_uncached_queries_agree(self):
+        _, solver_off, view_off, _ = _build(cache_calls=False)
+        _, solver_on, view_on, _ = _build(cache_calls=True)
+        assert view_off.instances_for("flagged", solver_off) == view_on.instances_for(
+            "flagged", solver_on
+        )
+
+    def test_stale_cache_is_the_failure_mode_invalidation_prevents(self):
+        registry, solver, view, shop = _build(cache_calls=True, orders=30)
+        before = view.instances_for("flagged", solver)
+        shop.database.insert("orders", ("freshcust", 99, "open"))
+        stale = view.instances_for("flagged", solver)
+        assert stale == before  # cache still serves the old result set
+        registry.invalidate_cache()
+        fresh = view.instances_for("flagged", solver)
+        assert ("freshcust",) in fresh

@@ -1,0 +1,147 @@
+"""B1 / B2 -- deletion maintenance: StDel vs Extended DRed vs recomputation.
+
+Paper claims reproduced here:
+
+* StDel "completely eliminates the expensive rederivation step" of the
+  (extended) DRed algorithm (Section 3.1.2) -- so StDel should beat DRed,
+  and the gap should grow with the size of the materialized view;
+* both incremental algorithms should beat recomputing the view from scratch
+  (the whole point of incremental view maintenance);
+* on duplicate-heavy views (overlapping interval entries), DRed pays for
+  subtracting every overlapping candidate while StDel only follows supports.
+
+Run with::
+
+    pytest benchmarks/bench_deletion.py --benchmark-only --benchmark-group-by=group
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import (
+    SIZE_PARAMETERS,
+    build_chain_deletion_scenario,
+    build_interval_deletion_scenario,
+    build_layered_deletion_scenario,
+)
+from repro.maintenance import (
+    delete_with_dred,
+    delete_with_stdel,
+    recompute_after_deletion,
+)
+
+SIZES = tuple(SIZE_PARAMETERS)
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.benchmark(group="B1-deletion-layered")
+class TestLayeredDeletion:
+    """Single base-fact deletion from layered, duplicate-free views."""
+
+    def test_stdel(self, benchmark, size):
+        scenario = build_layered_deletion_scenario(size)
+        benchmark.extra_info["view_entries"] = len(scenario.view)
+        benchmark.extra_info["algorithm"] = "stdel"
+        benchmark(
+            delete_with_stdel,
+            scenario.program, scenario.view, scenario.request.atom, scenario.solver,
+        )
+
+    def test_dred(self, benchmark, size):
+        scenario = build_layered_deletion_scenario(size)
+        benchmark.extra_info["view_entries"] = len(scenario.view)
+        benchmark.extra_info["algorithm"] = "dred"
+        benchmark(
+            delete_with_dred,
+            scenario.program, scenario.view, scenario.request.atom, scenario.solver,
+        )
+
+    def test_recompute(self, benchmark, size):
+        scenario = build_layered_deletion_scenario(size)
+        benchmark.extra_info["view_entries"] = len(scenario.view)
+        benchmark.extra_info["algorithm"] = "recompute"
+        benchmark(
+            recompute_after_deletion,
+            scenario.program, scenario.view, scenario.request.atom, scenario.solver,
+        )
+
+
+@pytest.mark.parametrize("depth", [4, 8, 12])
+@pytest.mark.benchmark(group="B2-deletion-chain-depth")
+class TestChainDepthDeletion:
+    """Propagation depth sweep: how cost scales with derivation depth."""
+
+    def test_stdel(self, benchmark, depth):
+        scenario = build_chain_deletion_scenario(depth)
+        benchmark.extra_info["algorithm"] = "stdel"
+        benchmark(
+            delete_with_stdel,
+            scenario.program, scenario.view, scenario.request.atom, scenario.solver,
+        )
+
+    def test_dred(self, benchmark, depth):
+        scenario = build_chain_deletion_scenario(depth)
+        benchmark.extra_info["algorithm"] = "dred"
+        benchmark(
+            delete_with_dred,
+            scenario.program, scenario.view, scenario.request.atom, scenario.solver,
+        )
+
+    def test_recompute(self, benchmark, depth):
+        scenario = build_chain_deletion_scenario(depth)
+        benchmark.extra_info["algorithm"] = "recompute"
+        benchmark(
+            recompute_after_deletion,
+            scenario.program, scenario.view, scenario.request.atom, scenario.solver,
+        )
+
+
+@pytest.mark.benchmark(group="B1-deletion-duplicate-heavy")
+class TestDuplicateHeavyDeletion:
+    """Overlapping non-ground entries: the setting StDel was designed for."""
+
+    def test_stdel(self, benchmark):
+        scenario = build_interval_deletion_scenario()
+        benchmark.extra_info["algorithm"] = "stdel"
+        benchmark(
+            delete_with_stdel,
+            scenario.program, scenario.view, scenario.request.atom, scenario.solver,
+        )
+
+    def test_dred(self, benchmark):
+        scenario = build_interval_deletion_scenario()
+        benchmark.extra_info["algorithm"] = "dred"
+        benchmark(
+            delete_with_dred,
+            scenario.program, scenario.view, scenario.request.atom, scenario.solver,
+        )
+
+    def test_recompute(self, benchmark):
+        scenario = build_interval_deletion_scenario()
+        benchmark.extra_info["algorithm"] = "recompute"
+        benchmark(
+            recompute_after_deletion,
+            scenario.program, scenario.view, scenario.request.atom, scenario.solver,
+        )
+
+
+class TestDeletionWorkCounters:
+    """Non-timing shape check: StDel does strictly less derivation work."""
+
+    def test_stdel_touches_fewer_entries_than_dred_examines(self):
+        scenario = build_layered_deletion_scenario("medium")
+        stdel = delete_with_stdel(
+            scenario.program, scenario.view, scenario.request.atom, scenario.solver
+        )
+        dred = delete_with_dred(
+            scenario.program, scenario.view, scenario.request.atom, scenario.solver
+        )
+        assert stdel.stats.rederived_entries == 0
+        assert stdel.view.instances(scenario.solver) == dred.view.instances(scenario.solver)
+        # DRed performs clause applications both while unfolding P_OUT and
+        # while rederiving; StDel only reconstructs the affected entries.
+        assert (
+            stdel.stats.clause_applications + stdel.stats.replaced_entries
+            <= dred.stats.clause_applications + dred.stats.rederived_entries
+        )

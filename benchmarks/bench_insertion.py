@@ -1,0 +1,101 @@
+"""B3 -- insertion maintenance: Algorithm 3 vs recomputation.
+
+Paper claim: the ``P_ADD`` unfolding only touches derivations that involve
+the newly inserted atom, so incremental insertion should beat recomputing
+the materialized view from scratch, with the gap growing with view size.
+
+Run with::
+
+    pytest benchmarks/bench_insertion.py --benchmark-only --benchmark-group-by=group
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import SIZE_PARAMETERS
+from repro.constraints import ConstraintSolver
+from repro.datalog import compute_tp_fixpoint
+from repro.maintenance import insert_atom, recompute_after_insertion
+from repro.workloads import insertion_stream, make_layered_program
+
+SIZES = tuple(SIZE_PARAMETERS)
+
+
+def _build(size: str):
+    parameters = SIZE_PARAMETERS[size]
+    spec = make_layered_program(
+        base_facts=parameters["base_facts"],
+        layers=parameters["layers"],
+        predicates_per_layer=2,
+        fanin=2,
+        seed=7,
+    )
+    solver = ConstraintSolver()
+    view = compute_tp_fixpoint(spec.program, solver)
+    request = insertion_stream(spec, 1, seed=7)[0]
+    return spec, solver, view, request
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.benchmark(group="B3-insertion")
+class TestInsertion:
+    def test_incremental(self, benchmark, size):
+        spec, solver, view, request = _build(size)
+        benchmark.extra_info["algorithm"] = "incremental"
+        benchmark.extra_info["view_entries"] = len(view)
+        benchmark(insert_atom, spec.program, view, request.atom, solver)
+
+    def test_recompute(self, benchmark, size):
+        spec, solver, view, request = _build(size)
+        benchmark.extra_info["algorithm"] = "recompute"
+        benchmark.extra_info["view_entries"] = len(view)
+        benchmark(recompute_after_insertion, spec.program, view, request.atom, solver)
+
+
+@pytest.mark.benchmark(group="B3-insertion-batch")
+class TestInsertionBatch:
+    """A burst of insertions applied one at a time vs one recomputation each."""
+
+    BATCH = 5
+
+    def test_incremental_batch(self, benchmark):
+        spec, solver, view, _ = _build("medium")
+        requests = insertion_stream(spec, self.BATCH, seed=11)
+        benchmark.extra_info["algorithm"] = "incremental"
+
+        def run():
+            current = view
+            for request in requests:
+                current = insert_atom(spec.program, current, request.atom, solver).view
+            return current
+
+        benchmark(run)
+
+    def test_recompute_batch(self, benchmark):
+        spec, solver, view, _ = _build("medium")
+        requests = insertion_stream(spec, self.BATCH, seed=11)
+        benchmark.extra_info["algorithm"] = "recompute"
+
+        def run():
+            current_view = view
+            program = spec.program
+            result = None
+            for request in requests:
+                result = recompute_after_insertion(program, current_view, request.atom, solver)
+                current_view = result.view
+                program = result.program
+            return current_view
+
+        benchmark(run)
+
+
+class TestInsertionShape:
+    """Shape check independent of wall-clock noise."""
+
+    def test_incremental_adds_fewer_entries_than_full_view(self):
+        spec, solver, view, request = _build("medium")
+        incremental = insert_atom(spec.program, view, request.atom, solver)
+        assert 0 < len(incremental.added_entries) < len(view)
+        baseline = recompute_after_insertion(spec.program, view, request.atom, solver)
+        assert incremental.view.instances(solver) == baseline.view.instances(solver)

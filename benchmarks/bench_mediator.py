@@ -1,0 +1,125 @@
+"""B6 -- the law-enforcement mediator: materialization, queries and updates.
+
+Reproduces the paper's motivating workload (Example 1 / Figure 1) at
+benchmark scale:
+
+* materializing the mediated view by unfolding is cheap (the view is a small
+  set of non-ground constrained atoms), while query evaluation pays for the
+  domain calls -- the division of labour Section 4 relies on;
+* a view deletion (Example 3) through StDel vs DRed vs re-materialization;
+* growing the surveillance dataset (an update of the second kind) costs
+  nothing under ``W_P``.
+
+Run with::
+
+    pytest benchmarks/bench_mediator.py --benchmark-only --benchmark-group-by=group
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mediator import DeletionAlgorithm
+from repro.workloads import make_law_enforcement_scenario
+
+
+def _fresh_scenario(num_people=14, photo_count=10):
+    return make_law_enforcement_scenario(
+        num_people=num_people, photo_count=photo_count, seed=21
+    )
+
+
+@pytest.mark.benchmark(group="B6-mediator-materialize-vs-query")
+class TestMaterializeAndQuery:
+    def test_materialize_by_unfolding(self, benchmark, law_enforcement_scenario):
+        mediator = law_enforcement_scenario.mediator
+        benchmark.extra_info["operation"] = "materialize(wp)"
+        benchmark(mediator.materialize, "wp")
+
+    def test_query_suspects(self, benchmark, law_enforcement_scenario):
+        view = law_enforcement_scenario.mediator.materialize("wp")
+        benchmark.extra_info["operation"] = "query(suspect)"
+        benchmark(view.query, "suspect")
+
+    def test_query_seenwith(self, benchmark, law_enforcement_scenario):
+        view = law_enforcement_scenario.mediator.materialize("wp")
+        benchmark.extra_info["operation"] = "query(seenwith)"
+        benchmark(view.query, "seenwith")
+
+
+@pytest.mark.parametrize("num_people", [8, 14, 20])
+@pytest.mark.benchmark(group="B6-mediator-query-scaling")
+class TestQueryScaling:
+    def test_query_suspects(self, benchmark, num_people):
+        scenario = _fresh_scenario(num_people=num_people)
+        view = scenario.mediator.materialize("wp")
+        benchmark.extra_info["people"] = num_people
+        result = benchmark(view.query, "suspect")
+        assert result == frozenset(scenario.expected_suspects())
+
+
+@pytest.mark.benchmark(group="B6-mediator-deletion")
+class TestMediatedDeletion:
+    """Example 3 as a benchmark: retract one seenwith pair."""
+
+    def _request(self, scenario, view):
+        pair = sorted(view.query("seenwith"))[0]
+        return f"seenwith(X, Y) <- X = '{pair[0]}' & Y = '{pair[1]}'"
+
+    def test_stdel(self, benchmark, law_enforcement_scenario):
+        mediator = law_enforcement_scenario.mediator
+        view = mediator.materialize("wp")
+        request = self._request(law_enforcement_scenario, view)
+        benchmark.extra_info["algorithm"] = "stdel"
+        benchmark(
+            mediator.delete_from, view.view, mediator.parse_update_atom(request),
+            DeletionAlgorithm.STDEL,
+        )
+
+    def test_dred(self, benchmark, law_enforcement_scenario):
+        mediator = law_enforcement_scenario.mediator
+        view = mediator.materialize("wp")
+        request = self._request(law_enforcement_scenario, view)
+        benchmark.extra_info["algorithm"] = "dred"
+        benchmark(
+            mediator.delete_from, view.view, mediator.parse_update_atom(request),
+            DeletionAlgorithm.DRED,
+        )
+
+    def test_rematerialize(self, benchmark, law_enforcement_scenario):
+        mediator = law_enforcement_scenario.mediator
+        benchmark.extra_info["algorithm"] = "rematerialize"
+        benchmark(mediator.materialize, "wp")
+
+
+@pytest.mark.benchmark(group="B6-mediator-source-growth")
+class TestSourceGrowth:
+    """Update of the second kind: the surveillance dataset grows."""
+
+    def test_wp_add_photo_then_query(self, benchmark):
+        scenario = _fresh_scenario()
+        view = scenario.mediator.materialize("wp")
+        companions = list(scenario.people[1:3])
+
+        def run():
+            scenario.face_scenario.add_photo(
+                "surveillancedata", [scenario.kingpin] + companions
+            )
+            return view.query("suspect")
+
+        benchmark.extra_info["strategy"] = "wp-query-after-growth"
+        benchmark(run)
+
+    def test_tp_rematerialize_then_query(self, benchmark):
+        scenario = _fresh_scenario()
+        companions = list(scenario.people[1:3])
+
+        def run():
+            scenario.face_scenario.add_photo(
+                "surveillancedata", [scenario.kingpin] + companions
+            )
+            fresh = scenario.mediator.materialize("tp")
+            return fresh.query("suspect")
+
+        benchmark.extra_info["strategy"] = "tp-rematerialize-after-growth"
+        benchmark(run)

@@ -1,0 +1,109 @@
+"""B5 -- recursive views: StDel / DRed work where the counting baseline fails.
+
+Paper claims reproduced here:
+
+* both deletion algorithms "apply to non-recursive, as well as recursive
+  views" (Section 3.1, Example 6) -- measured on transitive closure over a
+  path graph of growing length;
+* the counting algorithm of Gupta, Katiyar and Mumick "can lead to infinite
+  counts" on recursive views (Section 6) -- demonstrated by the divergence
+  check, while StDel handles the same view.
+
+Run with::
+
+    pytest benchmarks/bench_recursive.py --benchmark-only --benchmark-group-by=group
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import build_tc_deletion_scenario
+from repro.constraints import ConstraintSolver
+from repro.errors import CountingDivergenceError
+from repro.maintenance import (
+    CountingMaintenance,
+    delete_with_dred,
+    delete_with_stdel,
+    recompute_after_deletion,
+)
+from repro.workloads import (
+    deletion_stream,
+    make_cycle_graph_edges,
+    make_transitive_closure_program,
+)
+
+
+@pytest.mark.parametrize("length", [6, 10, 14])
+@pytest.mark.benchmark(group="B5-recursive-deletion")
+class TestTransitiveClosureDeletion:
+    def test_stdel(self, benchmark, length):
+        scenario = build_tc_deletion_scenario(length)
+        benchmark.extra_info["algorithm"] = "stdel"
+        benchmark.extra_info["view_entries"] = len(scenario.view)
+        benchmark(
+            delete_with_stdel,
+            scenario.program, scenario.view, scenario.request.atom, scenario.solver,
+        )
+
+    def test_dred(self, benchmark, length):
+        scenario = build_tc_deletion_scenario(length)
+        benchmark.extra_info["algorithm"] = "dred"
+        benchmark(
+            delete_with_dred,
+            scenario.program, scenario.view, scenario.request.atom, scenario.solver,
+        )
+
+    def test_recompute(self, benchmark, length):
+        scenario = build_tc_deletion_scenario(length)
+        benchmark.extra_info["algorithm"] = "recompute"
+        benchmark(
+            recompute_after_deletion,
+            scenario.program, scenario.view, scenario.request.atom, scenario.solver,
+        )
+
+
+@pytest.mark.benchmark(group="B5-counting-vs-stdel")
+class TestCountingComparison:
+    """On acyclic recursion both work; counting is the one that breaks on cycles."""
+
+    def test_counting_deletion_on_acyclic_recursion(self, benchmark):
+        scenario = build_tc_deletion_scenario(8)
+        counting = CountingMaintenance(scenario.program, scenario.solver)
+        counting_view = counting.materialize()
+        benchmark.extra_info["algorithm"] = "counting"
+        benchmark(counting.delete, counting_view, scenario.request.atom)
+
+    def test_stdel_deletion_on_acyclic_recursion(self, benchmark):
+        scenario = build_tc_deletion_scenario(8)
+        benchmark.extra_info["algorithm"] = "stdel"
+        benchmark(
+            delete_with_stdel,
+            scenario.program, scenario.view, scenario.request.atom, scenario.solver,
+        )
+
+
+class TestCountingDivergenceShape:
+    """The qualitative half of B5: cyclic data breaks counting, not StDel."""
+
+    def test_counting_diverges_on_cycle_but_stdel_does_not(self):
+        solver = ConstraintSolver()
+        spec = make_transitive_closure_program(make_cycle_graph_edges(3))
+        counting = CountingMaintenance(spec.program, solver, max_iterations=25)
+        with pytest.raises(CountingDivergenceError):
+            counting.materialize()
+
+        # StDel works on the same data under set semantics (finite view).
+        from repro.datalog import FixpointEngine, FixpointOptions
+
+        engine = FixpointEngine(
+            spec.program, solver, FixpointOptions(duplicate_semantics=False)
+        )
+        view = engine.compute()
+        request = deletion_stream(spec, 1, seed=0)[0]
+        result = delete_with_stdel(spec.program, view, request.atom, solver)
+        expected = recompute_after_deletion(
+            spec.program, view, request.atom, solver,
+            options=FixpointOptions(duplicate_semantics=False),
+        )
+        assert result.view.instances(solver) == expected.view.instances(solver)

@@ -1,0 +1,96 @@
+"""Ablation -- constraint simplification inside StDel.
+
+The paper notes that StDel's replacement constraints "will often contain
+redundancy.  But ... in many cases the redundancy can be removed by
+simplification of the constraints" (Section 3.1.2).  This ablation measures
+both sides of that trade:
+
+* maintenance cost with and without simplification (simplification costs
+  solver calls during the replacement step), and
+* the size of the resulting constraints / the cost of querying the
+  maintained view afterwards (unsimplified constraints grow with every
+  subsequent deletion, making later work more expensive).
+
+Run with::
+
+    pytest benchmarks/bench_simplification.py --benchmark-only --benchmark-group-by=group
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import build_interval_deletion_scenario, build_layered_deletion_scenario
+from repro.maintenance import StDelOptions, delete_with_stdel
+from repro.workloads import deletion_stream
+
+
+def _constraint_size(view) -> int:
+    """Total number of conjuncts across all view entries (a size proxy)."""
+    return sum(len(list(entry.constraint.conjuncts())) for entry in view)
+
+
+@pytest.mark.benchmark(group="ablation-stdel-simplification")
+class TestSimplificationCost:
+    def test_with_simplification(self, benchmark):
+        scenario = build_interval_deletion_scenario()
+        options = StDelOptions(simplify_constraints=True)
+        benchmark.extra_info["variant"] = "simplify=on"
+        benchmark(
+            delete_with_stdel,
+            scenario.program, scenario.view, scenario.request.atom, scenario.solver, options,
+        )
+
+    def test_without_simplification(self, benchmark):
+        scenario = build_interval_deletion_scenario()
+        options = StDelOptions(simplify_constraints=False)
+        benchmark.extra_info["variant"] = "simplify=off"
+        benchmark(
+            delete_with_stdel,
+            scenario.program, scenario.view, scenario.request.atom, scenario.solver, options,
+        )
+
+
+@pytest.mark.benchmark(group="ablation-stdel-simplification-query")
+class TestDownstreamQueryCost:
+    """Querying the maintained view: simplified constraints are cheaper."""
+
+    def _maintained_view(self, simplify: bool):
+        scenario = build_layered_deletion_scenario("medium")
+        requests = deletion_stream(scenario.spec, 3, seed=5)
+        options = StDelOptions(simplify_constraints=simplify)
+        view = scenario.view
+        for request in requests:
+            view = delete_with_stdel(
+                scenario.program, view, request.atom, scenario.solver, options
+            ).view
+        return scenario, view
+
+    def test_query_after_simplified_maintenance(self, benchmark):
+        scenario, view = self._maintained_view(simplify=True)
+        benchmark.extra_info["variant"] = "simplify=on"
+        benchmark.extra_info["constraint_conjuncts"] = _constraint_size(view)
+        predicate = scenario.spec.top_predicates[0]
+        benchmark(view.instances_for, predicate, scenario.solver)
+
+    def test_query_after_unsimplified_maintenance(self, benchmark):
+        scenario, view = self._maintained_view(simplify=False)
+        benchmark.extra_info["variant"] = "simplify=off"
+        benchmark.extra_info["constraint_conjuncts"] = _constraint_size(view)
+        predicate = scenario.spec.top_predicates[0]
+        benchmark(view.instances_for, predicate, scenario.solver)
+
+
+class TestSimplificationShape:
+    def test_unsimplified_constraints_are_larger_but_equivalent(self):
+        scenario = build_layered_deletion_scenario("small")
+        on = delete_with_stdel(
+            scenario.program, scenario.view, scenario.request.atom, scenario.solver,
+            StDelOptions(simplify_constraints=True),
+        )
+        off = delete_with_stdel(
+            scenario.program, scenario.view, scenario.request.atom, scenario.solver,
+            StDelOptions(simplify_constraints=False),
+        )
+        assert on.view.instances(scenario.solver) == off.view.instances(scenario.solver)
+        assert _constraint_size(on.view) <= _constraint_size(off.view)

@@ -1,0 +1,93 @@
+"""Constrained databases à la Kanellakis-Kuper-Revesz (paper Example 2 and 6).
+
+Shows that the materialized view machinery works for classical constraint
+databases, not only for mediators over external packages:
+
+* an arithmetic constraint domain provides infinite relations intensionally
+  (``arith:greater`` never enumerates its result),
+* a recursive program (transitive closure over constrained edge facts) is
+  materialized under duplicate semantics with supports,
+* a deletion is performed with both Extended DRed and Straight Delete and
+  both are checked against the declarative semantics (the rewritten
+  program's least model), reproducing the paper's Example 6.
+
+Run with::
+
+    python examples/constrained_database.py
+"""
+
+from __future__ import annotations
+
+from repro.constraints import ConstraintSolver
+from repro.datalog import compute_tp_fixpoint, parse_constrained_atom, parse_program
+from repro.domains import DomainRegistry, make_arithmetic_domain
+from repro.maintenance import (
+    delete_with_dred,
+    delete_with_stdel,
+    recompute_after_deletion,
+)
+
+RECURSIVE_RULES = """
+p(X, Y) <- X = 'a' & Y = 'b'.
+p(X, Y) <- X = 'a' & Y = 'c'.
+p(X, Y) <- X = 'c' & Y = 'd'.
+a(X, Y) <- p(X, Y).
+a(X, Y) <- p(X, Z), a(Z, Y).
+"""
+
+ARITHMETIC_RULES = """
+bonus(X, Y) <- in(Y, arith:plus(X, 10)) || eligible(X).
+eligible(X) <- X >= 50 & X <= 60.
+eligible(X) <- in(X, arith:greater(90)).
+"""
+
+
+def show_view(title: str, view) -> None:
+    print(f"--- {title} ---")
+    for entry in view:
+        print(f"  {entry}")
+    print()
+
+
+def main() -> None:
+    solver = ConstraintSolver(DomainRegistry([make_arithmetic_domain()]))
+
+    # ------------------------------------------------------------------
+    # Example 6: a recursive constrained view with supports.
+    # ------------------------------------------------------------------
+    program = parse_program(RECURSIVE_RULES)
+    view = compute_tp_fixpoint(program, solver)
+    show_view("transitive closure view (Example 6's table)", view)
+    print("path instances:", sorted(view.instances_for("a")))
+    print()
+
+    request = parse_constrained_atom("p(X, Y) <- X = 'c' & Y = 'd'")
+    print(f"Deleting {request} ...\n")
+
+    declarative = recompute_after_deletion(program, view, request, solver)
+    stdel = delete_with_stdel(program, view, request, solver)
+    dred = delete_with_dred(program, view, request, solver)
+
+    show_view("after StDel (entries with unsolvable constraints removed)", stdel.view)
+    print("StDel   a-instances:", sorted(stdel.view.instances_for("a")))
+    print("DRed    a-instances:", sorted(dred.view.instances_for("a")))
+    print("decl.   a-instances:", sorted(declarative.view.instances_for("a")))
+    assert stdel.view.instances(solver) == declarative.view.instances(solver)
+    assert dred.view.instances(solver) == declarative.view.instances(solver)
+    print("Both algorithms agree with the declarative semantics (Theorems 1 and 2).")
+    print()
+
+    # ------------------------------------------------------------------
+    # Example 2 flavour: intensional arithmetic relations.
+    # ------------------------------------------------------------------
+    arithmetic = parse_program(ARITHMETIC_RULES)
+    arithmetic_view = compute_tp_fixpoint(arithmetic, solver)
+    show_view("arithmetic constrained view", arithmetic_view)
+    eligible = sorted(v for (v,) in arithmetic_view.instances_for("eligible", solver, range(0, 100)))
+    print("eligible salaries in [0, 100):", eligible)
+    bonuses = sorted(arithmetic_view.instances_for("bonus", solver, range(0, 100)))
+    print("first few bonus pairs:", bonuses[:5], "...")
+
+
+if __name__ == "__main__":
+    main()

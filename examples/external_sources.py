@@ -1,0 +1,97 @@
+"""Maintaining views when the external sources change (paper Section 4).
+
+Reproduces Examples 7 and 8 and the paper's headline claim about the
+``W_P`` operator: when an integrated source changes, a ``T_P``-materialized
+view must be fixed up (here: re-materialized), whereas the ``W_P`` view
+needs **no maintenance whatsoever** -- its constraints are simply evaluated
+against the current source behaviour at query time, and the answers always
+coincide with what ``T_P`` would give at that moment (Corollary 1).
+
+The external source is a time-versioned domain whose function ``g``
+changes behaviour between time points, exactly like the paper's Example 7.
+
+Run with::
+
+    python examples/external_sources.py
+"""
+
+from __future__ import annotations
+
+from repro.constraints import ConstraintSolver
+from repro.datalog import parse_program
+from repro.domains import DomainClock, DomainRegistry, VersionedDomain, function_delta
+from repro.maintenance import TpExternalMaintenance, WpExternalMaintenance
+
+RULES = """
+b(X) <- in(X, ext:g('b')).
+watched(X) <- b(X).
+"""
+
+
+def main() -> None:
+    clock = DomainClock()
+    domain = VersionedDomain("ext", clock)
+
+    # Example 7/8 behaviour: at time 0 the call ext:g('b') returns {'a'},
+    # at time 1 it returns {} and at time 2 it returns {'a', 'z'}.
+    domain.register_versioned(
+        "g",
+        lambda argument: {"a"} if argument == "b" else set(),
+        "the paper's example function g",
+    )
+    domain.set_behavior("g", 1, lambda argument: set())
+    domain.set_behavior(
+        "g", 2, lambda argument: {"a", "z"} if argument == "b" else set()
+    )
+    registry = DomainRegistry([domain])
+    solver = ConstraintSolver(registry)
+    program = parse_program(RULES)
+
+    tp = TpExternalMaintenance(program, solver)
+    wp = WpExternalMaintenance(program, solver)
+
+    print("time 0:")
+    print("  T_P view entries:", len(tp.view), "| W_P view entries:", len(wp.view))
+    print("  T_P query b:", sorted(tp.query("b")), "| W_P query b:", sorted(wp.query("b")))
+    print()
+
+    # ------------------------------------------------------------------
+    # Time 1: the value 'a' disappears from g('b') (Example 7).
+    # ------------------------------------------------------------------
+    clock.advance()
+    registry.invalidate_cache()
+    delta = function_delta(domain, "g", ("b",), 0, 1)
+    print(f"time 1: g('b') changed, f+ = {delta.added}, f- = {delta.removed}")
+
+    tp_report = tp.on_source_changed([delta])
+    wp_report = wp.on_source_changed([delta])
+    print(f"  T_P maintenance recomputed {tp_report.recomputed_entries} entries "
+          f"(view changed: {tp_report.view_changed})")
+    print(f"  W_P maintenance recomputed {wp_report.recomputed_entries} entries "
+          f"(view changed: {wp_report.view_changed})")
+    print("  T_P query b:", sorted(tp.query("b")), "| W_P query b:", sorted(wp.query("b")))
+    assert tp.query("b") == wp.query("b")
+    print()
+
+    # ------------------------------------------------------------------
+    # Time 2: g('b') returns {'a', 'z'} -- again, W_P does nothing.
+    # ------------------------------------------------------------------
+    clock.advance()
+    registry.invalidate_cache()
+    delta = function_delta(domain, "g", ("b",), 1, 2)
+    print(f"time 2: g('b') changed, f+ = {delta.added}, f- = {delta.removed}")
+    tp_report = tp.on_source_changed([delta])
+    wp_report = wp.on_source_changed([delta])
+    print(f"  T_P maintenance recomputed {tp_report.recomputed_entries} entries; "
+          f"W_P recomputed {wp_report.recomputed_entries}")
+    print("  T_P query watched:", sorted(tp.query("watched")),
+          "| W_P query watched:", sorted(wp.query("watched")))
+    assert tp.query("watched") == wp.query("watched")
+    print()
+    print("At every time point the W_P view answered identically to the "
+          "re-materialized T_P view while doing zero maintenance work "
+          "(Theorem 4 and Corollary 1).")
+
+
+if __name__ == "__main__":
+    main()

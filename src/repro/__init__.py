@@ -1,0 +1,44 @@
+"""repro -- a reproduction of "Efficient Maintenance of Materialized Mediated Views".
+
+Lu, Moerkotte, Schü, Subrahmanian (SIGMOD 1995).
+
+The library is organised bottom-up:
+
+* :mod:`repro.constraints` -- the constraint language (terms, comparisons,
+  DCA-atoms, negated conjunctions), a satisfiability solver, a simplifier
+  and solution enumeration;
+* :mod:`repro.datalog`     -- constrained Datalog: clauses, programs,
+  materialized views with derivation supports, the ``T_P`` / ``W_P``
+  fixpoint operators and a rule-text parser;
+* :mod:`repro.reldb`       -- an in-memory relational engine standing in for
+  the PARADOX / DBASE / INGRES sources HERMES integrates;
+* :mod:`repro.domains`     -- the external-domain layer (arithmetic,
+  relational, spatial, face-recognition, text, and time-versioned domains);
+* :mod:`repro.mediator`    -- the HERMES-style mediator tying rules and
+  domains together and exposing materialization and updates;
+* :mod:`repro.maintenance` -- the paper's algorithms: Extended DRed,
+  Straight Delete, constrained-atom insertion, external-change handling
+  under ``T_P`` vs ``W_P``, plus recomputation and counting baselines;
+* :mod:`repro.workloads`   -- the law-enforcement running example and the
+  synthetic program families used by the benchmark harness.
+
+Quickstart::
+
+    from repro.mediator import Mediator
+
+    mediator = Mediator.from_rules('''
+        a(X) <- X >= 3.
+        a(X) <- b(X).
+        b(X) <- X >= 5.
+        c(X) <- a(X).
+    ''')
+    view = mediator.materialize()
+    view.delete("b(X) <- X = 6")          # Straight Delete (Algorithm 2)
+    print(view.query("b", universe=range(10)))
+"""
+
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = ["ReproError", "__version__"]

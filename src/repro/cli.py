@@ -1,0 +1,204 @@
+"""Command-line interface: materialize, query and maintain views from rule files.
+
+The CLI makes the library usable without writing Python: point it at a rule
+file (the same syntax the parser accepts, see :mod:`repro.datalog.parser`)
+and materialize, query, or apply updates.
+
+Examples
+--------
+::
+
+    python -m repro materialize rules.pl
+    python -m repro query rules.pl b --universe 0:10
+    python -m repro delete rules.pl "b(X) <- X = 6" --query b --universe 0:10
+    python -m repro insert rules.pl "b(X) <- X = 1" --query c --universe 0:10
+    python -m repro examples          # list the bundled example scripts
+
+External domains cannot be configured from the command line (they are Python
+objects); the CLI therefore targets pure constrained databases, which is
+also everything the paper's worked examples need.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+from repro.constraints import ConstraintSolver
+from repro.datalog import compute_tp_fixpoint, compute_wp_fixpoint, parse_constrained_atom, parse_program
+from repro.errors import ReproError
+from repro.maintenance import DeletionRequest, InsertionRequest, ViewMaintainer
+
+
+def _parse_universe(spec: Optional[str]) -> Optional[List[object]]:
+    """Parse ``--universe`` values: ``0:10`` (range) or ``a,b,c`` (list)."""
+    if spec is None:
+        return None
+    if ":" in spec:
+        low_text, high_text = spec.split(":", 1)
+        return list(range(int(low_text), int(high_text)))
+    values: List[object] = []
+    for chunk in spec.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        try:
+            values.append(int(chunk))
+        except ValueError:
+            values.append(chunk)
+    return values
+
+
+def _load_program(path: str):
+    text = Path(path).read_text(encoding="utf-8")
+    return parse_program(text)
+
+
+def _print_view(view, stream) -> None:
+    for entry in view:
+        print(entry, file=stream)
+
+
+def _print_instances(view, predicate: str, solver, universe, stream) -> None:
+    try:
+        tuples = sorted(view.instances_for(predicate, solver, universe), key=repr)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        raise SystemExit(2)
+    for values in tuples:
+        rendered = ", ".join(str(value) for value in values)
+        print(f"{predicate}({rendered})", file=stream)
+    print(f"-- {len(tuples)} instances", file=stream)
+
+
+def _cmd_materialize(args, stream) -> int:
+    program = _load_program(args.rules)
+    solver = ConstraintSolver()
+    compute = compute_wp_fixpoint if args.operator == "wp" else compute_tp_fixpoint
+    view = compute(program, solver)
+    _print_view(view, stream)
+    print(f"-- {len(view)} entries ({args.operator})", file=stream)
+    if args.query:
+        _print_instances(view, args.query, solver, _parse_universe(args.universe), stream)
+    return 0
+
+
+def _cmd_query(args, stream) -> int:
+    program = _load_program(args.rules)
+    solver = ConstraintSolver()
+    view = compute_tp_fixpoint(program, solver)
+    _print_instances(view, args.predicate, solver, _parse_universe(args.universe), stream)
+    return 0
+
+
+def _cmd_update(args, stream, kind: str) -> int:
+    program = _load_program(args.rules)
+    solver = ConstraintSolver()
+    maintainer = ViewMaintainer(
+        program, solver, deletion_algorithm=args.algorithm
+    )
+    atom = parse_constrained_atom(args.atom)
+    request = DeletionRequest(atom) if kind == "delete" else InsertionRequest(atom)
+    record = maintainer.apply(request)
+    print(
+        f"applied {kind} of {atom} using {record.algorithm}; "
+        f"view now has {record.view_size_after} entries",
+        file=stream,
+    )
+    if args.verify:
+        ok = maintainer.verify(_parse_universe(args.universe))
+        print(f"verification against declarative semantics: {'OK' if ok else 'MISMATCH'}",
+              file=stream)
+        if not ok:
+            return 1
+    if args.query:
+        _print_instances(
+            maintainer.view, args.query, solver, _parse_universe(args.universe), stream
+        )
+    return 0
+
+
+def _cmd_examples(stream) -> int:
+    examples_dir = Path(__file__).resolve().parent.parent.parent / "examples"
+    print("Bundled examples (run with `python examples/<name>.py`):", file=stream)
+    if examples_dir.is_dir():
+        for script in sorted(examples_dir.glob("*.py")):
+            print(f"  {script.name}", file=stream)
+    else:  # installed without the examples directory
+        for name in ("quickstart.py", "law_enforcement.py",
+                     "constrained_database.py", "external_sources.py"):
+            print(f"  {name}", file=stream)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Materialize and maintain constrained (mediated) views.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    materialize = subparsers.add_parser(
+        "materialize", help="materialize a rule file and print the view entries"
+    )
+    materialize.add_argument("rules", help="path to a rule file")
+    materialize.add_argument("--operator", choices=("tp", "wp"), default="tp")
+    materialize.add_argument("--query", help="also print instances of this predicate")
+    materialize.add_argument("--universe", help="value universe, e.g. 0:20 or a,b,c")
+
+    query = subparsers.add_parser("query", help="print the instances of one predicate")
+    query.add_argument("rules")
+    query.add_argument("predicate")
+    query.add_argument("--universe")
+
+    for kind in ("delete", "insert"):
+        update = subparsers.add_parser(
+            kind, help=f"{kind} a constrained atom and report the maintained view"
+        )
+        update.add_argument("rules")
+        update.add_argument("atom", help="e.g. \"b(X) <- X = 6\"")
+        update.add_argument(
+            "--algorithm", choices=("stdel", "dred"), default="stdel",
+            help="deletion algorithm (ignored for insert)",
+        )
+        update.add_argument("--query", help="print instances of this predicate afterwards")
+        update.add_argument("--universe")
+        update.add_argument(
+            "--verify", action="store_true",
+            help="recompute the declarative semantics and compare",
+        )
+
+    subparsers.add_parser("examples", help="list the bundled example scripts")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None, stream=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    stream = stream or sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "materialize":
+            return _cmd_materialize(args, stream)
+        if args.command == "query":
+            return _cmd_query(args, stream)
+        if args.command == "delete":
+            return _cmd_update(args, stream, "delete")
+        if args.command == "insert":
+            return _cmd_update(args, stream, "insert")
+        if args.command == "examples":
+            return _cmd_examples(stream)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,442 @@
+"""Abstract syntax of the constraint language used in mediated views.
+
+The paper (Section 2.3) defines constraints as:
+
+* any DCA-atom ``in(X, domain:function(args))`` is a constraint,
+* ``X = T`` and ``X != T`` (T a variable or constant) are constraints,
+* any conjunction of constraints is a constraint.
+
+For the arithmetic domain the paper also freely writes ordering constraints
+such as ``X <= 5`` ("a more common way of writing" the corresponding
+DCA-atoms), and the deletion/insertion rewrites of Sections 3.1/3.2 introduce
+*negated* constraints ``not(φ)`` where ``φ`` is a conjunction of the above.
+The AST below covers exactly these forms:
+
+* :class:`Comparison` -- ``t1 op t2`` with ``op`` in ``= != < <= > >=``,
+* :class:`Membership` -- ``in(X, d:f(args))`` or its negation,
+* :class:`NegatedConjunction` -- ``not(c1 & ... & cn)``,
+* :class:`Conjunction` -- flattened conjunction,
+* :data:`TRUE` / :data:`FALSE` -- the trivial constraints.
+
+Every node is immutable and hashable, supports variable collection,
+substitution, and pretty printing matching the paper's notation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Sequence, Tuple
+
+from repro.constraints.terms import (
+    Constant,
+    Substitution,
+    Term,
+    Variable,
+)
+from repro.errors import ConstraintError
+
+#: The comparison operators supported by the constraint language.
+COMPARISON_OPERATORS: Tuple[str, ...] = ("=", "!=", "<", "<=", ">", ">=")
+
+#: Negation of each comparison operator, used when pushing ``not`` inwards.
+NEGATED_OPERATOR = {
+    "=": "!=",
+    "!=": "=",
+    "<": ">=",
+    "<=": ">",
+    ">": "<=",
+    ">=": "<",
+}
+
+#: Mirror image of each operator, used to orient comparisons.
+FLIPPED_OPERATOR = {
+    "=": "=",
+    "!=": "!=",
+    "<": ">",
+    "<=": ">=",
+    ">": "<",
+    ">=": "<=",
+}
+
+
+class Constraint:
+    """Base class of every constraint node."""
+
+    def variables(self) -> FrozenSet[Variable]:
+        """Return the set of variables occurring in the constraint."""
+        raise NotImplementedError
+
+    def substitute(self, subst: Substitution) -> "Constraint":
+        """Return a copy with *subst* applied to every term."""
+        raise NotImplementedError
+
+    def conjuncts(self) -> Tuple["Constraint", ...]:
+        """Return the top-level conjuncts (a non-conjunction is its own)."""
+        return (self,)
+
+    def is_primitive(self) -> bool:
+        """True for comparison and membership literals."""
+        return False
+
+    def __and__(self, other: "Constraint") -> "Constraint":
+        return conjoin(self, other)
+
+
+@dataclass(frozen=True)
+class TrueConstraint(Constraint):
+    """The always-satisfied constraint (empty conjunction)."""
+
+    def variables(self) -> FrozenSet[Variable]:
+        return frozenset()
+
+    def substitute(self, subst: Substitution) -> "Constraint":
+        return self
+
+    def conjuncts(self) -> Tuple[Constraint, ...]:
+        return ()
+
+    def __str__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class FalseConstraint(Constraint):
+    """The unsatisfiable constraint."""
+
+    def variables(self) -> FrozenSet[Variable]:
+        return frozenset()
+
+    def substitute(self, subst: Substitution) -> "Constraint":
+        return self
+
+    def __str__(self) -> str:
+        return "false"
+
+
+TRUE = TrueConstraint()
+FALSE = FalseConstraint()
+
+
+@dataclass(frozen=True)
+class Comparison(Constraint):
+    """A binary comparison ``left op right`` between two terms."""
+
+    left: Term
+    op: str
+    right: Term
+
+    def __post_init__(self) -> None:
+        if self.op not in COMPARISON_OPERATORS:
+            raise ConstraintError(f"unknown comparison operator: {self.op!r}")
+        for term in (self.left, self.right):
+            if not isinstance(term, (Variable, Constant)):
+                raise ConstraintError(f"comparison operand is not a term: {term!r}")
+
+    def variables(self) -> FrozenSet[Variable]:
+        found = set()
+        for term in (self.left, self.right):
+            if isinstance(term, Variable):
+                found.add(term)
+        return frozenset(found)
+
+    def substitute(self, subst: Substitution) -> "Comparison":
+        return Comparison(subst.apply(self.left), self.op, subst.apply(self.right))
+
+    def is_primitive(self) -> bool:
+        return True
+
+    def negated(self) -> "Comparison":
+        """Return the comparison expressing the negation of this one."""
+        return Comparison(self.left, NEGATED_OPERATOR[self.op], self.right)
+
+    def flipped(self) -> "Comparison":
+        """Return the same constraint with operands swapped."""
+        return Comparison(self.right, FLIPPED_OPERATOR[self.op], self.left)
+
+    def is_equality(self) -> bool:
+        return self.op == "="
+
+    def is_disequality(self) -> bool:
+        return self.op == "!="
+
+    def is_ordering(self) -> bool:
+        return self.op in ("<", "<=", ">", ">=")
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class DomainCall:
+    """A call ``domain:function(arg1, ..., argn)`` into an external source.
+
+    The call itself is not a constraint; it only appears as the second
+    argument of the ``in`` predicate (:class:`Membership`).
+    """
+
+    domain: str
+    function: str
+    args: Tuple[Term, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.domain or not self.function:
+            raise ConstraintError("domain calls need a domain and a function name")
+        object.__setattr__(self, "args", tuple(self.args))
+        for arg in self.args:
+            if not isinstance(arg, (Variable, Constant)):
+                raise ConstraintError(f"domain-call argument is not a term: {arg!r}")
+
+    def variables(self) -> FrozenSet[Variable]:
+        return frozenset(arg for arg in self.args if isinstance(arg, Variable))
+
+    def substitute(self, subst: Substitution) -> "DomainCall":
+        return DomainCall(self.domain, self.function, subst.apply_all(self.args))
+
+    def is_ground(self) -> bool:
+        """True when every argument is a constant."""
+        return all(isinstance(arg, Constant) for arg in self.args)
+
+    def ground_args(self) -> Tuple[object, ...]:
+        """Return the Python values of the (ground) arguments."""
+        if not self.is_ground():
+            raise ConstraintError(f"domain call is not ground: {self}")
+        return tuple(arg.value for arg in self.args)  # type: ignore[union-attr]
+
+    def __str__(self) -> str:
+        rendered = ", ".join(str(arg) for arg in self.args)
+        return f"{self.domain}:{self.function}({rendered})"
+
+
+@dataclass(frozen=True)
+class Membership(Constraint):
+    """The DCA-atom ``in(element, call)`` or its negation.
+
+    ``positive=False`` represents ``not in(element, call)``; negative
+    membership literals arise when deletion rewrites push ``not`` through a
+    conjunction that contains DCA-atoms.
+    """
+
+    element: Term
+    call: DomainCall
+    positive: bool = True
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.element, (Variable, Constant)):
+            raise ConstraintError(f"membership element is not a term: {self.element!r}")
+        if not isinstance(self.call, DomainCall):
+            raise ConstraintError(f"membership target is not a domain call: {self.call!r}")
+
+    def variables(self) -> FrozenSet[Variable]:
+        found = set(self.call.variables())
+        if isinstance(self.element, Variable):
+            found.add(self.element)
+        return frozenset(found)
+
+    def substitute(self, subst: Substitution) -> "Membership":
+        return Membership(
+            subst.apply(self.element), self.call.substitute(subst), self.positive
+        )
+
+    def is_primitive(self) -> bool:
+        return True
+
+    def negated(self) -> "Membership":
+        """Return the membership literal with opposite polarity."""
+        return Membership(self.element, self.call, not self.positive)
+
+    def __str__(self) -> str:
+        literal = f"in({self.element}, {self.call})"
+        return literal if self.positive else f"not {literal}"
+
+
+@dataclass(frozen=True)
+class NegatedConjunction(Constraint):
+    """``not(c1 & ... & cn)`` over primitive constraints.
+
+    The deletion rewrites of Section 3.1 produce constraints of the form
+    ``φ & not(ψ)`` where ``ψ`` is the conjunction of the constraint of the
+    deleted atom with binding equalities.  The negation is kept as a single
+    node (rather than eagerly expanded to a disjunction) so that views remain
+    flat conjunctions of constraint *literals*; the solver expands it lazily.
+
+    Nested negations are allowed (``not(p & not(q))``): they arise when a
+    view that has already been maintained once is maintained again, because
+    the earlier rewrite left ``not(...)`` conjuncts inside view constraints.
+
+    **Quantification convention.**  A variable that occurs *only* inside a
+    negated conjunction (neither in any positive conjunct of the enclosing
+    constraint nor among the atom arguments the constraint is attached to)
+    is quantified *inside* the negation: ``not(ψ)`` holds iff ψ has no
+    witness for those variables.  This matches the maintenance rewrites of
+    the paper, where the deleted atom's (renamed-apart) variables appear only
+    under ``not(...)`` together with the binding equalities that tie them to
+    the entry's own variables.  All other variables are free (top-level
+    existential, as in the paper's ``[A(X̄) <- φ]`` instance semantics).
+    """
+
+    parts: Tuple[Constraint, ...]
+
+    def __post_init__(self) -> None:
+        flattened: list[Constraint] = []
+        for part in self.parts:
+            if isinstance(part, Conjunction):
+                flattened.extend(part.parts)
+            elif isinstance(part, TrueConstraint):
+                continue
+            else:
+                flattened.append(part)
+        for part in flattened:
+            if not isinstance(part, Constraint) or not (
+                part.is_primitive()
+                or isinstance(part, (FalseConstraint, NegatedConjunction))
+            ):
+                raise ConstraintError(
+                    "negated conjunctions may only contain primitive constraints "
+                    f"or nested negations, got: {part!r}"
+                )
+        object.__setattr__(self, "parts", tuple(flattened))
+
+    def variables(self) -> FrozenSet[Variable]:
+        found: set[Variable] = set()
+        for part in self.parts:
+            found.update(part.variables())
+        return frozenset(found)
+
+    def substitute(self, subst: Substitution) -> "Constraint":
+        return NegatedConjunction(tuple(part.substitute(subst) for part in self.parts))
+
+    def inner(self) -> Constraint:
+        """Return the conjunction being negated."""
+        return conjoin(*self.parts)
+
+    def __str__(self) -> str:
+        inner = " & ".join(str(part) for part in self.parts) or "true"
+        return f"not({inner})"
+
+
+@dataclass(frozen=True)
+class Conjunction(Constraint):
+    """A flattened conjunction of constraints.
+
+    Use :func:`conjoin` to build conjunctions; it flattens nested
+    conjunctions, drops ``true`` and collapses to ``false`` eagerly.
+    """
+
+    parts: Tuple[Constraint, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "parts", tuple(self.parts))
+        for part in self.parts:
+            if isinstance(part, (Conjunction, TrueConstraint)):
+                raise ConstraintError(
+                    "Conjunction must be flat; build it with conjoin()"
+                )
+
+    def variables(self) -> FrozenSet[Variable]:
+        found: set[Variable] = set()
+        for part in self.parts:
+            found.update(part.variables())
+        return frozenset(found)
+
+    def substitute(self, subst: Substitution) -> "Constraint":
+        return conjoin(*(part.substitute(subst) for part in self.parts))
+
+    def conjuncts(self) -> Tuple[Constraint, ...]:
+        return self.parts
+
+    def __str__(self) -> str:
+        return " & ".join(str(part) for part in self.parts)
+
+
+def conjoin(*constraints: Constraint) -> Constraint:
+    """Conjoin constraints, flattening and normalising trivial cases.
+
+    ``conjoin()`` with no arguments returns ``TRUE``.  Any ``FALSE`` operand
+    collapses the result to ``FALSE``.  Duplicate conjuncts are kept (the
+    simplifier removes them); order is preserved.
+    """
+    flat: list[Constraint] = []
+    for constraint in constraints:
+        if constraint is None:  # pragma: no cover - defensive
+            raise ConstraintError("cannot conjoin None")
+        if isinstance(constraint, TrueConstraint):
+            continue
+        if isinstance(constraint, FalseConstraint):
+            return FALSE
+        if isinstance(constraint, Conjunction):
+            flat.extend(constraint.parts)
+        else:
+            flat.append(constraint)
+    if not flat:
+        return TRUE
+    if len(flat) == 1:
+        return flat[0]
+    return Conjunction(tuple(flat))
+
+
+def negate(constraint: Constraint) -> Constraint:
+    """Return the negation of *constraint* within the supported fragment.
+
+    Primitives negate to their dual literal.  Conjunctions negate to a
+    :class:`NegatedConjunction`.  ``true``/``false`` swap.  Negating a
+    :class:`NegatedConjunction` returns the inner conjunction (double
+    negation elimination).
+    """
+    if isinstance(constraint, TrueConstraint):
+        return FALSE
+    if isinstance(constraint, FalseConstraint):
+        return TRUE
+    if isinstance(constraint, Comparison):
+        return constraint.negated()
+    if isinstance(constraint, Membership):
+        return constraint.negated()
+    if isinstance(constraint, NegatedConjunction):
+        return constraint.inner()
+    if isinstance(constraint, Conjunction):
+        return NegatedConjunction(constraint.parts)
+    raise ConstraintError(f"cannot negate constraint: {constraint!r}")
+
+
+def equals(left: object, right: object) -> Comparison:
+    """Convenience constructor for an equality constraint between terms."""
+    return Comparison(_as_term(left), "=", _as_term(right))
+
+
+def not_equals(left: object, right: object) -> Comparison:
+    """Convenience constructor for a disequality constraint between terms."""
+    return Comparison(_as_term(left), "!=", _as_term(right))
+
+
+def compare(left: object, op: str, right: object) -> Comparison:
+    """Convenience constructor for an arbitrary comparison."""
+    return Comparison(_as_term(left), op, _as_term(right))
+
+
+def member(element: object, domain: str, function: str, *args: object) -> Membership:
+    """Convenience constructor for ``in(element, domain:function(args))``."""
+    call = DomainCall(domain, function, tuple(_as_term(arg) for arg in args))
+    return Membership(_as_term(element), call)
+
+
+def bindings_constraint(pairs: Iterable[Tuple[Term, Term]]) -> Constraint:
+    """Build the conjunction of equalities ``{X1 = t1, ..., Xn = tn}``.
+
+    This is the ``{X̄ = t̄}`` notation used throughout the paper's definition
+    of ``T_P`` and of the maintenance algorithms.
+    """
+    return conjoin(*(Comparison(left, "=", right) for left, right in pairs))
+
+
+def tuple_equalities(lefts: Sequence[Term], rights: Sequence[Term]) -> Constraint:
+    """Build ``{X̄ = t̄}`` for two equal-length tuples of terms."""
+    if len(lefts) != len(rights):
+        raise ConstraintError(
+            f"tuple length mismatch: {len(lefts)} vs {len(rights)} terms"
+        )
+    return bindings_constraint(zip(lefts, rights))
+
+
+def _as_term(value: object) -> Term:
+    if isinstance(value, (Variable, Constant)):
+        return value
+    return Constant(value)  # type: ignore[arg-type]

@@ -1,0 +1,157 @@
+"""Variable elimination (projection) for constraints.
+
+Clause application in ``T_P`` / ``W_P`` produces constraints full of
+auxiliary variables: the equalities ``{X̄i = t̄i}`` that wire renamed body
+entries to the clause's body atoms.  Those auxiliary variables are
+existentially quantified -- only the head variables matter for the view
+entry's meaning -- and the paper's worked examples always show the
+*projected* constraint (e.g. ``A(X) <- X >= 5`` rather than
+``A(X) <- X1 >= 5 & X1 = X``).
+
+``eliminate_variables`` implements the sound projection used for this:
+a positive top-level equality ``V = t`` whose ``V`` is not a protected
+variable can be removed after substituting ``t`` for ``V`` everywhere,
+because ``∃V (V = t ∧ φ)`` is equivalent to ``φ[V := t]``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Set, Tuple
+
+from repro.constraints.ast import (
+    Comparison,
+    Constraint,
+    FalseConstraint,
+    TrueConstraint,
+    conjoin,
+)
+from repro.constraints.terms import Constant, Substitution, Term, Variable
+
+
+def eliminate_variables(
+    constraint: Constraint,
+    keep: Iterable[Variable],
+    max_rounds: Optional[int] = None,
+) -> Constraint:
+    """Eliminate auxiliary variables bound by top-level equalities.
+
+    Parameters
+    ----------
+    constraint:
+        The constraint to project.
+    keep:
+        Variables that must survive (typically the head variables of the
+        derived atom).  Every other variable is auxiliary and is eliminated
+        whenever a top-level equality pins it to another term.
+    max_rounds:
+        Safety bound on the number of elimination passes (defaults to the
+        number of conjuncts plus one).
+    """
+    protected: Set[Variable] = set(keep)
+    if isinstance(constraint, (TrueConstraint, FalseConstraint)):
+        return constraint
+
+    parts: List[Constraint] = list(constraint.conjuncts())
+    rounds = max_rounds if max_rounds is not None else len(parts) + 1
+
+    for _ in range(rounds):
+        target = _find_eliminable_equality(parts, protected)
+        if target is None:
+            break
+        index, variable, replacement = target
+        substitution = Substitution({variable: replacement})
+        parts = [
+            part.substitute(substitution)
+            for position, part in enumerate(parts)
+            if position != index
+        ]
+    return conjoin(*_drop_trivial(parts))
+
+
+def scope_negations(constraint: Constraint) -> Constraint:
+    """Inline equality-determined local variables inside each ``not(...)``.
+
+    A variable occurring *only* inside one negated conjunction is implicitly
+    quantified inside that negation (``not(ψ)`` means "ψ has no witness").
+    When such a variable is pinned by an equality inside ψ -- which is always
+    the case for the binding equalities the maintenance rewrites introduce --
+    it can be eliminated by substitution, after which the negation mentions
+    only outer variables and the solver's branch expansion is exact for it.
+
+    The view constraints also become the compact forms the paper displays,
+    e.g. ``X >= 5 & not(Y = 6 & Y = X)`` becomes ``X >= 5 & not(X = 6)``.
+    """
+    from repro.constraints.ast import FALSE, NegatedConjunction, conjoin as _conjoin
+
+    parts = list(constraint.conjuncts())
+    if not parts:
+        return constraint
+    rewritten: List[Constraint] = []
+    changed = False
+    for index, part in enumerate(parts):
+        if not isinstance(part, NegatedConjunction):
+            rewritten.append(part)
+            continue
+        outside_vars: Set[Variable] = set()
+        for other_index, other in enumerate(parts):
+            if other_index != index:
+                outside_vars.update(other.variables())
+        inner = eliminate_variables(_conjoin(*part.parts), outside_vars)
+        replacement: Constraint
+        if isinstance(inner, TrueConstraint):
+            # The negated conjunction holds for every witness of its local
+            # variables, so its negation can never be satisfied.
+            replacement = FALSE
+        elif isinstance(inner, FalseConstraint):
+            # The inner conjunction is unsatisfiable; its negation is trivial
+            # and the conjunct can be dropped (conjoin removes TRUE).
+            changed = True
+            continue
+        else:
+            replacement = NegatedConjunction(tuple(inner.conjuncts()))
+        if replacement != part:
+            changed = True
+        rewritten.append(replacement)
+    if not changed:
+        return constraint
+    return _conjoin(*rewritten)
+
+
+def _find_eliminable_equality(
+    parts: List[Constraint], protected: Set[Variable]
+) -> Optional[Tuple[int, Variable, Term]]:
+    """Locate an equality conjunct that eliminates an auxiliary variable.
+
+    Preference order: eliminate an auxiliary variable in favour of a constant
+    or protected variable first, then auxiliary-to-auxiliary equalities.
+    """
+    fallback: Optional[Tuple[int, Variable, Term]] = None
+    for index, part in enumerate(parts):
+        if not isinstance(part, Comparison) or part.op != "=":
+            continue
+        left, right = part.left, part.right
+        candidates: List[Tuple[Variable, Term]] = []
+        if isinstance(left, Variable) and left not in protected:
+            candidates.append((left, right))
+        if isinstance(right, Variable) and right not in protected:
+            candidates.append((right, left))
+        for variable, replacement in candidates:
+            if replacement == variable:
+                continue
+            if isinstance(replacement, Constant) or (
+                isinstance(replacement, Variable) and replacement in protected
+            ):
+                return (index, variable, replacement)
+            if fallback is None:
+                fallback = (index, variable, replacement)
+    return fallback
+
+
+def _drop_trivial(parts: List[Constraint]) -> List[Constraint]:
+    """Remove conjuncts of the form ``t = t`` produced by substitution."""
+    kept: List[Constraint] = []
+    for part in parts:
+        if isinstance(part, Comparison) and part.op == "=" and part.left == part.right:
+            continue
+        kept.append(part)
+    return kept

@@ -1,0 +1,246 @@
+"""Constraint simplification.
+
+The Straight Delete algorithm (Section 3.1.2) repeatedly replaces a view
+entry's constraint ``φ`` by ``φ & bindings & not(ψ)``; the paper notes that
+"the constraints that are created in step 3 of the algorithm will often
+contain redundancy.  But ... in many cases the redundancy can be removed by
+simplification of the constraints" (its Example 5 turns
+``X <= 5 & not(X <= 5 & X = 6)`` into ``X <= 5 & X != 6``).
+
+This module implements exactly that simplification:
+
+* duplicate conjuncts are removed,
+* negated conjunctions are reduced against the positive context: inner
+  conjuncts entailed by the context disappear, inner conjuncts contradicted
+  by the context make the whole negation trivially true, a singleton residue
+  is replaced by the dual primitive literal, and an empty residue collapses
+  the constraint to ``false``,
+* (optionally) comparison conjuncts entailed by the rest are dropped.
+
+Membership (DCA) atoms are never dropped, even when the current domain
+contents make them redundant: under the ``W_P`` reading of Section 4 their
+truth may change over time, so removing them would change the view's
+semantics at later time points.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.constraints.ast import (
+    Comparison,
+    Conjunction,
+    Constraint,
+    FALSE,
+    FalseConstraint,
+    Membership,
+    NegatedConjunction,
+    TRUE,
+    TrueConstraint,
+    conjoin,
+    negate,
+)
+from repro.constraints.projection import scope_negations
+from repro.constraints.solver import ConstraintSolver
+from repro.constraints.terms import Constant, Variable
+
+
+def simplify(
+    constraint: Constraint,
+    solver: Optional[ConstraintSolver] = None,
+    drop_redundant_comparisons: bool = False,
+) -> Constraint:
+    """Return an equivalent but syntactically smaller constraint.
+
+    Parameters
+    ----------
+    constraint:
+        The constraint to simplify.
+    solver:
+        Solver used for entailment checks.  When omitted a registry-free
+        solver is used, which still handles all comparison reasoning.
+    drop_redundant_comparisons:
+        When True, comparison conjuncts entailed by the remaining conjuncts
+        are removed (e.g. ``X = 2 & X >= 1`` becomes ``X = 2``).  Membership
+        atoms are never dropped.
+    """
+    solver = solver or ConstraintSolver()
+    if isinstance(constraint, (TrueConstraint, FalseConstraint)):
+        return constraint
+
+    constraint = scope_negations(constraint)
+    if isinstance(constraint, (TrueConstraint, FalseConstraint)):
+        return constraint
+
+    conjuncts = _dedupe(list(constraint.conjuncts()))
+    if any(isinstance(part, FalseConstraint) for part in conjuncts):
+        return FALSE
+
+    positives = [part for part in conjuncts if part.is_primitive()]
+    context = conjoin(*positives)
+
+    reduced: List[Constraint] = []
+    for part in conjuncts:
+        if isinstance(part, NegatedConjunction):
+            replacement = _reduce_negation(part, context, solver)
+            if isinstance(replacement, FalseConstraint):
+                return FALSE
+            if isinstance(replacement, TrueConstraint):
+                continue
+            reduced.append(replacement)
+        else:
+            reduced.append(part)
+
+    reduced = _dedupe(reduced)
+
+    if drop_redundant_comparisons:
+        reduced = _drop_redundant_comparisons(reduced, solver)
+
+    return conjoin(*reduced)
+
+
+def canonical_form(constraint: Constraint) -> Constraint:
+    """Return a canonical ordering of conjuncts for duplicate detection.
+
+    Equalities are oriented variable-first / alphabetically and the conjuncts
+    are sorted by their textual rendering; this gives a stable, purely
+    syntactic normal form (no solver reasoning), adequate for detecting
+    literally repeated view entries.
+    """
+    if isinstance(constraint, (TrueConstraint, FalseConstraint)):
+        return constraint
+    oriented = [_orient(part) for part in constraint.conjuncts()]
+    unique = _dedupe(oriented)
+    ordered = sorted(unique, key=str)
+    return conjoin(*ordered)
+
+
+def extract_bindings(constraint: Constraint) -> "dict[Variable, Constant]":
+    """Return variable-to-constant bindings implied by top-level equalities.
+
+    Equality chains through intermediate variables are chased, so a
+    constraint ``X = Y & Y = 3`` yields ``{X: 3, Y: 3}``.  Only *positive*
+    top-level equalities are considered.
+    """
+    parent: "dict[object, object]" = {}
+
+    def find(node: object) -> object:
+        parent.setdefault(node, node)
+        while parent[node] != node:
+            parent[node] = parent[parent[node]]
+            node = parent[node]
+        return node
+
+    def union(left: object, right: object) -> None:
+        root_left, root_right = find(left), find(right)
+        if root_left == root_right:
+            return
+        # Prefer constants as class representatives.
+        if isinstance(root_left, Constant):
+            parent[root_right] = root_left
+        else:
+            parent[root_left] = root_right
+
+    for part in constraint.conjuncts():
+        if isinstance(part, Comparison) and part.op == "=":
+            union(part.left, part.right)
+
+    bindings: "dict[Variable, Constant]" = {}
+    for node in list(parent):
+        if isinstance(node, Variable):
+            root = find(node)
+            if isinstance(root, Constant):
+                bindings[node] = root
+    return bindings
+
+
+# ---------------------------------------------------------------------------
+# Internal helpers
+# ---------------------------------------------------------------------------
+
+
+def _dedupe(parts: Sequence[Constraint]) -> List[Constraint]:
+    seen = set()
+    result: List[Constraint] = []
+    for part in parts:
+        if isinstance(part, TrueConstraint):
+            continue
+        key = _orient(part) if part.is_primitive() else part
+        if key in seen:
+            continue
+        seen.add(key)
+        result.append(part)
+    return result
+
+
+def _orient(part: Constraint) -> Constraint:
+    """Orient symmetric comparisons into a canonical operand order."""
+    if not isinstance(part, Comparison):
+        return part
+    if part.op in ("=", "!="):
+        left, right = part.left, part.right
+        if isinstance(left, Constant) and isinstance(right, Variable):
+            return Comparison(right, part.op, left)
+        if isinstance(left, Variable) and isinstance(right, Variable):
+            if left.name > right.name:
+                return Comparison(right, part.op, left)
+        if isinstance(left, Constant) and isinstance(right, Constant):
+            if str(left) > str(right):
+                return Comparison(right, part.op, left)
+        return part
+    if part.op in (">", ">="):
+        return part.flipped()
+    return part
+
+
+def _reduce_negation(
+    negation: NegatedConjunction,
+    context: Constraint,
+    solver: ConstraintSolver,
+) -> Constraint:
+    """Reduce ``not(p1 & ... & pk)`` relative to the positive *context*."""
+    residue: List[Constraint] = []
+    for part in negation.parts:
+        if isinstance(part, FalseConstraint):
+            # The inner conjunction is false, so the negation is true.
+            return TRUE
+        if solver.entails(context, part):
+            # Under the context this inner conjunct always holds; the
+            # negation reduces to the negation of the remaining conjuncts.
+            continue
+        if not solver.is_satisfiable(conjoin(context, part)):
+            # The inner conjunct can never hold together with the context,
+            # so the negated conjunction is always true here.
+            return TRUE
+        residue.append(part)
+    if not residue:
+        return FALSE
+    if len(residue) == 1:
+        return negate(residue[0])
+    return NegatedConjunction(tuple(residue))
+
+
+def _drop_redundant_comparisons(
+    parts: List[Constraint], solver: ConstraintSolver
+) -> List[Constraint]:
+    result = list(parts)
+    index = 0
+    while index < len(result):
+        part = result[index]
+        if isinstance(part, Comparison):
+            rest = result[:index] + result[index + 1:]
+            rest_constraint = conjoin(*rest)
+            # Keep equalities that define a variable otherwise unconstrained:
+            # dropping them would lose binding information used for display
+            # and for solution enumeration even though the solution set over
+            # mentioned variables is preserved.
+            defines_variable = part.op == "=" and any(
+                isinstance(term, Variable)
+                and not any(term in other.variables() for other in rest)
+                for term in (part.left, part.right)
+            )
+            if not defines_variable and rest and solver.entails(rest_constraint, part):
+                result.pop(index)
+                continue
+        index += 1
+    return result

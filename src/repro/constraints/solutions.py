@@ -1,0 +1,344 @@
+"""Enumerating the solutions of a constraint.
+
+The paper's semantics of a constrained atom ``A(X̄) <- φ`` is its set of
+instances ``[A(X̄) <- φ] = {A(X̄)θ | θ is a solution of φ}``.  Tests, the
+query layer and the examples need to *materialize* these instance sets (over
+finite domains, or clipped to a caller-supplied universe when a constraint
+like ``Y >= X`` has infinitely many solutions).
+
+Enumeration is a backtracking search:
+
+1. at every step the "cheapest" still-unassigned variable is picked -- one
+   pinned by an equality first, then one whose finite DCA result set can be
+   evaluated under the partial assignment (this is what makes chained domain
+   calls such as the law-enforcement mediator's
+   ``in(A, paradox:select_eq(...)) & in(P, spatialdb:locateaddress(A, ...))``
+   enumerable), then one with a bounded integer interval, then one drawing
+   from the caller-supplied universe;
+2. candidate values are filtered eagerly against the conjuncts that have
+   become fully ground;
+3. complete assignments are checked with the solver's exact ground
+   evaluator, so negated conjunctions and negative memberships are honoured.
+
+Because negations and memberships only ever *remove* solutions, generating
+candidates from the positive conjuncts alone is complete.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.constraints.ast import (
+    Comparison,
+    Constraint,
+    FalseConstraint,
+    Membership,
+    NegatedConjunction,
+)
+from repro.constraints.solver import ConstraintSolver
+from repro.constraints.terms import Constant, Substitution, Term, Variable
+from repro.errors import SolverError
+
+#: Widest integer interval that is enumerated without an explicit universe.
+DEFAULT_MAX_INTERVAL_WIDTH = 10_000
+
+#: Default cap on the number of solutions produced by one enumeration.
+DEFAULT_MAX_SOLUTIONS = 1_000_000
+
+
+def enumerate_solutions(
+    constraint: Constraint,
+    variables: Sequence[Variable],
+    solver: Optional[ConstraintSolver] = None,
+    universe: Optional[Iterable[object]] = None,
+    max_interval_width: int = DEFAULT_MAX_INTERVAL_WIDTH,
+    max_solutions: int = DEFAULT_MAX_SOLUTIONS,
+) -> Iterator[Dict[Variable, object]]:
+    """Yield assignments (dicts) of *variables* that satisfy *constraint*.
+
+    Raises :class:`~repro.errors.SolverError` when a variable's candidate set
+    cannot be determined and no *universe* was supplied, or when more than
+    *max_solutions* assignments would be produced.
+    """
+    solver = solver or ConstraintSolver()
+    if isinstance(constraint, FalseConstraint):
+        return
+    wanted = list(dict.fromkeys(variables))
+    # Auxiliary constraint variables must be assigned too (they are
+    # existentially quantified); include them in the search but project them
+    # away from the yielded assignments.  Variables occurring *only* inside
+    # negated conjunctions are excluded: the ground evaluator treats them as
+    # quantified inside the negation (``not(ψ)`` holds iff ψ has no witness).
+    positively_occurring: set = set()
+    for part in constraint.conjuncts():
+        if not isinstance(part, NegatedConjunction):
+            positively_occurring.update(part.variables())
+    auxiliary = sorted(
+        positively_occurring - set(wanted), key=lambda v: v.name
+    )
+    search_vars = wanted + auxiliary
+    universe_values = list(universe) if universe is not None else None
+
+    produced = 0
+    seen: set = set()
+    for assignment in _search(
+        constraint, search_vars, {}, solver, universe_values, max_interval_width
+    ):
+        projected = {var: assignment[var] for var in wanted}
+        key = tuple(projected[var] for var in wanted)
+        if key in seen:
+            continue
+        seen.add(key)
+        produced += 1
+        if produced > max_solutions:
+            raise SolverError(
+                f"solution enumeration exceeded {max_solutions} assignments"
+            )
+        yield projected
+
+
+def solution_set(
+    constraint: Constraint,
+    variables: Sequence[Variable],
+    solver: Optional[ConstraintSolver] = None,
+    universe: Optional[Iterable[object]] = None,
+    max_interval_width: int = DEFAULT_MAX_INTERVAL_WIDTH,
+) -> FrozenSet[Tuple[object, ...]]:
+    """Return the set of solution tuples, ordered like *variables*."""
+    wanted = list(dict.fromkeys(variables))
+    tuples = set()
+    for assignment in enumerate_solutions(
+        constraint,
+        wanted,
+        solver=solver,
+        universe=universe,
+        max_interval_width=max_interval_width,
+    ):
+        tuples.add(tuple(assignment[var] for var in wanted))
+    return frozenset(tuples)
+
+
+def equivalent_on_universe(
+    left: Constraint,
+    right: Constraint,
+    variables: Sequence[Variable],
+    universe: Iterable[object],
+    solver: Optional[ConstraintSolver] = None,
+) -> bool:
+    """Check that two constraints admit the same solutions over *universe*.
+
+    This is the semantic comparison used by the correctness tests: the paper's
+    theorems state equality of instance sets ``[·]``, not syntactic equality.
+    """
+    universe_values = list(universe)
+    left_solutions = solution_set(left, variables, solver=solver, universe=universe_values)
+    right_solutions = solution_set(right, variables, solver=solver, universe=universe_values)
+    return left_solutions == right_solutions
+
+
+# ---------------------------------------------------------------------------
+# Backtracking search
+# ---------------------------------------------------------------------------
+
+
+def _search(
+    constraint: Constraint,
+    unassigned: List[Variable],
+    partial: Dict[Variable, object],
+    solver: ConstraintSolver,
+    universe: Optional[List[object]],
+    max_interval_width: int,
+) -> Iterator[Dict[Variable, object]]:
+    if not unassigned:
+        if solver.evaluate_ground(constraint, partial):
+            yield dict(partial)
+        return
+
+    variable, candidates = _pick_variable(
+        constraint, unassigned, partial, solver, universe, max_interval_width
+    )
+    remaining = [var for var in unassigned if var != variable]
+    for value in candidates:
+        partial[variable] = value
+        if _partial_consistent(constraint, partial, solver):
+            yield from _search(
+                constraint, remaining, partial, solver, universe, max_interval_width
+            )
+        del partial[variable]
+
+
+def _pick_variable(
+    constraint: Constraint,
+    unassigned: List[Variable],
+    partial: Dict[Variable, object],
+    solver: ConstraintSolver,
+    universe: Optional[List[object]],
+    max_interval_width: int,
+) -> Tuple[Variable, List[object]]:
+    """Choose the next variable and its candidate values.
+
+    Preference: equality-pinned variables, then finite membership sets, then
+    bounded integer intervals, then the universe.  Raises
+    :class:`SolverError` when nothing applies and no universe is available.
+    """
+    best: Optional[Tuple[int, int, Variable, List[object]]] = None
+    for variable in unassigned:
+        pinned = _pinned_value(variable, constraint, partial)
+        if pinned is not _NO_VALUE:
+            return variable, [pinned]
+        membership_values = _membership_candidates(variable, constraint, partial, solver)
+        if membership_values is not None:
+            candidate = (1, len(membership_values), variable, membership_values)
+            if best is None or candidate[:2] < best[:2]:
+                best = candidate
+            continue
+        interval = _integer_interval(variable, constraint, partial)
+        if interval is not None and interval[1] - interval[0] + 1 <= max_interval_width:
+            values = list(range(interval[0], interval[1] + 1))
+            candidate = (2, len(values), variable, values)
+            if best is None or candidate[:2] < best[:2]:
+                best = candidate
+    if best is not None:
+        return best[2], best[3]
+    variable = unassigned[0]
+    if universe is None:
+        raise SolverError(
+            f"cannot enumerate candidate values for variable {variable}; "
+            "supply a universe"
+        )
+    return variable, list(universe)
+
+
+class _NoValue:
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<no value>"
+
+
+_NO_VALUE = _NoValue()
+
+
+def _resolve(term: Term, partial: Dict[Variable, object]) -> object:
+    if isinstance(term, Constant):
+        return term.value
+    return partial.get(term, _NO_VALUE)
+
+
+def _pinned_value(
+    variable: Variable, constraint: Constraint, partial: Dict[Variable, object]
+) -> object:
+    """Value forced on *variable* by a positive equality, if any."""
+    for part in constraint.conjuncts():
+        if not isinstance(part, Comparison) or part.op != "=":
+            continue
+        for this, other in ((part.left, part.right), (part.right, part.left)):
+            if this != variable:
+                continue
+            value = _resolve(other, partial)
+            if value is not _NO_VALUE:
+                return value
+    return _NO_VALUE
+
+
+def _membership_candidates(
+    variable: Variable,
+    constraint: Constraint,
+    partial: Dict[Variable, object],
+    solver: ConstraintSolver,
+) -> Optional[List[object]]:
+    """Finite candidate values from positive DCA-atoms over *variable*."""
+    evaluator = solver.evaluator
+    if evaluator is None:
+        return None
+    collected: Optional[set] = None
+    for part in constraint.conjuncts():
+        if not isinstance(part, Membership) or not part.positive:
+            continue
+        if part.element != variable:
+            continue
+        args = [_resolve(arg, partial) for arg in part.call.args]
+        if any(arg is _NO_VALUE for arg in args):
+            continue
+        if not evaluator.has_domain(part.call.domain):
+            continue
+        result = evaluator.evaluate_call(
+            part.call.domain, part.call.function, tuple(args)
+        )
+        if not result.is_finite():
+            continue
+        values = set(result.iter_values())
+        collected = values if collected is None else (collected & values)
+    if collected is None:
+        return None
+    return sorted(collected, key=_sort_key)
+
+
+def _integer_interval(
+    variable: Variable,
+    constraint: Constraint,
+    partial: Dict[Variable, object],
+) -> Optional[Tuple[int, int]]:
+    """Bounded integer interval implied by comparisons on *variable*."""
+    low: float = -math.inf
+    high: float = math.inf
+    for part in constraint.conjuncts():
+        if not isinstance(part, Comparison) or variable not in part.variables():
+            continue
+        comparison = part
+        if comparison.right == variable:
+            comparison = comparison.flipped()
+        if comparison.left != variable:
+            continue
+        value = _resolve(comparison.right, partial)
+        if value is _NO_VALUE or isinstance(value, bool):
+            continue
+        if not isinstance(value, (int, float)):
+            continue
+        if comparison.op == "=":
+            low = max(low, float(value))
+            high = min(high, float(value))
+        elif comparison.op == "<":
+            bound = math.ceil(value) - 1 if float(value).is_integer() else math.floor(value)
+            high = min(high, bound)
+        elif comparison.op == "<=":
+            high = min(high, math.floor(value))
+        elif comparison.op == ">":
+            bound = math.floor(value) + 1 if float(value).is_integer() else math.ceil(value)
+            low = max(low, bound)
+        elif comparison.op == ">=":
+            low = max(low, math.ceil(value))
+    if low == -math.inf or high == math.inf:
+        return None
+    if low > high:
+        return (0, -1)  # empty interval
+    return (int(low), int(high))
+
+
+def _partial_consistent(
+    constraint: Constraint, partial: Dict[Variable, object], solver: ConstraintSolver
+) -> bool:
+    """Evaluate the conjuncts that are fully ground under *partial*."""
+    for part in constraint.conjuncts():
+        if isinstance(part, NegatedConjunction):
+            # Deferred to the final full evaluation: a negation may become
+            # true again once more variables are assigned only if some inner
+            # conjunct turns false, which cannot be decided partially in
+            # general -- but if *all* its variables are assigned we can.
+            if not all(var in partial for var in part.variables()):
+                continue
+            if not solver.evaluate_ground(part, partial):
+                return False
+            continue
+        if not all(var in partial for var in part.variables()):
+            continue
+        try:
+            if not solver.evaluate_ground(part, partial):
+                return False
+        except SolverError:
+            # A membership over an unknown domain: leave it to the caller.
+            continue
+    return True
+
+
+def _sort_key(value: object) -> Tuple[str, str]:
+    return (type(value).__name__, repr(value))

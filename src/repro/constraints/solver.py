@@ -1,0 +1,756 @@
+"""Satisfiability checking for the constraint language.
+
+The fixpoint operator ``T_P`` and all the maintenance algorithms of the paper
+repeatedly ask one question about a constraint ``φ``: *is φ solvable?*  This
+module answers it for the fragment the paper uses:
+
+* conjunctions of comparison literals (``= != < <= > >=``) between variables
+  and constants,
+* DCA-atoms ``in(X, domain:function(args))`` and their negations, evaluated
+  against the domain registry, and
+* negated conjunctions ``not(ψ)`` introduced by the deletion/insertion
+  rewrites of Sections 3.1 and 3.2.
+
+The decision procedure works in two stages:
+
+1. *Branching.*  Each ``not(p1 & ... & pk)`` is a disjunction
+   ``¬p1 ∨ ... ∨ ¬pk`` of primitive literals; the constraint is satisfiable
+   iff at least one branch (choice of one negated literal per negation) is.
+2. *Branch closure.*  A branch -- a conjunction of primitive literals -- is
+   checked with a congruence-closure / interval procedure: union-find over
+   equalities, contradiction checks for disequalities, interval reasoning for
+   numeric orderings with bound propagation across variable-variable
+   orderings, and membership evaluation of ground DCA-atoms.
+
+The procedure is exact for the constraint shapes produced by the paper's
+examples and by this library's own rewrites.  For constraints outside that
+envelope (e.g. orderings between unbound variables forming a cycle mixed
+with disequalities) it errs on the side of *satisfiable*, which is the safe
+direction for view maintenance: an atom with an unsatisfiable constraint that
+survives in the view never contributes instances (the semantics ``[·]`` is
+unchanged); it merely costs a little space -- exactly the trade the paper's
+``W_P`` operator makes deliberately.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.constraints.ast import (
+    Comparison,
+    Conjunction,
+    Constraint,
+    DomainCall,
+    FALSE,
+    FalseConstraint,
+    Membership,
+    NegatedConjunction,
+    TRUE,
+    TrueConstraint,
+    conjoin,
+    negate,
+)
+from repro.constraints.interfaces import CallEvaluator, ResultSetLike
+from repro.constraints.terms import Constant, Substitution, Term, Variable
+from repro.errors import EvaluationError, SolverError, UnknownDomainError, UnknownFunctionError
+
+
+@dataclass(frozen=True)
+class SolverOptions:
+    """Tunable knobs of the satisfiability procedure."""
+
+    #: Maximum number of DNF branches explored before giving up.
+    max_branches: int = 4096
+    #: Number of rounds of bound propagation across variable orderings.
+    propagation_rounds: int = 8
+    #: Largest finite membership result set that is enumerated during
+    #: per-class candidate filtering.
+    max_membership_enumeration: int = 10_000
+    #: What to assume about DCA-atoms whose call cannot be evaluated
+    #: (non-ground arguments, unknown domain, or no evaluator configured).
+    #: ``True`` (the default) treats them as satisfiable, which matches the
+    #: deferred-evaluation reading of Section 4 of the paper.
+    unknown_membership_satisfiable: bool = True
+    #: When True, failing to evaluate a *ground* call raises instead of
+    #: falling back to the unknown-membership assumption.
+    strict_evaluation: bool = False
+
+
+DEFAULT_OPTIONS = SolverOptions()
+
+
+# ---------------------------------------------------------------------------
+# Internal branch representation
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Interval:
+    """A (possibly unbounded) interval of allowed numeric values."""
+
+    low: float = -math.inf
+    low_strict: bool = False
+    high: float = math.inf
+    high_strict: bool = False
+
+    def tighten_low(self, value: float, strict: bool) -> None:
+        if value > self.low or (value == self.low and strict and not self.low_strict):
+            self.low = value
+            self.low_strict = strict
+
+    def tighten_high(self, value: float, strict: bool) -> None:
+        if value < self.high or (value == self.high and strict and not self.high_strict):
+            self.high = value
+            self.high_strict = strict
+
+    def is_empty(self) -> bool:
+        if self.low > self.high:
+            return True
+        if self.low == self.high and (self.low_strict or self.high_strict):
+            return True
+        return False
+
+    def admits(self, value: object) -> bool:
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            # A non-numeric value cannot satisfy a numeric ordering bound.
+            return self.low == -math.inf and self.high == math.inf
+        if value < self.low or (value == self.low and self.low_strict):
+            return False
+        if value > self.high or (value == self.high and self.high_strict):
+            return False
+        return True
+
+    def is_point(self) -> Optional[float]:
+        if self.low == self.high and not self.low_strict and not self.high_strict:
+            return self.low
+        return None
+
+    def is_trivial(self) -> bool:
+        return self.low == -math.inf and self.high == math.inf
+
+
+class _UnionFind:
+    """Union-find over terms, tracking the constant bound to each class."""
+
+    def __init__(self) -> None:
+        self._parent: Dict[Term, Term] = {}
+        self._constant: Dict[Term, Constant] = {}
+        self.conflict = False
+
+    def add(self, term: Term) -> None:
+        if term not in self._parent:
+            self._parent[term] = term
+            if isinstance(term, Constant):
+                self._constant[term] = term
+
+    def find(self, term: Term) -> Term:
+        self.add(term)
+        root = term
+        while self._parent[root] != root:
+            root = self._parent[root]
+        # Path compression.
+        while self._parent[term] != root:
+            self._parent[term], term = root, self._parent[term]
+        return root
+
+    def union(self, left: Term, right: Term) -> None:
+        root_left = self.find(left)
+        root_right = self.find(right)
+        if root_left == root_right:
+            return
+        const_left = self._constant.get(root_left)
+        const_right = self._constant.get(root_right)
+        if const_left is not None and const_right is not None:
+            if const_left.value != const_right.value:
+                self.conflict = True
+                return
+        self._parent[root_right] = root_left
+        if const_left is None and const_right is not None:
+            self._constant[root_left] = const_right
+
+    def constant_of(self, term: Term) -> Optional[Constant]:
+        return self._constant.get(self.find(term))
+
+    def classes(self) -> Dict[Term, List[Term]]:
+        grouped: Dict[Term, List[Term]] = {}
+        for term in list(self._parent):
+            grouped.setdefault(self.find(term), []).append(term)
+        return grouped
+
+
+@dataclass
+class _Branch:
+    """A conjunction of primitive literals (one DNF branch)."""
+
+    equalities: List[Comparison] = field(default_factory=list)
+    disequalities: List[Comparison] = field(default_factory=list)
+    orderings: List[Comparison] = field(default_factory=list)
+    memberships: List[Membership] = field(default_factory=list)
+
+    def add(self, literal: Constraint) -> bool:
+        """Add a literal; return False if the branch is trivially closed."""
+        if isinstance(literal, TrueConstraint):
+            return True
+        if isinstance(literal, FalseConstraint):
+            return False
+        if isinstance(literal, Comparison):
+            if literal.op == "=":
+                self.equalities.append(literal)
+            elif literal.op == "!=":
+                self.disequalities.append(literal)
+            else:
+                self.orderings.append(literal)
+            return True
+        if isinstance(literal, Membership):
+            self.memberships.append(literal)
+            return True
+        raise SolverError(f"unexpected literal in branch: {literal!r}")
+
+
+class ConstraintSolver:
+    """Decides satisfiability and ground truth of constraints.
+
+    Parameters
+    ----------
+    evaluator:
+        An object implementing :class:`CallEvaluator` (typically the
+        mediator's domain registry).  When omitted, DCA-atoms are treated
+        according to ``options.unknown_membership_satisfiable``.
+    options:
+        A :class:`SolverOptions` instance.
+    """
+
+    def __init__(
+        self,
+        evaluator: Optional[CallEvaluator] = None,
+        options: SolverOptions = DEFAULT_OPTIONS,
+    ) -> None:
+        self._evaluator = evaluator
+        self._options = options
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    @property
+    def evaluator(self) -> Optional[CallEvaluator]:
+        """The domain-call evaluator this solver consults (may be ``None``)."""
+        return self._evaluator
+
+    @property
+    def options(self) -> SolverOptions:
+        """The options this solver was configured with."""
+        return self._options
+
+    def with_evaluator(self, evaluator: Optional[CallEvaluator]) -> "ConstraintSolver":
+        """Return a solver sharing options but using a different evaluator."""
+        return ConstraintSolver(evaluator, self._options)
+
+    def is_satisfiable(self, constraint: Constraint) -> bool:
+        """Return True if the constraint has at least one solution."""
+        if isinstance(constraint, TrueConstraint):
+            return True
+        if isinstance(constraint, FalseConstraint):
+            return False
+        # Inline equality-determined local variables inside negations so the
+        # branch expansion treats ``not(ψ)`` exactly (see scope_negations).
+        from repro.constraints.projection import scope_negations
+
+        constraint = scope_negations(constraint)
+        if isinstance(constraint, TrueConstraint):
+            return True
+        if isinstance(constraint, FalseConstraint):
+            return False
+        for branch in self._branches(constraint):
+            if branch is None:
+                continue
+            if self._branch_satisfiable(branch):
+                return True
+        return False
+
+    def is_unsatisfiable(self, constraint: Constraint) -> bool:
+        """Return True if the constraint has no solution."""
+        return not self.is_satisfiable(constraint)
+
+    def entails(self, context: Constraint, fact: Constraint) -> bool:
+        """Return True if every solution of *context* satisfies *fact*.
+
+        Implemented as unsatisfiability of ``context & not(fact)``; *fact*
+        must lie in the negatable fragment (primitives and conjunctions of
+        primitives).
+        """
+        from repro.constraints.ast import conjoin
+
+        return not self.is_satisfiable(conjoin(context, negate(fact)))
+
+    def equivalent(self, left: Constraint, right: Constraint) -> bool:
+        """Return True if the two constraints have the same solutions.
+
+        Only supported when both sides are in the negatable fragment.
+        """
+        return self.entails(left, right) and self.entails(right, left)
+
+    def evaluate_ground(
+        self, constraint: Constraint, assignment: Mapping[Variable, object]
+    ) -> bool:
+        """Evaluate *constraint* under a total assignment of Python values."""
+        if isinstance(constraint, TrueConstraint):
+            return True
+        if isinstance(constraint, FalseConstraint):
+            return False
+        if isinstance(constraint, Conjunction):
+            return all(
+                self.evaluate_ground(part, assignment) for part in constraint.parts
+            )
+        if isinstance(constraint, NegatedConjunction):
+            unbound = [
+                variable
+                for variable in constraint.variables()
+                if variable not in assignment
+            ]
+            if unbound:
+                # Variables occurring only under the negation are implicitly
+                # existentially quantified *inside* it: ``not(ψ)`` holds iff
+                # no witness for them makes ψ true.  Substitute the bound
+                # values and fall back to a satisfiability check.
+                substitution = Substitution(
+                    {
+                        variable: Constant(assignment[variable])
+                        for variable in constraint.variables()
+                        if variable in assignment
+                    }
+                )
+                inner = conjoin(*(part.substitute(substitution) for part in constraint.parts))
+                return not self.is_satisfiable(inner)
+            return not all(
+                self.evaluate_ground(part, assignment) for part in constraint.parts
+            )
+        if isinstance(constraint, Comparison):
+            return self._evaluate_comparison(constraint, assignment)
+        if isinstance(constraint, Membership):
+            return self._evaluate_membership(constraint, assignment)
+        raise SolverError(f"cannot evaluate constraint: {constraint!r}")
+
+    # ------------------------------------------------------------------
+    # Branch construction
+    # ------------------------------------------------------------------
+    def _branches(self, constraint: Constraint) -> Iterable[Optional[_Branch]]:
+        """Expand the constraint into DNF branches of primitive literals.
+
+        Negated conjunctions are disjunctions of negated parts; a negated
+        part that is itself a negated conjunction contributes its inner
+        conjunction (double negation), so the expansion is a depth-first
+        search over "pending obligation" states rather than a flat product.
+        """
+        produced = 0
+        # Each stack item is (literals, obligations): literals already in the
+        # branch, constraints still to be processed.
+        stack: List[Tuple[List[Constraint], List[Constraint]]] = [
+            ([], list(constraint.conjuncts()))
+        ]
+        while stack:
+            literals, obligations = stack.pop()
+            dead = False
+            while obligations:
+                current = obligations.pop()
+                if isinstance(current, TrueConstraint):
+                    continue
+                if isinstance(current, FalseConstraint):
+                    dead = True
+                    break
+                if isinstance(current, Conjunction):
+                    obligations.extend(current.parts)
+                    continue
+                if isinstance(current, NegatedConjunction):
+                    if not current.parts:
+                        # not(true) is false.
+                        dead = True
+                        break
+                    produced += len(current.parts)
+                    if produced > self._options.max_branches:
+                        raise SolverError(
+                            "constraint requires more than "
+                            f"{self._options.max_branches} DNF branches"
+                        )
+                    for picked in current.parts:
+                        if isinstance(picked, NegatedConjunction):
+                            # Falsifying not(Q) means Q must hold.
+                            extra: List[Constraint] = list(picked.parts)
+                        elif isinstance(picked, FalseConstraint):
+                            extra = []
+                        else:
+                            extra = [negate(picked)]
+                        stack.append((list(literals), list(obligations) + extra))
+                    dead = True  # this state was split; do not emit it itself
+                    break
+                if current.is_primitive():
+                    literals.append(current)
+                    continue
+                raise SolverError(f"unexpected conjunct: {current!r}")
+            if dead:
+                continue
+            branch = _Branch()
+            alive = True
+            for literal in literals:
+                if not branch.add(literal):
+                    alive = False
+                    break
+            yield branch if alive else None
+
+    # ------------------------------------------------------------------
+    # Branch satisfiability
+    # ------------------------------------------------------------------
+    def _branch_satisfiable(self, branch: _Branch) -> bool:
+        uf = _UnionFind()
+        for equality in branch.equalities:
+            uf.union(equality.left, equality.right)
+            if uf.conflict:
+                return False
+
+        # Disequalities: syntactic class clash.
+        for disequality in branch.disequalities:
+            if uf.find(disequality.left) == uf.find(disequality.right):
+                return False
+            left_const = uf.constant_of(disequality.left)
+            right_const = uf.constant_of(disequality.right)
+            if (
+                left_const is not None
+                and right_const is not None
+                and left_const.value == right_const.value
+            ):
+                return False
+
+        intervals = self._propagate_orderings(branch, uf)
+        if intervals is None:
+            return False
+
+        # Interval consistency per class.
+        for root, interval in intervals.items():
+            constant = uf.constant_of(root)
+            if constant is not None:
+                if not interval.admits(constant.value):
+                    return False
+            elif interval.is_empty():
+                return False
+
+        # Single-point intervals interacting with disequalities.
+        if not self._check_point_disequalities(branch, uf, intervals):
+            return False
+
+        return self._check_memberships(branch, uf, intervals)
+
+    def _propagate_orderings(
+        self, branch: _Branch, uf: _UnionFind
+    ) -> Optional[Dict[Term, _Interval]]:
+        intervals: Dict[Term, _Interval] = {}
+
+        def interval_for(term: Term) -> _Interval:
+            root = uf.find(term)
+            if root not in intervals:
+                intervals[root] = _Interval()
+                constant = uf.constant_of(root)
+                if constant is not None and _is_number(constant.value):
+                    intervals[root].tighten_low(float(constant.value), False)
+                    intervals[root].tighten_high(float(constant.value), False)
+            return intervals[root]
+
+        ground_checks: List[Comparison] = []
+        var_edges: List[Tuple[Term, Term, bool]] = []  # (low_root, high_root, strict)
+
+        for ordering in branch.orderings:
+            left_const = uf.constant_of(ordering.left)
+            right_const = uf.constant_of(ordering.right)
+            if left_const is not None and right_const is not None:
+                ground_checks.append(ordering)
+                continue
+            comparison = ordering
+            if comparison.op in (">", ">="):
+                comparison = comparison.flipped()
+            # Now op is < or <=:  left  <(=)  right.
+            strict = comparison.op == "<"
+            left_root = uf.find(comparison.left)
+            right_root = uf.find(comparison.right)
+            if left_root == right_root:
+                if strict:
+                    return None
+                continue
+            left_const = uf.constant_of(comparison.left)
+            right_const = uf.constant_of(comparison.right)
+            if right_const is not None:
+                if not _is_number(right_const.value):
+                    return None
+                interval_for(comparison.left).tighten_high(
+                    float(right_const.value), strict
+                )
+            elif left_const is not None:
+                if not _is_number(left_const.value):
+                    return None
+                interval_for(comparison.right).tighten_low(
+                    float(left_const.value), strict
+                )
+            else:
+                interval_for(comparison.left)
+                interval_for(comparison.right)
+                var_edges.append((left_root, right_root, strict))
+
+        for ordering in ground_checks:
+            left_const = uf.constant_of(ordering.left)
+            right_const = uf.constant_of(ordering.right)
+            assert left_const is not None and right_const is not None
+            if not _compare_values(left_const.value, ordering.op, right_const.value):
+                return None
+
+        # Bound propagation across variable-variable orderings.
+        for _ in range(self._options.propagation_rounds):
+            changed = False
+            for low_root, high_root, strict in var_edges:
+                low_iv = intervals[low_root]
+                high_iv = intervals[high_root]
+                before = (low_iv.high, low_iv.high_strict, high_iv.low, high_iv.low_strict)
+                low_iv.tighten_high(high_iv.high, strict or high_iv.high_strict)
+                high_iv.tighten_low(low_iv.low, strict or low_iv.low_strict)
+                after = (low_iv.high, low_iv.high_strict, high_iv.low, high_iv.low_strict)
+                changed = changed or before != after
+            if not changed:
+                break
+        return intervals
+
+    def _check_point_disequalities(
+        self,
+        branch: _Branch,
+        uf: _UnionFind,
+        intervals: Dict[Term, _Interval],
+    ) -> bool:
+        def pinned_value(term: Term) -> Optional[object]:
+            constant = uf.constant_of(term)
+            if constant is not None:
+                return constant.value
+            interval = intervals.get(uf.find(term))
+            if interval is not None:
+                point = interval.is_point()
+                if point is not None:
+                    return point
+            return None
+
+        for disequality in branch.disequalities:
+            left_value = pinned_value(disequality.left)
+            right_value = pinned_value(disequality.right)
+            if left_value is None or right_value is None:
+                continue
+            if _values_equal(left_value, right_value):
+                return False
+        return True
+
+    def _check_memberships(
+        self,
+        branch: _Branch,
+        uf: _UnionFind,
+        intervals: Dict[Term, _Interval],
+    ) -> bool:
+        if not branch.memberships:
+            return True
+
+        # Partition literals per element class for candidate intersection.
+        per_class: Dict[Term, List[Tuple[Membership, Optional[ResultSetLike]]]] = {}
+        for literal in branch.memberships:
+            result = self._try_evaluate(literal.call, uf)
+            element_value = self._pinned_value(literal.element, uf, intervals)
+            if result is None:
+                # Unknown call: assume satisfiable (or not) per options.
+                if not self._options.unknown_membership_satisfiable:
+                    return False
+                continue
+            if element_value is not _UNKNOWN:
+                member = result.contains(element_value)
+                if literal.positive and not member:
+                    return False
+                if not literal.positive and member:
+                    return False
+                continue
+            if literal.positive and result.is_empty():
+                return False
+            root = uf.find(literal.element)
+            per_class.setdefault(root, []).append((literal, result))
+
+        # Candidate filtering for unpinned elements with finite positive sets.
+        for root, literals in per_class.items():
+            finite_positive = [
+                result
+                for literal, result in literals
+                if literal.positive
+                and result is not None
+                and result.is_finite()
+                and (result.size_hint() or 0) <= self._options.max_membership_enumeration
+            ]
+            if not finite_positive:
+                continue
+            negatives = [
+                result
+                for literal, result in literals
+                if not literal.positive and result is not None
+            ]
+            other_positive = [
+                result
+                for literal, result in literals
+                if literal.positive and result not in finite_positive and result is not None
+            ]
+            interval = intervals.get(root, _Interval())
+            disequal_values = self._disequal_values_for(root, branch, uf, intervals)
+            base = finite_positive[0]
+            found = False
+            for value in base.iter_values():
+                if not interval.admits(value) and not interval.is_trivial():
+                    if _is_number(value) and not interval.admits(value):
+                        continue
+                    if not _is_number(value) and not interval.is_trivial():
+                        continue
+                if any(_values_equal(value, bad) for bad in disequal_values):
+                    continue
+                if any(not other.contains(value) for other in finite_positive[1:]):
+                    continue
+                if any(not other.contains(value) for other in other_positive):
+                    continue
+                if any(negative.contains(value) for negative in negatives):
+                    continue
+                found = True
+                break
+            if not found:
+                return False
+        return True
+
+    def _disequal_values_for(
+        self,
+        root: Term,
+        branch: _Branch,
+        uf: _UnionFind,
+        intervals: Dict[Term, _Interval],
+    ) -> List[object]:
+        values: List[object] = []
+        for disequality in branch.disequalities:
+            left_root = uf.find(disequality.left)
+            right_root = uf.find(disequality.right)
+            other: Optional[Term] = None
+            if left_root == root:
+                other = disequality.right
+            elif right_root == root:
+                other = disequality.left
+            if other is None:
+                continue
+            pinned = self._pinned_value(other, uf, intervals)
+            if pinned is not _UNKNOWN:
+                values.append(pinned)
+        return values
+
+    def _pinned_value(
+        self, term: Term, uf: _UnionFind, intervals: Dict[Term, _Interval]
+    ) -> object:
+        constant = uf.constant_of(term)
+        if constant is not None:
+            return constant.value
+        interval = intervals.get(uf.find(term))
+        if interval is not None:
+            point = interval.is_point()
+            if point is not None:
+                if point == int(point):
+                    return int(point)
+                return point
+        return _UNKNOWN
+
+    def _try_evaluate(
+        self, call: DomainCall, uf: _UnionFind
+    ) -> Optional[ResultSetLike]:
+        if self._evaluator is None:
+            return None
+        args: List[object] = []
+        for arg in call.args:
+            constant = uf.constant_of(arg)
+            if constant is None:
+                return None
+            args.append(constant.value)
+        if not self._evaluator.has_domain(call.domain):
+            if self._options.strict_evaluation:
+                raise UnknownDomainError(f"unknown domain: {call.domain}")
+            return None
+        try:
+            return self._evaluator.evaluate_call(call.domain, call.function, tuple(args))
+        except (UnknownFunctionError, EvaluationError):
+            if self._options.strict_evaluation:
+                raise
+            return None
+
+    # ------------------------------------------------------------------
+    # Ground evaluation helpers
+    # ------------------------------------------------------------------
+    def _evaluate_comparison(
+        self, comparison: Comparison, assignment: Mapping[Variable, object]
+    ) -> bool:
+        left = _ground_term(comparison.left, assignment)
+        right = _ground_term(comparison.right, assignment)
+        return _compare_values(left, comparison.op, right)
+
+    def _evaluate_membership(
+        self, membership: Membership, assignment: Mapping[Variable, object]
+    ) -> bool:
+        if self._evaluator is None:
+            raise SolverError(
+                "cannot evaluate a DCA-atom without a domain evaluator: "
+                f"{membership}"
+            )
+        element = _ground_term(membership.element, assignment)
+        args = tuple(
+            _ground_term(arg, assignment) for arg in membership.call.args
+        )
+        result = self._evaluator.evaluate_call(
+            membership.call.domain, membership.call.function, args
+        )
+        member = result.contains(element)
+        return member if membership.positive else not member
+
+
+class _Unknown:
+    """Sentinel for 'no pinned value'."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<unknown>"
+
+
+_UNKNOWN = _Unknown()
+
+
+def _ground_term(term: Term, assignment: Mapping[Variable, object]) -> object:
+    if isinstance(term, Constant):
+        return term.value
+    if term in assignment:
+        return assignment[term]
+    raise SolverError(f"unbound variable in ground evaluation: {term}")
+
+
+def _is_number(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _values_equal(left: object, right: object) -> bool:
+    if _is_number(left) and _is_number(right):
+        return float(left) == float(right)
+    return left == right
+
+
+def _compare_values(left: object, op: str, right: object) -> bool:
+    if op == "=":
+        return _values_equal(left, right)
+    if op == "!=":
+        return not _values_equal(left, right)
+    try:
+        if op == "<":
+            return left < right  # type: ignore[operator]
+        if op == "<=":
+            return left <= right  # type: ignore[operator]
+        if op == ">":
+            return left > right  # type: ignore[operator]
+        if op == ">=":
+            return left >= right  # type: ignore[operator]
+    except TypeError:
+        return False
+    raise SolverError(f"unknown comparison operator: {op!r}")

@@ -1,0 +1,225 @@
+"""Terms of the constraint language: variables, constants and substitutions.
+
+The paper's constrained atoms ``A(X̄) <- φ`` and mediator clauses are built
+from *terms*.  A term is either a :class:`Variable` or a :class:`Constant`
+wrapping an arbitrary hashable Python value (strings, numbers, tuples used as
+records, ...).
+
+Substitutions map variables to terms and are used for unification-free
+parameter passing: the fixpoint operators of the paper never unify -- they add
+explicit equality constraints ``X = t`` instead -- but renaming-apart and
+binding application still need substitutions.
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, Iterator, Mapping, Tuple, Union
+
+from repro.errors import TermError
+
+_VARIABLE_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_']*$")
+
+
+@dataclass(frozen=True, order=True)
+class Variable:
+    """A logical variable, identified by its name.
+
+    Variables are immutable and hashable; two variables with the same name are
+    the same variable.  Names must look like identifiers (optionally with a
+    prime suffix such as ``X'`` which the paper uses when standardizing
+    apart).
+    """
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not _VARIABLE_NAME_RE.match(self.name):
+            raise TermError(f"invalid variable name: {self.name!r}")
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r})"
+
+
+@dataclass(frozen=True)
+class Constant:
+    """A constant term wrapping a hashable Python value."""
+
+    value: Hashable
+
+    def __post_init__(self) -> None:
+        try:
+            hash(self.value)
+        except TypeError as exc:  # pragma: no cover - defensive
+            raise TermError(f"constant value must be hashable: {self.value!r}") from exc
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return f"'{self.value}'"
+        return str(self.value)
+
+    def __repr__(self) -> str:
+        return f"Constant({self.value!r})"
+
+    def __lt__(self, other: "Constant") -> bool:
+        if not isinstance(other, Constant):
+            return NotImplemented
+        return _sort_key(self.value) < _sort_key(other.value)
+
+
+Term = Union[Variable, Constant]
+
+
+def _sort_key(value: Hashable) -> Tuple[str, str]:
+    """Total order over heterogeneous constant values (for stable output)."""
+    return (type(value).__name__, repr(value))
+
+
+def is_variable(term: object) -> bool:
+    """Return True if *term* is a :class:`Variable`."""
+    return isinstance(term, Variable)
+
+
+def is_constant(term: object) -> bool:
+    """Return True if *term* is a :class:`Constant`."""
+    return isinstance(term, Constant)
+
+
+def make_term(value: object) -> Term:
+    """Coerce *value* into a term.
+
+    Existing terms are passed through.  Strings that start with an uppercase
+    letter or an underscore are *not* treated specially here -- explicit
+    construction or the parser decide what is a variable.  Everything else
+    becomes a :class:`Constant`.
+    """
+    if isinstance(value, (Variable, Constant)):
+        return value
+    return Constant(value)
+
+
+def constant_value(term: Term) -> Hashable:
+    """Return the Python value wrapped by a constant term."""
+    if not isinstance(term, Constant):
+        raise TermError(f"expected a constant, got {term!r}")
+    return term.value
+
+
+def term_variables(terms: Iterable[Term]) -> "set[Variable]":
+    """Collect the set of variables occurring in *terms*."""
+    result: "set[Variable]" = set()
+    for term in terms:
+        if isinstance(term, Variable):
+            result.add(term)
+    return result
+
+
+class Substitution(Mapping[Variable, Term]):
+    """An immutable mapping from variables to terms.
+
+    Application is *not* recursive: a binding ``X -> Y`` followed by
+    ``Y -> a`` is not chased; compose substitutions explicitly with
+    :meth:`compose` if chasing is required.
+    """
+
+    __slots__ = ("_bindings",)
+
+    def __init__(self, bindings: Mapping[Variable, Term] | None = None) -> None:
+        items: Dict[Variable, Term] = {}
+        if bindings:
+            for var, term in bindings.items():
+                if not isinstance(var, Variable):
+                    raise TermError(f"substitution keys must be variables: {var!r}")
+                if not isinstance(term, (Variable, Constant)):
+                    raise TermError(f"substitution values must be terms: {term!r}")
+                items[var] = term
+        self._bindings = items
+
+    # -- Mapping protocol -------------------------------------------------
+    def __getitem__(self, key: Variable) -> Term:
+        return self._bindings[key]
+
+    def __iter__(self) -> Iterator[Variable]:
+        return iter(self._bindings)
+
+    def __len__(self) -> int:
+        return len(self._bindings)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{var}: {term}" for var, term in sorted(
+            self._bindings.items(), key=lambda item: item[0].name))
+        return f"Substitution({{{inner}}})"
+
+    # -- operations --------------------------------------------------------
+    def apply(self, term: Term) -> Term:
+        """Apply the substitution to a single term."""
+        if isinstance(term, Variable):
+            return self._bindings.get(term, term)
+        return term
+
+    def apply_all(self, terms: Iterable[Term]) -> Tuple[Term, ...]:
+        """Apply the substitution to a sequence of terms."""
+        return tuple(self.apply(term) for term in terms)
+
+    def compose(self, other: "Substitution") -> "Substitution":
+        """Return ``self`` followed by *other* (``other`` applied after)."""
+        merged: Dict[Variable, Term] = {
+            var: other.apply(term) for var, term in self._bindings.items()
+        }
+        for var, term in other.items():
+            merged.setdefault(var, term)
+        return Substitution(merged)
+
+    def restricted_to(self, variables: Iterable[Variable]) -> "Substitution":
+        """Return the sub-substitution whose domain is limited to *variables*."""
+        wanted = set(variables)
+        return Substitution({
+            var: term for var, term in self._bindings.items() if var in wanted
+        })
+
+    def extended(self, var: Variable, term: Term) -> "Substitution":
+        """Return a copy with one extra binding."""
+        updated = dict(self._bindings)
+        updated[var] = term
+        return Substitution(updated)
+
+
+EMPTY_SUBSTITUTION = Substitution()
+
+
+class FreshVariableFactory:
+    """Produce fresh variables that cannot clash with a set of used names.
+
+    The fixpoint operators and maintenance algorithms repeatedly need clause
+    copies whose variables "share no variables" with the view (the paper's
+    phrasing); this factory implements that standardizing-apart step.
+    """
+
+    def __init__(self, reserved: Iterable[str] = ()) -> None:
+        self._reserved = set(reserved)
+        self._counter = itertools.count(1)
+
+    def reserve(self, names: Iterable[str]) -> None:
+        """Mark additional names as unavailable for fresh variables."""
+        self._reserved.update(names)
+
+    def fresh(self, base: str = "V") -> Variable:
+        """Return a variable whose name has not been produced or reserved."""
+        stem = base.rstrip("0123456789_") or "V"
+        while True:
+            candidate = f"{stem}_{next(self._counter)}"
+            if candidate not in self._reserved:
+                self._reserved.add(candidate)
+                return Variable(candidate)
+
+    def renaming_for(self, variables: Iterable[Variable]) -> Substitution:
+        """Return a substitution renaming *variables* to fresh ones."""
+        bindings: Dict[Variable, Term] = {}
+        for var in sorted(set(variables), key=lambda v: v.name):
+            bindings[var] = self.fresh(var.name)
+        return Substitution(bindings)

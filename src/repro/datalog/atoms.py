@@ -1,0 +1,192 @@
+"""Atoms and constrained atoms.
+
+A *constrained atom* ``A(X̄) <- φ`` (paper Section 2.3) pairs an atom whose
+arguments are terms with a constraint over (at least) the atom's variables.
+Materialized mediated views are sets of constrained atoms; their semantics
+``[A(X̄) <- φ]`` is the set of ground instances obtained from the solutions
+of ``φ``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Optional, Sequence, Tuple
+
+from repro.constraints.ast import Constraint, TRUE, conjoin
+from repro.constraints.simplify import extract_bindings
+from repro.constraints.solutions import solution_set
+from repro.constraints.solver import ConstraintSolver
+from repro.constraints.terms import (
+    Constant,
+    FreshVariableFactory,
+    Substitution,
+    Term,
+    Variable,
+)
+from repro.errors import ProgramError
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A predicate applied to a tuple of terms, e.g. ``seenwith(X, Y)``."""
+
+    predicate: str
+    args: Tuple[Term, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.predicate:
+            raise ProgramError("atoms need a predicate name")
+        object.__setattr__(self, "args", tuple(self.args))
+        for arg in self.args:
+            if not isinstance(arg, (Variable, Constant)):
+                raise ProgramError(f"atom argument is not a term: {arg!r}")
+
+    @property
+    def arity(self) -> int:
+        """Number of arguments."""
+        return len(self.args)
+
+    @property
+    def signature(self) -> Tuple[str, int]:
+        """The (predicate, arity) pair identifying the relation."""
+        return (self.predicate, len(self.args))
+
+    def variables(self) -> FrozenSet[Variable]:
+        """Set of variables occurring in the arguments."""
+        return frozenset(arg for arg in self.args if isinstance(arg, Variable))
+
+    def substitute(self, subst: Substitution) -> "Atom":
+        """Apply a substitution to the arguments."""
+        return Atom(self.predicate, subst.apply_all(self.args))
+
+    def is_ground(self) -> bool:
+        """True when every argument is a constant."""
+        return all(isinstance(arg, Constant) for arg in self.args)
+
+    def ground_values(self) -> Tuple[object, ...]:
+        """Return the Python values of a ground atom's arguments."""
+        if not self.is_ground():
+            raise ProgramError(f"atom is not ground: {self}")
+        return tuple(arg.value for arg in self.args)  # type: ignore[union-attr]
+
+    def __str__(self) -> str:
+        if not self.args:
+            return self.predicate
+        rendered = ", ".join(str(arg) for arg in self.args)
+        return f"{self.predicate}({rendered})"
+
+
+@dataclass(frozen=True)
+class ConstrainedAtom:
+    """An atom together with the constraint restricting its variables."""
+
+    atom: Atom
+    constraint: Constraint = TRUE
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.atom, Atom):
+            raise ProgramError(f"not an atom: {self.atom!r}")
+        if not isinstance(self.constraint, Constraint):
+            raise ProgramError(f"not a constraint: {self.constraint!r}")
+
+    @property
+    def predicate(self) -> str:
+        """Predicate name of the underlying atom."""
+        return self.atom.predicate
+
+    @property
+    def signature(self) -> Tuple[str, int]:
+        """The (predicate, arity) pair of the underlying atom."""
+        return self.atom.signature
+
+    def variables(self) -> FrozenSet[Variable]:
+        """All variables of the atom and its constraint."""
+        return self.atom.variables() | self.constraint.variables()
+
+    def substitute(self, subst: Substitution) -> "ConstrainedAtom":
+        """Apply a substitution to atom and constraint."""
+        return ConstrainedAtom(
+            self.atom.substitute(subst), self.constraint.substitute(subst)
+        )
+
+    def renamed_apart(
+        self, factory: FreshVariableFactory
+    ) -> Tuple["ConstrainedAtom", Substitution]:
+        """Return a variant whose variables are fresh w.r.t. *factory*."""
+        renaming = factory.renaming_for(self.variables())
+        return self.substitute(renaming), renaming
+
+    def with_constraint(self, constraint: Constraint) -> "ConstrainedAtom":
+        """Return a copy with the constraint replaced."""
+        return ConstrainedAtom(self.atom, constraint)
+
+    def conjoined_with(self, extra: Constraint) -> "ConstrainedAtom":
+        """Return a copy whose constraint is ``constraint & extra``."""
+        return ConstrainedAtom(self.atom, conjoin(self.constraint, extra))
+
+    def instances(
+        self,
+        solver: Optional[ConstraintSolver] = None,
+        universe: Optional[Iterable[object]] = None,
+    ) -> FrozenSet[Tuple[str, Tuple[object, ...]]]:
+        """Return the ground instances ``[A(X̄) <- φ]``.
+
+        Each instance is a ``(predicate, value-tuple)`` pair.  Constant
+        arguments are kept as-is; variable arguments take every value allowed
+        by the constraint (clipped to *universe* when the constraint alone
+        does not determine a finite set).  Auxiliary variables occurring only
+        in the constraint are existentially quantified: solutions are
+        enumerated over all variables and projected onto the atom arguments.
+        """
+        atom_variables = list(
+            dict.fromkeys(
+                arg for arg in self.atom.args if isinstance(arg, Variable)
+            )
+        )
+        solutions = solution_set(
+            self.constraint, atom_variables, solver=solver, universe=universe
+        )
+        instances = set()
+        for solution in solutions:
+            assignment = dict(zip(atom_variables, solution))
+            values = tuple(
+                arg.value if isinstance(arg, Constant) else assignment[arg]
+                for arg in self.atom.args
+            )
+            instances.add((self.atom.predicate, values))
+        return frozenset(instances)
+
+    def bound_tuple(self) -> Optional[Tuple[object, ...]]:
+        """Return the single ground tuple this atom denotes, if determined.
+
+        A constrained atom like ``P(X, Y) <- X = a & Y = b`` denotes exactly
+        one ground fact; this helper extracts it (``None`` when some argument
+        is not pinned to a constant by the constraint's equalities).
+        """
+        bindings = extract_bindings(self.constraint)
+        values = []
+        for arg in self.atom.args:
+            if isinstance(arg, Constant):
+                values.append(arg.value)
+            elif arg in bindings:
+                values.append(bindings[arg].value)
+            else:
+                return None
+        return tuple(values)
+
+    def __str__(self) -> str:
+        return f"{self.atom} <- {self.constraint}"
+
+
+def make_atom(predicate: str, *args: object) -> Atom:
+    """Convenience constructor: non-term arguments become constants."""
+    terms = tuple(
+        arg if isinstance(arg, (Variable, Constant)) else Constant(arg)  # type: ignore[arg-type]
+        for arg in args
+    )
+    return Atom(predicate, terms)
+
+
+def ground_atom(predicate: str, values: Sequence[object]) -> Atom:
+    """Build a ground atom from raw Python values."""
+    return Atom(predicate, tuple(Constant(value) for value in values))

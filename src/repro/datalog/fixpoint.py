@@ -1,0 +1,287 @@
+"""The fixpoint operators ``T_P`` (Gabbrielli–Levi) and ``W_P``.
+
+``T_P`` (paper Section 2.3) derives, from an interpretation ``I`` (a set of
+constrained atoms), every constrained atom obtainable by one clause
+application whose combined constraint is *solvable*.  Iterating from the
+empty interpretation yields the non-ground materialized mediated view.
+
+``W_P`` (paper Section 4) is the same operator with the solvability check
+removed: derived entries are kept even when their constraint is currently
+unsolvable, because solvability may change when external domain functions
+change.  Theorem 4: the ``W_P`` view is syntactically invariant under such
+changes; Corollary 1: its instances, evaluated at any time point, coincide
+with the ``T_P`` view at that time point.
+
+Both operators run under *duplicate semantics*: each derivation produces its
+own view entry, indexed by its support.  The engine iterates semi-naively
+(each round only considers clause applications using at least one entry that
+is new since the previous round), which enumerates every derivation exactly
+once.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.constraints.ast import Constraint, conjoin, tuple_equalities
+from repro.constraints.projection import eliminate_variables
+from repro.constraints.simplify import simplify
+from repro.constraints.solver import ConstraintSolver
+from repro.constraints.terms import FreshVariableFactory, Variable
+from repro.datalog.clauses import Clause
+from repro.datalog.program import ConstrainedDatabase
+from repro.datalog.support import Support
+from repro.datalog.view import MaterializedView, ViewEntry
+from repro.errors import FixpointDivergenceError
+
+
+@dataclass(frozen=True)
+class FixpointOptions:
+    """Configuration of the fixpoint computation."""
+
+    #: Apply the solvability check of ``T_P``.  ``False`` gives ``W_P``.
+    check_solvability: bool = True
+    #: Keep one entry per *derivation* (duplicate semantics).  When False,
+    #: a derived entry that denotes a ground tuple already denoted by an
+    #: existing entry of the same predicate is skipped (set semantics); this
+    #: is what makes transitive closure over cyclic data terminate.
+    duplicate_semantics: bool = True
+    #: Simplify derived constraints (removes the redundancy the paper notes).
+    simplify_constraints: bool = True
+    #: Also drop comparison conjuncts entailed by the rest when simplifying.
+    drop_redundant_comparisons: bool = True
+    #: Project away auxiliary (non-head) variables bound by equalities, so
+    #: derived entries read like the paper's examples (``A(X) <- X >= 5``
+    #: instead of ``A(X) <- X1 >= 5 & X1 = X``).
+    project_auxiliary_variables: bool = True
+    #: Hard cap on the number of iterations before giving up.
+    max_iterations: int = 200
+    #: Hard cap on the total number of view entries before giving up.
+    max_entries: int = 200_000
+
+
+DEFAULT_FIXPOINT_OPTIONS = FixpointOptions()
+
+#: Options preset for the ``W_P`` operator of Section 4.
+WP_OPTIONS = FixpointOptions(check_solvability=False)
+
+
+class FixpointEngine:
+    """Computes ``T_P ↑ ω`` / ``W_P ↑ ω`` for a constrained database."""
+
+    def __init__(
+        self,
+        program: ConstrainedDatabase,
+        solver: Optional[ConstraintSolver] = None,
+        options: FixpointOptions = DEFAULT_FIXPOINT_OPTIONS,
+    ) -> None:
+        self._program = program
+        self._solver = solver or ConstraintSolver()
+        self._options = options
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    @property
+    def program(self) -> ConstrainedDatabase:
+        """The constrained database being evaluated."""
+        return self._program
+
+    @property
+    def solver(self) -> ConstraintSolver:
+        """The constraint solver used for solvability checks."""
+        return self._solver
+
+    @property
+    def options(self) -> FixpointOptions:
+        """The options the engine was configured with."""
+        return self._options
+
+    def compute(
+        self, initial: Optional[MaterializedView] = None
+    ) -> MaterializedView:
+        """Compute the least fixpoint, optionally seeded with *initial*.
+
+        With no seed this is ``T_P ↑ ω(∅)`` (or ``W_P ↑ ω(∅)``).  With a seed
+        it is the inflationary iteration ``T_P ↑ ω(M')`` used by the
+        rederivation step of the Extended DRed algorithm.
+        """
+        view = MaterializedView(initial.entries if initial is not None else ())
+        factory = self._make_factory(view)
+
+        # Round 0: body-free clauses, plus the seed entries, form the delta.
+        delta: List[ViewEntry] = list(view.entries)
+        for clause in self._program:
+            if clause.is_fact_clause:
+                entry = self._derive_fact(clause)
+                if entry is not None and view.add(entry):
+                    delta.append(entry)
+
+        iteration = 0
+        while delta:
+            iteration += 1
+            if iteration > self._options.max_iterations:
+                raise FixpointDivergenceError(self._options.max_iterations)
+            delta_keys = {entry.key() for entry in delta}
+            produced: List[ViewEntry] = []
+            for clause in self._program:
+                if clause.is_fact_clause:
+                    continue
+                produced.extend(
+                    self._derive_from_clause(clause, view, delta_keys, factory)
+                )
+            new_delta: List[ViewEntry] = []
+            for entry in produced:
+                if self._should_skip(entry, view):
+                    continue
+                if view.add(entry):
+                    new_delta.append(entry)
+            if len(view) > self._options.max_entries:
+                raise FixpointDivergenceError(
+                    iteration,
+                    f"fixpoint exceeded {self._options.max_entries} view entries",
+                )
+            delta = new_delta
+        return view
+
+    def step(self, interpretation: MaterializedView) -> MaterializedView:
+        """One application of the operator: ``T_P(I)`` (not inflationary).
+
+        Returns exactly the entries derivable by one clause application from
+        *interpretation*, mirroring the paper's definition of the operator
+        (the result does not include ``I`` itself).
+        """
+        factory = self._make_factory(interpretation)
+        result = MaterializedView()
+        all_keys = {entry.key() for entry in interpretation}
+        for clause in self._program:
+            if clause.is_fact_clause:
+                entry = self._derive_fact(clause)
+                if entry is not None:
+                    result.add(entry)
+            else:
+                for entry in self._derive_from_clause(
+                    clause, interpretation, all_keys, factory
+                ):
+                    result.add(entry)
+        return result
+
+    # ------------------------------------------------------------------
+    # Derivation helpers
+    # ------------------------------------------------------------------
+    def _make_factory(self, view: MaterializedView) -> FreshVariableFactory:
+        reserved = set(view.all_variable_names())
+        for clause in self._program:
+            reserved.update(variable.name for variable in clause.variables())
+        return FreshVariableFactory(reserved)
+
+    def _derive_fact(self, clause: Clause) -> Optional[ViewEntry]:
+        constraint = self._finalize_constraint(
+            clause.constraint, clause.head.variables()
+        )
+        if constraint is None:
+            return None
+        return ViewEntry(clause.head, constraint, Support(clause.number or 0))
+
+    def _derive_from_clause(
+        self,
+        clause: Clause,
+        view: MaterializedView,
+        delta_keys: set,
+        factory: FreshVariableFactory,
+    ) -> Iterable[ViewEntry]:
+        candidate_lists: List[Tuple[ViewEntry, ...]] = []
+        for body_atom in clause.body:
+            entries = view.entries_for(body_atom.predicate)
+            if not entries:
+                return
+            candidate_lists.append(entries)
+
+        for combination in itertools.product(*candidate_lists):
+            if not any(entry.key() in delta_keys for entry in combination):
+                continue
+            entry = self._combine(clause, combination, factory)
+            if entry is not None:
+                yield entry
+
+    def _combine(
+        self,
+        clause: Clause,
+        premises: Sequence[ViewEntry],
+        factory: FreshVariableFactory,
+    ) -> Optional[ViewEntry]:
+        parts: List[Constraint] = [clause.constraint]
+        supports: List[Support] = []
+        for body_atom, premise in zip(clause.body, premises):
+            renamed, _ = premise.constrained_atom.renamed_apart(factory)
+            parts.append(renamed.constraint)
+            parts.append(tuple_equalities(renamed.atom.args, body_atom.args))
+            supports.append(premise.support)
+        constraint = self._finalize_constraint(
+            conjoin(*parts), clause.head.variables()
+        )
+        if constraint is None:
+            return None
+        support = Support(clause.number or 0, tuple(supports))
+        return ViewEntry(clause.head, constraint, support)
+
+    def _finalize_constraint(
+        self, constraint: Constraint, head_variables: Iterable[Variable]
+    ) -> Optional[Constraint]:
+        """Project, simplify and (for ``T_P``) solvability-check a constraint."""
+        if self._options.project_auxiliary_variables:
+            constraint = eliminate_variables(constraint, head_variables)
+        if self._options.simplify_constraints:
+            constraint = simplify(
+                constraint,
+                self._solver,
+                drop_redundant_comparisons=self._options.drop_redundant_comparisons,
+            )
+        if self._options.check_solvability and not self._solver.is_satisfiable(constraint):
+            return None
+        return constraint
+
+    def _should_skip(self, entry: ViewEntry, view: MaterializedView) -> bool:
+        """Set-semantics subsumption used when duplicate semantics is off."""
+        if self._options.duplicate_semantics:
+            return False
+        bound = entry.constrained_atom.bound_tuple()
+        if bound is None:
+            return False
+        for existing in view.entries_for(entry.predicate):
+            if existing.constrained_atom.bound_tuple() == bound:
+                return True
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Convenience wrappers
+# ---------------------------------------------------------------------------
+
+
+def compute_tp_fixpoint(
+    program: ConstrainedDatabase,
+    solver: Optional[ConstraintSolver] = None,
+    initial: Optional[MaterializedView] = None,
+    options: Optional[FixpointOptions] = None,
+) -> MaterializedView:
+    """Compute ``T_P ↑ ω`` (the paper's materialized mediated view)."""
+    effective = options or DEFAULT_FIXPOINT_OPTIONS
+    if not effective.check_solvability:
+        effective = replace(effective, check_solvability=True)
+    return FixpointEngine(program, solver, effective).compute(initial)
+
+
+def compute_wp_fixpoint(
+    program: ConstrainedDatabase,
+    solver: Optional[ConstraintSolver] = None,
+    initial: Optional[MaterializedView] = None,
+    options: Optional[FixpointOptions] = None,
+) -> MaterializedView:
+    """Compute ``W_P ↑ ω`` (no solvability check; paper Section 4)."""
+    effective = options or DEFAULT_FIXPOINT_OPTIONS
+    if effective.check_solvability:
+        effective = replace(effective, check_solvability=False)
+    return FixpointEngine(program, solver, effective).compute(initial)

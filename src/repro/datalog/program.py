@@ -1,0 +1,198 @@
+"""Constrained databases (programs).
+
+A :class:`ConstrainedDatabase` is the ordered, numbered collection of
+constrained clauses that defines a mediated view.  Clause numbers matter: the
+supports of Section 3.1.2 are built from them, and the maintenance
+algorithms rewrite individual clauses by number.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.datalog.clauses import Clause
+from repro.errors import ProgramError
+
+
+class ConstrainedDatabase:
+    """An immutable, numbered set of constrained clauses.
+
+    Clauses keep the numbers they were given; clauses without a number are
+    assigned the next free one in order.  All rewriting operations return new
+    databases, leaving the original untouched (the maintenance algorithms
+    need to compare the before/after programs).
+    """
+
+    def __init__(self, clauses: Iterable[Clause] = ()) -> None:
+        numbered: Dict[int, Clause] = {}
+        pending: List[Clause] = []
+        for clause in clauses:
+            if not isinstance(clause, Clause):
+                raise ProgramError(f"not a clause: {clause!r}")
+            if clause.number is None:
+                pending.append(clause)
+            else:
+                if clause.number in numbered:
+                    raise ProgramError(f"duplicate clause number: {clause.number}")
+                numbered[clause.number] = clause
+        next_number = 1
+        for clause in pending:
+            while next_number in numbered:
+                next_number += 1
+            numbered[next_number] = clause.with_number(next_number)
+            next_number += 1
+        self._clauses: Dict[int, Clause] = dict(sorted(numbered.items()))
+        self._by_predicate: Dict[str, Tuple[Clause, ...]] = {}
+        for clause in self._clauses.values():
+            existing = self._by_predicate.get(clause.predicate, ())
+            self._by_predicate[clause.predicate] = existing + (clause,)
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[Clause]:
+        return iter(self._clauses.values())
+
+    def __len__(self) -> int:
+        return len(self._clauses)
+
+    def __contains__(self, clause: Clause) -> bool:
+        return clause in self._clauses.values()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ConstrainedDatabase):
+            return NotImplemented
+        return self._clauses == other._clauses
+
+    def __repr__(self) -> str:
+        return f"ConstrainedDatabase({len(self._clauses)} clauses)"
+
+    def __str__(self) -> str:
+        return "\n".join(str(clause) for clause in self)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    @property
+    def clauses(self) -> Tuple[Clause, ...]:
+        """All clauses in clause-number order."""
+        return tuple(self._clauses.values())
+
+    def clause(self, number: int) -> Clause:
+        """Return the clause with the given number."""
+        try:
+            return self._clauses[number]
+        except KeyError as exc:
+            raise ProgramError(f"no clause numbered {number}") from exc
+
+    def has_clause(self, number: int) -> bool:
+        """True if a clause with this number exists."""
+        return number in self._clauses
+
+    def clauses_for(self, predicate: str) -> Tuple[Clause, ...]:
+        """Clauses whose head predicate is *predicate* (may be empty)."""
+        return self._by_predicate.get(predicate, ())
+
+    def predicates(self) -> Tuple[str, ...]:
+        """All predicates defined by some clause head, sorted."""
+        return tuple(sorted(self._by_predicate))
+
+    def body_predicates(self) -> Tuple[str, ...]:
+        """All predicates referenced in some clause body, sorted."""
+        referenced = set()
+        for clause in self:
+            referenced.update(clause.body_predicates())
+        return tuple(sorted(referenced))
+
+    def max_clause_number(self) -> int:
+        """Largest clause number in use (0 when empty)."""
+        return max(self._clauses, default=0)
+
+    def is_recursive(self) -> bool:
+        """True when the predicate dependency graph has a cycle."""
+        graph: Dict[str, set] = {}
+        for clause in self:
+            graph.setdefault(clause.predicate, set()).update(clause.body_predicates())
+
+        visited: Dict[str, int] = {}  # 0 = in progress, 1 = done
+
+        def dfs(node: str) -> bool:
+            state = visited.get(node)
+            if state == 0:
+                return True
+            if state == 1:
+                return False
+            visited[node] = 0
+            for successor in graph.get(node, ()):
+                if dfs(successor):
+                    return True
+            visited[node] = 1
+            return False
+
+        return any(dfs(predicate) for predicate in graph)
+
+    def dependency_order(self) -> Tuple[str, ...]:
+        """Predicates in a bottom-up order (callees before callers).
+
+        Predicates involved in cycles are grouped arbitrarily within the
+        order; the fixpoint operators do not rely on stratification, this is
+        only used for reporting and workload generation.
+        """
+        graph: Dict[str, set] = {predicate: set() for predicate in self._by_predicate}
+        for clause in self:
+            for body_predicate in clause.body_predicates():
+                if body_predicate in graph:
+                    graph[clause.predicate].add(body_predicate)
+        ordered: List[str] = []
+        marked: Dict[str, int] = {}
+
+        def visit(node: str) -> None:
+            if marked.get(node):
+                return
+            marked[node] = 1
+            for dependency in sorted(graph.get(node, ())):
+                visit(dependency)
+            ordered.append(node)
+
+        for predicate in sorted(graph):
+            visit(predicate)
+        return tuple(ordered)
+
+    # ------------------------------------------------------------------
+    # Rewriting (all return new databases)
+    # ------------------------------------------------------------------
+    def with_clause_added(self, clause: Clause) -> "ConstrainedDatabase":
+        """Return a database with one more clause (auto-numbered)."""
+        return ConstrainedDatabase(self.clauses + (clause,))
+
+    def with_clauses_added(self, clauses: Sequence[Clause]) -> "ConstrainedDatabase":
+        """Return a database with several clauses appended."""
+        return ConstrainedDatabase(self.clauses + tuple(clauses))
+
+    def with_clause_replaced(self, number: int, replacement: Clause) -> "ConstrainedDatabase":
+        """Return a database where clause *number* is swapped for *replacement*."""
+        if number not in self._clauses:
+            raise ProgramError(f"no clause numbered {number}")
+        updated = [
+            replacement.with_number(number) if clause.number == number else clause
+            for clause in self
+        ]
+        return ConstrainedDatabase(updated)
+
+    def without_clauses(self, numbers: Iterable[int]) -> "ConstrainedDatabase":
+        """Return a database without the clauses whose numbers are given."""
+        excluded = set(numbers)
+        return ConstrainedDatabase(
+            clause for clause in self if clause.number not in excluded
+        )
+
+    def map_clauses(
+        self, transform: "callable[[Clause], Optional[Clause]]"
+    ) -> "ConstrainedDatabase":
+        """Apply *transform* to every clause; ``None`` results drop the clause."""
+        updated = []
+        for clause in self:
+            result = transform(clause)
+            if result is not None:
+                updated.append(result if result.number is not None else result.with_number(clause.number))
+        return ConstrainedDatabase(updated)

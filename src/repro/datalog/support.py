@@ -1,0 +1,104 @@
+"""Derivation supports (Section 3.1.2 of the paper).
+
+Each constrained atom in a materialized view built under duplicate semantics
+is "indexed" by the *support* of its derivation: the clause number of the
+clause that produced it, followed by the supports of the body atoms used,
+i.e. ``spt(A) = <Cn(C), spt(B1), ..., spt(Bk)>``.
+
+Lemma 1 of the paper: two constraint atoms with the same support are the same
+atom -- supports uniquely identify derivations.  The Straight Delete
+algorithm (Algorithm 2) uses supports to find exactly the view entries whose
+derivation used a deleted entry, which is what lets it skip DRed's
+rederivation step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Tuple
+
+from repro.errors import ProgramError
+
+
+@dataclass(frozen=True)
+class Support:
+    """A derivation tree recorded as nested clause numbers."""
+
+    clause_number: int
+    children: Tuple["Support", ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.clause_number, int) or self.clause_number < 0:
+            raise ProgramError(
+                f"support clause number must be a non-negative int: {self.clause_number!r}"
+            )
+        object.__setattr__(self, "children", tuple(self.children))
+        for child in self.children:
+            if not isinstance(child, Support):
+                raise ProgramError(f"support child is not a Support: {child!r}")
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def is_leaf(self) -> bool:
+        """True for supports of base derivations (facts / body-free clauses)."""
+        return not self.children
+
+    def depth(self) -> int:
+        """Height of the derivation tree (a leaf has depth 1)."""
+        if not self.children:
+            return 1
+        return 1 + max(child.depth() for child in self.children)
+
+    def size(self) -> int:
+        """Total number of clause applications in the derivation."""
+        return 1 + sum(child.size() for child in self.children)
+
+    def clause_numbers(self) -> Tuple[int, ...]:
+        """All clause numbers used anywhere in the derivation (pre-order)."""
+        numbers = [self.clause_number]
+        for child in self.children:
+            numbers.extend(child.clause_numbers())
+        return tuple(numbers)
+
+    def subtrees(self) -> Iterator["Support"]:
+        """Iterate over every subtree, including this one (pre-order)."""
+        yield self
+        for child in self.children:
+            yield from child.subtrees()
+
+    # ------------------------------------------------------------------
+    # Queries used by StDel
+    # ------------------------------------------------------------------
+    def has_direct_child(self, support: "Support") -> bool:
+        """True if *support* is one of this derivation's immediate premises."""
+        return support in self.children
+
+    def contains(self, support: "Support") -> bool:
+        """True if *support* occurs anywhere inside this derivation."""
+        return any(subtree == support for subtree in self.subtrees())
+
+    def child_index(self, support: "Support") -> int:
+        """Index (0-based) of *support* among the immediate premises.
+
+        Raises ``ValueError`` when not present; StDel uses this to identify
+        which body literal the deleted premise corresponds to.
+        """
+        return self.children.index(support)
+
+    def __str__(self) -> str:
+        if not self.children:
+            return f"<{self.clause_number}>"
+        inner = ", ".join(str(child) for child in self.children)
+        return f"<{self.clause_number}, {inner}>"
+
+
+def leaf(clause_number: int) -> Support:
+    """Support of a derivation that used a single body-free clause."""
+    return Support(clause_number)
+
+
+def derived(clause_number: int, premises: Tuple[Support, ...]) -> Support:
+    """Support of a derivation by *clause_number* from premise supports."""
+    return Support(clause_number, tuple(premises))

@@ -1,0 +1,277 @@
+"""Materialized views as sets of supported constrained atoms.
+
+A materialized mediated view is a set of constrained atoms (paper Section
+2.3), kept under *duplicate semantics*: one entry per derivation, each entry
+indexed by the support of its derivation (Section 3.1.2).  This module
+provides the container used by the fixpoint operators, the maintenance
+algorithms and the mediator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.constraints.ast import Constraint, conjoin, tuple_equalities
+from repro.constraints.simplify import canonical_form
+from repro.constraints.solver import ConstraintSolver
+from repro.constraints.terms import FreshVariableFactory, Variable
+from repro.datalog.atoms import Atom, ConstrainedAtom
+from repro.datalog.support import Support
+from repro.errors import ProgramError
+
+
+@dataclass(frozen=True)
+class ViewEntry:
+    """One view element: a constrained atom plus the support of its derivation."""
+
+    atom: Atom
+    constraint: Constraint
+    support: Support
+
+    @property
+    def predicate(self) -> str:
+        """Predicate name of the entry's atom."""
+        return self.atom.predicate
+
+    @property
+    def constrained_atom(self) -> ConstrainedAtom:
+        """The entry viewed as a constrained atom (dropping the support)."""
+        return ConstrainedAtom(self.atom, self.constraint)
+
+    def with_constraint(self, constraint: Constraint) -> "ViewEntry":
+        """Return a copy with the constraint replaced (same atom, same support)."""
+        return ViewEntry(self.atom, constraint, self.support)
+
+    def key(self) -> Tuple[Atom, Constraint, Support]:
+        """Deduplication key: atom, canonical constraint, support."""
+        return (self.atom, canonical_form(self.constraint), self.support)
+
+    def __str__(self) -> str:
+        return f"{self.atom} <- {self.constraint}   {self.support}"
+
+
+class MaterializedView:
+    """An insertion-ordered collection of :class:`ViewEntry` objects.
+
+    The container deduplicates on ``(atom, canonical constraint, support)``;
+    two entries with the same constrained atom but different supports are
+    *both* kept, which is exactly the paper's duplicate semantics.
+    """
+
+    def __init__(self, entries: Iterable[ViewEntry] = ()) -> None:
+        self._entries: List[ViewEntry] = []
+        self._keys: set = set()
+        self._by_predicate: Dict[str, List[ViewEntry]] = {}
+        for entry in entries:
+            self.add(entry)
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[ViewEntry]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, entry: ViewEntry) -> bool:
+        return entry.key() in self._keys
+
+    def __str__(self) -> str:
+        return "\n".join(str(entry) for entry in self._entries)
+
+    def copy(self) -> "MaterializedView":
+        """Return an independent shallow copy."""
+        return MaterializedView(self._entries)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, entry: ViewEntry) -> bool:
+        """Add an entry; return False when an identical entry already exists."""
+        if not isinstance(entry, ViewEntry):
+            raise ProgramError(f"not a view entry: {entry!r}")
+        key = entry.key()
+        if key in self._keys:
+            return False
+        self._keys.add(key)
+        self._entries.append(entry)
+        self._by_predicate.setdefault(entry.predicate, []).append(entry)
+        return True
+
+    def add_all(self, entries: Iterable[ViewEntry]) -> int:
+        """Add several entries; return how many were actually new."""
+        return sum(1 for entry in entries if self.add(entry))
+
+    def remove(self, entry: ViewEntry) -> bool:
+        """Remove an entry; return False when it was not present."""
+        key = entry.key()
+        if key not in self._keys:
+            return False
+        self._keys.discard(key)
+        self._entries = [existing for existing in self._entries if existing.key() != key]
+        bucket = self._by_predicate.get(entry.predicate, [])
+        self._by_predicate[entry.predicate] = [
+            existing for existing in bucket if existing.key() != key
+        ]
+        return True
+
+    def replace(self, old: ViewEntry, new: ViewEntry) -> None:
+        """Replace *old* by *new* in place (preserving list order)."""
+        old_key = old.key()
+        if old_key not in self._keys:
+            raise ProgramError(f"entry not in view: {old}")
+        index = next(
+            i for i, existing in enumerate(self._entries) if existing.key() == old_key
+        )
+        self._keys.discard(old_key)
+        self._keys.add(new.key())
+        self._entries[index] = new
+        bucket = self._by_predicate.get(old.predicate, [])
+        bucket_index = next(
+            i for i, existing in enumerate(bucket) if existing.key() == old_key
+        )
+        if new.predicate == old.predicate:
+            bucket[bucket_index] = new
+        else:  # pragma: no cover - algorithms never change the predicate
+            del bucket[bucket_index]
+            self._by_predicate.setdefault(new.predicate, []).append(new)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    @property
+    def entries(self) -> Tuple[ViewEntry, ...]:
+        """All entries in insertion order."""
+        return tuple(self._entries)
+
+    def entries_for(self, predicate: str) -> Tuple[ViewEntry, ...]:
+        """Entries whose atom has the given predicate."""
+        return tuple(self._by_predicate.get(predicate, ()))
+
+    def predicates(self) -> Tuple[str, ...]:
+        """Predicates that have at least one entry, sorted."""
+        return tuple(sorted(p for p, bucket in self._by_predicate.items() if bucket))
+
+    def constrained_atoms(self) -> Tuple[ConstrainedAtom, ...]:
+        """All entries as constrained atoms (supports dropped)."""
+        return tuple(entry.constrained_atom for entry in self._entries)
+
+    def find_by_support(self, support: Support) -> Optional[ViewEntry]:
+        """Return the entry carrying exactly this support, if any."""
+        for entry in self._entries:
+            if entry.support == support:
+                return entry
+        return None
+
+    # ------------------------------------------------------------------
+    # Semantics
+    # ------------------------------------------------------------------
+    def instances(
+        self,
+        solver: Optional[ConstraintSolver] = None,
+        universe: Optional[Iterable[object]] = None,
+    ) -> FrozenSet[Tuple[str, Tuple[object, ...]]]:
+        """The ground instance set ``[M]`` of the whole view."""
+        universe_values = list(universe) if universe is not None else None
+        collected = set()
+        for entry in self._entries:
+            collected.update(
+                entry.constrained_atom.instances(solver=solver, universe=universe_values)
+            )
+        return frozenset(collected)
+
+    def instances_for(
+        self,
+        predicate: str,
+        solver: Optional[ConstraintSolver] = None,
+        universe: Optional[Iterable[object]] = None,
+    ) -> FrozenSet[Tuple[object, ...]]:
+        """Ground instances of one predicate (tuples only)."""
+        universe_values = list(universe) if universe is not None else None
+        collected = set()
+        for entry in self.entries_for(predicate):
+            for _, values in entry.constrained_atom.instances(
+                solver=solver, universe=universe_values
+            ):
+                collected.add(values)
+        return frozenset(collected)
+
+    def same_instances(
+        self,
+        other: "MaterializedView",
+        solver: Optional[ConstraintSolver] = None,
+        universe: Optional[Iterable[object]] = None,
+    ) -> bool:
+        """Semantic comparison ``[self] == [other]`` (the paper's theorems)."""
+        return self.instances(solver=solver, universe=universe) == other.instances(
+            solver=solver, universe=universe
+        )
+
+    def prune_unsolvable(self, solver: ConstraintSolver) -> int:
+        """Drop entries whose constraint is unsatisfiable; return the count.
+
+        StDel's final step ("remove any constraint atom from M whose
+        constraint is not solvable") and W_P's query-time evaluation both use
+        this operation.
+        """
+        doomed = [
+            entry for entry in self._entries if not solver.is_satisfiable(entry.constraint)
+        ]
+        for entry in doomed:
+            self.remove(entry)
+        return len(doomed)
+
+    def is_duplicate_free(
+        self,
+        solver: ConstraintSolver,
+        fresh_factory: Optional[FreshVariableFactory] = None,
+    ) -> bool:
+        """Check the duplicate-freeness condition of Section 3.1.
+
+        The Extended DRed algorithm is "efficient when the mediated view is
+        duplicate-free", i.e. for all distinct entries ``A(X̄) <- φ1`` and
+        ``A(Ȳ) <- φ2`` of the same predicate the instance sets are disjoint.
+        Disjointness of two entries is checked as unsatisfiability of
+        ``φ1 & φ2' & (X̄ = Ȳ')`` with the second entry renamed apart.
+        """
+        factory = fresh_factory or FreshVariableFactory(
+            variable.name for entry in self._entries for variable in entry.constrained_atom.variables()
+        )
+        for predicate in self.predicates():
+            bucket = self.entries_for(predicate)
+            for index, first in enumerate(bucket):
+                for second in bucket[index + 1:]:
+                    renamed, _ = second.constrained_atom.renamed_apart(factory)
+                    overlap = conjoin(
+                        first.constraint,
+                        renamed.constraint,
+                        tuple_equalities(first.atom.args, renamed.atom.args),
+                    )
+                    if solver.is_satisfiable(overlap):
+                        return False
+        return True
+
+    def head_variables(self) -> FrozenSet[Variable]:
+        """All variables used in entry atoms (not constraints)."""
+        found: set = set()
+        for entry in self._entries:
+            found.update(entry.atom.variables())
+        return frozenset(found)
+
+    def all_variable_names(self) -> FrozenSet[str]:
+        """Names of every variable in the view (atoms and constraints)."""
+        names: set = set()
+        for entry in self._entries:
+            names.update(v.name for v in entry.constrained_atom.variables())
+        return frozenset(names)

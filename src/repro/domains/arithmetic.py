@@ -1,0 +1,123 @@
+"""The arithmetic constraint domain (paper Example 2).
+
+Kanellakis-style arithmetic constraints are modelled as domain calls:
+``great(X)`` returns the (infinite) set of integers greater than ``X`` and
+``plus(X, Y)`` returns the singleton ``{X + Y}``.  The infinite sets are
+represented intensionally (membership predicate + bounded sample), exactly
+as the paper suggests ("the entire -- infinite -- set need not be computed
+all at once").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.domains.base import Domain, IntensionalResultSet
+from repro.errors import EvaluationError
+
+#: How many sample values an intensional arithmetic set exposes when asked
+#: to enumerate (used only by callers that explicitly sample).
+DEFAULT_SAMPLE_WIDTH = 100
+
+
+def _require_number(value: object, function: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise EvaluationError(f"arith:{function} expects a number, got {value!r}")
+    return value
+
+
+def make_arithmetic_domain(
+    name: str = "arith", sample_width: int = DEFAULT_SAMPLE_WIDTH
+) -> Domain:
+    """Build the ``arith`` domain with the paper's functions and friends.
+
+    Functions
+    ---------
+    ``greater(x)`` / ``great(x)``
+        all integers strictly greater than ``x`` (intensional).
+    ``greater_eq(x)``, ``less(x)``, ``less_eq(x)``
+        the corresponding half-open integer ranges (intensional).
+    ``between(a, b)``
+        the finite set of integers in ``[a, b]``.
+    ``plus(x, y)``, ``minus(x, y)``, ``times(x, y)``
+        singleton results of the arithmetic operation.
+    ``abs(x)``, ``mod(x, y)``
+        singleton results.
+    """
+    domain = Domain(name, "integer arithmetic (constraint domain of Example 2)")
+
+    def greater(x: object) -> IntensionalResultSet:
+        bound = _require_number(x, "greater")
+        return IntensionalResultSet(
+            membership=lambda value: isinstance(value, (int, float))
+            and not isinstance(value, bool)
+            and value > bound,
+            sample=lambda: range(int(bound) + 1, int(bound) + 1 + sample_width),
+            description=f"integers > {bound}",
+        )
+
+    def greater_eq(x: object) -> IntensionalResultSet:
+        bound = _require_number(x, "greater_eq")
+        return IntensionalResultSet(
+            membership=lambda value: isinstance(value, (int, float))
+            and not isinstance(value, bool)
+            and value >= bound,
+            sample=lambda: range(int(bound), int(bound) + sample_width),
+            description=f"integers >= {bound}",
+        )
+
+    def less(x: object) -> IntensionalResultSet:
+        bound = _require_number(x, "less")
+        return IntensionalResultSet(
+            membership=lambda value: isinstance(value, (int, float))
+            and not isinstance(value, bool)
+            and value < bound,
+            sample=lambda: range(int(bound) - sample_width, int(bound)),
+            description=f"integers < {bound}",
+        )
+
+    def less_eq(x: object) -> IntensionalResultSet:
+        bound = _require_number(x, "less_eq")
+        return IntensionalResultSet(
+            membership=lambda value: isinstance(value, (int, float))
+            and not isinstance(value, bool)
+            and value <= bound,
+            sample=lambda: range(int(bound) - sample_width + 1, int(bound) + 1),
+            description=f"integers <= {bound}",
+        )
+
+    def between(low: object, high: object) -> Iterable[int]:
+        low_value = int(_require_number(low, "between"))
+        high_value = int(_require_number(high, "between"))
+        return range(low_value, high_value + 1)
+
+    def plus(x: object, y: object) -> set:
+        return {_require_number(x, "plus") + _require_number(y, "plus")}
+
+    def minus(x: object, y: object) -> set:
+        return {_require_number(x, "minus") - _require_number(y, "minus")}
+
+    def times(x: object, y: object) -> set:
+        return {_require_number(x, "times") * _require_number(y, "times")}
+
+    def absolute(x: object) -> set:
+        return {abs(_require_number(x, "abs"))}
+
+    def modulo(x: object, y: object) -> set:
+        divisor = _require_number(y, "mod")
+        if divisor == 0:
+            raise EvaluationError("arith:mod division by zero")
+        return {_require_number(x, "mod") % divisor}
+
+    domain.register("greater", greater, "integers strictly greater than x", arity=1)
+    domain.register("great", greater, "alias used by the paper", arity=1)
+    domain.register("greater_eq", greater_eq, "integers >= x", arity=1)
+    domain.register("less", less, "integers strictly less than x", arity=1)
+    domain.register("less_eq", less_eq, "integers <= x", arity=1)
+    domain.register("between", between, "integers in [a, b]", arity=2)
+    domain.register("plus", plus, "{x + y}", arity=2)
+    domain.register("minus", minus, "{x - y}", arity=2)
+    domain.register("times", times, "{x * y}", arity=2)
+    domain.register("abs", absolute, "{|x|}", arity=1)
+    domain.register("mod", modulo, "{x mod y}", arity=2)
+    return domain

@@ -1,0 +1,257 @@
+"""Domain abstraction: external sources seen as sets of functions.
+
+A *domain* (paper Section 2.1) abstracts a database or software package as
+
+* a set Σ of data objects,
+* a set F of functions over Σ (the "predefined functions ... implemented in
+  the software package"), and
+* relations over Σ (modelled here as boolean/set-valued functions).
+
+The mediator reaches a domain exclusively through *domain calls*
+``domain:function(args)`` wrapped in the ``in`` constraint; a call returns a
+set of values (possibly infinite, represented intensionally).  The
+:class:`DomainRegistry` implements the :class:`~repro.constraints.interfaces.
+CallEvaluator` protocol consumed by the constraint solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Iterator, Mapping, Optional, Tuple
+
+from repro.constraints.interfaces import CallEvaluator, FrozenResultSet, ResultSetLike
+from repro.errors import EvaluationError, UnknownDomainError, UnknownFunctionError
+
+
+class IntensionalResultSet:
+    """A possibly-infinite result set defined by a membership predicate.
+
+    Used for calls like ``arith:greater(2)`` whose value is the set of all
+    integers greater than 2: the set cannot be enumerated, but membership,
+    emptiness and (optionally) a bounded sample can be answered.
+    """
+
+    def __init__(
+        self,
+        membership: Callable[[object], bool],
+        empty: bool = False,
+        sample: Optional[Callable[[], Iterable[object]]] = None,
+        description: str = "",
+    ) -> None:
+        self._membership = membership
+        self._empty = empty
+        self._sample = sample
+        self._description = description or "intensional set"
+
+    def contains(self, value: object) -> bool:
+        """Membership test."""
+        try:
+            return bool(self._membership(value))
+        except (TypeError, ValueError):
+            return False
+
+    def is_finite(self) -> bool:
+        """Intensional sets are treated as not enumerable."""
+        return False
+
+    def is_empty(self) -> bool:
+        """True only when the set is known to be empty."""
+        return self._empty
+
+    def iter_values(self) -> Iterator[object]:
+        """Iterate a bounded sample if one was provided."""
+        if self._sample is None:
+            raise EvaluationError(f"cannot enumerate {self._description}")
+        return iter(self._sample())
+
+    def size_hint(self) -> Optional[int]:
+        """Unknown cardinality."""
+        return None
+
+    def __repr__(self) -> str:
+        return f"IntensionalResultSet({self._description})"
+
+
+def coerce_result(value: object) -> ResultSetLike:
+    """Coerce a domain function's return value into a result set.
+
+    * ``ResultSetLike`` objects pass through,
+    * ``bool`` maps to ``{True}`` / ``{}`` so that relations can be queried
+      with the paper's ``in(true, domain:relation(args))`` idiom,
+    * ``None`` maps to the empty set,
+    * sets / frozensets / lists / tuples / iterators become finite sets,
+    * any other single value becomes a singleton set.
+    """
+    if isinstance(value, (FrozenResultSet, IntensionalResultSet)):
+        return value
+    if isinstance(value, ResultSetLike):
+        return value
+    if value is None:
+        return FrozenResultSet()
+    if isinstance(value, bool):
+        return FrozenResultSet([True]) if value else FrozenResultSet()
+    if isinstance(value, (set, frozenset, list, tuple)):
+        return FrozenResultSet(value)
+    if hasattr(value, "__iter__") and not isinstance(value, (str, bytes, Mapping)):
+        return FrozenResultSet(value)
+    return FrozenResultSet([value])
+
+
+@dataclass(frozen=True)
+class DomainFunction:
+    """One callable of a domain, with a human-readable description."""
+
+    name: str
+    callable: Callable[..., object]
+    description: str = ""
+    arity: Optional[int] = None
+
+    def invoke(self, args: Tuple[object, ...]) -> ResultSetLike:
+        """Call the function and coerce its result into a result set."""
+        if self.arity is not None and len(args) != self.arity:
+            raise EvaluationError(
+                f"function {self.name!r} expects {self.arity} arguments, "
+                f"got {len(args)}"
+            )
+        try:
+            result = self.callable(*args)
+        except (UnknownDomainError, UnknownFunctionError, EvaluationError):
+            raise
+        except Exception as exc:
+            raise EvaluationError(
+                f"domain function {self.name!r} failed on {args!r}: {exc}"
+            ) from exc
+        return coerce_result(result)
+
+
+class Domain:
+    """A named collection of domain functions."""
+
+    def __init__(self, name: str, description: str = "") -> None:
+        if not name:
+            raise EvaluationError("domains need a name")
+        self._name = name
+        self._description = description
+        self._functions: Dict[str, DomainFunction] = {}
+
+    @property
+    def name(self) -> str:
+        """The domain's name as used in domain calls."""
+        return self._name
+
+    @property
+    def description(self) -> str:
+        """Human-readable description of what this domain wraps."""
+        return self._description
+
+    def register(
+        self,
+        name: str,
+        callable: Callable[..., object],
+        description: str = "",
+        arity: Optional[int] = None,
+    ) -> DomainFunction:
+        """Register a function; replaces any previous function of that name."""
+        function = DomainFunction(name, callable, description, arity)
+        self._functions[name] = function
+        return function
+
+    def function(self, name: str) -> DomainFunction:
+        """Look up a function; raises :class:`UnknownFunctionError`."""
+        try:
+            return self._functions[name]
+        except KeyError as exc:
+            raise UnknownFunctionError(
+                f"domain {self._name!r} has no function {name!r} "
+                f"(available: {sorted(self._functions)})"
+            ) from exc
+
+    def has_function(self, name: str) -> bool:
+        """True when a function with this name is registered."""
+        return name in self._functions
+
+    def function_names(self) -> Tuple[str, ...]:
+        """Names of all registered functions, sorted."""
+        return tuple(sorted(self._functions))
+
+    def call(self, function: str, args: Tuple[object, ...]) -> ResultSetLike:
+        """Execute ``function(args)`` within this domain."""
+        return self.function(function).invoke(args)
+
+    def __repr__(self) -> str:
+        return f"Domain({self._name!r}, functions={list(self.function_names())})"
+
+
+class DomainRegistry:
+    """The mediator's collection of integrated domains.
+
+    Implements the solver-facing :class:`CallEvaluator` protocol.  A small
+    memoization cache can be enabled for ground calls; it must be invalidated
+    whenever an underlying source changes (the versioned domains of
+    :mod:`repro.domains.versioned` do this automatically through the
+    registry's ``invalidate_cache`` hook).
+    """
+
+    def __init__(self, domains: Iterable[Domain] = (), cache_calls: bool = False) -> None:
+        self._domains: Dict[str, Domain] = {}
+        self._cache_calls = cache_calls
+        self._cache: Dict[Tuple[str, str, Tuple[object, ...]], ResultSetLike] = {}
+        for domain in domains:
+            self.register(domain)
+
+    # -- registration ------------------------------------------------------
+    def register(self, domain: Domain) -> Domain:
+        """Add a domain; replaces any previous domain with the same name."""
+        self._domains[domain.name] = domain
+        self.invalidate_cache()
+        return domain
+
+    def unregister(self, name: str) -> None:
+        """Remove a domain."""
+        if name not in self._domains:
+            raise UnknownDomainError(f"unknown domain: {name!r}")
+        del self._domains[name]
+        self.invalidate_cache()
+
+    def domain(self, name: str) -> Domain:
+        """Look up a domain; raises :class:`UnknownDomainError`."""
+        try:
+            return self._domains[name]
+        except KeyError as exc:
+            raise UnknownDomainError(
+                f"unknown domain: {name!r} (registered: {sorted(self._domains)})"
+            ) from exc
+
+    def domain_names(self) -> Tuple[str, ...]:
+        """Names of all registered domains, sorted."""
+        return tuple(sorted(self._domains))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._domains
+
+    # -- CallEvaluator protocol ---------------------------------------------
+    def has_domain(self, domain: str) -> bool:
+        """True when the named domain is registered."""
+        return domain in self._domains
+
+    def evaluate_call(
+        self, domain: str, function: str, args: Tuple[object, ...]
+    ) -> ResultSetLike:
+        """Execute ``domain:function(args)``."""
+        key = (domain, function, tuple(args))
+        if self._cache_calls and key in self._cache:
+            return self._cache[key]
+        result = self.domain(domain).call(function, tuple(args))
+        if self._cache_calls:
+            self._cache[key] = result
+        return result
+
+    # -- cache management ----------------------------------------------------
+    def invalidate_cache(self) -> None:
+        """Drop all memoized call results (call after any source update)."""
+        self._cache.clear()
+
+    @property
+    def caches_calls(self) -> bool:
+        """Whether ground calls are memoized."""
+        return self._cache_calls

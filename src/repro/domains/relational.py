@@ -1,0 +1,124 @@
+"""Relational domains: PARADOX / DBASE / INGRES stand-ins.
+
+A :class:`RelationalDomain` wraps one :class:`~repro.reldb.database.Database`
+and exposes the access functions the paper's mediator rules use, most
+importantly ``select_eq(table, column, value)``.  Result rows are
+:class:`~repro.reldb.rows.Row` values, so mediator rules can chain them into
+further domain calls (``field(row, column)``) -- the reproduction of the
+paper's record field notation ``A.streetnum``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+from repro.domains.base import Domain
+from repro.errors import EvaluationError
+from repro.reldb.database import Database
+from repro.reldb.rows import Row
+
+
+class RelationalDomain(Domain):
+    """A domain backed by an in-memory relational database."""
+
+    def __init__(self, name: str, database: Database, description: str = "") -> None:
+        super().__init__(name, description or f"relational source {database.name!r}")
+        self._database = database
+        self.register(
+            "select_eq",
+            self._select_eq,
+            "rows of `table` whose `column` equals `value`",
+            arity=3,
+        )
+        self.register(
+            "select_value",
+            self._select_value,
+            "values of `value_column` in rows of `table` where `key_column` = `key`",
+            arity=4,
+        )
+        self.register("all_rows", self._all_rows, "every row of `table`", arity=1)
+        self.register(
+            "project",
+            self._project,
+            "distinct values of `column` across `table`",
+            arity=2,
+        )
+        self.register("field", self._field, "the value of `column` in `row`", arity=2)
+        self.register(
+            "count",
+            self._count,
+            "number of rows of `table` whose `column` equals `value`",
+            arity=3,
+        )
+        self.register(
+            "contains",
+            self._contains,
+            "true iff `table` has a row whose `column` equals `value`",
+            arity=3,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def database(self) -> Database:
+        """The wrapped database (mutating it changes future call results)."""
+        return self._database
+
+    # ------------------------------------------------------------------
+    # Domain functions
+    # ------------------------------------------------------------------
+    def _select_eq(self, table: object, column: object, value: object) -> Tuple[Row, ...]:
+        return self._database.table(_name(table)).select_eq(_name(column), value)
+
+    def _select_value(
+        self, table: object, key_column: object, key: object, value_column: object
+    ) -> Tuple[object, ...]:
+        rows = self._database.table(_name(table)).select_eq(_name(key_column), key)
+        return tuple(row[_name(value_column)] for row in rows)
+
+    def _all_rows(self, table: object) -> Tuple[Row, ...]:
+        return self._database.table(_name(table)).rows()
+
+    def _project(self, table: object, column: object) -> Tuple[object, ...]:
+        return self._database.table(_name(table)).distinct_values(_name(column))
+
+    def _field(self, row: object, column: object) -> set:
+        if not isinstance(row, Row):
+            raise EvaluationError(
+                f"{self.name}:field expects a row as first argument, got {row!r}"
+            )
+        return {row[_name(column)]}
+
+    def _count(self, table: object, column: object, value: object) -> set:
+        rows = self._database.table(_name(table)).select_eq(_name(column), value)
+        return {len(rows)}
+
+    def _contains(self, table: object, column: object, value: object) -> bool:
+        return bool(self._database.table(_name(table)).select_eq(_name(column), value))
+
+
+def make_relational_domain(
+    name: str,
+    tables: Optional[dict] = None,
+    description: str = "",
+) -> RelationalDomain:
+    """Build a relational domain and bulk-load tables.
+
+    *tables* maps table names to ``(columns, rows)`` pairs, e.g.::
+
+        make_relational_domain("paradox", {
+            "phonebook": (("name", "streetnum", "streetname", "cityname",
+                           "statename", "zipcode"), rows),
+        })
+    """
+    database = Database(name)
+    for table_name, (columns, rows) in (tables or {}).items():
+        database.create_table_from_rows(table_name, columns, rows)
+    return RelationalDomain(name, database, description)
+
+
+def _name(value: object) -> str:
+    if not isinstance(value, str):
+        raise EvaluationError(f"expected a table/column name, got {value!r}")
+    return value

@@ -1,0 +1,86 @@
+"""A small text/document domain.
+
+HERMES "integrates ... a text database" (paper Section 6); this domain
+provides the minimal keyword-search functions a mediator rule would use over
+one, backed by an in-memory corpus.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from repro.domains.base import Domain
+from repro.errors import EvaluationError
+
+_WORD_RE = re.compile(r"[A-Za-z0-9']+")
+
+
+class TextDomain(Domain):
+    """Keyword search over a named collection of documents."""
+
+    def __init__(
+        self, name: str = "textdb", documents: Optional[Mapping[str, str]] = None
+    ) -> None:
+        super().__init__(name, "keyword search over an in-memory document store")
+        self._documents: Dict[str, str] = dict(documents or {})
+        self._index: Dict[str, set] = {}
+        self._reindex()
+        self.register("search", self._search, "document ids containing a word", arity=1)
+        self.register(
+            "contains", self._contains, "true iff a document contains a word", arity=2
+        )
+        self.register("documents", self._document_ids, "all document ids", arity=0)
+        self.register("words_of", self._words_of, "distinct words of a document", arity=1)
+
+    # ------------------------------------------------------------------
+    # Corpus management
+    # ------------------------------------------------------------------
+    def add_document(self, doc_id: str, text: str) -> None:
+        """Add or replace a document and refresh the word index."""
+        self._documents[doc_id] = text
+        self._reindex()
+
+    def remove_document(self, doc_id: str) -> None:
+        """Remove a document (no error when absent)."""
+        self._documents.pop(doc_id, None)
+        self._reindex()
+
+    def document_count(self) -> int:
+        """Number of documents in the corpus."""
+        return len(self._documents)
+
+    def _reindex(self) -> None:
+        self._index = {}
+        for doc_id, text in self._documents.items():
+            for word in _tokenize(text):
+                self._index.setdefault(word, set()).add(doc_id)
+
+    # ------------------------------------------------------------------
+    # Domain functions
+    # ------------------------------------------------------------------
+    def _search(self, word: object) -> Tuple[str, ...]:
+        return tuple(sorted(self._index.get(_normalize(word), ())))
+
+    def _contains(self, doc_id: object, word: object) -> bool:
+        if doc_id not in self._documents:
+            return False
+        return _normalize(word) in set(_tokenize(self._documents[str(doc_id)]))
+
+    def _document_ids(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._documents))
+
+    def _words_of(self, doc_id: object) -> Tuple[str, ...]:
+        if doc_id not in self._documents:
+            return ()
+        return tuple(sorted(set(_tokenize(self._documents[str(doc_id)]))))
+
+
+def _normalize(word: object) -> str:
+    if not isinstance(word, str) or not word:
+        raise EvaluationError(f"expected a word, got {word!r}")
+    return word.lower()
+
+
+def _tokenize(text: str) -> Iterable[str]:
+    return (match.group().lower() for match in _WORD_RE.finditer(text))

@@ -1,0 +1,98 @@
+"""Exception hierarchy shared by every subpackage of :mod:`repro`.
+
+All library-raised exceptions derive from :class:`ReproError`, so callers can
+catch a single base class at API boundaries.  Subpackages raise the most
+specific subclass that applies; none of them ever raise bare ``Exception``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the :mod:`repro` library."""
+
+
+class ConstraintError(ReproError):
+    """A constraint expression is malformed or used in an unsupported way."""
+
+
+class TermError(ConstraintError):
+    """A term (variable/constant) is malformed, e.g. an invalid variable name."""
+
+
+class SolverError(ConstraintError):
+    """The constraint solver cannot decide a constraint it was handed."""
+
+
+class EvaluationError(ReproError):
+    """A domain call could not be evaluated (bad arguments, missing function)."""
+
+
+class UnknownDomainError(EvaluationError):
+    """A domain-call atom refers to a domain that is not registered."""
+
+
+class UnknownFunctionError(EvaluationError):
+    """A domain-call atom refers to a function its domain does not define."""
+
+
+class ParseError(ReproError):
+    """The rule/constraint text parser rejected its input."""
+
+
+class ProgramError(ReproError):
+    """A constrained database (program) is malformed (e.g. unbound head vars)."""
+
+
+class FixpointDivergenceError(ReproError):
+    """A fixpoint iteration exceeded its configured iteration budget."""
+
+    def __init__(self, iterations: int, message: str = "") -> None:
+        detail = message or (
+            "fixpoint iteration did not converge within "
+            f"{iterations} iterations"
+        )
+        super().__init__(detail)
+        self.iterations = iterations
+
+
+class MaintenanceError(ReproError):
+    """A view-maintenance algorithm was invoked on unsupported input."""
+
+
+class DuplicateSemanticsError(MaintenanceError):
+    """An algorithm that requires a duplicate-free view was given duplicates."""
+
+
+class CountingDivergenceError(MaintenanceError):
+    """The counting baseline detected an infinite derivation count.
+
+    The paper (Section 3.1.2 and Section 6) points out that the counting
+    algorithm of Gupta, Katiyar and Mumick can produce infinite counts on
+    recursive programs; this exception reproduces that failure mode in a
+    controlled way instead of looping forever.
+    """
+
+
+class RelationalError(ReproError):
+    """Base class for errors raised by the in-memory relational engine."""
+
+
+class SchemaError(RelationalError):
+    """A row or query does not match the table schema."""
+
+
+class UnknownTableError(RelationalError):
+    """A query referenced a table that does not exist."""
+
+
+class UnknownColumnError(RelationalError):
+    """A query referenced a column that does not exist."""
+
+
+class MediatorError(ReproError):
+    """The mediator was configured or queried incorrectly."""
+
+
+class WorkloadError(ReproError):
+    """A synthetic workload generator received invalid parameters."""

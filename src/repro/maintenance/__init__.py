@@ -1,0 +1,108 @@
+"""View-maintenance algorithms (the paper's core contribution).
+
+* :mod:`repro.maintenance.delete_dred` -- Algorithm 1, Extended DRed,
+* :mod:`repro.maintenance.delete_stdel` -- Algorithm 2, Straight Delete,
+* :mod:`repro.maintenance.insert` -- Algorithm 3, constrained-atom insertion,
+* :mod:`repro.maintenance.external` -- Section 4, source changes under
+  ``T_P`` vs ``W_P``,
+* :mod:`repro.maintenance.declarative` -- the rewrites giving each update its
+  declarative semantics (the correctness yardstick),
+* :mod:`repro.maintenance.baselines` -- from-scratch recomputation,
+* :mod:`repro.maintenance.counting` -- the counting-algorithm baseline.
+"""
+
+from repro.maintenance.batch import (
+    AppliedUpdate,
+    BatchReport,
+    ViewMaintainer,
+)
+from repro.maintenance.baselines import (
+    RecomputationResult,
+    full_recompute,
+    recompute_after_deletion,
+    recompute_after_insertion,
+)
+from repro.maintenance.counting import (
+    CountingDeletionResult,
+    CountingMaintenance,
+    CountingView,
+)
+from repro.maintenance.declarative import (
+    build_add_set,
+    deletion_rewrite,
+    insertion_rewrite,
+)
+from repro.maintenance.delete_dred import (
+    DEFAULT_DRED_OPTIONS,
+    DRedOptions,
+    DRedResult,
+    ExtendedDRed,
+    delete_with_dred,
+)
+from repro.maintenance.delete_stdel import (
+    DEFAULT_STDEL_OPTIONS,
+    POutPair,
+    StDelOptions,
+    StDelResult,
+    StraightDelete,
+    delete_with_stdel,
+)
+from repro.maintenance.external import (
+    ExternalChangeReport,
+    TpExternalMaintenance,
+    WpExternalMaintenance,
+    collect_function_deltas,
+)
+from repro.maintenance.insert import (
+    ConstrainedAtomInsertion,
+    DEFAULT_INSERTION_OPTIONS,
+    EXTERNAL_CLAUSE_NUMBER,
+    InsertionOptions,
+    InsertionResult,
+    insert_atom,
+)
+from repro.maintenance.requests import (
+    DeletionRequest,
+    InsertionRequest,
+    MaintenanceStats,
+)
+
+__all__ = [
+    "AppliedUpdate",
+    "BatchReport",
+    "ConstrainedAtomInsertion",
+    "CountingDeletionResult",
+    "CountingMaintenance",
+    "CountingView",
+    "DEFAULT_DRED_OPTIONS",
+    "DEFAULT_INSERTION_OPTIONS",
+    "DEFAULT_STDEL_OPTIONS",
+    "DRedOptions",
+    "DRedResult",
+    "DeletionRequest",
+    "EXTERNAL_CLAUSE_NUMBER",
+    "ExtendedDRed",
+    "ExternalChangeReport",
+    "InsertionOptions",
+    "InsertionRequest",
+    "InsertionResult",
+    "MaintenanceStats",
+    "POutPair",
+    "RecomputationResult",
+    "StDelOptions",
+    "StDelResult",
+    "StraightDelete",
+    "TpExternalMaintenance",
+    "ViewMaintainer",
+    "WpExternalMaintenance",
+    "build_add_set",
+    "collect_function_deltas",
+    "delete_with_dred",
+    "delete_with_stdel",
+    "deletion_rewrite",
+    "full_recompute",
+    "insert_atom",
+    "insertion_rewrite",
+    "recompute_after_deletion",
+    "recompute_after_insertion",
+]

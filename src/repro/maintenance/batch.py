@@ -1,0 +1,198 @@
+"""Applying whole streams of view updates.
+
+The paper treats one update at a time; real maintenance workloads apply
+*streams* of deletions and insertions.  :class:`ViewMaintainer` keeps the
+bookkeeping straight across a stream:
+
+* it tracks the *effective program* -- the original constrained database
+  composed with the deletion/insertion rewrites applied so far -- which is
+  what gives a sequence of updates a single declarative semantics
+  (``T_P_effective ↑ ω``), and what Extended DRed's rederivation step needs
+  (see :mod:`repro.maintenance.delete_dred`);
+* it lets the caller choose the deletion algorithm per stream;
+* it accumulates the per-update statistics so benchmarks and operators can
+  see where time went.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.constraints.solver import ConstraintSolver
+from repro.datalog.fixpoint import compute_tp_fixpoint
+from repro.datalog.program import ConstrainedDatabase
+from repro.datalog.view import MaterializedView
+from repro.errors import MaintenanceError
+from repro.maintenance.baselines import full_recompute
+from repro.maintenance.declarative import build_add_set, deletion_rewrite, insertion_rewrite
+from repro.maintenance.delete_dred import DRedOptions, ExtendedDRed
+from repro.maintenance.delete_stdel import StDelOptions, StraightDelete
+from repro.maintenance.insert import ConstrainedAtomInsertion, InsertionOptions
+from repro.maintenance.requests import (
+    DeletionRequest,
+    InsertionRequest,
+    MaintenanceStats,
+)
+
+UpdateRequest = Union[DeletionRequest, InsertionRequest]
+
+
+@dataclass
+class AppliedUpdate:
+    """Record of one update applied by the maintainer."""
+
+    request: UpdateRequest
+    algorithm: str
+    stats: MaintenanceStats
+    view_size_after: int
+
+
+@dataclass
+class BatchReport:
+    """Summary of a whole update stream."""
+
+    applied: Tuple[AppliedUpdate, ...] = ()
+
+    @property
+    def deletions(self) -> int:
+        """Number of deletion requests applied."""
+        return sum(1 for item in self.applied if isinstance(item.request, DeletionRequest))
+
+    @property
+    def insertions(self) -> int:
+        """Number of insertion requests applied."""
+        return sum(1 for item in self.applied if isinstance(item.request, InsertionRequest))
+
+    def total_solver_calls(self) -> int:
+        """Solver invocations across the whole stream."""
+        return sum(item.stats.solver_calls for item in self.applied)
+
+    def total_replaced_entries(self) -> int:
+        """View entries whose constraint was replaced in place."""
+        return sum(item.stats.replaced_entries for item in self.applied)
+
+
+class ViewMaintainer:
+    """Maintains one materialized view across a stream of updates."""
+
+    def __init__(
+        self,
+        program: ConstrainedDatabase,
+        solver: Optional[ConstraintSolver] = None,
+        view: Optional[MaterializedView] = None,
+        deletion_algorithm: str = "stdel",
+        stdel_options: Optional[StDelOptions] = None,
+        dred_options: Optional[DRedOptions] = None,
+        insertion_options: Optional[InsertionOptions] = None,
+    ) -> None:
+        if deletion_algorithm not in ("stdel", "dred"):
+            raise MaintenanceError(
+                f"unknown deletion algorithm {deletion_algorithm!r}; use 'stdel' or 'dred'"
+            )
+        self._original_program = program
+        self._effective_program = program
+        self._solver = solver or ConstraintSolver()
+        self._view = view if view is not None else compute_tp_fixpoint(program, self._solver)
+        self._deletion_algorithm = deletion_algorithm
+        self._stdel_options = stdel_options or StDelOptions()
+        self._dred_options = dred_options or DRedOptions()
+        self._insertion_options = insertion_options or InsertionOptions()
+        self._applied: List[AppliedUpdate] = []
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def view(self) -> MaterializedView:
+        """The current materialized view."""
+        return self._view
+
+    @property
+    def original_program(self) -> ConstrainedDatabase:
+        """The constrained database the view was first materialized from."""
+        return self._original_program
+
+    @property
+    def effective_program(self) -> ConstrainedDatabase:
+        """The original program composed with every rewrite applied so far.
+
+        Its least model is the declarative semantics of the maintained view;
+        :meth:`verify` recomputes it to cross-check the incremental state.
+        """
+        return self._effective_program
+
+    @property
+    def deletion_algorithm(self) -> str:
+        """Which deletion algorithm the maintainer uses (``stdel``/``dred``)."""
+        return self._deletion_algorithm
+
+    def report(self) -> BatchReport:
+        """Summary of everything applied so far."""
+        return BatchReport(tuple(self._applied))
+
+    # ------------------------------------------------------------------
+    # Applying updates
+    # ------------------------------------------------------------------
+    def apply(self, request: UpdateRequest) -> AppliedUpdate:
+        """Apply a single deletion or insertion request."""
+        if isinstance(request, DeletionRequest):
+            record = self._apply_deletion(request)
+        elif isinstance(request, InsertionRequest):
+            record = self._apply_insertion(request)
+        else:
+            raise MaintenanceError(f"unknown update request: {request!r}")
+        self._applied.append(record)
+        return record
+
+    def apply_all(self, requests: Iterable[UpdateRequest]) -> BatchReport:
+        """Apply a whole stream in order and return the summary."""
+        for request in requests:
+            self.apply(request)
+        return self.report()
+
+    def _apply_deletion(self, request: DeletionRequest) -> AppliedUpdate:
+        if self._deletion_algorithm == "stdel":
+            result = StraightDelete(
+                self._effective_program, self._solver, self._stdel_options
+            ).delete(self._view, request)
+        else:
+            result = ExtendedDRed(
+                self._effective_program, self._solver, self._dred_options
+            ).delete(self._view, request)
+        self._view = result.view
+        self._effective_program = deletion_rewrite(
+            self._effective_program, (request.atom,)
+        )
+        return AppliedUpdate(
+            request, self._deletion_algorithm, result.stats, len(self._view)
+        )
+
+    def _apply_insertion(self, request: InsertionRequest) -> AppliedUpdate:
+        add_atoms = build_add_set(
+            self._view,
+            request.atom,
+            self._solver,
+            exclude_existing=self._insertion_options.exclude_existing,
+        )
+        result = ConstrainedAtomInsertion(
+            self._effective_program, self._solver, self._insertion_options
+        ).insert(self._view, request)
+        self._view = result.view
+        self._effective_program = insertion_rewrite(self._effective_program, add_atoms)
+        return AppliedUpdate(request, "insert", result.stats, len(self._view))
+
+    # ------------------------------------------------------------------
+    # Verification
+    # ------------------------------------------------------------------
+    def verify(self, universe: Optional[Sequence[object]] = None) -> bool:
+        """Cross-check the incremental view against the effective program.
+
+        Recomputes ``T_P_effective ↑ ω`` from scratch and compares instance
+        sets -- the executable form of Theorems 1-3 for the whole stream.
+        Expensive; intended for tests and audits, not for the hot path.
+        """
+        expected = full_recompute(self._effective_program, self._solver).view
+        return self._view.instances(self._solver, universe) == expected.instances(
+            self._solver, universe
+        )

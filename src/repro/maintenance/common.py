@@ -1,0 +1,172 @@
+"""Building blocks shared by the maintenance algorithms.
+
+Both deletion algorithms start from the same ``Del`` set and the insertion
+algorithm from the analogous ``Add`` set; the ``P_OUT`` / ``P_ADD``
+unfoldings share the same clause-application step.  Factoring these out here
+keeps the three algorithm modules close to the paper's pseudo-code.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.constraints.ast import Constraint, NegatedConjunction, conjoin, negate, tuple_equalities
+from repro.constraints.projection import eliminate_variables
+from repro.constraints.simplify import simplify
+from repro.constraints.solver import ConstraintSolver
+from repro.constraints.terms import FreshVariableFactory
+from repro.datalog.atoms import Atom, ConstrainedAtom
+from repro.datalog.clauses import Clause
+from repro.datalog.program import ConstrainedDatabase
+from repro.datalog.view import MaterializedView, ViewEntry
+from repro.maintenance.requests import MaintenanceStats
+
+
+def make_fresh_factory(
+    program: ConstrainedDatabase,
+    view: MaterializedView,
+    extra: Iterable[ConstrainedAtom] = (),
+) -> FreshVariableFactory:
+    """A fresh-variable factory avoiding every name used so far."""
+    reserved = set(view.all_variable_names())
+    for clause in program:
+        reserved.update(variable.name for variable in clause.variables())
+    for atom in extra:
+        reserved.update(variable.name for variable in atom.variables())
+    return FreshVariableFactory(reserved)
+
+
+def negated_atom_constraint(
+    target_atom: Atom,
+    source: ConstrainedAtom,
+    factory: FreshVariableFactory,
+) -> Tuple[Constraint, Constraint]:
+    """Express "is (not) an instance of *source*" over *target_atom*'s terms.
+
+    Returns a pair ``(positive, negative)``: the constraint stating that the
+    target atom's arguments satisfy the source atom's constraint (with the
+    binding equalities ``X̄ = Ȳ`` of the paper), and its negation
+    ``not(... )``.  The source is renamed apart first, and the negation is
+    always built as an explicit ``not(...)`` node so that the renamed
+    variables are quantified *inside* it ("no instantiation of the source
+    atom matches the target tuple"), per the library's quantification
+    convention.
+    """
+    renamed, _ = source.renamed_apart(factory)
+    equalities = tuple_equalities(renamed.atom.args, target_atom.args)
+    positive = conjoin(renamed.constraint, equalities)
+    negative = NegatedConjunction(tuple(positive.conjuncts()))
+    return positive, negative
+
+
+def restrict_entry_to_instances(
+    entry: ViewEntry,
+    request_atom: ConstrainedAtom,
+    solver: ConstraintSolver,
+    factory: FreshVariableFactory,
+    stats: Optional[MaintenanceStats] = None,
+) -> Optional[ConstrainedAtom]:
+    """The ``Del`` construction for one view entry.
+
+    For a view entry ``A(Ȳ) <- φ`` and a deletion request ``A(X̄) <- δ``,
+    return ``A(Ȳ) <- φ & (Ȳ = X̄) & δ`` when that conjunction is solvable
+    (those are the instances of the entry that are actually being deleted),
+    otherwise ``None``.
+    """
+    if entry.atom.signature != request_atom.atom.signature:
+        return None
+    positive, _ = negated_atom_constraint(entry.atom, request_atom, factory)
+    combined = conjoin(entry.constraint, positive)
+    if stats is not None:
+        stats.solver_calls += 1
+    if not solver.is_satisfiable(combined):
+        return None
+    simplified = simplify(combined, solver)
+    return ConstrainedAtom(entry.atom, simplified)
+
+
+def build_del_set(
+    view: MaterializedView,
+    request_atom: ConstrainedAtom,
+    solver: ConstraintSolver,
+    factory: FreshVariableFactory,
+    stats: Optional[MaintenanceStats] = None,
+) -> Tuple[Tuple[ViewEntry, ConstrainedAtom], ...]:
+    """The paper's ``Del`` set, paired with the view entries it came from.
+
+    Only constrained atoms that are actually in the existing materialized
+    view are deleted (the paper stresses this); entries of other predicates
+    or with empty overlap are skipped.
+    """
+    result: List[Tuple[ViewEntry, ConstrainedAtom]] = []
+    for entry in view.entries_for(request_atom.predicate):
+        restricted = restrict_entry_to_instances(
+            entry, request_atom, solver, factory, stats
+        )
+        if restricted is not None:
+            result.append((entry, restricted))
+    if stats is not None:
+        stats.seed_atoms += len(result)
+    return tuple(result)
+
+
+def apply_clause_with_premises(
+    clause: Clause,
+    premises: Sequence[ConstrainedAtom],
+    solver: ConstraintSolver,
+    factory: FreshVariableFactory,
+    check_solvable: bool = True,
+    stats: Optional[MaintenanceStats] = None,
+) -> Optional[ConstrainedAtom]:
+    """One clause application used by the P_OUT / P_ADD unfoldings.
+
+    Combines the clause constraint with the (renamed-apart) premise
+    constraints and the binding equalities, projects auxiliary variables away
+    and optionally checks solvability.  Returns the derived constrained atom
+    for the clause head, or ``None`` when the combination is unsolvable.
+    """
+    if stats is not None:
+        stats.clause_applications += 1
+    parts: List[Constraint] = [clause.constraint]
+    for body_atom, premise in zip(clause.body, premises):
+        renamed, _ = premise.renamed_apart(factory)
+        parts.append(renamed.constraint)
+        parts.append(tuple_equalities(renamed.atom.args, body_atom.args))
+    constraint = eliminate_variables(conjoin(*parts), clause.head.variables())
+    constraint = simplify(constraint, solver)
+    if check_solvable:
+        if stats is not None:
+            stats.solver_calls += 1
+        if not solver.is_satisfiable(constraint):
+            return None
+    return ConstrainedAtom(clause.head, constraint)
+
+
+def subtract_instances(
+    entry: ViewEntry,
+    removed: Iterable[ConstrainedAtom],
+    solver: ConstraintSolver,
+    factory: FreshVariableFactory,
+    stats: Optional[MaintenanceStats] = None,
+) -> ViewEntry:
+    """Conjoin ``not(ψ & bindings)`` onto an entry for each removed atom.
+
+    This is the over-estimation step of the Extended DRed algorithm: the
+    entry's constraint is narrowed so its instances no longer include any
+    instance of the removed atoms.
+    """
+    constraint = entry.constraint
+    for atom in removed:
+        if atom.atom.signature != entry.atom.signature:
+            continue
+        positive, negative = negated_atom_constraint(entry.atom, atom, factory)
+        if stats is not None:
+            stats.solver_calls += 1
+        if not solver.is_satisfiable(conjoin(constraint, positive)):
+            # No overlap: nothing to subtract for this removed atom.
+            continue
+        constraint = conjoin(constraint, negative)
+    constraint = simplify(constraint, solver)
+    if constraint == entry.constraint:
+        return entry
+    return entry.with_constraint(constraint)

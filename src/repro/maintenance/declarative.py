@@ -1,0 +1,120 @@
+"""Declarative semantics of view updates as rewritten constrained databases.
+
+The paper defines what a deletion/insertion *means* by rewriting the
+constrained database and taking the least model of the rewritten program:
+
+* **Deletion** of ``A(X̄) <- δ`` (Section 3.1): every clause with head
+  predicate ``A`` gets ``not(δ) & (X̄ = Ȳ)`` conjoined onto its constraint
+  part, all other clauses are kept; the new view is ``T_{P'} ↑ ω(∅)``.
+  Theorems 1 and 2 state that the Extended DRed and StDel algorithms compute
+  exactly the instances of this program.
+
+* **Insertion** of ``A(X̄) <- ψ`` (Section 3.2): the program is extended
+  with the ``Add`` atoms as constrained facts; the new view is
+  ``T_{P♭} ↑ ω(∅)``.  (The paper's ``P♭`` additionally rewrites the
+  constraint parts of existing ``A``-clauses with ``not(φ)`` conjuncts; that
+  component only affects duplicate bookkeeping, not the instance set ``[·]``
+  that Theorem 3 is stated over, so this module keeps the instance-equivalent
+  ``P ∪ Add`` form.)
+
+These rewrites are the correctness yardstick: the test-suite checks every
+incremental algorithm against the least model of the rewritten program.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.constraints.ast import conjoin, negate, tuple_equalities
+from repro.constraints.simplify import simplify
+from repro.constraints.solver import ConstraintSolver
+from repro.constraints.terms import FreshVariableFactory
+from repro.datalog.atoms import ConstrainedAtom
+from repro.datalog.clauses import Clause
+from repro.datalog.program import ConstrainedDatabase
+from repro.datalog.view import MaterializedView
+from repro.maintenance.common import make_fresh_factory, negated_atom_constraint
+
+
+def deletion_rewrite(
+    program: ConstrainedDatabase,
+    deleted: Sequence[ConstrainedAtom],
+    factory: Optional[FreshVariableFactory] = None,
+) -> ConstrainedDatabase:
+    """Build ``P'`` for a deletion (the paper's rewrite (4)).
+
+    For every clause ``A(X̄) <- φ || B1, ..., Bn`` in ``P`` and every deleted
+    atom ``A(Ȳ) <- δ`` the rewritten clause carries
+    ``φ & not(δ & (X̄ = Ȳ))``; clauses whose head predicate is untouched are
+    copied unchanged.  Clause numbers are preserved so supports remain
+    comparable across the rewrite.
+    """
+    factory = factory or FreshVariableFactory(
+        {variable.name for clause in program for variable in clause.variables()}
+        | {
+            variable.name
+            for atom in deleted
+            for variable in atom.variables()
+        }
+    )
+    rewritten: List[Clause] = []
+    for clause in program:
+        updated = clause
+        for atom in deleted:
+            if atom.atom.signature != clause.head.signature:
+                continue
+            _, negative = negated_atom_constraint(clause.head, atom, factory)
+            updated = updated.with_extra_constraint(negative)
+        rewritten.append(updated)
+    return ConstrainedDatabase(rewritten)
+
+
+def insertion_rewrite(
+    program: ConstrainedDatabase,
+    add_atoms: Sequence[ConstrainedAtom],
+) -> ConstrainedDatabase:
+    """Build the instance-equivalent ``P♭`` for an insertion.
+
+    The ``Add`` atoms become constrained facts appended after the original
+    clauses (so original clause numbers are preserved).
+    """
+    facts = [Clause(atom.atom, atom.constraint, ()) for atom in add_atoms]
+    return program.with_clauses_added(facts)
+
+
+def build_add_set(
+    view: MaterializedView,
+    inserted: ConstrainedAtom,
+    solver: ConstraintSolver,
+    factory: Optional[FreshVariableFactory] = None,
+    exclude_existing: bool = True,
+) -> Tuple[ConstrainedAtom, ...]:
+    """The paper's ``Add`` set for an insertion request.
+
+    ``Add`` describes the instances of the inserted atom that are not already
+    instances of the view: the inserted constraint ``ψ`` narrowed by
+    ``not(φi & (X̄ = Ȳi))`` for every existing entry ``A(Ȳi) <- φi``.  When
+    the result is unsolvable (everything already present) the set is empty.
+
+    With ``exclude_existing=False`` the set is simply ``{A(X̄) <- ψ}``
+    (useful for duplicate-semantics experiments where re-insertion should
+    create a second derivation).
+    """
+    factory = factory or FreshVariableFactory(
+        {variable.name for variable in inserted.variables()}
+        | set(view.all_variable_names())
+    )
+    if not exclude_existing:
+        return (inserted,)
+    constraint = inserted.constraint
+    for entry in view.entries_for(inserted.predicate):
+        positive, negative = negated_atom_constraint(
+            inserted.atom, entry.constrained_atom, factory
+        )
+        if not solver.is_satisfiable(conjoin(constraint, positive)):
+            continue
+        constraint = conjoin(constraint, negative)
+    constraint = simplify(constraint, solver)
+    if not solver.is_satisfiable(constraint):
+        return ()
+    return (ConstrainedAtom(inserted.atom, constraint),)

@@ -1,0 +1,289 @@
+"""Algorithm 2: the Straight Delete (StDel) algorithm.
+
+StDel (paper Section 3.1.2) deletes a constrained atom from a materialized
+mediated view **without any rederivation step** and without duplicate
+elimination, which is the paper's main algorithmic improvement over the
+(extended) DRed algorithm.  It relies on every view entry being indexed by
+the *support* of its derivation:
+
+1. every entry is initially marked;
+2. entries of the deleted predicate that overlap the deletion request have
+   their constraint narrowed by ``& (X̄ = Ȳ) & not(δ)``, and the pair
+   ``(deleted instances, support)`` is recorded in ``P_OUT``;
+3. repeatedly, any marked entry whose derivation used (as a *direct*
+   premise) a support recorded in ``P_OUT`` gets its constraint rebuilt from
+   its clause and premises with ``not(ψj)`` substituted for the deleted
+   premise's contribution, and a new ``P_OUT`` pair is recorded for it;
+4. finally, entries whose constraint became unsolvable are removed.
+
+Theorem 2: the result has the same instances as the deletion rewrite
+``T_{P'} ↑ ω(∅)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.constraints.ast import Constraint, conjoin, negate, tuple_equalities
+from repro.constraints.projection import eliminate_variables
+from repro.constraints.simplify import simplify
+from repro.constraints.solver import ConstraintSolver
+from repro.datalog.atoms import ConstrainedAtom
+from repro.datalog.program import ConstrainedDatabase
+from repro.datalog.support import Support
+from repro.datalog.view import MaterializedView, ViewEntry
+from repro.errors import MaintenanceError
+from repro.maintenance.common import make_fresh_factory, negated_atom_constraint
+from repro.maintenance.requests import DeletionRequest, MaintenanceStats
+
+
+@dataclass(frozen=True)
+class POutPair:
+    """One ``(constrained atom, support)`` pair recorded in ``P_OUT``.
+
+    The constrained atom describes the instances that the entry carrying
+    *support* lost; parents whose derivation used that support subtract these
+    instances in turn.
+    """
+
+    atom: ConstrainedAtom
+    support: Support
+
+    def __str__(self) -> str:
+        return f"({self.atom}, {self.support})"
+
+
+@dataclass
+class StDelResult:
+    """Outcome of one Straight Delete run."""
+
+    view: MaterializedView
+    p_out: Tuple[POutPair, ...]
+    replaced: Tuple[ViewEntry, ...]
+    removed: Tuple[ViewEntry, ...]
+    stats: MaintenanceStats = field(default_factory=MaintenanceStats)
+
+
+@dataclass(frozen=True)
+class StDelOptions:
+    """Tunable behaviour of the StDel implementation."""
+
+    #: Remove entries with unsolvable constraints at the end (step 4).  Turn
+    #: off to inspect the intermediate state shown in the paper's Example 6.
+    purge_unsolvable: bool = True
+    #: Simplify replaced constraints (the paper's "simplification of the
+    #: constraints"); turning this off is the ablation measured in
+    #: ``benchmarks/bench_simplification.py``.
+    simplify_constraints: bool = True
+    #: Defensive bound on propagation rounds.
+    max_rounds: int = 10_000
+
+
+DEFAULT_STDEL_OPTIONS = StDelOptions()
+
+
+class StraightDelete:
+    """The Straight Delete algorithm (paper Algorithm 2)."""
+
+    def __init__(
+        self,
+        program: ConstrainedDatabase,
+        solver: Optional[ConstraintSolver] = None,
+        options: StDelOptions = DEFAULT_STDEL_OPTIONS,
+    ) -> None:
+        self._program = program
+        self._solver = solver or ConstraintSolver()
+        self._options = options
+
+    def delete(
+        self, view: MaterializedView, request: DeletionRequest
+    ) -> StDelResult:
+        """Delete the requested constrained atom's instances from *view*.
+
+        The input view is not modified; the updated view is returned inside
+        the result object.
+        """
+        stats = MaintenanceStats()
+        working = view.copy()
+        factory = make_fresh_factory(self._program, working, (request.atom,))
+
+        # Snapshot of the original constraints per support: P_OUT pair
+        # constraints are always built from pre-replacement premises so they
+        # stay free of nested negation unless the input view already had it.
+        originals: Dict[Support, ConstrainedAtom] = {
+            entry.support: entry.constrained_atom for entry in working
+        }
+
+        p_out: List[POutPair] = []
+        replaced: List[ViewEntry] = []
+
+        # Step 2: narrow directly affected entries, seed P_OUT.
+        for entry in list(working.entries_for(request.atom.predicate)):
+            positive, negative = negated_atom_constraint(
+                entry.atom, request.atom, factory
+            )
+            stats.solver_calls += 1
+            if not self._solver.is_satisfiable(conjoin(entry.constraint, positive)):
+                continue
+            deleted_part = ConstrainedAtom(
+                entry.atom, self._simplify(conjoin(entry.constraint, positive))
+            )
+            new_constraint = self._simplify(conjoin(entry.constraint, negative))
+            new_entry = entry.with_constraint(new_constraint)
+            working.replace(entry, new_entry)
+            replaced.append(new_entry)
+            p_out.append(POutPair(deleted_part, entry.support))
+        stats.seed_atoms = len(p_out)
+
+        # Step 3: propagate upwards along supports.
+        processed: Set[Tuple[Support, int, int]] = set()
+        rounds = 0
+        frontier_start = 0
+        while frontier_start < len(p_out):
+            rounds += 1
+            if rounds > self._options.max_rounds:
+                raise MaintenanceError(
+                    f"StDel propagation exceeded {self._options.max_rounds} rounds"
+                )
+            frontier_end = len(p_out)
+            for pair_index in range(frontier_start, frontier_end):
+                pair = p_out[pair_index]
+                for entry in list(working.entries):
+                    if entry.support.is_leaf:
+                        continue
+                    for child_position, child in enumerate(entry.support.children):
+                        if child != pair.support:
+                            continue
+                        key = (entry.support, child_position, pair_index)
+                        if key in processed:
+                            continue
+                        processed.add(key)
+                        # Re-fetch: the entry may already have been replaced
+                        # (for a different affected premise) in this round.
+                        current = working.find_by_support(entry.support)
+                        if current is None:
+                            continue
+                        replacement = self._replace_parent(
+                            current, child_position, pair, originals, factory, stats
+                        )
+                        if replacement is None:
+                            continue
+                        new_entry, deleted_part = replacement
+                        working.replace(current, new_entry)
+                        replaced.append(new_entry)
+                        p_out.append(POutPair(deleted_part, entry.support))
+            frontier_start = frontier_end
+        stats.unfolded_atoms = len(p_out) - stats.seed_atoms
+        stats.replaced_entries = len(replaced)
+
+        # Step 4: drop entries whose constraint became unsolvable.
+        removed: List[ViewEntry] = []
+        if self._options.purge_unsolvable:
+            for entry in list(working.entries):
+                stats.solver_calls += 1
+                if not self._solver.is_satisfiable(entry.constraint):
+                    working.remove(entry)
+                    removed.append(entry)
+            stats.removed_entries = len(removed)
+
+        return StDelResult(working, tuple(p_out), tuple(replaced), tuple(removed), stats)
+
+    # ------------------------------------------------------------------
+    # Internal steps
+    # ------------------------------------------------------------------
+    def _replace_parent(
+        self,
+        entry: ViewEntry,
+        child_position: int,
+        pair: POutPair,
+        originals: Dict[Support, ConstrainedAtom],
+        factory,
+        stats: MaintenanceStats,
+    ) -> Optional[Tuple[ViewEntry, ConstrainedAtom]]:
+        """Rebuild a parent entry's constraint with ``not(ψj)`` at one premise.
+
+        Returns ``(new entry, deleted part)`` or ``None`` when the paper's
+        applicability condition (c) fails (the deleted premise contributed
+        nothing to this derivation, so nothing changes).
+        """
+        clause = self._clause_for(entry.support)
+        if clause is None or len(clause.body) != len(entry.support.children):
+            raise MaintenanceError(
+                f"support {entry.support} does not match clause "
+                f"{entry.support.clause_number} of the program"
+            )
+        # Rename the clause apart so clause-local variables can never collide
+        # with variables already occurring in the entry's constraint.
+        clause = clause.renamed_apart(factory)
+
+        current_entry = entry
+        parts: List[Constraint] = [clause.constraint]
+        # (X̄ = Ȳ): tie the entry's atom to the clause head.
+        parts.append(tuple_equalities(clause.head.args, current_entry.atom.args))
+        parts.append(current_entry.constraint)
+
+        deleted_parts: List[Constraint] = list(parts)
+        found_premises = True
+        for position, (body_atom, child_support) in enumerate(
+            zip(clause.body, entry.support.children)
+        ):
+            if position == child_position:
+                premise = pair.atom
+            else:
+                premise = originals.get(child_support)
+                if premise is None:
+                    found_premises = False
+                    break
+            renamed, _ = premise.renamed_apart(factory)
+            binding = tuple_equalities(renamed.atom.args, body_atom.args)
+            if position == child_position:
+                # The deleted premise: positively in the "deleted part",
+                # negated in the replacement constraint.
+                deleted_parts.append(renamed.constraint)
+                deleted_parts.append(binding)
+                parts.append(negate(conjoin(renamed.constraint, binding)))
+            else:
+                deleted_parts.append(renamed.constraint)
+                deleted_parts.append(binding)
+                parts.append(renamed.constraint)
+                parts.append(binding)
+        if not found_premises:
+            return None
+
+        head_variables = current_entry.atom.variables()
+        deleted_constraint = self._simplify(
+            eliminate_variables(conjoin(*deleted_parts), head_variables)
+        )
+        stats.solver_calls += 1
+        if not self._solver.is_satisfiable(deleted_constraint):
+            # Condition (c): the combination is unsolvable, nothing to delete.
+            return None
+        new_constraint = self._simplify(
+            eliminate_variables(conjoin(*parts), head_variables)
+        )
+        new_entry = current_entry.with_constraint(new_constraint)
+        deleted_atom = ConstrainedAtom(current_entry.atom, deleted_constraint)
+        return new_entry, deleted_atom
+
+    def _clause_for(self, support: Support):
+        if not self._program.has_clause(support.clause_number):
+            return None
+        return self._program.clause(support.clause_number)
+
+    def _simplify(self, constraint: Constraint) -> Constraint:
+        if not self._options.simplify_constraints:
+            return constraint
+        return simplify(constraint, self._solver)
+
+
+def delete_with_stdel(
+    program: ConstrainedDatabase,
+    view: MaterializedView,
+    atom: ConstrainedAtom,
+    solver: Optional[ConstraintSolver] = None,
+    options: StDelOptions = DEFAULT_STDEL_OPTIONS,
+) -> StDelResult:
+    """Convenience wrapper: run Straight Delete for one deletion request."""
+    algorithm = StraightDelete(program, solver, options)
+    return algorithm.delete(view, DeletionRequest(atom))

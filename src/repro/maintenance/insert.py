@@ -1,0 +1,177 @@
+"""Algorithm 3: insertion of constrained atoms into a materialized view.
+
+Inserting ``A(X̄) <- ψ`` (paper Section 3.2):
+
+1. ``Add`` -- the instances of ``ψ`` not already represented in the view
+   (see :func:`repro.maintenance.declarative.build_add_set`);
+2. ``P_ADD`` -- unfold the new atoms upward through the program: a clause
+   application contributes when **at least one** body premise comes from
+   ``P_ADD`` (contrast with the deletion unfolding, which requires *exactly
+   one* premise from ``P_OUT``), the remaining premises coming from the view
+   or from ``P_ADD`` itself;
+3. the new view is ``M ∪ P_ADD``.
+
+Theorem 3: the result has the same instances as the least model of the
+insertion rewrite ``P♭``.
+
+Inserted base atoms carry the reserved clause number 0 in their supports
+(they were not produced by any program clause), so later deletions via StDel
+can still track derivations that depend on them.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.constraints.simplify import canonical_form
+from repro.constraints.solver import ConstraintSolver
+from repro.datalog.atoms import ConstrainedAtom
+from repro.datalog.program import ConstrainedDatabase
+from repro.datalog.support import Support
+from repro.datalog.view import MaterializedView, ViewEntry
+from repro.errors import MaintenanceError
+from repro.maintenance.common import apply_clause_with_premises, make_fresh_factory
+from repro.maintenance.declarative import build_add_set
+from repro.maintenance.requests import InsertionRequest, MaintenanceStats
+
+#: Clause number used in supports of externally inserted atoms.
+EXTERNAL_CLAUSE_NUMBER = 0
+
+
+@dataclass
+class InsertionResult:
+    """Outcome of one insertion run."""
+
+    view: MaterializedView
+    add_atoms: Tuple[ConstrainedAtom, ...]
+    added_entries: Tuple[ViewEntry, ...]
+    stats: MaintenanceStats = field(default_factory=MaintenanceStats)
+
+
+@dataclass(frozen=True)
+class InsertionOptions:
+    """Tunable behaviour of the insertion algorithm."""
+
+    #: Narrow the inserted atom by the instances already present (the
+    #: paper's ``Add`` construction).  With False a duplicate derivation is
+    #: recorded even when the instances already exist.
+    exclude_existing: bool = True
+    #: Defensive bound on unfolding rounds.
+    max_unfold_rounds: int = 100
+
+
+DEFAULT_INSERTION_OPTIONS = InsertionOptions()
+
+
+class ConstrainedAtomInsertion:
+    """The constrained-atom insertion algorithm (paper Algorithm 3)."""
+
+    def __init__(
+        self,
+        program: ConstrainedDatabase,
+        solver: Optional[ConstraintSolver] = None,
+        options: InsertionOptions = DEFAULT_INSERTION_OPTIONS,
+    ) -> None:
+        self._program = program
+        self._solver = solver or ConstraintSolver()
+        self._options = options
+
+    def insert(
+        self, view: MaterializedView, request: InsertionRequest
+    ) -> InsertionResult:
+        """Insert the requested constrained atom's instances into *view*."""
+        stats = MaintenanceStats()
+        working = view.copy()
+        factory = make_fresh_factory(self._program, working, (request.atom,))
+
+        add_atoms = build_add_set(
+            working,
+            request.atom,
+            self._solver,
+            factory,
+            exclude_existing=self._options.exclude_existing,
+        )
+        stats.seed_atoms = len(add_atoms)
+        if not add_atoms:
+            return InsertionResult(working, (), (), stats)
+
+        added: List[ViewEntry] = []
+        frontier: List[ViewEntry] = []
+        for atom in add_atoms:
+            entry = ViewEntry(atom.atom, atom.constraint, Support(EXTERNAL_CLAUSE_NUMBER))
+            if working.add(entry):
+                added.append(entry)
+                frontier.append(entry)
+
+        rounds = 0
+        seen_keys = {
+            (entry.atom, canonical_form(entry.constraint), entry.support)
+            for entry in working
+        }
+        while frontier:
+            rounds += 1
+            if rounds > self._options.max_unfold_rounds:
+                raise MaintenanceError(
+                    "P_ADD unfolding exceeded "
+                    f"{self._options.max_unfold_rounds} rounds"
+                )
+            frontier_keys = {entry.key() for entry in frontier}
+            produced: List[ViewEntry] = []
+            for clause in self._program:
+                if clause.is_fact_clause:
+                    continue
+                premise_lists = []
+                feasible = True
+                for body_atom in clause.body:
+                    entries = working.entries_for(body_atom.predicate)
+                    if not entries:
+                        feasible = False
+                        break
+                    premise_lists.append(entries)
+                if not feasible:
+                    continue
+                for combination in itertools.product(*premise_lists):
+                    if not any(entry.key() in frontier_keys for entry in combination):
+                        continue
+                    derived = apply_clause_with_premises(
+                        clause,
+                        tuple(entry.constrained_atom for entry in combination),
+                        self._solver,
+                        factory,
+                        check_solvable=True,
+                        stats=stats,
+                    )
+                    if derived is None:
+                        continue
+                    support = Support(
+                        clause.number or 0,
+                        tuple(entry.support for entry in combination),
+                    )
+                    entry = ViewEntry(derived.atom, derived.constraint, support)
+                    key = (entry.atom, canonical_form(entry.constraint), entry.support)
+                    if key in seen_keys:
+                        continue
+                    seen_keys.add(key)
+                    produced.append(entry)
+            frontier = []
+            for entry in produced:
+                if working.add(entry):
+                    added.append(entry)
+                    frontier.append(entry)
+        stats.unfolded_atoms = len(added) - stats.seed_atoms
+        stats.rederived_entries = len(added)
+        return InsertionResult(working, add_atoms, tuple(added), stats)
+
+
+def insert_atom(
+    program: ConstrainedDatabase,
+    view: MaterializedView,
+    atom: ConstrainedAtom,
+    solver: Optional[ConstraintSolver] = None,
+    options: InsertionOptions = DEFAULT_INSERTION_OPTIONS,
+) -> InsertionResult:
+    """Convenience wrapper: run the insertion algorithm for one request."""
+    algorithm = ConstrainedAtomInsertion(program, solver, options)
+    return algorithm.insert(view, InsertionRequest(atom))

@@ -1,0 +1,84 @@
+"""Update requests against a materialized mediated view.
+
+Section 3 of the paper considers three kinds of updates to a view: addition
+of a constrained atom, deletion of a constrained atom, and changes to the
+external sources.  The first two are represented here as small request
+objects so the algorithms, the baselines and the benchmarks all speak the
+same vocabulary; external changes are handled by
+:mod:`repro.maintenance.external`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.datalog.atoms import ConstrainedAtom
+
+
+@dataclass(frozen=True)
+class DeletionRequest:
+    """Delete the instances of a constrained atom from the view."""
+
+    atom: ConstrainedAtom
+
+    def __str__(self) -> str:
+        return f"delete {self.atom}"
+
+
+@dataclass(frozen=True)
+class InsertionRequest:
+    """Insert the instances of a constrained atom into the view."""
+
+    atom: ConstrainedAtom
+
+    def __str__(self) -> str:
+        return f"insert {self.atom}"
+
+
+@dataclass
+class MaintenanceStats:
+    """Operation counters shared by all maintenance algorithms.
+
+    The benchmarks report these alongside wall-clock time so the *shape* of
+    the paper's efficiency claims (e.g. "StDel performs no rederivation") is
+    visible independently of Python-level constant factors.
+    """
+
+    #: Entries of the Del / Add seed set.
+    seed_atoms: int = 0
+    #: Atoms produced by the P_OUT / P_ADD unfolding.
+    unfolded_atoms: int = 0
+    #: Entries whose constraint was replaced in place (StDel).
+    replaced_entries: int = 0
+    #: Entries added during rederivation (Extended DRed step 3) or insertion.
+    rederived_entries: int = 0
+    #: Entries removed from the view.
+    removed_entries: int = 0
+    #: Satisfiability checks issued to the constraint solver.
+    solver_calls: int = 0
+    #: Clause applications attempted (combinations of premises considered).
+    clause_applications: int = 0
+    #: Fixpoint iterations executed by any embedded fixpoint computation.
+    fixpoint_iterations: int = 0
+    #: Free-form extra counters.
+    extra: Dict[str, int] = field(default_factory=dict)
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        """Increment a free-form counter."""
+        self.extra[name] = self.extra.get(name, 0) + amount
+
+    def as_dict(self) -> Dict[str, int]:
+        """Flatten to a plain dictionary (used by the benchmark reports)."""
+        flat = {
+            "seed_atoms": self.seed_atoms,
+            "unfolded_atoms": self.unfolded_atoms,
+            "replaced_entries": self.replaced_entries,
+            "rederived_entries": self.rederived_entries,
+            "removed_entries": self.removed_entries,
+            "solver_calls": self.solver_calls,
+            "clause_applications": self.clause_applications,
+            "fixpoint_iterations": self.fixpoint_iterations,
+        }
+        flat.update(self.extra)
+        return flat

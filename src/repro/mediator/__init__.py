@@ -1,0 +1,22 @@
+"""HERMES-style mediator layer.
+
+Combines the constrained-Datalog substrate with the external-domain layer:
+mediator programs, materialized mediated views, and the update entry points
+studied by the paper.
+"""
+
+from repro.mediator.builder import MediatorBuilder
+from repro.mediator.mediator import (
+    DeletionAlgorithm,
+    MaterializationOperator,
+    MediatedView,
+    Mediator,
+)
+
+__all__ = [
+    "DeletionAlgorithm",
+    "MaterializationOperator",
+    "MediatedView",
+    "Mediator",
+    "MediatorBuilder",
+]

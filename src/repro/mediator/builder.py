@@ -1,0 +1,72 @@
+"""Fluent construction of mediators.
+
+The examples and workload generators assemble mediators from several pieces
+(rule text, relational sources, special-purpose domains); the builder keeps
+those call sites readable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.datalog.clauses import Clause
+from repro.datalog.parser import parse_program
+from repro.datalog.program import ConstrainedDatabase
+from repro.domains.base import Domain, DomainRegistry
+from repro.domains.relational import make_relational_domain
+from repro.errors import MediatorError
+from repro.mediator.mediator import Mediator
+
+
+class MediatorBuilder:
+    """Step-by-step construction of a :class:`~repro.mediator.Mediator`."""
+
+    def __init__(self) -> None:
+        self._rule_texts: List[str] = []
+        self._clauses: List[Clause] = []
+        self._domains: List[Domain] = []
+        self._mediator_kwargs: Dict[str, object] = {}
+
+    def with_rules(self, rules: str) -> "MediatorBuilder":
+        """Append rule text (parsed when :meth:`build` is called)."""
+        self._rule_texts.append(rules)
+        return self
+
+    def with_clause(self, clause: Clause) -> "MediatorBuilder":
+        """Append one pre-constructed clause."""
+        self._clauses.append(clause)
+        return self
+
+    def with_domain(self, domain: Domain) -> "MediatorBuilder":
+        """Register an external domain."""
+        self._domains.append(domain)
+        return self
+
+    def with_relational_source(
+        self,
+        name: str,
+        tables: Dict[str, Tuple[Sequence[str], Iterable[object]]],
+    ) -> "MediatorBuilder":
+        """Create and register a relational domain with the given tables."""
+        self._domains.append(make_relational_domain(name, tables))
+        return self
+
+    def with_options(self, **kwargs: object) -> "MediatorBuilder":
+        """Pass extra keyword options through to the Mediator constructor."""
+        self._mediator_kwargs.update(kwargs)
+        return self
+
+    def build(self) -> Mediator:
+        """Assemble the mediator."""
+        clauses: List[Clause] = []
+        for text in self._rule_texts:
+            clauses.extend(parse_program(text).clauses)
+        clauses.extend(self._clauses)
+        if not clauses:
+            raise MediatorError("a mediator needs at least one rule")
+        # Renumber sequentially so rule text order defines clause numbers.
+        program = ConstrainedDatabase(
+            clause.with_number(None) for clause in clauses
+        )
+        registry = DomainRegistry(self._domains)
+        return Mediator(program, registry, **self._mediator_kwargs)  # type: ignore[arg-type]

@@ -1,0 +1,234 @@
+"""The mediator: rules + integrated domains + materialized mediated views.
+
+A :class:`Mediator` bundles what HERMES calls a mediator program -- a set of
+constrained clauses whose constraints reach external sources through
+``in(X, domain:function(args))`` -- with the registry of those sources, and
+exposes the operations the paper studies:
+
+* materialization by unfolding (``T_P`` or ``W_P`` fixpoints),
+* view updates of the first kind (constrained-atom deletion via Extended
+  DRed or StDel, constrained-atom insertion), and
+* view maintenance under updates of the second kind (source changes),
+  either by re-materialization (``T_P``) or by doing nothing (``W_P``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Optional, Sequence, Tuple, Union
+
+from repro.constraints.solver import ConstraintSolver, SolverOptions
+from repro.datalog.atoms import ConstrainedAtom
+from repro.datalog.clauses import Clause
+from repro.datalog.fixpoint import FixpointOptions, compute_tp_fixpoint, compute_wp_fixpoint
+from repro.datalog.parser import parse_constrained_atom, parse_program
+from repro.datalog.program import ConstrainedDatabase
+from repro.datalog.view import MaterializedView
+from repro.domains.base import Domain, DomainRegistry
+from repro.errors import MediatorError
+from repro.maintenance.delete_dred import DRedOptions, DRedResult, ExtendedDRed
+from repro.maintenance.delete_stdel import StDelOptions, StDelResult, StraightDelete
+from repro.maintenance.insert import ConstrainedAtomInsertion, InsertionOptions, InsertionResult
+from repro.maintenance.requests import DeletionRequest, InsertionRequest
+
+
+class MaterializationOperator(enum.Enum):
+    """Which fixpoint operator materializes the view."""
+
+    TP = "tp"
+    WP = "wp"
+
+
+class DeletionAlgorithm(enum.Enum):
+    """Which deletion algorithm maintains the view."""
+
+    STDEL = "stdel"
+    DRED = "dred"
+
+
+@dataclass
+class MediatedView:
+    """A materialized mediated view bound to the mediator that produced it."""
+
+    mediator: "Mediator"
+    view: MaterializedView
+    operator: MaterializationOperator
+
+    def __len__(self) -> int:
+        return len(self.view)
+
+    def entries(self):
+        """The underlying view entries."""
+        return self.view.entries
+
+    def query(
+        self, predicate: str, universe: Optional[Iterable[object]] = None
+    ) -> FrozenSet[Tuple[object, ...]]:
+        """Ground tuples of *predicate* according to the view.
+
+        For a ``W_P`` view this evaluates constraint solvability *now*
+        (deferred evaluation, Corollary 1); for a ``T_P`` view the
+        constraints were already filtered at materialization time but DCA
+        atoms are still evaluated against the current sources.
+        """
+        return self.view.instances_for(
+            predicate, solver=self.mediator.solver, universe=universe
+        )
+
+    def instances(
+        self, universe: Optional[Iterable[object]] = None
+    ) -> FrozenSet[Tuple[str, Tuple[object, ...]]]:
+        """All ground instances ``[M]`` of the view."""
+        return self.view.instances(solver=self.mediator.solver, universe=universe)
+
+    # -- updates of the first kind ------------------------------------
+    def delete(
+        self,
+        atom: Union[str, ConstrainedAtom],
+        algorithm: DeletionAlgorithm = DeletionAlgorithm.STDEL,
+    ) -> Union[StDelResult, DRedResult]:
+        """Delete a constrained atom from this view (returns the result).
+
+        The view object is updated in place to the algorithm's output view.
+        """
+        request = self.mediator.parse_update_atom(atom)
+        result = self.mediator.delete_from(self.view, request, algorithm)
+        self.view = result.view
+        return result
+
+    def insert(self, atom: Union[str, ConstrainedAtom]) -> InsertionResult:
+        """Insert a constrained atom into this view (returns the result)."""
+        request = self.mediator.parse_update_atom(atom)
+        result = self.mediator.insert_into(self.view, request)
+        self.view = result.view
+        return result
+
+    # -- updates of the second kind ------------------------------------
+    def refresh(self) -> "MediatedView":
+        """Re-materialize (only meaningful for ``T_P`` views).
+
+        Under ``W_P`` this is unnecessary by Theorem 4; the method still
+        recomputes and returns a fresh view for comparison purposes.
+        """
+        refreshed = self.mediator.materialize(self.operator)
+        self.view = refreshed.view
+        return self
+
+
+class Mediator:
+    """A HERMES-style mediator over a registry of external domains."""
+
+    def __init__(
+        self,
+        program: ConstrainedDatabase,
+        registry: Optional[DomainRegistry] = None,
+        solver_options: SolverOptions = SolverOptions(),
+        fixpoint_options: Optional[FixpointOptions] = None,
+        dred_options: Optional[DRedOptions] = None,
+        stdel_options: Optional[StDelOptions] = None,
+        insertion_options: Optional[InsertionOptions] = None,
+    ) -> None:
+        self._program = program
+        self._registry = registry or DomainRegistry()
+        self._solver = ConstraintSolver(self._registry, solver_options)
+        self._fixpoint_options = fixpoint_options or FixpointOptions()
+        self._dred_options = dred_options or DRedOptions()
+        self._stdel_options = stdel_options or StDelOptions()
+        self._insertion_options = insertion_options or InsertionOptions()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_rules(
+        cls,
+        rules: str,
+        domains: Sequence[Domain] = (),
+        **kwargs,
+    ) -> "Mediator":
+        """Build a mediator from rule text and a list of domains."""
+        program = parse_program(rules)
+        registry = DomainRegistry(domains)
+        return cls(program, registry, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def program(self) -> ConstrainedDatabase:
+        """The mediator's constrained database (rules)."""
+        return self._program
+
+    @property
+    def registry(self) -> DomainRegistry:
+        """The registry of integrated domains."""
+        return self._registry
+
+    @property
+    def solver(self) -> ConstraintSolver:
+        """The constraint solver bound to the domain registry."""
+        return self._solver
+
+    def add_domain(self, domain: Domain) -> None:
+        """Register one more external domain."""
+        self._registry.register(domain)
+
+    # ------------------------------------------------------------------
+    # Materialization
+    # ------------------------------------------------------------------
+    def materialize(
+        self,
+        operator: Union[str, MaterializationOperator] = MaterializationOperator.TP,
+    ) -> MediatedView:
+        """Materialize the mediated view by unfolding the rule set."""
+        resolved = (
+            operator
+            if isinstance(operator, MaterializationOperator)
+            else MaterializationOperator(operator)
+        )
+        if resolved is MaterializationOperator.TP:
+            view = compute_tp_fixpoint(
+                self._program, self._solver, options=self._fixpoint_options
+            )
+        else:
+            view = compute_wp_fixpoint(
+                self._program, self._solver, options=self._fixpoint_options
+            )
+        return MediatedView(self, view, resolved)
+
+    # ------------------------------------------------------------------
+    # Updates of the first kind
+    # ------------------------------------------------------------------
+    def parse_update_atom(self, atom: Union[str, ConstrainedAtom]) -> ConstrainedAtom:
+        """Accept either rule-text (``"p(X) <- X = 3"``) or a constructed atom."""
+        if isinstance(atom, ConstrainedAtom):
+            return atom
+        if isinstance(atom, str):
+            return parse_constrained_atom(atom)
+        raise MediatorError(f"cannot interpret update atom: {atom!r}")
+
+    def delete_from(
+        self,
+        view: MaterializedView,
+        atom: ConstrainedAtom,
+        algorithm: DeletionAlgorithm = DeletionAlgorithm.STDEL,
+    ) -> Union[StDelResult, DRedResult]:
+        """Run the chosen deletion algorithm against *view*."""
+        if algorithm is DeletionAlgorithm.STDEL:
+            return StraightDelete(self._program, self._solver, self._stdel_options).delete(
+                view, DeletionRequest(atom)
+            )
+        if algorithm is DeletionAlgorithm.DRED:
+            return ExtendedDRed(self._program, self._solver, self._dred_options).delete(
+                view, DeletionRequest(atom)
+            )
+        raise MediatorError(f"unknown deletion algorithm: {algorithm!r}")
+
+    def insert_into(
+        self, view: MaterializedView, atom: ConstrainedAtom
+    ) -> InsertionResult:
+        """Run the insertion algorithm against *view*."""
+        return ConstrainedAtomInsertion(
+            self._program, self._solver, self._insertion_options
+        ).insert(view, InsertionRequest(atom))

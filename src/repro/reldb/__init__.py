@@ -1,0 +1,45 @@
+"""In-memory relational engine.
+
+Simulates the relational sources HERMES integrates (PARADOX, DBASE, INGRES):
+typed tables with hash indexes, a database catalog, change logging for
+version diffs, and a small relational-algebra query layer.
+"""
+
+from repro.reldb.changelog import Change, ChangeKind, ChangeLog
+from repro.reldb.database import Database
+from repro.reldb.index import HashIndex
+from repro.reldb.query import (
+    column_values,
+    equi_join,
+    group_count,
+    natural_join,
+    order_by,
+    project,
+    rename,
+    select,
+    select_eq,
+)
+from repro.reldb.rows import Row
+from repro.reldb.schema import Column, Schema
+from repro.reldb.table import Table
+
+__all__ = [
+    "Change",
+    "ChangeKind",
+    "ChangeLog",
+    "Column",
+    "Database",
+    "HashIndex",
+    "Row",
+    "Schema",
+    "Table",
+    "column_values",
+    "equi_join",
+    "group_count",
+    "natural_join",
+    "order_by",
+    "project",
+    "rename",
+    "select",
+    "select_eq",
+]

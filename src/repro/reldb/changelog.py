@@ -1,0 +1,116 @@
+"""Change logging and versioning for base tables.
+
+Section 4 of the paper models an update to an integrated source as a change
+in the behaviour of the functions that access it, and defines the deltas
+
+    ``f+_{t,t+1}(args) = f_{t+1}(args) - f_t(args)``
+    ``f-_{t,t+1}(args) = f_t(args) - f_{t+1}(args)``
+
+To reproduce the ``T_P``-side of that comparison we need to know how a table
+changed between two *versions*; the change log records every insert, delete
+and update together with the table version at which it happened, so the
+domain layer can compute ``ADD`` / ``REM`` sets without re-diffing entire
+snapshots.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+
+class ChangeKind(enum.Enum):
+    """The three kinds of base-table changes."""
+
+    INSERT = "insert"
+    DELETE = "delete"
+    UPDATE = "update"
+
+
+@dataclass(frozen=True)
+class Change:
+    """One recorded change to a table."""
+
+    kind: ChangeKind
+    table: str
+    version: int
+    row: Tuple[object, ...]
+    #: For updates, the previous contents of the row (None otherwise).
+    old_row: Optional[Tuple[object, ...]] = None
+
+    def __str__(self) -> str:
+        if self.kind is ChangeKind.UPDATE:
+            return f"v{self.version} update {self.table}: {self.old_row} -> {self.row}"
+        return f"v{self.version} {self.kind.value} {self.table}: {self.row}"
+
+
+class ChangeLog:
+    """An append-only log of changes, queryable by version interval."""
+
+    def __init__(self) -> None:
+        self._changes: List[Change] = []
+
+    def record(self, change: Change) -> None:
+        """Append one change."""
+        self._changes.append(change)
+
+    def __len__(self) -> int:
+        return len(self._changes)
+
+    def __iter__(self):
+        return iter(self._changes)
+
+    def changes_between(
+        self, from_version: int, to_version: int, table: Optional[str] = None
+    ) -> Tuple[Change, ...]:
+        """Changes with ``from_version < change.version <= to_version``."""
+        selected = [
+            change
+            for change in self._changes
+            if from_version < change.version <= to_version
+            and (table is None or change.table == table)
+        ]
+        return tuple(selected)
+
+    def inserted_rows(
+        self, from_version: int, to_version: int, table: Optional[str] = None
+    ) -> Tuple[Tuple[object, ...], ...]:
+        """Rows whose *net effect* over the interval is an insertion."""
+        inserted, _ = self._net_effect(from_version, to_version, table)
+        return tuple(inserted)
+
+    def deleted_rows(
+        self, from_version: int, to_version: int, table: Optional[str] = None
+    ) -> Tuple[Tuple[object, ...], ...]:
+        """Rows whose *net effect* over the interval is a deletion."""
+        _, deleted = self._net_effect(from_version, to_version, table)
+        return tuple(deleted)
+
+    def _net_effect(
+        self, from_version: int, to_version: int, table: Optional[str]
+    ) -> Tuple[List[Tuple[object, ...]], List[Tuple[object, ...]]]:
+        inserted: List[Tuple[object, ...]] = []
+        deleted: List[Tuple[object, ...]] = []
+        for change in self.changes_between(from_version, to_version, table):
+            if change.kind is ChangeKind.INSERT:
+                _cancel_or_append(deleted, inserted, change.row)
+            elif change.kind is ChangeKind.DELETE:
+                _cancel_or_append(inserted, deleted, change.row)
+            else:  # UPDATE = delete old + insert new
+                if change.old_row is not None:
+                    _cancel_or_append(inserted, deleted, change.old_row)
+                _cancel_or_append(deleted, inserted, change.row)
+        return inserted, deleted
+
+
+def _cancel_or_append(
+    opposite: List[Tuple[object, ...]],
+    target: List[Tuple[object, ...]],
+    row: Tuple[object, ...],
+) -> None:
+    """Cancel out an earlier opposite change for *row* or record it."""
+    if row in opposite:
+        opposite.remove(row)
+    else:
+        target.append(row)

@@ -1,0 +1,71 @@
+"""Hash indexes for the in-memory relational engine.
+
+Every ``select_eq`` issued by a mediator rule (the dominant access path in
+the paper's examples) hits an equality index; the engine builds one lazily
+per column the first time that column is used as a selection key.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, Set
+
+from repro.errors import RelationalError
+
+
+class HashIndex:
+    """A single-column equality index mapping values to row identifiers."""
+
+    def __init__(self, column: str) -> None:
+        if not column:
+            raise RelationalError("index needs a column name")
+        self._column = column
+        self._buckets: Dict[object, Set[int]] = defaultdict(set)
+
+    @property
+    def column(self) -> str:
+        """Name of the indexed column."""
+        return self._column
+
+    def add(self, value: object, row_id: int) -> None:
+        """Register a row id under a value."""
+        self._buckets[_key(value)].add(row_id)
+
+    def remove(self, value: object, row_id: int) -> None:
+        """Drop a row id from a value's bucket (no-op when absent)."""
+        bucket = self._buckets.get(_key(value))
+        if bucket is None:
+            return
+        bucket.discard(row_id)
+        if not bucket:
+            del self._buckets[_key(value)]
+
+    def lookup(self, value: object) -> Set[int]:
+        """Row ids whose indexed column equals *value*."""
+        return set(self._buckets.get(_key(value), ()))
+
+    def values(self) -> Iterator[object]:
+        """Distinct indexed values."""
+        return iter(self._buckets)
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+    def rebuild(self, rows: Iterable[object], column_index: int) -> None:
+        """Rebuild from scratch given the table's live rows.
+
+        *rows* is an iterable of ``(row_id, values)`` pairs and
+        *column_index* the position of the indexed column in each tuple.
+        """
+        self._buckets.clear()
+        for row_id, values in rows:
+            self.add(values[column_index], row_id)
+
+
+def _key(value: object) -> object:
+    """Normalise values so that 1 and 1.0 land in the same bucket."""
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    return value

@@ -1,0 +1,137 @@
+"""Relational algebra helpers on top of :class:`~repro.reldb.table.Table`.
+
+The mediator's domain adapters mostly need equality selection, but the
+examples and workload generators also join and aggregate base data when
+*building* scenarios, so a small composable query layer is provided here.
+All operators consume and produce tuples of :class:`Row`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import RelationalError
+from repro.reldb.rows import Row
+
+
+def select(rows: Iterable[Row], predicate: Callable[[Row], bool]) -> Tuple[Row, ...]:
+    """Rows satisfying *predicate*."""
+    return tuple(row for row in rows if predicate(row))
+
+
+def select_eq(rows: Iterable[Row], column: str, value: object) -> Tuple[Row, ...]:
+    """Rows whose *column* equals *value*."""
+    return tuple(row for row in rows if row[column] == value)
+
+
+def project(rows: Iterable[Row], columns: Sequence[str]) -> Tuple[Row, ...]:
+    """Distinct projections of *rows* onto *columns*."""
+    seen = set()
+    result: List[Row] = []
+    for row in rows:
+        projected = row.projected(columns)
+        key = projected.values_tuple()
+        if key not in seen:
+            seen.add(key)
+            result.append(projected)
+    return tuple(result)
+
+
+def rename(rows: Iterable[Row], mapping: Dict[str, str]) -> Tuple[Row, ...]:
+    """Rename columns according to *mapping* (old name -> new name)."""
+    renamed: List[Row] = []
+    for row in rows:
+        data = {}
+        for column in row.columns:
+            data[mapping.get(column, column)] = row[column]
+        renamed.append(Row(data))
+    return tuple(renamed)
+
+
+def natural_join(left: Iterable[Row], right: Iterable[Row]) -> Tuple[Row, ...]:
+    """Hash join on the columns shared by both inputs.
+
+    When the inputs share no columns this degenerates to a cross product.
+    """
+    left_rows = tuple(left)
+    right_rows = tuple(right)
+    if not left_rows or not right_rows:
+        return ()
+    shared = tuple(
+        column for column in left_rows[0].columns if column in right_rows[0].columns
+    )
+    if not shared:
+        return tuple(
+            _merge(l, r) for l in left_rows for r in right_rows
+        )
+    buckets: Dict[Tuple[object, ...], List[Row]] = defaultdict(list)
+    for row in right_rows:
+        buckets[tuple(row[column] for column in shared)].append(row)
+    joined: List[Row] = []
+    for row in left_rows:
+        key = tuple(row[column] for column in shared)
+        for match in buckets.get(key, ()):
+            joined.append(_merge(row, match))
+    return tuple(joined)
+
+
+def equi_join(
+    left: Iterable[Row],
+    right: Iterable[Row],
+    left_column: str,
+    right_column: str,
+) -> Tuple[Row, ...]:
+    """Hash join on one explicit column pair."""
+    right_rows = tuple(right)
+    buckets: Dict[object, List[Row]] = defaultdict(list)
+    for row in right_rows:
+        buckets[row[right_column]].append(row)
+    joined: List[Row] = []
+    for row in left:
+        for match in buckets.get(row[left_column], ()):
+            joined.append(_merge(row, match))
+    return tuple(joined)
+
+
+def group_count(rows: Iterable[Row], columns: Sequence[str]) -> Dict[Tuple[object, ...], int]:
+    """Count rows per distinct combination of *columns*."""
+    counts: Dict[Tuple[object, ...], int] = defaultdict(int)
+    for row in rows:
+        counts[tuple(row[column] for column in columns)] += 1
+    return dict(counts)
+
+
+def order_by(
+    rows: Iterable[Row], columns: Sequence[str], descending: bool = False
+) -> Tuple[Row, ...]:
+    """Sort rows by the given columns."""
+    return tuple(
+        sorted(
+            rows,
+            key=lambda row: tuple(_sort_key(row[column]) for column in columns),
+            reverse=descending,
+        )
+    )
+
+
+def column_values(rows: Iterable[Row], column: str) -> Tuple[object, ...]:
+    """Values of one column across all rows (duplicates preserved)."""
+    return tuple(row[column] for row in rows)
+
+
+def _merge(left: Row, right: Row) -> Row:
+    data = left.as_dict()
+    for column in right.columns:
+        if column in data:
+            if data[column] != right[column]:
+                raise RelationalError(
+                    f"conflicting values for shared column {column!r} in join"
+                )
+            continue
+        data[column] = right[column]
+    return Row(data)
+
+
+def _sort_key(value: object) -> Tuple[str, str]:
+    return (type(value).__name__, repr(value))

@@ -1,0 +1,47 @@
+"""Workload generators for examples, tests and benchmarks."""
+
+from repro.workloads.law_enforcement import (
+    DC_RADIUS_MILES,
+    LAW_ENFORCEMENT_RULES,
+    LawEnforcementScenario,
+    make_law_enforcement_scenario,
+    person_name,
+)
+from repro.workloads.synthetic import (
+    WorkloadSpec,
+    make_chain_program,
+    make_cycle_graph_edges,
+    make_interval_program,
+    make_layered_program,
+    make_path_graph_edges,
+    make_random_graph_edges,
+    make_transitive_closure_program,
+)
+from repro.workloads.updates import (
+    MixedStream,
+    deletion_stream,
+    ground_request_atom,
+    insertion_stream,
+    mixed_stream,
+)
+
+__all__ = [
+    "DC_RADIUS_MILES",
+    "LAW_ENFORCEMENT_RULES",
+    "LawEnforcementScenario",
+    "MixedStream",
+    "WorkloadSpec",
+    "deletion_stream",
+    "ground_request_atom",
+    "insertion_stream",
+    "make_chain_program",
+    "make_cycle_graph_edges",
+    "make_interval_program",
+    "make_law_enforcement_scenario",
+    "make_layered_program",
+    "make_path_graph_edges",
+    "make_random_graph_edges",
+    "make_transitive_closure_program",
+    "mixed_stream",
+    "person_name",
+]

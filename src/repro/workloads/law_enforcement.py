@@ -1,0 +1,222 @@
+"""The law-enforcement scenario (paper Example 1 and Figure 1).
+
+Builds the full running example of the paper as an executable mediator:
+
+* a ``facextract`` domain (face extraction from surveillance photographs),
+* a ``facedb`` domain (background face database with known identities),
+* a ``paradox`` relational source holding the phone/address book,
+* a ``spatialdb`` domain (geocoding + "within 100 miles of Washington DC"),
+* a ``dbase`` relational source holding the employees of "ABC Corp", and
+* the three mediator clauses defining ``seenwith``, ``swlndc`` and
+  ``suspect``.
+
+The original external packages are proprietary; the synthetic generator
+controls exactly who appears on which photograph, who lives near DC and who
+works for the front company, so the expected answer set is known and the
+scenario can be scaled for benchmarks.
+
+Two small, documented deviations from the paper's rule text (both preserve
+the semantics):
+
+* record field access ``A.streetnum`` is expressed through the relational
+  domain's ``field(row, column)`` function, and the shared-origin test
+  ``=(P1.origin, P2.origin)`` through ``facextract:origin_of``;
+* ``seenwith`` additionally constrains ``X`` by ``in(X, facedb:people())``
+  so the rule is range-restricted (the paper binds ``X`` only through the
+  query ``suspect('Don Corleone', Y)``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.domains.face import FaceDbDomain, FaceExtractDomain, FaceScenario, make_face_scenario
+from repro.domains.relational import RelationalDomain, make_relational_domain
+from repro.domains.spatial import SpatialDomain, make_spatial_domain
+from repro.errors import WorkloadError
+from repro.mediator.builder import MediatorBuilder
+from repro.mediator.mediator import Mediator
+
+#: Reference point of the DC-area map (synthetic coordinates in miles).
+DC_CENTER = (0.0, 0.0)
+
+#: The radius used by the paper's query ("within a hundred mile radius").
+DC_RADIUS_MILES = 100
+
+#: The mediator rules of Example 1 (see the module docstring for deviations).
+LAW_ENFORCEMENT_RULES = """
+seenwith(X, Y) <- in(X, facedb:people()) &
+                  in(P1, facextract:segmentface('surveillancedata')) &
+                  in(P2, facextract:segmentface('surveillancedata')) &
+                  in(O, facextract:origin_of(P1)) &
+                  in(O, facextract:origin_of(P2)) &
+                  P1 != P2 &
+                  in(P3, facedb:findface(X)) &
+                  in(true, facextract:matchface(P1, P3)) &
+                  in(Y, facedb:findname(P2)) &
+                  X != Y.
+
+swlndc(X, Y) <- in(A, paradox:select_eq('phonebook', 'name', Y)) &
+                in(SN, paradox:field(A, 'streetnum')) &
+                in(ST, paradox:field(A, 'streetname')) &
+                in(CT, paradox:field(A, 'cityname')) &
+                in(SA, paradox:field(A, 'statename')) &
+                in(ZP, paradox:field(A, 'zipcode')) &
+                in(PT, spatialdb:locateaddress(SN, ST, CT, SA, ZP)) &
+                in(PX, spatialdb:point_x(PT)) &
+                in(PY, spatialdb:point_y(PT)) &
+                in(true, spatialdb:range('dcareamap', PX, PY, 100))
+                || seenwith(X, Y).
+
+suspect(X, Y) <- in(T, dbase:select_eq('empl_abc', 'name', Y)) || swlndc(X, Y).
+"""
+
+
+@dataclass
+class LawEnforcementScenario:
+    """All the moving parts of one generated law-enforcement instance."""
+
+    mediator: Mediator
+    face_scenario: FaceScenario
+    facextract: FaceExtractDomain
+    facedb: FaceDbDomain
+    paradox: RelationalDomain
+    dbase: RelationalDomain
+    spatialdb: SpatialDomain
+    kingpin: str
+    people: Tuple[str, ...]
+    near_dc: Tuple[str, ...]
+    abc_employees: Tuple[str, ...]
+
+    def expected_suspects(self) -> Tuple[Tuple[str, str], ...]:
+        """Ground truth: every ``suspect(X, Y)`` pair the mediator should derive.
+
+        ``Y`` is a suspect w.r.t. ``X`` when the two appear together on at
+        least one surveillance photograph, ``Y`` lives within the DC radius,
+        and ``Y`` works for ABC Corp.  (The paper's query then binds ``X`` to
+        the kingpin; see :meth:`expected_kingpin_suspects`.)
+        """
+        near = set(self.near_dc)
+        employed = set(self.abc_employees)
+        pairs = set()
+        for photos in self.face_scenario.appearances.values():
+            for visible in photos:
+                for witness in visible:
+                    for person in visible:
+                        if person == witness:
+                            continue
+                        if person in near and person in employed:
+                            pairs.add((witness, person))
+        return tuple(sorted(pairs))
+
+    def expected_kingpin_suspects(self) -> Tuple[Tuple[str, str], ...]:
+        """Ground truth restricted to the paper's query ``suspect(kingpin, Y)``."""
+        return tuple(
+            pair for pair in self.expected_suspects() if pair[0] == self.kingpin
+        )
+
+
+def person_name(index: int) -> str:
+    """Deterministic synthetic person names (``person00``, ``person01``, ...)."""
+    return f"person{index:02d}"
+
+
+def make_law_enforcement_scenario(
+    num_people: int = 12,
+    photo_count: int = 8,
+    people_per_photo: int = 3,
+    near_dc_fraction: float = 0.5,
+    abc_fraction: float = 0.5,
+    kingpin: str = "Don Corleone",
+    seed: int = 7,
+) -> LawEnforcementScenario:
+    """Generate a complete, internally consistent scenario.
+
+    The kingpin is always part of the population and appears on roughly half
+    of the photographs; the remaining parameters control how many people
+    live near DC and how many work for the front company.
+    """
+    if num_people < 3:
+        raise WorkloadError("the scenario needs at least three people")
+    rng = random.Random(seed)
+    others = [person_name(index) for index in range(num_people - 1)]
+    people = [kingpin] + others
+
+    # Surveillance photographs: the kingpin shows up on every other photo.
+    photos: List[List[str]] = []
+    for photo_index in range(photo_count):
+        size = min(people_per_photo, len(others))
+        visible = rng.sample(others, size)
+        if photo_index % 2 == 0:
+            visible = [kingpin] + visible[: max(size - 1, 1)]
+        photos.append(visible)
+    face_scenario = make_face_scenario(people, photos=photos)
+    facextract = FaceExtractDomain(face_scenario)
+    facedb = FaceDbDomain(face_scenario)
+
+    # Addresses: roughly `near_dc_fraction` of the others live near DC.
+    near_dc: List[str] = []
+    addresses: Dict[Tuple[object, object, object, object, object], Tuple[float, float]] = {}
+    phonebook_rows = []
+    for index, person in enumerate(others):
+        streetnum = 100 + index
+        address = (streetnum, "main st", "cityville", "MD", 20700 + index)
+        if rng.random() < near_dc_fraction:
+            location = (rng.uniform(-60.0, 60.0), rng.uniform(-60.0, 60.0))
+            near_dc.append(person)
+        else:
+            location = (rng.uniform(150.0, 400.0), rng.uniform(150.0, 400.0))
+        addresses[address] = location
+        phonebook_rows.append((person,) + address)
+    spatialdb = make_spatial_domain(
+        addresses=addresses, maps={"dcareamap": DC_CENTER}
+    )
+
+    paradox = make_relational_domain(
+        "paradox",
+        {
+            "phonebook": (
+                ("name", "streetnum", "streetname", "cityname", "statename", "zipcode"),
+                phonebook_rows,
+            )
+        },
+        description="PARADOX phone/address book",
+    )
+
+    abc_employees = sorted(rng.sample(others, max(1, int(len(others) * abc_fraction))))
+    dbase = make_relational_domain(
+        "dbase",
+        {
+            "empl_abc": (
+                ("name", "title"),
+                [(person, "analyst") for person in abc_employees],
+            )
+        },
+        description="DBASE employee list of ABC Corp",
+    )
+
+    mediator = (
+        MediatorBuilder()
+        .with_rules(LAW_ENFORCEMENT_RULES)
+        .with_domain(facextract)
+        .with_domain(facedb)
+        .with_domain(paradox)
+        .with_domain(dbase)
+        .with_domain(spatialdb)
+        .build()
+    )
+    return LawEnforcementScenario(
+        mediator=mediator,
+        face_scenario=face_scenario,
+        facextract=facextract,
+        facedb=facedb,
+        paradox=paradox,
+        dbase=dbase,
+        spatialdb=spatialdb,
+        kingpin=kingpin,
+        people=tuple(people),
+        near_dc=tuple(sorted(near_dc)),
+        abc_employees=tuple(abc_employees),
+    )

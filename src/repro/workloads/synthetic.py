@@ -1,0 +1,230 @@
+"""Synthetic constrained databases for benchmarks and stress tests.
+
+The paper contains no benchmark workloads; these generators produce the
+families of constrained databases the benchmark harness sweeps over:
+
+* *layered* acyclic programs -- ground base facts at layer 0 and derived
+  predicates whose clauses join the layer below (the classical shape for
+  view-maintenance measurements, and duplicate-free by construction),
+* *chain* programs -- one long derivation path, which isolates propagation
+  depth (this is where DRed's rederivation is most expensive relative to
+  StDel's support chasing),
+* *transitive closure* programs over generated graphs (recursive views;
+  cyclic graphs are the case where the counting baseline diverges),
+* *interval* programs -- the numeric constraint shape of the paper's
+  Examples 4/5 scaled up to many predicates and intervals.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.constraints.ast import TRUE, compare, conjoin, equals
+from repro.constraints.terms import Constant, Variable
+from repro.datalog.atoms import Atom
+from repro.datalog.clauses import Clause
+from repro.datalog.program import ConstrainedDatabase
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A generated program plus the handles benchmarks need."""
+
+    program: ConstrainedDatabase
+    #: Predicates at the base layer (targets for deletions/insertions).
+    base_predicates: Tuple[str, ...]
+    #: Ground tuples of base facts, keyed by predicate.
+    base_facts: Dict[str, Tuple[Tuple[object, ...], ...]]
+    #: Predicates of the top (most derived) layer.
+    top_predicates: Tuple[str, ...]
+    #: Human-readable description used in benchmark reports.
+    description: str = ""
+
+
+def make_layered_program(
+    base_facts: int = 20,
+    layers: int = 3,
+    predicates_per_layer: int = 2,
+    fanin: int = 2,
+    seed: int = 0,
+) -> WorkloadSpec:
+    """An acyclic, layered program with ground base facts.
+
+    Layer 0 holds ``predicates_per_layer`` base predicates with
+    ``base_facts`` unary facts each; every predicate of layer ``k+1`` is
+    defined by clauses joining ``fanin`` predicates of layer ``k`` on their
+    single argument.  Views over such programs are duplicate-free, which is
+    the Extended DRed sweet spot.
+    """
+    if layers < 1 or base_facts < 1 or predicates_per_layer < 1:
+        raise WorkloadError("layered programs need positive parameters")
+    rng = random.Random(seed)
+    clauses: List[Clause] = []
+    base_fact_map: Dict[str, Tuple[Tuple[object, ...], ...]] = {}
+    layer_predicates: List[List[str]] = []
+
+    base_layer = [f"base{i}" for i in range(predicates_per_layer)]
+    layer_predicates.append(base_layer)
+    variable = Variable("X")
+    for predicate in base_layer:
+        facts = tuple((value,) for value in range(base_facts))
+        base_fact_map[predicate] = facts
+        for (value,) in facts:
+            clauses.append(Clause(Atom(predicate, (variable,)), equals(variable, value), ()))
+
+    for layer in range(1, layers + 1):
+        previous = layer_predicates[-1]
+        current = [f"layer{layer}_{i}" for i in range(predicates_per_layer)]
+        layer_predicates.append(current)
+        for predicate in current:
+            chosen = [previous[rng.randrange(len(previous))] for _ in range(fanin)]
+            body = tuple(Atom(name, (variable,)) for name in chosen)
+            clauses.append(Clause(Atom(predicate, (variable,)), TRUE, body))
+
+    return WorkloadSpec(
+        program=ConstrainedDatabase(clauses),
+        base_predicates=tuple(base_layer),
+        base_facts=base_fact_map,
+        top_predicates=tuple(layer_predicates[-1]),
+        description=(
+            f"layered(base_facts={base_facts}, layers={layers}, "
+            f"predicates_per_layer={predicates_per_layer}, fanin={fanin})"
+        ),
+    )
+
+
+def make_chain_program(base_facts: int = 20, depth: int = 6) -> WorkloadSpec:
+    """A single chain ``p0 -> p1 -> ... -> p_depth`` of unary predicates."""
+    if depth < 1 or base_facts < 1:
+        raise WorkloadError("chain programs need positive parameters")
+    variable = Variable("X")
+    clauses: List[Clause] = []
+    facts = tuple((value,) for value in range(base_facts))
+    for (value,) in facts:
+        clauses.append(Clause(Atom("p0", (variable,)), equals(variable, value), ()))
+    for level in range(1, depth + 1):
+        clauses.append(
+            Clause(
+                Atom(f"p{level}", (variable,)),
+                TRUE,
+                (Atom(f"p{level - 1}", (variable,)),),
+            )
+        )
+    return WorkloadSpec(
+        program=ConstrainedDatabase(clauses),
+        base_predicates=("p0",),
+        base_facts={"p0": facts},
+        top_predicates=(f"p{depth}",),
+        description=f"chain(base_facts={base_facts}, depth={depth})",
+    )
+
+
+def make_transitive_closure_program(
+    edges: Sequence[Tuple[object, object]],
+) -> WorkloadSpec:
+    """The recursive ``path``/``edge`` program over an explicit edge list."""
+    if not edges:
+        raise WorkloadError("transitive closure needs at least one edge")
+    x, y, z = Variable("X"), Variable("Y"), Variable("Z")
+    clauses: List[Clause] = []
+    for source, target in edges:
+        clauses.append(
+            Clause(
+                Atom("edge", (x, y)),
+                conjoin(equals(x, source), equals(y, target)),
+                (),
+            )
+        )
+    clauses.append(Clause(Atom("path", (x, y)), TRUE, (Atom("edge", (x, y)),)))
+    clauses.append(
+        Clause(Atom("path", (x, y)), TRUE, (Atom("edge", (x, z)), Atom("path", (z, y))))
+    )
+    return WorkloadSpec(
+        program=ConstrainedDatabase(clauses),
+        base_predicates=("edge",),
+        base_facts={"edge": tuple((s, t) for s, t in edges)},
+        top_predicates=("path",),
+        description=f"transitive_closure(edges={len(edges)})",
+    )
+
+
+def make_path_graph_edges(length: int) -> Tuple[Tuple[str, str], ...]:
+    """Edges of a simple path ``n0 -> n1 -> ... -> n_length`` (acyclic)."""
+    return tuple((f"n{i}", f"n{i + 1}") for i in range(length))
+
+
+def make_cycle_graph_edges(length: int) -> Tuple[Tuple[str, str], ...]:
+    """Edges of a directed cycle of the given length (recursive + cyclic)."""
+    if length < 2:
+        raise WorkloadError("a cycle needs at least two nodes")
+    edges = [(f"n{i}", f"n{(i + 1) % length}") for i in range(length)]
+    return tuple(edges)
+
+
+def make_random_graph_edges(
+    nodes: int, edges: int, seed: int = 0, acyclic: bool = True
+) -> Tuple[Tuple[str, str], ...]:
+    """A random edge list; with ``acyclic=True`` edges only go "forward"."""
+    if nodes < 2:
+        raise WorkloadError("graphs need at least two nodes")
+    rng = random.Random(seed)
+    result = set()
+    attempts = 0
+    while len(result) < edges and attempts < edges * 20:
+        attempts += 1
+        a, b = rng.randrange(nodes), rng.randrange(nodes)
+        if a == b:
+            continue
+        if acyclic and a > b:
+            a, b = b, a
+        result.add((f"n{a}", f"n{b}"))
+    return tuple(sorted(result))
+
+
+def make_interval_program(
+    predicates: int = 4,
+    intervals_per_predicate: int = 3,
+    width: int = 50,
+    seed: int = 0,
+) -> WorkloadSpec:
+    """A scaled-up version of the paper's Example 4/5 numeric database.
+
+    Each base predicate holds several interval facts ``p(X) <- X >= lo`` and
+    derived predicates union/intersect them through rule chains, so views
+    contain overlapping (duplicate) non-ground entries -- the situation where
+    DRed needs duplicate handling and StDel does not.
+    """
+    if predicates < 2:
+        raise WorkloadError("interval programs need at least two predicates")
+    rng = random.Random(seed)
+    variable = Variable("X")
+    clauses: List[Clause] = []
+    base_facts: Dict[str, Tuple[Tuple[object, ...], ...]] = {}
+    for index in range(predicates):
+        name = f"iv{index}"
+        bounds = sorted(rng.randrange(0, width) for _ in range(intervals_per_predicate))
+        base_facts[name] = tuple((bound,) for bound in bounds)
+        for bound in bounds:
+            clauses.append(
+                Clause(Atom(name, (variable,)), compare(variable, ">=", bound), ())
+            )
+        if index > 0:
+            clauses.append(
+                Clause(Atom(name, (variable,)), TRUE, (Atom(f"iv{index - 1}", (variable,)),))
+            )
+    clauses.append(
+        Clause(Atom("top", (variable,)), TRUE, (Atom(f"iv{predicates - 1}", (variable,)),))
+    )
+    return WorkloadSpec(
+        program=ConstrainedDatabase(clauses),
+        base_predicates=tuple(f"iv{index}" for index in range(predicates)),
+        base_facts=base_facts,
+        top_predicates=("top",),
+        description=(
+            f"intervals(predicates={predicates}, "
+            f"intervals_per_predicate={intervals_per_predicate}, width={width})"
+        ),
+    )

@@ -1,0 +1,113 @@
+"""Update-stream generators.
+
+Benchmarks replay streams of deletions / insertions / source changes against
+a materialized view; the generators here pick the update targets
+deterministically (seeded) from a :class:`~repro.workloads.synthetic.
+WorkloadSpec` so every algorithm is measured on exactly the same stream.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.constraints.ast import conjoin, equals
+from repro.constraints.terms import Variable
+from repro.datalog.atoms import Atom, ConstrainedAtom
+from repro.errors import WorkloadError
+from repro.maintenance.requests import DeletionRequest, InsertionRequest
+from repro.workloads.synthetic import WorkloadSpec
+
+UpdateRequest = Union[DeletionRequest, InsertionRequest]
+
+
+def ground_request_atom(predicate: str, values: Sequence[object]) -> ConstrainedAtom:
+    """Build ``p(X1, ..., Xn) <- X1 = v1 & ... & Xn = vn``.
+
+    Update requests are expressed in the paper's non-ground style (variables
+    in the atom, bindings in the constraint) so the algorithms exercise their
+    general code path even for ground updates.
+    """
+    variables = tuple(Variable(f"X{index + 1}") for index in range(len(values)))
+    constraint = conjoin(*(equals(var, value) for var, value in zip(variables, values)))
+    return ConstrainedAtom(Atom(predicate, variables), constraint)
+
+
+def deletion_stream(
+    spec: WorkloadSpec,
+    count: int,
+    seed: int = 0,
+    predicate: Optional[str] = None,
+) -> Tuple[DeletionRequest, ...]:
+    """Pick *count* distinct base facts of *spec* to delete."""
+    rng = random.Random(seed)
+    candidates: List[Tuple[str, Tuple[object, ...]]] = []
+    for base_predicate, facts in spec.base_facts.items():
+        if predicate is not None and base_predicate != predicate:
+            continue
+        candidates.extend((base_predicate, fact) for fact in facts)
+    if count > len(candidates):
+        raise WorkloadError(
+            f"cannot delete {count} facts, only {len(candidates)} base facts exist"
+        )
+    chosen = rng.sample(candidates, count)
+    return tuple(
+        DeletionRequest(ground_request_atom(base_predicate, fact))
+        for base_predicate, fact in chosen
+    )
+
+
+def insertion_stream(
+    spec: WorkloadSpec,
+    count: int,
+    seed: int = 0,
+    predicate: Optional[str] = None,
+    value_offset: int = 1_000_000,
+) -> Tuple[InsertionRequest, ...]:
+    """Generate *count* fresh base facts to insert (values outside the base range)."""
+    rng = random.Random(seed)
+    predicates = [
+        name
+        for name in spec.base_predicates
+        if predicate is None or name == predicate
+    ]
+    if not predicates:
+        raise WorkloadError(f"no base predicate matches {predicate!r}")
+    requests: List[InsertionRequest] = []
+    for index in range(count):
+        target = predicates[rng.randrange(len(predicates))]
+        arity = len(spec.base_facts[target][0]) if spec.base_facts.get(target) else 1
+        values = tuple(value_offset + index * arity + position for position in range(arity))
+        requests.append(InsertionRequest(ground_request_atom(target, values)))
+    return tuple(requests)
+
+
+@dataclass(frozen=True)
+class MixedStream:
+    """A deterministic interleaving of deletions and insertions."""
+
+    requests: Tuple[UpdateRequest, ...]
+
+    def deletions(self) -> Tuple[DeletionRequest, ...]:
+        """The deletion requests in stream order."""
+        return tuple(r for r in self.requests if isinstance(r, DeletionRequest))
+
+    def insertions(self) -> Tuple[InsertionRequest, ...]:
+        """The insertion requests in stream order."""
+        return tuple(r for r in self.requests if isinstance(r, InsertionRequest))
+
+
+def mixed_stream(
+    spec: WorkloadSpec,
+    deletions: int,
+    insertions: int,
+    seed: int = 0,
+) -> MixedStream:
+    """Interleave deletions and insertions deterministically."""
+    delete_requests = list(deletion_stream(spec, deletions, seed=seed))
+    insert_requests = list(insertion_stream(spec, insertions, seed=seed + 1))
+    rng = random.Random(seed + 2)
+    combined: List[UpdateRequest] = delete_requests + insert_requests
+    rng.shuffle(combined)
+    return MixedStream(tuple(combined))

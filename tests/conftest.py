@@ -1,0 +1,68 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constraints import ConstraintSolver
+from repro.datalog import compute_tp_fixpoint, parse_program
+from repro.domains import DomainRegistry, make_arithmetic_domain
+
+#: The paper's Example 4 / Example 5 constrained database.  The scanned paper
+#: renders the comparison operators illegibly; the worked example only makes
+#: sense with ``>=`` (deleting ``B(X) <- X = 6`` must overlap ``B``'s
+#: constraint), which is what the reproduction uses throughout.
+EXAMPLE_45_RULES = """
+a(X) <- X >= 3.
+a(X) <- b(X).
+b(X) <- X >= 5.
+c(X) <- a(X).
+"""
+
+#: The paper's Example 6 recursive constrained database.
+EXAMPLE_6_RULES = """
+p(X, Y) <- X = 'a' & Y = 'b'.
+p(X, Y) <- X = 'a' & Y = 'c'.
+p(X, Y) <- X = 'c' & Y = 'd'.
+a(X, Y) <- p(X, Y).
+a(X, Y) <- p(X, Z), a(Z, Y).
+"""
+
+#: Universe large enough to distinguish all constraints in Examples 4/5.
+NUMERIC_UNIVERSE = tuple(range(0, 15))
+
+
+@pytest.fixture
+def solver() -> ConstraintSolver:
+    """A solver with no external domains."""
+    return ConstraintSolver()
+
+
+@pytest.fixture
+def arith_solver() -> ConstraintSolver:
+    """A solver that can evaluate ``arith:*`` domain calls."""
+    return ConstraintSolver(DomainRegistry([make_arithmetic_domain()]))
+
+
+@pytest.fixture
+def example45_program():
+    """The Example 4/5 constrained database."""
+    return parse_program(EXAMPLE_45_RULES)
+
+
+@pytest.fixture
+def example45_view(example45_program, solver):
+    """The materialized view of Example 5 (with supports)."""
+    return compute_tp_fixpoint(example45_program, solver)
+
+
+@pytest.fixture
+def example6_program():
+    """The Example 6 recursive constrained database."""
+    return parse_program(EXAMPLE_6_RULES)
+
+
+@pytest.fixture
+def example6_view(example6_program, solver):
+    """The materialized view of Example 6 (with supports)."""
+    return compute_tp_fixpoint(example6_program, solver)

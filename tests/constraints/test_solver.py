@@ -1,0 +1,292 @@
+"""Unit tests for the constraint satisfiability solver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constraints import (
+    ConstraintSolver,
+    FALSE,
+    FrozenResultSet,
+    NegatedConjunction,
+    SolverOptions,
+    TRUE,
+    Variable,
+    compare,
+    conjoin,
+    equals,
+    member,
+    negate,
+    not_equals,
+)
+from repro.domains import Domain, DomainRegistry, make_arithmetic_domain
+from repro.errors import SolverError
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+
+
+@pytest.fixture
+def solver():
+    return ConstraintSolver()
+
+
+class TestTrivialCases:
+    def test_true_and_false(self, solver):
+        assert solver.is_satisfiable(TRUE)
+        assert not solver.is_satisfiable(FALSE)
+        assert solver.is_unsatisfiable(FALSE)
+
+    def test_single_comparison(self, solver):
+        assert solver.is_satisfiable(equals(X, 3))
+        assert solver.is_satisfiable(compare(X, "<", 0))
+
+    def test_ground_comparisons(self, solver):
+        assert solver.is_satisfiable(equals(3, 3))
+        assert not solver.is_satisfiable(equals(3, 4))
+        assert solver.is_satisfiable(compare(2, "<", 5))
+        assert not solver.is_satisfiable(compare(5, "<", 2))
+        assert solver.is_satisfiable(compare("abc", "<", "abd"))
+
+
+class TestEqualityReasoning:
+    def test_equality_chain_conflict(self, solver):
+        constraint = conjoin(equals(X, 1), equals(X, Y), equals(Y, 2))
+        assert not solver.is_satisfiable(constraint)
+
+    def test_equality_chain_consistent(self, solver):
+        constraint = conjoin(equals(X, 1), equals(X, Y), equals(Y, 1))
+        assert solver.is_satisfiable(constraint)
+
+    def test_disequality_violation(self, solver):
+        assert not solver.is_satisfiable(conjoin(equals(X, Y), not_equals(X, Y)))
+        assert not solver.is_satisfiable(conjoin(equals(X, 1), not_equals(X, 1)))
+
+    def test_disequality_between_distinct_constants(self, solver):
+        assert solver.is_satisfiable(conjoin(equals(X, 1), not_equals(X, 2)))
+
+    def test_disequality_through_classes(self, solver):
+        constraint = conjoin(equals(X, Y), equals(Y, Z), not_equals(X, Z))
+        assert not solver.is_satisfiable(constraint)
+
+    def test_string_constants(self, solver):
+        assert not solver.is_satisfiable(conjoin(equals(X, "a"), equals(X, "b")))
+        assert solver.is_satisfiable(conjoin(equals(X, "a"), not_equals(X, "b")))
+
+
+class TestIntervalReasoning:
+    def test_bound_conflict(self, solver):
+        assert not solver.is_satisfiable(conjoin(compare(X, "<", 3), compare(X, ">", 5)))
+
+    def test_bound_touching(self, solver):
+        assert solver.is_satisfiable(conjoin(compare(X, "<=", 3), compare(X, ">=", 3)))
+        assert not solver.is_satisfiable(conjoin(compare(X, "<", 3), compare(X, ">=", 3)))
+
+    def test_constant_outside_interval(self, solver):
+        assert not solver.is_satisfiable(conjoin(equals(X, 6), compare(X, "<=", 5)))
+        assert solver.is_satisfiable(conjoin(equals(X, 6), compare(X, ">=", 5)))
+
+    def test_point_interval_with_disequality(self, solver):
+        constraint = conjoin(compare(X, ">=", 4), compare(X, "<=", 4), not_equals(X, 4))
+        assert not solver.is_satisfiable(constraint)
+
+    def test_variable_variable_propagation(self, solver):
+        constraint = conjoin(compare(X, "<", Y), compare(Y, "<", 5), compare(X, ">", 10))
+        assert not solver.is_satisfiable(constraint)
+
+    def test_variable_variable_consistent(self, solver):
+        constraint = conjoin(compare(X, "<", Y), compare(Y, "<=", 5), compare(X, ">=", 0))
+        assert solver.is_satisfiable(constraint)
+
+    def test_strict_self_comparison(self, solver):
+        assert not solver.is_satisfiable(compare(X, "<", X))
+        assert solver.is_satisfiable(compare(X, "<=", X))
+
+    def test_float_bounds(self, solver):
+        assert solver.is_satisfiable(conjoin(compare(X, ">", 1.5), compare(X, "<", 1.75)))
+        assert not solver.is_satisfiable(conjoin(compare(X, ">", 1.5), compare(X, "<", 1.4)))
+
+    def test_equality_of_two_pinned_values(self, solver):
+        constraint = conjoin(equals(X, 3), equals(Y, 4), equals(X, Y))
+        assert not solver.is_satisfiable(constraint)
+
+
+class TestNegatedConjunctions:
+    def test_simple_negation(self, solver):
+        constraint = conjoin(compare(X, ">=", 5), negate(conjoin(equals(X, 6))))
+        assert solver.is_satisfiable(constraint)
+        assert not solver.is_satisfiable(conjoin(constraint, equals(X, 6)))
+
+    def test_negation_excluding_everything(self, solver):
+        # X = 3 & not(X = 3) is unsatisfiable.
+        assert not solver.is_satisfiable(conjoin(equals(X, 3), negate(equals(X, 3))))
+
+    def test_negation_of_conjunction_is_disjunctive(self, solver):
+        # not(X = 1 & Y = 2) is satisfied by violating either conjunct.
+        constraint = conjoin(
+            equals(X, 1), negate(conjoin(equals(X, 1), equals(Y, 2))), equals(Y, 3)
+        )
+        assert solver.is_satisfiable(constraint)
+        pinned = conjoin(
+            equals(X, 1), negate(conjoin(equals(X, 1), equals(Y, 2))), equals(Y, 2)
+        )
+        assert not solver.is_satisfiable(pinned)
+
+    def test_empty_negation_is_false(self, solver):
+        assert not solver.is_satisfiable(NegatedConjunction(()))
+
+    def test_nested_negation(self, solver):
+        # not(X >= 5 & not(X = 6)) is equivalent to X < 5 or X = 6.
+        nested = negate(conjoin(compare(X, ">=", 5), negate(equals(X, 6))))
+        assert solver.is_satisfiable(conjoin(nested, equals(X, 6)))
+        assert solver.is_satisfiable(conjoin(nested, equals(X, 3)))
+        assert not solver.is_satisfiable(conjoin(nested, equals(X, 7)))
+
+    def test_multiple_negations(self, solver):
+        constraint = conjoin(
+            compare(X, ">=", 0),
+            compare(X, "<=", 2),
+            negate(equals(X, 0)),
+            negate(equals(X, 1)),
+            negate(equals(X, 2)),
+        )
+        # Over the integers this is unsatisfiable, but the solver works over
+        # an unspecified numeric domain, so 0.5 remains a model.
+        assert solver.is_satisfiable(constraint)
+
+    def test_branch_explosion_guarded(self):
+        small = ConstraintSolver(options=SolverOptions(max_branches=4))
+        negations = [
+            negate(conjoin(equals(X, i), equals(Y, i), equals(Z, i))) for i in range(5)
+        ]
+        with pytest.raises(SolverError):
+            small.is_satisfiable(conjoin(*negations))
+
+
+class TestEntailmentAndEquivalence:
+    def test_entails_basic(self, solver):
+        assert solver.entails(equals(X, 2), compare(X, "<=", 5))
+        assert not solver.entails(compare(X, "<=", 5), equals(X, 2))
+
+    def test_entails_with_context(self, solver):
+        context = conjoin(compare(X, ">=", 5), compare(X, "<=", 5))
+        assert solver.entails(context, equals(X, 5))
+
+    def test_equivalence(self, solver):
+        left = conjoin(compare(X, ">=", 3), compare(X, "<=", 3))
+        right = equals(X, 3)
+        assert solver.equivalent(left, right)
+        assert not solver.equivalent(left, equals(X, 4))
+
+
+class TestMembership:
+    @pytest.fixture
+    def registry(self):
+        domain = Domain("colors")
+        domain.register("all", lambda: {"red", "green", "blue"})
+        domain.register("none", lambda: set())
+        domain.register("of", lambda item: {"red"} if item == "apple" else set())
+        return DomainRegistry([domain, make_arithmetic_domain()])
+
+    @pytest.fixture
+    def domain_solver(self, registry):
+        return ConstraintSolver(registry)
+
+    def test_membership_with_pinned_element(self, domain_solver):
+        good = conjoin(equals(X, "red"), member(X, "colors", "all"))
+        bad = conjoin(equals(X, "purple"), member(X, "colors", "all"))
+        assert domain_solver.is_satisfiable(good)
+        assert not domain_solver.is_satisfiable(bad)
+
+    def test_membership_empty_result(self, domain_solver):
+        assert not domain_solver.is_satisfiable(member(X, "colors", "none"))
+
+    def test_membership_unpinned_nonempty(self, domain_solver):
+        assert domain_solver.is_satisfiable(member(X, "colors", "all"))
+
+    def test_negative_membership(self, domain_solver):
+        positive = conjoin(equals(X, "red"), member(X, "colors", "all").negated())
+        assert not domain_solver.is_satisfiable(positive)
+        outside = conjoin(equals(X, "purple"), member(X, "colors", "all").negated())
+        assert domain_solver.is_satisfiable(outside)
+
+    def test_membership_with_call_argument_pinned(self, domain_solver):
+        constraint = conjoin(equals(Y, "apple"), member(X, "colors", "of", Y), equals(X, "red"))
+        assert domain_solver.is_satisfiable(constraint)
+        mismatch = conjoin(equals(Y, "pear"), member(X, "colors", "of", Y))
+        assert not domain_solver.is_satisfiable(mismatch)
+
+    def test_candidate_filtering_with_interval(self, domain_solver):
+        arith = conjoin(
+            member(X, "arith", "between", 1, 5), compare(X, ">", 10)
+        )
+        assert not domain_solver.is_satisfiable(arith)
+        feasible = conjoin(member(X, "arith", "between", 1, 5), compare(X, ">", 3))
+        assert domain_solver.is_satisfiable(feasible)
+
+    def test_intensional_membership(self, domain_solver):
+        constraint = conjoin(equals(X, 100), member(X, "arith", "greater", 5))
+        assert domain_solver.is_satisfiable(constraint)
+        wrong = conjoin(equals(X, 3), member(X, "arith", "greater", 5))
+        assert not domain_solver.is_satisfiable(wrong)
+
+    def test_unknown_domain_is_tolerated_by_default(self, solver):
+        assert solver.is_satisfiable(member(X, "nowhere", "f"))
+
+    def test_unknown_domain_unsat_when_configured(self, registry):
+        strict = ConstraintSolver(
+            registry, SolverOptions(unknown_membership_satisfiable=False)
+        )
+        assert not strict.is_satisfiable(member(X, "nowhere", "f"))
+
+
+class TestGroundEvaluation:
+    def test_comparisons(self, solver):
+        assert solver.evaluate_ground(compare(X, "<", Y), {X: 1, Y: 2})
+        assert not solver.evaluate_ground(compare(X, "<", Y), {X: 2, Y: 2})
+        assert solver.evaluate_ground(equals(X, "a"), {X: "a"})
+
+    def test_type_mismatch_in_ordering_is_false(self, solver):
+        assert not solver.evaluate_ground(compare(X, "<", 5), {X: "text"})
+
+    def test_int_float_equality(self, solver):
+        assert solver.evaluate_ground(equals(X, 2), {X: 2.0})
+
+    def test_unbound_variable_raises(self, solver):
+        with pytest.raises(SolverError):
+            solver.evaluate_ground(equals(X, Y), {X: 1})
+
+    def test_negated_conjunction_ground(self, solver):
+        constraint = negate(conjoin(equals(X, 1), equals(Y, 2)))
+        assert not solver.evaluate_ground(constraint, {X: 1, Y: 2})
+        assert solver.evaluate_ground(constraint, {X: 1, Y: 3})
+
+    def test_negated_conjunction_with_free_inner_variables(self, solver):
+        # not(Z = 6 & Z = X): Z is quantified inside the negation.
+        constraint = negate(conjoin(equals(Z, 6), equals(Z, X)))
+        assert not solver.evaluate_ground(constraint, {X: 6})
+        assert solver.evaluate_ground(constraint, {X: 7})
+
+    def test_membership_requires_evaluator(self, solver):
+        with pytest.raises(SolverError):
+            solver.evaluate_ground(member(X, "d", "f"), {X: 1})
+
+    def test_membership_ground(self):
+        domain = Domain("d")
+        domain.register("f", lambda: {1, 2})
+        evaluated = ConstraintSolver(DomainRegistry([domain]))
+        assert evaluated.evaluate_ground(member(X, "d", "f"), {X: 1})
+        assert not evaluated.evaluate_ground(member(X, "d", "f"), {X: 9})
+        assert evaluated.evaluate_ground(member(X, "d", "f").negated(), {X: 9})
+
+
+class TestSolverConfiguration:
+    def test_with_evaluator_shares_options(self):
+        options = SolverOptions(max_branches=17)
+        base = ConstraintSolver(options=options)
+        rebound = base.with_evaluator(DomainRegistry())
+        assert rebound.options.max_branches == 17
+        assert rebound.evaluator is not None
+
+    def test_options_exposed(self, solver):
+        assert solver.options.max_branches > 0
+        assert solver.evaluator is None

@@ -1,0 +1,146 @@
+"""Unit tests for variables, constants and substitutions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constraints import (
+    Constant,
+    FreshVariableFactory,
+    Substitution,
+    Variable,
+    is_constant,
+    is_variable,
+    make_term,
+)
+from repro.constraints.terms import EMPTY_SUBSTITUTION, constant_value, term_variables
+from repro.errors import TermError
+
+
+class TestVariable:
+    def test_equality_by_name(self):
+        assert Variable("X") == Variable("X")
+        assert Variable("X") != Variable("Y")
+
+    def test_hashable(self):
+        assert len({Variable("X"), Variable("X"), Variable("Y")}) == 2
+
+    def test_str(self):
+        assert str(Variable("Count")) == "Count"
+
+    def test_primed_names_allowed(self):
+        assert Variable("X'").name == "X'"
+
+    @pytest.mark.parametrize("bad", ["", "1X", "X Y", "X-Y", None])
+    def test_invalid_names_rejected(self, bad):
+        with pytest.raises(TermError):
+            Variable(bad)  # type: ignore[arg-type]
+
+    def test_ordering_by_name(self):
+        assert sorted([Variable("Z"), Variable("A")]) == [Variable("A"), Variable("Z")]
+
+
+class TestConstant:
+    def test_equality_by_value(self):
+        assert Constant(3) == Constant(3)
+        assert Constant(3) != Constant("3")
+
+    def test_str_quotes_strings(self):
+        assert str(Constant("john")) == "'john'"
+        assert str(Constant(42)) == "42"
+
+    def test_unhashable_value_rejected(self):
+        with pytest.raises(TermError):
+            Constant([1, 2])  # type: ignore[arg-type]
+
+    def test_constant_value_helper(self):
+        assert constant_value(Constant("x")) == "x"
+        with pytest.raises(TermError):
+            constant_value(Variable("X"))  # type: ignore[arg-type]
+
+
+class TestTermHelpers:
+    def test_is_variable_and_is_constant(self):
+        assert is_variable(Variable("X")) and not is_variable(Constant(1))
+        assert is_constant(Constant(1)) and not is_constant(Variable("X"))
+
+    def test_make_term_passthrough_and_wrapping(self):
+        variable = Variable("X")
+        assert make_term(variable) is variable
+        assert make_term(5) == Constant(5)
+        assert make_term("abc") == Constant("abc")
+
+    def test_term_variables(self):
+        terms = [Variable("X"), Constant(1), Variable("Y"), Variable("X")]
+        assert term_variables(terms) == {Variable("X"), Variable("Y")}
+
+
+class TestSubstitution:
+    def test_apply_to_variable_and_constant(self):
+        subst = Substitution({Variable("X"): Constant(1)})
+        assert subst.apply(Variable("X")) == Constant(1)
+        assert subst.apply(Variable("Y")) == Variable("Y")
+        assert subst.apply(Constant("c")) == Constant("c")
+
+    def test_apply_all(self):
+        subst = Substitution({Variable("X"): Constant(1)})
+        assert subst.apply_all((Variable("X"), Constant(2))) == (Constant(1), Constant(2))
+
+    def test_mapping_protocol(self):
+        subst = Substitution({Variable("X"): Constant(1)})
+        assert len(subst) == 1
+        assert Variable("X") in subst
+        assert dict(subst) == {Variable("X"): Constant(1)}
+
+    def test_not_recursive(self):
+        subst = Substitution({Variable("X"): Variable("Y"), Variable("Y"): Constant(1)})
+        assert subst.apply(Variable("X")) == Variable("Y")
+
+    def test_compose_chases_through_second(self):
+        first = Substitution({Variable("X"): Variable("Y")})
+        second = Substitution({Variable("Y"): Constant(3)})
+        composed = first.compose(second)
+        assert composed.apply(Variable("X")) == Constant(3)
+        assert composed.apply(Variable("Y")) == Constant(3)
+
+    def test_restricted_to(self):
+        subst = Substitution({Variable("X"): Constant(1), Variable("Y"): Constant(2)})
+        restricted = subst.restricted_to([Variable("X")])
+        assert Variable("Y") not in restricted
+
+    def test_extended(self):
+        extended = EMPTY_SUBSTITUTION.extended(Variable("X"), Constant(9))
+        assert extended.apply(Variable("X")) == Constant(9)
+        assert len(EMPTY_SUBSTITUTION) == 0  # original untouched
+
+    def test_invalid_keys_and_values_rejected(self):
+        with pytest.raises(TermError):
+            Substitution({"X": Constant(1)})  # type: ignore[dict-item]
+        with pytest.raises(TermError):
+            Substitution({Variable("X"): "raw"})  # type: ignore[dict-item]
+
+
+class TestFreshVariableFactory:
+    def test_fresh_avoids_reserved(self):
+        factory = FreshVariableFactory(["X_1", "X_2"])
+        fresh = factory.fresh("X")
+        assert fresh.name not in {"X_1", "X_2"}
+
+    def test_fresh_never_repeats(self):
+        factory = FreshVariableFactory()
+        names = {factory.fresh("V").name for _ in range(50)}
+        assert len(names) == 50
+
+    def test_renaming_for_covers_all_variables(self):
+        factory = FreshVariableFactory(["X", "Y"])
+        renaming = factory.renaming_for([Variable("X"), Variable("Y")])
+        assert set(renaming.keys()) == {Variable("X"), Variable("Y")}
+        assert all(isinstance(term, Variable) for term in renaming.values())
+        renamed_names = {term.name for term in renaming.values()}
+        assert renamed_names.isdisjoint({"X", "Y"})
+
+    def test_reserve_blocks_future_names(self):
+        factory = FreshVariableFactory()
+        first = factory.fresh("W")
+        factory.reserve([first.name])
+        assert factory.fresh("W").name != first.name

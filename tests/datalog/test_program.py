@@ -1,0 +1,124 @@
+"""Unit tests for constrained databases (programs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constraints import TRUE, Variable, compare
+from repro.datalog import Atom, Clause, ConstrainedDatabase, parse_program
+from repro.errors import ProgramError
+
+X = Variable("X")
+
+
+def simple_program() -> ConstrainedDatabase:
+    return parse_program(
+        """
+        a(X) <- X >= 3.
+        a(X) <- b(X).
+        b(X) <- X >= 5.
+        c(X) <- a(X).
+        """
+    )
+
+
+class TestNumbering:
+    def test_auto_numbering_in_order(self):
+        program = simple_program()
+        assert [clause.number for clause in program] == [1, 2, 3, 4]
+
+    def test_explicit_numbers_preserved(self):
+        clause = Clause(Atom("p", (X,)), TRUE, (), number=10)
+        program = ConstrainedDatabase([clause, Clause(Atom("q", (X,)), TRUE, ())])
+        assert program.clause(10).predicate == "p"
+        assert program.clause(1).predicate == "q"
+
+    def test_duplicate_numbers_rejected(self):
+        clause = Clause(Atom("p", (X,)), TRUE, (), number=1)
+        with pytest.raises(ProgramError):
+            ConstrainedDatabase([clause, clause])
+
+    def test_max_clause_number(self):
+        assert simple_program().max_clause_number() == 4
+        assert ConstrainedDatabase().max_clause_number() == 0
+
+
+class TestLookup:
+    def test_clause_by_number(self):
+        program = simple_program()
+        assert program.clause(3).predicate == "b"
+        assert program.has_clause(3)
+        assert not program.has_clause(9)
+        with pytest.raises(ProgramError):
+            program.clause(9)
+
+    def test_clauses_for_predicate(self):
+        program = simple_program()
+        assert len(program.clauses_for("a")) == 2
+        assert program.clauses_for("zzz") == ()
+
+    def test_predicates(self):
+        program = simple_program()
+        assert program.predicates() == ("a", "b", "c")
+        assert program.body_predicates() == ("a", "b")
+
+    def test_container_protocol(self):
+        program = simple_program()
+        assert len(program) == 4
+        assert program.clause(1) in program
+        assert "a(X) <- X >= 3" in str(program)
+
+
+class TestRecursionAnalysis:
+    def test_non_recursive(self):
+        assert not simple_program().is_recursive()
+
+    def test_recursive(self):
+        program = parse_program(
+            """
+            edge(X, Y) <- X = 1 & Y = 2.
+            path(X, Y) <- edge(X, Y).
+            path(X, Y) <- edge(X, Z), path(Z, Y).
+            """
+        )
+        assert program.is_recursive()
+
+    def test_dependency_order_bottom_up(self):
+        order = simple_program().dependency_order()
+        assert order.index("b") < order.index("a") < order.index("c")
+
+
+class TestRewriting:
+    def test_with_clause_added(self):
+        program = simple_program()
+        extended = program.with_clause_added(Clause(Atom("d", (X,)), TRUE, ()))
+        assert len(extended) == 5
+        assert len(program) == 4  # original untouched
+        assert extended.clause(5).predicate == "d"
+
+    def test_with_clause_replaced(self):
+        program = simple_program()
+        replacement = Clause(Atom("b", (X,)), compare(X, ">=", 7), ())
+        rewritten = program.with_clause_replaced(3, replacement)
+        assert rewritten.clause(3).constraint == compare(X, ">=", 7)
+        assert program.clause(3).constraint == compare(X, ">=", 5)
+        with pytest.raises(ProgramError):
+            program.with_clause_replaced(99, replacement)
+
+    def test_without_clauses(self):
+        program = simple_program()
+        trimmed = program.without_clauses([2, 4])
+        assert len(trimmed) == 2
+        assert [clause.number for clause in trimmed] == [1, 3]
+
+    def test_map_clauses_keeps_numbers_and_drops_none(self):
+        program = simple_program()
+        mapped = program.map_clauses(
+            lambda clause: None if clause.predicate == "c" else clause
+        )
+        assert len(mapped) == 3
+        assert mapped.clause(3).predicate == "b"
+
+    def test_equality(self):
+        assert simple_program() == simple_program()
+        assert simple_program() != simple_program().without_clauses([1])

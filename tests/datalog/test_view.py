@@ -1,0 +1,130 @@
+"""Unit tests for materialized views (containers of supported entries)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constraints import ConstraintSolver, Variable, compare, conjoin, equals
+from repro.datalog import Atom, MaterializedView, Support, ViewEntry, leaf
+from repro.errors import ProgramError
+
+X, Y = Variable("X"), Variable("Y")
+
+
+def entry(predicate: str, constraint, clause_number: int, *children) -> ViewEntry:
+    support = Support(clause_number, tuple(children))
+    return ViewEntry(Atom(predicate, (X,)), constraint, support)
+
+
+@pytest.fixture
+def solver():
+    return ConstraintSolver()
+
+
+@pytest.fixture
+def view():
+    view = MaterializedView()
+    view.add(entry("a", compare(X, ">=", 3), 1))
+    view.add(entry("b", compare(X, ">=", 5), 3))
+    view.add(entry("a", compare(X, ">=", 5), 2, leaf(3)))
+    return view
+
+
+class TestContainer:
+    def test_add_and_len(self, view):
+        assert len(view) == 3
+        assert view.predicates() == ("a", "b")
+
+    def test_duplicate_entries_not_added(self, view):
+        duplicate = entry("a", compare(X, ">=", 3), 1)
+        assert not view.add(duplicate)
+        assert len(view) == 3
+
+    def test_same_atom_different_support_kept(self, view):
+        # Duplicate semantics: one entry per derivation.
+        other_support = entry("a", compare(X, ">=", 3), 7)
+        assert view.add(other_support)
+        assert len(view.entries_for("a")) == 3
+
+    def test_contains(self, view):
+        assert entry("a", compare(X, ">=", 3), 1) in view
+        assert entry("a", compare(X, ">=", 99), 1) not in view
+
+    def test_remove(self, view):
+        assert view.remove(entry("b", compare(X, ">=", 5), 3))
+        assert len(view) == 2
+        assert not view.remove(entry("b", compare(X, ">=", 5), 3))
+
+    def test_replace_preserves_order(self, view):
+        old = entry("b", compare(X, ">=", 5), 3)
+        new = old.with_constraint(conjoin(compare(X, ">=", 5), compare(X, "<=", 9)))
+        view.replace(old, new)
+        assert [e.predicate for e in view] == ["a", "b", "a"]
+        assert view.find_by_support(Support(3)).constraint == new.constraint
+
+    def test_replace_missing_raises(self, view):
+        with pytest.raises(ProgramError):
+            view.replace(entry("z", equals(X, 1), 9), entry("z", equals(X, 2), 9))
+
+    def test_add_rejects_non_entries(self, view):
+        with pytest.raises(ProgramError):
+            view.add("entry")  # type: ignore[arg-type]
+
+    def test_copy_is_independent(self, view):
+        clone = view.copy()
+        clone.remove(entry("a", compare(X, ">=", 3), 1))
+        assert len(view) == 3
+        assert len(clone) == 2
+
+    def test_find_by_support(self, view):
+        found = view.find_by_support(Support(2, (Support(3),)))
+        assert found is not None and found.predicate == "a"
+        assert view.find_by_support(Support(99)) is None
+
+    def test_entry_helpers(self):
+        item = entry("a", compare(X, ">=", 3), 1)
+        assert item.predicate == "a"
+        assert str(item.constrained_atom) == "a(X) <- X >= 3"
+        assert "<1>" in str(item)
+
+
+class TestSemantics:
+    def test_instances_union(self, view, solver):
+        universe = range(0, 8)
+        instances = view.instances(solver, universe)
+        assert ("a", (3,)) in instances
+        assert ("b", (5,)) in instances
+        assert ("b", (3,)) not in instances
+
+    def test_instances_for(self, view, solver):
+        values = view.instances_for("a", solver, range(0, 8))
+        assert values == {(3,), (4,), (5,), (6,), (7,)}
+
+    def test_same_instances(self, view, solver):
+        other = view.copy()
+        assert view.same_instances(other, solver, range(0, 8))
+        other.remove(entry("b", compare(X, ">=", 5), 3))
+        assert not view.same_instances(other, solver, range(0, 8))
+
+    def test_prune_unsolvable(self, solver):
+        view = MaterializedView()
+        view.add(entry("a", equals(X, 1), 1))
+        view.add(entry("a", conjoin(equals(X, 1), equals(X, 2)), 2))
+        removed = view.prune_unsolvable(solver)
+        assert removed == 1
+        assert len(view) == 1
+
+    def test_duplicate_free_check(self, solver):
+        disjoint = MaterializedView()
+        disjoint.add(entry("a", conjoin(compare(X, ">=", 0), compare(X, "<=", 4)), 1))
+        disjoint.add(entry("a", compare(X, ">=", 5), 2))
+        assert disjoint.is_duplicate_free(solver)
+
+        overlapping = MaterializedView()
+        overlapping.add(entry("a", compare(X, ">=", 3), 1))
+        overlapping.add(entry("a", compare(X, ">=", 5), 2))
+        assert not overlapping.is_duplicate_free(solver)
+
+    def test_variable_name_collection(self, view):
+        assert "X" in view.all_variable_names()
+        assert view.head_variables() == frozenset({X})

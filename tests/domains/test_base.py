@@ -1,0 +1,139 @@
+"""Unit tests for the domain abstraction and registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constraints import FrozenResultSet
+from repro.domains import Domain, DomainRegistry, IntensionalResultSet, coerce_result
+from repro.errors import EvaluationError, UnknownDomainError, UnknownFunctionError
+
+
+class TestCoerceResult:
+    def test_bool_maps_to_true_singleton_or_empty(self):
+        assert coerce_result(True).contains(True)
+        assert coerce_result(False).is_empty()
+
+    def test_none_is_empty(self):
+        assert coerce_result(None).is_empty()
+
+    def test_collections_become_finite_sets(self):
+        assert set(coerce_result([1, 2, 2]).iter_values()) == {1, 2}
+        assert set(coerce_result((1,)).iter_values()) == {1}
+        assert set(coerce_result({"a"}).iter_values()) == {"a"}
+
+    def test_scalar_becomes_singleton(self):
+        result = coerce_result("value")
+        assert result.contains("value") and result.size_hint() == 1
+
+    def test_generator_is_consumed(self):
+        assert set(coerce_result(iter(range(3))).iter_values()) == {0, 1, 2}
+
+    def test_result_sets_pass_through(self):
+        existing = FrozenResultSet([1])
+        assert coerce_result(existing) is existing
+
+
+class TestIntensionalResultSet:
+    def test_membership_and_emptiness(self):
+        evens = IntensionalResultSet(lambda v: isinstance(v, int) and v % 2 == 0)
+        assert evens.contains(4) and not evens.contains(3)
+        assert not evens.is_finite()
+        assert not evens.is_empty()
+        assert evens.size_hint() is None
+
+    def test_membership_errors_are_false(self):
+        picky = IntensionalResultSet(lambda v: v > 10)
+        assert not picky.contains("string")
+
+    def test_sample_enumeration(self):
+        sampled = IntensionalResultSet(lambda v: True, sample=lambda: range(3))
+        assert list(sampled.iter_values()) == [0, 1, 2]
+        unsampled = IntensionalResultSet(lambda v: True)
+        with pytest.raises(EvaluationError):
+            unsampled.iter_values()
+
+
+class TestDomain:
+    def test_register_and_call(self):
+        domain = Domain("d")
+        domain.register("f", lambda x: {x * 2})
+        assert set(domain.call("f", (3,)).iter_values()) == {6}
+
+    def test_unknown_function(self):
+        domain = Domain("d")
+        with pytest.raises(UnknownFunctionError):
+            domain.call("missing", ())
+
+    def test_arity_check(self):
+        domain = Domain("d")
+        domain.register("f", lambda x: {x}, arity=1)
+        with pytest.raises(EvaluationError):
+            domain.call("f", (1, 2))
+
+    def test_exception_wrapped(self):
+        domain = Domain("d")
+        domain.register("boom", lambda: 1 / 0)
+        with pytest.raises(EvaluationError):
+            domain.call("boom", ())
+
+    def test_function_names_and_has_function(self):
+        domain = Domain("d")
+        domain.register("b", lambda: set())
+        domain.register("a", lambda: set())
+        assert domain.function_names() == ("a", "b")
+        assert domain.has_function("a") and not domain.has_function("z")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(EvaluationError):
+            Domain("")
+
+
+class TestDomainRegistry:
+    def test_register_and_evaluate(self):
+        domain = Domain("d")
+        domain.register("f", lambda: {1})
+        registry = DomainRegistry([domain])
+        assert registry.has_domain("d")
+        assert set(registry.evaluate_call("d", "f", ()).iter_values()) == {1}
+
+    def test_unknown_domain(self):
+        registry = DomainRegistry()
+        assert not registry.has_domain("d")
+        with pytest.raises(UnknownDomainError):
+            registry.evaluate_call("d", "f", ())
+        with pytest.raises(UnknownDomainError):
+            registry.unregister("d")
+
+    def test_unregister(self):
+        domain = Domain("d")
+        registry = DomainRegistry([domain])
+        registry.unregister("d")
+        assert not registry.has_domain("d")
+
+    def test_domain_names_and_contains(self):
+        registry = DomainRegistry([Domain("b"), Domain("a")])
+        assert registry.domain_names() == ("a", "b")
+        assert "a" in registry
+
+    def test_call_caching(self):
+        calls = []
+        domain = Domain("d")
+        domain.register("f", lambda: calls.append(1) or {1})
+        registry = DomainRegistry([domain], cache_calls=True)
+        registry.evaluate_call("d", "f", ())
+        registry.evaluate_call("d", "f", ())
+        assert len(calls) == 1
+        registry.invalidate_cache()
+        registry.evaluate_call("d", "f", ())
+        assert len(calls) == 2
+
+    def test_no_caching_by_default(self):
+        calls = []
+        domain = Domain("d")
+        domain.register("f", lambda: calls.append(1) or {1})
+        registry = DomainRegistry([domain])
+        registry.evaluate_call("d", "f", ())
+        registry.evaluate_call("d", "f", ())
+        assert len(calls) == 2
+        assert not registry.caches_calls

@@ -1,0 +1,56 @@
+"""Smoke tests: every bundled example script runs to completion.
+
+The examples double as documentation; these tests keep them executable.
+Each example's ``main()`` is imported and invoked directly (same process) so
+assertion failures inside the examples surface as test failures.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+EXAMPLES = [
+    "quickstart.py",
+    "constrained_database.py",
+    "external_sources.py",
+    "law_enforcement.py",
+    "update_streams.py",
+]
+
+
+def _load_module(path: Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    assert spec.loader is not None
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs_to_completion(script, capsys):
+    module = _load_module(EXAMPLES_DIR / script)
+    module.main()
+    output = capsys.readouterr().out
+    assert output.strip(), f"{script} produced no output"
+
+
+def test_quickstart_shows_the_paper_view(capsys):
+    module = _load_module(EXAMPLES_DIR / "quickstart.py")
+    module.main()
+    output = capsys.readouterr().out
+    assert "a(X) <- X >= 3" in output
+    assert "StDel replaced 3 entries" in output
+
+
+def test_external_sources_example_demonstrates_zero_maintenance(capsys):
+    module = _load_module(EXAMPLES_DIR / "external_sources.py")
+    module.main()
+    output = capsys.readouterr().out
+    assert "W_P maintenance recomputed 0 entries" in output
+    assert "zero maintenance work" in output

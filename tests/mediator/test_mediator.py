@@ -1,0 +1,167 @@
+"""Unit tests for the mediator layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constraints import SolverOptions
+from repro.datalog import parse_constrained_atom
+from repro.domains import Domain, make_relational_domain
+from repro.errors import MediatorError, ParseError
+from repro.maintenance import DRedResult, StDelResult
+from repro.mediator import (
+    DeletionAlgorithm,
+    MaterializationOperator,
+    Mediator,
+    MediatorBuilder,
+)
+
+RULES = """
+a(X) <- X >= 3.
+a(X) <- b(X).
+b(X) <- X >= 5.
+c(X) <- a(X).
+"""
+
+UNIVERSE = tuple(range(0, 12))
+
+
+@pytest.fixture
+def mediator():
+    return Mediator.from_rules(RULES)
+
+
+class TestMaterialization:
+    def test_tp_materialization(self, mediator):
+        view = mediator.materialize()
+        assert len(view) == 5
+        assert view.operator is MaterializationOperator.TP
+
+    def test_wp_materialization_by_string(self, mediator):
+        view = mediator.materialize("wp")
+        assert view.operator is MaterializationOperator.WP
+
+    def test_query(self, mediator):
+        view = mediator.materialize()
+        assert view.query("b", universe=UNIVERSE) == {(v,) for v in range(5, 12)}
+        assert view.instances(universe=UNIVERSE)
+
+    def test_program_and_registry_exposed(self, mediator):
+        assert len(mediator.program) == 4
+        assert mediator.registry.domain_names() == ()
+        assert mediator.solver is not None
+
+    def test_add_domain(self, mediator):
+        mediator.add_domain(Domain("extra"))
+        assert "extra" in mediator.registry.domain_names()
+
+
+class TestViewUpdates:
+    def test_delete_with_default_algorithm(self, mediator):
+        view = mediator.materialize()
+        result = view.delete("b(X) <- X = 6")
+        assert isinstance(result, StDelResult)
+        assert (6,) not in view.query("b", universe=UNIVERSE)
+
+    def test_delete_with_dred(self, mediator):
+        view = mediator.materialize()
+        result = view.delete("b(X) <- X = 6", algorithm=DeletionAlgorithm.DRED)
+        assert isinstance(result, DRedResult)
+        assert (6,) not in view.query("b", universe=UNIVERSE)
+
+    def test_delete_accepts_constructed_atom(self, mediator):
+        view = mediator.materialize()
+        view.delete(parse_constrained_atom("b(X) <- X = 7"))
+        assert (7,) not in view.query("b", universe=UNIVERSE)
+
+    def test_insert(self, mediator):
+        view = mediator.materialize()
+        result = view.insert("b(X) <- X = 1")
+        assert len(result.added_entries) == 3
+        assert (1,) in view.query("c", universe=UNIVERSE)
+
+    def test_invalid_update_atom(self, mediator):
+        view = mediator.materialize()
+        with pytest.raises(MediatorError):
+            view.delete(42)  # type: ignore[arg-type]
+        with pytest.raises(ParseError):
+            view.delete("not a rule ~")
+
+    def test_refresh_rematerializes(self, mediator):
+        view = mediator.materialize()
+        view.delete("b(X) <- X = 6")
+        view.refresh()
+        assert (6,) in view.query("b", universe=UNIVERSE)
+
+
+class TestMediatorWithDomains:
+    def test_from_rules_with_domains(self):
+        warehouse = Domain("wh")
+        warehouse.register("stock", lambda: {"apple", "pear"})
+        mediator = Mediator.from_rules("item(X) <- in(X, wh:stock()).", domains=[warehouse])
+        view = mediator.materialize()
+        assert view.query("item") == {("apple",), ("pear",)}
+
+    def test_solver_options_passed_through(self):
+        mediator = Mediator.from_rules(
+            RULES, solver_options=SolverOptions(max_branches=123)
+        )
+        assert mediator.solver.options.max_branches == 123
+
+
+class TestMediatorBuilder:
+    def test_builder_combines_rules_and_domains(self):
+        mediator = (
+            MediatorBuilder()
+            .with_rules("item(X) <- in(X, wh:stock()).")
+            .with_rules("cheap(X) <- item(X) & X = 'apple'.")
+            .with_domain(_warehouse())
+            .build()
+        )
+        view = mediator.materialize()
+        assert view.query("cheap") == {("apple",)}
+        assert len(mediator.program) == 2
+
+    def test_builder_relational_source(self):
+        mediator = (
+            MediatorBuilder()
+            .with_rules(
+                "local(Y) <- in(A, paradox:select_eq('phonebook', 'city', 'dc')) & "
+                "in(Y, paradox:field(A, 'name'))."
+            )
+            .with_relational_source(
+                "paradox", {"phonebook": (("name", "city"), [("ann", "dc"), ("bob", "nyc")])}
+            )
+            .build()
+        )
+        assert mediator.materialize().query("local") == {("ann",)}
+
+    def test_builder_with_clause_and_numbering(self):
+        from repro.datalog import parse_clause
+
+        mediator = (
+            MediatorBuilder()
+            .with_rules("a(X) <- X >= 3.")
+            .with_clause(parse_clause("b(X) <- a(X)."))
+            .build()
+        )
+        assert [clause.number for clause in mediator.program] == [1, 2]
+
+    def test_builder_requires_rules(self):
+        with pytest.raises(MediatorError):
+            MediatorBuilder().build()
+
+    def test_builder_options_passthrough(self):
+        mediator = (
+            MediatorBuilder()
+            .with_rules("a(X) <- X >= 3.")
+            .with_options(solver_options=SolverOptions(max_branches=55))
+            .build()
+        )
+        assert mediator.solver.options.max_branches == 55
+
+
+def _warehouse() -> Domain:
+    warehouse = Domain("wh")
+    warehouse.register("stock", lambda: {"apple", "pear"})
+    return warehouse

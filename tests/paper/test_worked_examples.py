@@ -1,0 +1,291 @@
+"""Regression tests reproducing every worked example of the paper.
+
+The paper contains no measurement tables; its evaluation is the set of
+worked Examples 3-8.  Each test class below reproduces one example
+end-to-end and checks the exact before/after content the paper prints
+(experiments E1-E6 of DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constraints import ConstraintSolver
+from repro.datalog import (
+    compute_tp_fixpoint,
+    compute_wp_fixpoint,
+    parse_constrained_atom,
+    parse_program,
+)
+from repro.domains import DomainClock, DomainRegistry, VersionedDomain
+from repro.maintenance import (
+    delete_with_dred,
+    delete_with_stdel,
+    recompute_after_deletion,
+)
+from repro.mediator import DeletionAlgorithm
+from repro.workloads import make_law_enforcement_scenario
+
+
+class TestExample3LawEnforcementDeletion:
+    """E1 -- Example 3: deleting seenwith(Don Corleone, John).
+
+    The paper's scenario: the materialized view contains seenwith and swlndc
+    pairs for John and Ed; deleting the seenwith pair for John (the forged
+    photograph) removes exactly the seenwith and swlndc atoms for John.
+    """
+
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        return make_law_enforcement_scenario(num_people=10, photo_count=6, seed=7)
+
+    @pytest.fixture(scope="class")
+    def view(self, scenario):
+        return scenario.mediator.materialize(operator="wp")
+
+    def test_initial_view_matches_ground_truth(self, scenario, view):
+        assert set(view.query("suspect")) == set(scenario.expected_suspects())
+
+    def test_deleting_seenwith_removes_dependent_pairs(self, scenario, view):
+        working = scenario.mediator.materialize(operator="wp")
+        kingpin_pairs = sorted(
+            person for witness, person in working.query("seenwith")
+            if witness == scenario.kingpin
+        )
+        assert kingpin_pairs, "scenario must place someone with the kingpin"
+        john = kingpin_pairs[0]
+        working.delete(
+            f"seenwith(X, Y) <- X = '{scenario.kingpin}' & Y = '{john}'",
+            algorithm=DeletionAlgorithm.STDEL,
+        )
+        seenwith_after = working.query("seenwith")
+        swlndc_after = working.query("swlndc")
+        assert (scenario.kingpin, john) not in seenwith_after
+        assert (scenario.kingpin, john) not in swlndc_after
+        # Other people's pairs survive (the paper deletes exactly two atoms).
+        others = [p for p in kingpin_pairs[1:]]
+        for other in others:
+            assert (scenario.kingpin, other) in seenwith_after
+
+    def test_dred_and_stdel_agree_on_the_mediated_view(self, scenario):
+        mediator = scenario.mediator
+        stdel_view = mediator.materialize(operator="wp")
+        dred_view = mediator.materialize(operator="wp")
+        kingpin_pairs = sorted(
+            person for witness, person in stdel_view.query("seenwith")
+            if witness == scenario.kingpin
+        )
+        john = kingpin_pairs[0]
+        request = f"seenwith(X, Y) <- X = '{scenario.kingpin}' & Y = '{john}'"
+        stdel_view.delete(request, algorithm=DeletionAlgorithm.STDEL)
+        dred_view.delete(request, algorithm=DeletionAlgorithm.DRED)
+        assert stdel_view.query("suspect") == dred_view.query("suspect")
+        assert stdel_view.query("swlndc") == dred_view.query("swlndc")
+
+
+class TestExample4ExtendedDRed:
+    """E2 -- Example 4: Extended DRed on the numeric constrained database."""
+
+    UNIVERSE = tuple(range(0, 12))
+
+    def test_initial_materialized_view(self, example45_view):
+        rendered = {(e.predicate, str(e.constraint)) for e in example45_view}
+        assert rendered == {
+            ("a", "X >= 3"), ("a", "X >= 5"), ("b", "X >= 5"),
+            ("c", "X >= 3"), ("c", "X >= 5"),
+        }
+
+    def test_pout_contains_the_three_affected_predicates(
+        self, example45_program, example45_view, solver
+    ):
+        request = parse_constrained_atom("b(X) <- X = 6")
+        result = delete_with_dred(example45_program, example45_view, request, solver)
+        assert {atom.predicate for atom in result.p_out} == {"a", "b", "c"}
+        # The candidates all describe the point X = 6.
+        for atom in result.p_out:
+            instances = atom.instances(solver, self.UNIVERSE)
+            assert instances == {(atom.predicate, (6,))}
+
+    def test_a_and_c_keep_6_via_independent_proof(
+        self, example45_program, example45_view, solver
+    ):
+        request = parse_constrained_atom("b(X) <- X = 6")
+        result = delete_with_dred(example45_program, example45_view, request, solver)
+        assert (6,) in result.view.instances_for("a", solver, self.UNIVERSE)
+        assert (6,) in result.view.instances_for("c", solver, self.UNIVERSE)
+        assert (6,) not in result.view.instances_for("b", solver, self.UNIVERSE)
+
+    def test_final_view_matches_declarative_semantics(
+        self, example45_program, example45_view, solver
+    ):
+        request = parse_constrained_atom("b(X) <- X = 6")
+        result = delete_with_dred(example45_program, example45_view, request, solver)
+        expected = recompute_after_deletion(
+            example45_program, example45_view, request, solver
+        )
+        assert result.view.instances(solver, self.UNIVERSE) == expected.view.instances(
+            solver, self.UNIVERSE
+        )
+
+
+class TestExample5StraightDelete:
+    """E3 -- Example 5: StDel on the same database, with supports."""
+
+    def test_supports_match_the_paper(self, example45_view):
+        supports = {
+            (entry.predicate, str(entry.constraint), str(entry.support))
+            for entry in example45_view
+        }
+        assert ("a", "X >= 3", "<1>") in supports
+        assert ("a", "X >= 5", "<2, <3>>") in supports
+        assert ("b", "X >= 5", "<3>") in supports
+        assert ("c", "X >= 3", "<4, <1>>") in supports
+        assert ("c", "X >= 5", "<4, <2, <3>>>") in supports
+
+    def test_stdel_replacement_chain(self, example45_program, example45_view, solver):
+        request = parse_constrained_atom("b(X) <- X = 6")
+        result = delete_with_stdel(example45_program, example45_view, request, solver)
+        # Replacements: B directly, then A <2,<3>>, then C <4,<2,<3>>>.
+        assert [str(pair.support) for pair in result.p_out] == [
+            "<3>", "<2, <3>>", "<4, <2, <3>>>",
+        ]
+        assert result.stats.replaced_entries == 3
+        # No rederivation step (the whole point of StDel).
+        assert result.stats.rederived_entries == 0
+
+    def test_final_constraints_read_like_the_paper(
+        self, example45_program, example45_view, solver
+    ):
+        request = parse_constrained_atom("b(X) <- X = 6")
+        result = delete_with_stdel(example45_program, example45_view, request, solver)
+        rendered = {(e.predicate, str(e.constraint), str(e.support)) for e in result.view}
+        assert ("a", "X >= 3", "<1>") in rendered
+        assert ("c", "X >= 3", "<4, <1>>") in rendered
+        assert ("b", "X >= 5 & 6 != X", "<3>") in rendered or (
+            "b", "X >= 5 & X != 6", "<3>") in rendered
+        # The untouched entries keep their constraints verbatim.
+        assert len(result.view) == 5
+
+    def test_unmarked_entries_never_touched(self, example45_program, example45_view, solver):
+        request = parse_constrained_atom("b(X) <- X = 6")
+        result = delete_with_stdel(example45_program, example45_view, request, solver)
+        untouched = {str(e.support) for e in result.view} - {
+            str(pair.support) for pair in result.p_out
+        }
+        assert untouched == {"<1>", "<4, <1>>"}
+
+
+class TestExample6RecursiveView:
+    """E4 -- Example 6: deletion from a recursive (transitive-closure) view."""
+
+    def test_initial_view_has_seven_entries_with_paper_supports(self, example6_view):
+        supports = {str(entry.support) for entry in example6_view}
+        assert supports == {
+            "<1>", "<2>", "<3>", "<4, <1>>", "<4, <2>>", "<4, <3>>",
+            "<5, <2>, <4, <3>>>",
+        }
+
+    def test_deletion_removes_three_entries(self, example6_program, example6_view, solver):
+        request = parse_constrained_atom("p(X, Y) <- X = 'c' & Y = 'd'")
+        result = delete_with_stdel(example6_program, example6_view, request, solver)
+        assert len(result.removed) == 3
+        removed_supports = {str(entry.support) for entry in result.removed}
+        assert removed_supports == {"<3>", "<4, <3>>", "<5, <2>, <4, <3>>>"}
+
+    def test_final_view_matches_paper_m_prime(self, example6_program, example6_view, solver):
+        request = parse_constrained_atom("p(X, Y) <- X = 'c' & Y = 'd'")
+        result = delete_with_stdel(example6_program, example6_view, request, solver)
+        assert result.view.instances(solver) == {
+            ("p", ("a", "b")), ("p", ("a", "c")),
+            ("a", ("a", "b")), ("a", ("a", "c")),
+        }
+
+    def test_dred_handles_the_recursive_view_too(
+        self, example6_program, example6_view, solver
+    ):
+        request = parse_constrained_atom("p(X, Y) <- X = 'c' & Y = 'd'")
+        result = delete_with_dred(example6_program, example6_view, request, solver)
+        expected = recompute_after_deletion(
+            example6_program, example6_view, request, solver
+        )
+        assert result.view.instances(solver) == expected.view.instances(solver)
+
+
+def _example7_setup():
+    clock = DomainClock()
+    domain = VersionedDomain("d", clock)
+    domain.register_versioned("g", lambda key: {"a"} if key == "b" else set())
+    domain.set_behavior("g", 1, lambda key: set())
+    registry = DomainRegistry([domain])
+    solver = ConstraintSolver(registry)
+    program = parse_program("b(X) <- in(X, d:g('b')).")
+    return clock, registry, solver, program
+
+
+class TestExample7ExternalChangeUnderTp:
+    """E5 -- Example 7: g('b') loses its only element; the T_P view changes."""
+
+    def test_tp_view_before_and_after(self):
+        clock, registry, solver, program = _example7_setup()
+        before = compute_tp_fixpoint(program, solver)
+        assert len(before) == 1
+        assert before.instances(solver) == {("b", ("a",))}
+        clock.advance()
+        after = compute_tp_fixpoint(program, solver)
+        # The constraint in(X, d:g('b')) is now unsolvable: the view is empty.
+        assert len(after) == 0
+
+    def test_wp_view_is_unaffected_syntactically(self):
+        clock, registry, solver, program = _example7_setup()
+        before = compute_wp_fixpoint(program, solver)
+        clock.advance()
+        after = compute_wp_fixpoint(program, solver)
+        assert [str(e) for e in before] == [str(e) for e in after]
+        assert len(before) == 1
+
+
+class TestExample8WpSemantics:
+    """E6 -- Example 8: [W_P view] equals [T_P view] at every time point."""
+
+    @staticmethod
+    def _setup():
+        clock = DomainClock()
+        domain = VersionedDomain("d1", clock)
+        domain.register_versioned(
+            "f", lambda key: {"b"} if key == "b" else set()
+        )
+        domain.set_behavior(
+            "f", 1, lambda key: {"a"} if key == "a" else set()
+        )
+        registry = DomainRegistry([domain])
+        solver = ConstraintSolver(registry)
+        program = parse_program(
+            """
+            fact(X, Y) <- X = 'a' & Y = 'b'.
+            fact(X, Y) <- X = 'b' & Y = 'b'.
+            a(X) <- in(X, d1:f(X)) || fact(X, Y).
+            """
+        )
+        return clock, solver, program
+
+    def test_wp_view_contains_both_constrained_atoms(self):
+        clock, solver, program = self._setup()
+        wp_view = compute_wp_fixpoint(program, solver)
+        assert len(wp_view.entries_for("a")) == 2
+        tp_view = compute_tp_fixpoint(program, solver)
+        assert len(tp_view.entries_for("a")) == 1
+
+    def test_instances_coincide_at_time_t(self):
+        clock, solver, program = self._setup()
+        wp_view = compute_wp_fixpoint(program, solver)
+        tp_view = compute_tp_fixpoint(program, solver)
+        assert wp_view.instances(solver) == tp_view.instances(solver)
+        assert wp_view.instances_for("a", solver) == {("b",)}
+
+    def test_instances_coincide_at_time_t_plus_1_without_any_maintenance(self):
+        clock, solver, program = self._setup()
+        wp_view = compute_wp_fixpoint(program, solver)
+        clock.advance()
+        tp_view_later = compute_tp_fixpoint(program, solver)
+        assert wp_view.instances(solver) == tp_view_later.instances(solver)
+        assert wp_view.instances_for("a", solver) == {("a",)}

@@ -1,0 +1,152 @@
+"""Unit tests for tables, indexes and change logging."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.reldb import ChangeKind, ChangeLog, HashIndex, Schema, Table
+
+
+@pytest.fixture
+def table():
+    table = Table("phonebook", Schema.of("name", "city"))
+    table.insert(("ann", "dc"))
+    table.insert(("bob", "nyc"))
+    table.insert(("cid", "dc"))
+    return table
+
+
+class TestTableBasics:
+    def test_len_and_rows(self, table):
+        assert len(table) == 3
+        assert [row["name"] for row in table.rows()] == ["ann", "bob", "cid"]
+
+    def test_insert_mapping(self, table):
+        table.insert({"name": "dee", "city": "la"})
+        assert table.contains_row(("dee", "la"))
+
+    def test_insert_many(self):
+        table = Table("t", Schema.of("v"))
+        assert table.insert_many([(i,) for i in range(5)]) == 5
+        assert len(table) == 5
+
+    def test_schema_violation(self, table):
+        with pytest.raises(SchemaError):
+            table.insert(("only-name",))
+
+    def test_version_bumps(self, table):
+        before = table.version
+        table.insert(("dee", "la"))
+        assert table.version == before + 1
+        table.delete_eq("name", "dee")
+        assert table.version == before + 2
+
+
+class TestQueries:
+    def test_select_eq(self, table):
+        rows = table.select_eq("city", "dc")
+        assert {row["name"] for row in rows} == {"ann", "cid"}
+        assert table.select_eq("city", "sf") == ()
+
+    def test_select_eq_after_updates_uses_index_correctly(self, table):
+        table.select_eq("city", "dc")  # builds the index
+        table.insert(("dee", "dc"))
+        table.delete_eq("name", "ann")
+        assert {row["name"] for row in table.select_eq("city", "dc")} == {"cid", "dee"}
+
+    def test_select_where(self, table):
+        rows = table.select_where(lambda row: row["name"] > "b")
+        assert {row["name"] for row in rows} == {"bob", "cid"}
+
+    def test_project_and_distinct(self, table):
+        assert table.project(["city"]) == (("dc",), ("nyc",))
+        assert set(table.distinct_values("city")) == {"dc", "nyc"}
+
+    def test_int_float_bucketing(self):
+        table = Table("t", Schema.of("v"))
+        table.insert((1,))
+        assert len(table.select_eq("v", 1.0)) == 1
+
+
+class TestModification:
+    def test_delete_where(self, table):
+        assert table.delete_where(lambda row: row["city"] == "dc") == 2
+        assert len(table) == 1
+
+    def test_delete_row(self, table):
+        assert table.delete_row(("bob", "nyc"))
+        assert not table.delete_row(("bob", "nyc"))
+
+    def test_update_where(self, table):
+        touched = table.update_where(lambda row: row["name"] == "ann", {"city": "sf"})
+        assert touched == 1
+        assert table.select_eq("name", "ann")[0]["city"] == "sf"
+        with pytest.raises(SchemaError):
+            table.update_where(lambda row: True, {"zzz": 1})
+
+    def test_clear(self, table):
+        assert table.clear() == 3
+        assert len(table) == 0
+
+
+class TestChangeLogging:
+    def test_changes_recorded(self):
+        log = ChangeLog()
+        table = Table("t", Schema.of("v"), change_log=log)
+        table.insert((1,))
+        table.insert((2,))
+        table.delete_eq("v", 1)
+        table.update_where(lambda row: row["v"] == 2, {"v": 3})
+        kinds = [change.kind for change in log]
+        assert kinds == [
+            ChangeKind.INSERT, ChangeKind.INSERT, ChangeKind.DELETE, ChangeKind.UPDATE,
+        ]
+
+    def test_net_effect_between_versions(self):
+        log = ChangeLog()
+        table = Table("t", Schema.of("v"), change_log=log)
+        table.insert((1,))
+        checkpoint = table.version
+        table.insert((2,))
+        table.insert((3,))
+        table.delete_eq("v", 3)       # inserted then deleted: cancels out
+        table.delete_eq("v", 1)       # deletion of a pre-existing row
+        assert set(log.inserted_rows(checkpoint, table.version)) == {(2,)}
+        assert set(log.deleted_rows(checkpoint, table.version)) == {(1,)}
+
+    def test_update_counts_as_delete_plus_insert(self):
+        log = ChangeLog()
+        table = Table("t", Schema.of("v"), change_log=log)
+        table.insert((1,))
+        checkpoint = table.version
+        table.update_where(lambda row: True, {"v": 2})
+        assert set(log.inserted_rows(checkpoint, table.version)) == {(2,)}
+        assert set(log.deleted_rows(checkpoint, table.version)) == {(1,)}
+
+    def test_table_filter(self):
+        log = ChangeLog()
+        first = Table("a", Schema.of("v"), change_log=log)
+        second = Table("b", Schema.of("v"), change_log=log)
+        first.insert((1,))
+        second.insert((2,))
+        assert len(log.changes_between(0, 10, table="a")) == 1
+
+
+class TestHashIndex:
+    def test_add_remove_lookup(self):
+        index = HashIndex("city")
+        index.add("dc", 1)
+        index.add("dc", 2)
+        index.add("nyc", 3)
+        assert index.lookup("dc") == {1, 2}
+        index.remove("dc", 1)
+        assert index.lookup("dc") == {2}
+        index.remove("dc", 2)
+        assert index.lookup("dc") == set()
+        assert len(index) == 1
+
+    def test_rebuild(self):
+        index = HashIndex("v")
+        index.rebuild([(1, ("a",)), (2, ("b",)), (3, ("a",))], 0)
+        assert index.lookup("a") == {1, 3}
