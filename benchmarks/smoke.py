@@ -1,0 +1,179 @@
+"""Smoke benchmark: every claim's smallest configuration, one JSON snapshot.
+
+The full pytest-benchmark sweep (``pytest benchmarks/ --benchmark-only``)
+takes minutes; this script runs each benchmark family at its smallest size in
+well under a minute and writes a ``BENCH_smoke.json`` snapshot with wall-clock
+times *and* the operation counters (``derivation_attempts``, ``solver_calls``,
+...), so successive PRs have a perf trajectory to compare against::
+
+    PYTHONPATH=src python benchmarks/smoke.py [--out PATH] [--label TEXT]
+
+Counters matter more than times here: they are deterministic across machines,
+so a regression in the *shape* of the work (e.g. a delta join decaying back
+into a Cartesian product) is visible even when the hardware differs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT))
+
+from benchmarks.conftest import (  # noqa: E402
+    build_chain_deletion_scenario,
+    build_interval_deletion_scenario,
+    build_layered_deletion_scenario,
+    build_tc_deletion_scenario,
+)
+from repro.constraints import ConstraintSolver  # noqa: E402
+from repro.datalog import FixpointEngine  # noqa: E402
+from repro.maintenance import (  # noqa: E402
+    TpExternalMaintenance,
+    WpExternalMaintenance,
+    delete_with_dred,
+    delete_with_stdel,
+    insert_atom,
+    recompute_after_deletion,
+)
+from repro.workloads import (  # noqa: E402
+    insertion_stream,
+    make_path_graph_edges,
+    make_transitive_closure_program,
+)
+
+
+def timed(fn, *args, **kwargs):
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return time.perf_counter() - start, result
+
+
+def run_deletion_family(scenario) -> dict:
+    results = {}
+    for algorithm, fn in (
+        ("stdel", delete_with_stdel),
+        ("dred", delete_with_dred),
+        ("recompute", recompute_after_deletion),
+    ):
+        seconds, outcome = timed(
+            fn, scenario.program, scenario.view, scenario.request.atom, scenario.solver
+        )
+        results[algorithm] = {
+            "seconds": round(seconds, 4),
+            "stats": outcome.stats.as_dict(),
+        }
+    return {
+        "workload": scenario.spec.description,
+        "view_entries": len(scenario.view),
+        **results,
+    }
+
+
+def run_materialization(length: int) -> dict:
+    spec = make_transitive_closure_program(make_path_graph_edges(length))
+    engine = FixpointEngine(spec.program, ConstraintSolver())
+    seconds, view = timed(engine.compute)
+    return {
+        "workload": spec.description,
+        "seconds": round(seconds, 4),
+        "view_entries": len(view),
+        "iterations": engine.stats.iterations,
+        "derivation_attempts": engine.stats.derivation_attempts,
+        "clauses_skipped": engine.stats.clauses_skipped,
+    }
+
+
+def run_insertion(scenario) -> dict:
+    request = insertion_stream(scenario.spec, 1, seed=5)[0]
+    seconds, outcome = timed(
+        insert_atom, scenario.program, scenario.view, request.atom, scenario.solver
+    )
+    return {
+        "workload": scenario.spec.description,
+        "seconds": round(seconds, 4),
+        "stats": outcome.stats.as_dict(),
+    }
+
+
+def run_external(spec) -> dict:
+    # W_P keeps unsolvable entries, so it needs a non-recursive workload
+    # (on recursive programs those entries feed further joins forever).
+    solver = ConstraintSolver()
+    tp_seconds, tp = timed(TpExternalMaintenance, spec.program, solver)
+    wp_seconds, wp = timed(WpExternalMaintenance, spec.program, solver)
+    tp_change, _ = timed(tp.on_source_changed)
+    wp_change, _ = timed(wp.on_source_changed)
+    return {
+        "workload": spec.description,
+        "tp_materialize_seconds": round(tp_seconds, 4),
+        "wp_materialize_seconds": round(wp_seconds, 4),
+        "tp_source_change_seconds": round(tp_change, 4),
+        "wp_source_change_seconds": round(wp_change, 4),
+    }
+
+
+def run_smoke() -> dict:
+    snapshot: dict = {}
+    snapshot["fixpoint_tc"] = run_materialization(length=6)
+    snapshot["deletion_layered_small"] = run_deletion_family(
+        build_layered_deletion_scenario("small")
+    )
+    snapshot["deletion_chain_depth2"] = run_deletion_family(
+        build_chain_deletion_scenario(depth=2, base_facts=6)
+    )
+    snapshot["deletion_interval"] = run_deletion_family(
+        build_interval_deletion_scenario(predicates=2)
+    )
+    snapshot["deletion_recursive_tc6"] = run_deletion_family(
+        build_tc_deletion_scenario(length=6)
+    )
+    snapshot["insertion_layered_small"] = run_insertion(
+        build_layered_deletion_scenario("small")
+    )
+    snapshot["external_layered_small"] = run_external(
+        build_layered_deletion_scenario("small").spec
+    )
+    return snapshot
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default=str(REPO_ROOT / "BENCH_smoke.json"),
+        help="where to write the snapshot (default: repo root BENCH_smoke.json)",
+    )
+    parser.add_argument(
+        "--label", default="", help="free-form label stored in the snapshot"
+    )
+    args = parser.parse_args(argv)
+
+    start = time.perf_counter()
+    results = run_smoke()
+    total = time.perf_counter() - start
+
+    snapshot = {
+        "label": args.label,
+        "python": platform.python_version(),
+        "total_seconds": round(total, 2),
+        "results": results,
+    }
+    out_path = Path(args.out)
+    out_path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+    print(f"smoke benchmarks finished in {total:.1f}s -> {out_path}")
+    for family, data in results.items():
+        keys = [k for k in ("seconds", "view_entries") if k in data]
+        brief = ", ".join(f"{k}={data[k]}" for k in keys)
+        print(f"  {family}: {brief or 'ok'}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -309,9 +309,25 @@ class NegatedConjunction(Constraint):
         """Return the conjunction being negated."""
         return conjoin(*self.parts)
 
+    def __hash__(self) -> int:
+        # Nodes are immutable but deeply nested; the generated dataclass hash
+        # recurses over the whole subtree on every dict/set lookup, which the
+        # solver memo and view keys do constantly.  Compute once, cache.
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash(("not", self.parts))
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
     def __str__(self) -> str:
-        inner = " & ".join(str(part) for part in self.parts) or "true"
-        return f"not({inner})"
+        # Canonicalization sorts conjuncts by their rendering, so deep
+        # negation nodes get stringified over and over; cache like the hash.
+        cached = self.__dict__.get("_str")
+        if cached is None:
+            inner = " & ".join(str(part) for part in self.parts) or "true"
+            cached = f"not({inner})"
+            object.__setattr__(self, "_str", cached)
+        return cached
 
 
 @dataclass(frozen=True)
@@ -343,6 +359,14 @@ class Conjunction(Constraint):
 
     def conjuncts(self) -> Tuple[Constraint, ...]:
         return self.parts
+
+    def __hash__(self) -> int:
+        # See NegatedConjunction.__hash__: hashed constantly, cached once.
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash(("and", self.parts))
+            object.__setattr__(self, "_hash", cached)
+        return cached
 
     def __str__(self) -> str:
         return " & ".join(str(part) for part in self.parts)

@@ -16,7 +16,7 @@ because ``∃V (V = t ∧ φ)`` is equivalent to ``φ[V := t]``.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.constraints.ast import (
     Comparison,
@@ -26,6 +26,12 @@ from repro.constraints.ast import (
     conjoin,
 )
 from repro.constraints.terms import Constant, Substitution, Term, Variable
+
+#: Memo for :func:`eliminate_variables`.  Projection is deterministic and
+#: purely syntactic, and the fixpoint/maintenance hot paths project the same
+#: (constraint, head-variables) pairs over and over.
+_ELIMINATION_CACHE: Dict[Tuple[Constraint, FrozenSet[Variable]], Constraint] = {}
+_ELIMINATION_CACHE_LIMIT = 200_000
 
 
 def eliminate_variables(
@@ -51,6 +57,17 @@ def eliminate_variables(
     if isinstance(constraint, (TrueConstraint, FalseConstraint)):
         return constraint
 
+    cache_key: Optional[Tuple[Constraint, FrozenSet[Variable]]] = None
+    if max_rounds is None:
+        try:
+            cache_key = (constraint, frozenset(protected))
+            cached = _ELIMINATION_CACHE.get(cache_key)
+        except TypeError:  # unhashable constant value somewhere inside
+            cache_key = None
+            cached = None
+        if cached is not None:
+            return cached
+
     parts: List[Constraint] = list(constraint.conjuncts())
     rounds = max_rounds if max_rounds is not None else len(parts) + 1
 
@@ -65,7 +82,12 @@ def eliminate_variables(
             for position, part in enumerate(parts)
             if position != index
         ]
-    return conjoin(*_drop_trivial(parts))
+    result = conjoin(*_drop_trivial(parts))
+    if cache_key is not None:
+        if len(_ELIMINATION_CACHE) >= _ELIMINATION_CACHE_LIMIT:
+            _ELIMINATION_CACHE.clear()
+        _ELIMINATION_CACHE[cache_key] = result
+    return result
 
 
 def scope_negations(constraint: Constraint) -> Constraint:
@@ -81,11 +103,31 @@ def scope_negations(constraint: Constraint) -> Constraint:
     The view constraints also become the compact forms the paper displays,
     e.g. ``X >= 5 & not(Y = 6 & Y = X)`` becomes ``X >= 5 & not(X = 6)``.
     """
-    from repro.constraints.ast import FALSE, NegatedConjunction, conjoin as _conjoin
-
     parts = list(constraint.conjuncts())
     if not parts:
         return constraint
+    try:
+        cached = _SCOPING_CACHE.get(constraint)
+    except TypeError:
+        return _scope_negations_uncached(constraint, parts)
+    if cached is not None:
+        return cached
+    result = _scope_negations_uncached(constraint, parts)
+    if len(_SCOPING_CACHE) >= _ELIMINATION_CACHE_LIMIT:
+        _SCOPING_CACHE.clear()
+    _SCOPING_CACHE[constraint] = result
+    return result
+
+
+#: Memo for :func:`scope_negations` (pure; run by every satisfiability check).
+_SCOPING_CACHE: Dict[Constraint, Constraint] = {}
+
+
+def _scope_negations_uncached(
+    constraint: Constraint, parts: List[Constraint]
+) -> Constraint:
+    from repro.constraints.ast import FALSE, NegatedConjunction, conjoin as _conjoin
+
     rewritten: List[Constraint] = []
     changed = False
     for index, part in enumerate(parts):

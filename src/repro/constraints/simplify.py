@@ -68,10 +68,26 @@ def simplify(
     if isinstance(constraint, (TrueConstraint, FalseConstraint)):
         return constraint
 
+    cached = solver.cached_simplification(constraint, drop_redundant_comparisons)
+    if cached is not None:
+        return cached
+    original = constraint
+
     constraint = scope_negations(constraint)
     if isinstance(constraint, (TrueConstraint, FalseConstraint)):
+        solver.cache_simplification(original, drop_redundant_comparisons, constraint)
         return constraint
 
+    result = _simplify_conjuncts(constraint, solver, drop_redundant_comparisons)
+    solver.cache_simplification(original, drop_redundant_comparisons, result)
+    return result
+
+
+def _simplify_conjuncts(
+    constraint: Constraint,
+    solver: ConstraintSolver,
+    drop_redundant_comparisons: bool,
+) -> Constraint:
     conjuncts = _dedupe(list(constraint.conjuncts()))
     if any(isinstance(part, FalseConstraint) for part in conjuncts):
         return FALSE
@@ -99,20 +115,41 @@ def simplify(
     return conjoin(*reduced)
 
 
+#: Memo for :func:`canonical_form`.  Constraints are immutable and the form
+#: is purely syntactic, so results never go stale; the cache is cleared
+#: wholesale at the (generous) cap to bound memory.
+_CANONICAL_CACHE: "dict[Constraint, Constraint]" = {}
+_CANONICAL_CACHE_LIMIT = 200_000
+
+
 def canonical_form(constraint: Constraint) -> Constraint:
     """Return a canonical ordering of conjuncts for duplicate detection.
 
     Equalities are oriented variable-first / alphabetically and the conjuncts
     are sorted by their textual rendering; this gives a stable, purely
     syntactic normal form (no solver reasoning), adequate for detecting
-    literally repeated view entries.
+    literally repeated view entries.  Every view-entry key, solver memo hit
+    and maintenance dedup goes through here, so results are memoized.
     """
     if isinstance(constraint, (TrueConstraint, FalseConstraint)):
         return constraint
+    try:
+        cached = _CANONICAL_CACHE.get(constraint)
+        cacheable = True
+    except TypeError:  # a constant holds an unhashable value
+        cached = None
+        cacheable = False
+    if cached is not None:
+        return cached
     oriented = [_orient(part) for part in constraint.conjuncts()]
     unique = _dedupe(oriented)
     ordered = sorted(unique, key=str)
-    return conjoin(*ordered)
+    result = conjoin(*ordered)
+    if cacheable:
+        if len(_CANONICAL_CACHE) >= _CANONICAL_CACHE_LIMIT:
+            _CANONICAL_CACHE.clear()
+        _CANONICAL_CACHE[constraint] = result
+    return result
 
 
 def extract_bindings(constraint: Constraint) -> "dict[Variable, Constant]":

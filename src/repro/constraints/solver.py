@@ -34,6 +34,7 @@ unchanged); it merely costs a little space -- exactly the trade the paper's
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
 import math
 from dataclasses import dataclass, field
@@ -77,6 +78,19 @@ class SolverOptions:
     #: When True, failing to evaluate a *ground* call raises instead of
     #: falling back to the unknown-membership assumption.
     strict_evaluation: bool = False
+    #: Memoize :meth:`ConstraintSolver.is_satisfiable` results, keyed on the
+    #: constraint's canonical form.  Results that depend on external domain
+    #: functions (DCA-atoms with an evaluator attached) go into a separate
+    #: cache dropped by :meth:`ConstraintSolver.invalidate_external_functions`.
+    memoize_satisfiability: bool = True
+    #: Cache results that consult external domain functions.  Off by default:
+    #: such results go stale whenever a source changes, so only callers that
+    #: own a change-notification contract (the external-maintenance classes
+    #: of Section 4, which invalidate on every source change) enable this.
+    memoize_external_calls: bool = False
+    #: Hard cap on cached satisfiability results (per cache; the cache is
+    #: cleared wholesale when the cap is hit -- a simple, branch-free policy).
+    max_memoized_results: int = 100_000
 
 
 DEFAULT_OPTIONS = SolverOptions()
@@ -230,6 +244,17 @@ class ConstraintSolver:
     ) -> None:
         self._evaluator = evaluator
         self._options = options
+        # Satisfiability memo, split by what the result depends on.  Pure
+        # results (no DCA-atom consults the evaluator) are time-invariant and
+        # survive source changes; external results are only valid until the
+        # next call to invalidate_external_functions().
+        self._pure_sat_cache: Dict[Constraint, bool] = {}
+        self._external_sat_cache: Dict[Constraint, bool] = {}
+        # Simplification memo (filled by repro.constraints.simplify), split
+        # the same way: simplification consults entailment, which can depend
+        # on external functions.
+        self._pure_simplify_cache: Dict[object, Constraint] = {}
+        self._external_simplify_cache: Dict[object, Constraint] = {}
 
     # ------------------------------------------------------------------
     # Public API
@@ -248,12 +273,63 @@ class ConstraintSolver:
         """Return a solver sharing options but using a different evaluator."""
         return ConstraintSolver(evaluator, self._options)
 
+    def with_external_memoization(self) -> "ConstraintSolver":
+        """Return a solver that also memoizes DCA-dependent results.
+
+        The caller takes on the obligation to call
+        :meth:`invalidate_external_functions` whenever an external source
+        changes; the external-maintenance strategies of Section 4 do exactly
+        that on every ``on_source_changed``.
+        """
+        options = dataclasses.replace(self._options, memoize_external_calls=True)
+        return ConstraintSolver(self._evaluator, options)
+
+    def invalidate_external_functions(self) -> None:
+        """Drop memoized results that consulted external domain functions.
+
+        The external-maintenance strategies of Section 4 call this whenever a
+        source changes: satisfiability of a constraint containing DCA-atoms
+        is a function of the sources' current behaviour, so those cached
+        results are stale the moment a behaviour changes.  Pure comparison
+        results are time-invariant and are kept.
+        """
+        self._external_sat_cache.clear()
+        self._external_simplify_cache.clear()
+
     def is_satisfiable(self, constraint: Constraint) -> bool:
         """Return True if the constraint has at least one solution."""
         if isinstance(constraint, TrueConstraint):
             return True
         if isinstance(constraint, FalseConstraint):
             return False
+        cache = self._cache_for(constraint)
+        key: Optional[Constraint] = None
+        if cache is not None:
+            from repro.constraints.simplify import canonical_form
+
+            # Two-level probe: the constraint itself first (its hash is
+            # cached on the node, so this is nearly free), then the
+            # canonical form, which also catches reordered conjunctions.
+            try:
+                cached = cache.get(constraint)
+                if cached is None:
+                    key = canonical_form(constraint)
+                    cached = cache.get(key)
+            except TypeError:  # unhashable constant value somewhere inside
+                cache = None
+                cached = None
+            if cached is not None:
+                return cached
+        result = self._decide_satisfiable(constraint)
+        if cache is not None and key is not None:
+            if len(cache) >= self._options.max_memoized_results:
+                cache.clear()
+            cache[key] = result
+            if key != constraint:
+                cache[constraint] = result
+        return result
+
+    def _decide_satisfiable(self, constraint: Constraint) -> bool:
         # Inline equality-determined local variables inside negations so the
         # branch expansion treats ``not(ψ)`` exactly (see scope_negations).
         from repro.constraints.projection import scope_negations
@@ -269,6 +345,65 @@ class ConstraintSolver:
             if self._branch_satisfiable(branch):
                 return True
         return False
+
+    def _cache_for(self, constraint: Constraint) -> Optional[Dict[Constraint, bool]]:
+        """Pick the memo for *constraint*, or ``None`` when caching is unsafe.
+
+        A result is *pure* -- cacheable forever -- when no DCA-atom can reach
+        the evaluator: either the constraint mentions none, or there is no
+        evaluator (unknown memberships resolve by a fixed option).  Results
+        that do consult external functions are cached only when the caller
+        opted in via ``memoize_external_calls`` (pairing it with
+        :meth:`invalidate_external_functions` on every source change).
+        """
+        if not self._options.memoize_satisfiability:
+            return None
+        if self._evaluator is None or not _mentions_membership(constraint):
+            return self._pure_sat_cache
+        if self._options.memoize_external_calls:
+            return self._external_sat_cache
+        return None
+
+    def cached_simplification(
+        self, constraint: Constraint, variant: object
+    ) -> Optional[Constraint]:
+        """Look up a memoized simplification result (see ``simplify``).
+
+        *variant* distinguishes simplification modes (e.g. whether redundant
+        comparisons are dropped); gating mirrors the satisfiability memo.
+        """
+        cache = self._simplify_cache_for(constraint)
+        if cache is None:
+            return None
+        try:
+            return cache.get((constraint, variant))
+        except TypeError:
+            return None
+
+    def cache_simplification(
+        self, constraint: Constraint, variant: object, result: Constraint
+    ) -> None:
+        """Store a simplification result in the memo (see ``simplify``)."""
+        cache = self._simplify_cache_for(constraint)
+        if cache is None:
+            return
+        if len(cache) >= self._options.max_memoized_results:
+            cache.clear()
+        try:
+            cache[(constraint, variant)] = result
+        except TypeError:
+            pass
+
+    def _simplify_cache_for(
+        self, constraint: Constraint
+    ) -> Optional[Dict[object, Constraint]]:
+        if not self._options.memoize_satisfiability:
+            return None
+        if self._evaluator is None or not _mentions_membership(constraint):
+            return self._pure_simplify_cache
+        if self._options.memoize_external_calls:
+            return self._external_simplify_cache
+        return None
 
     def is_unsatisfiable(self, constraint: Constraint) -> bool:
         """Return True if the constraint has no solution."""
@@ -725,6 +860,15 @@ def _ground_term(term: Term, assignment: Mapping[Variable, object]) -> object:
     if term in assignment:
         return assignment[term]
     raise SolverError(f"unbound variable in ground evaluation: {term}")
+
+
+def _mentions_membership(constraint: Constraint) -> bool:
+    """True when a DCA-atom occurs anywhere in the constraint."""
+    if isinstance(constraint, Membership):
+        return True
+    if isinstance(constraint, (Conjunction, NegatedConjunction)):
+        return any(_mentions_membership(part) for part in constraint.parts)
+    return False
 
 
 def _is_number(value: object) -> bool:

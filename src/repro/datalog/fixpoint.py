@@ -22,14 +22,15 @@ once.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, replace
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.constraints.ast import Constraint, conjoin, tuple_equalities
 from repro.constraints.projection import eliminate_variables
 from repro.constraints.simplify import simplify
 from repro.constraints.solver import ConstraintSolver
 from repro.constraints.terms import FreshVariableFactory, Variable
+from repro.datalog.atoms import ConstrainedAtom
 from repro.datalog.clauses import Clause
 from repro.datalog.program import ConstrainedDatabase
 from repro.datalog.support import Support
@@ -68,6 +69,69 @@ DEFAULT_FIXPOINT_OPTIONS = FixpointOptions()
 WP_OPTIONS = FixpointOptions(check_solvability=False)
 
 
+@dataclass
+class FixpointStats:
+    """Operation counters of one fixpoint computation.
+
+    ``derivation_attempts`` counts premise combinations actually enumerated;
+    under semi-naive evaluation it is proportional to the per-round deltas
+    (``O(|Δ| · |view|^(k-1))`` per clause of body arity ``k``), not to the
+    full ``O(|view|^k)`` Cartesian product a naive round would consider.
+    """
+
+    #: Rounds executed until the fixpoint was reached.
+    iterations: int = 0
+    #: Premise combinations enumerated (clause applications attempted).
+    derivation_attempts: int = 0
+    #: Entries actually added to the view.
+    entries_added: int = 0
+    #: Clause evaluations skipped by the body-predicate dependency index
+    #: (clause considered in a round times no body predicate had a delta).
+    clauses_skipped: int = 0
+    #: Per-round delta sizes (number of entries new since the last round).
+    round_delta_sizes: List[int] = field(default_factory=list)
+    #: Per-round derivation attempts (aligned with ``round_delta_sizes``).
+    round_attempts: List[int] = field(default_factory=list)
+
+
+_T = TypeVar("_T")
+
+
+def iter_delta_joins(
+    old_pools: Sequence[Sequence[_T]],
+    delta_pools: Sequence[Sequence[_T]],
+    full_pools: Sequence[Sequence[_T]],
+) -> Iterator[Tuple[_T, ...]]:
+    """Enumerate premise combinations that use at least one delta element.
+
+    The enumeration is partitioned by the *first* body position that takes a
+    delta element: positions before it draw from ``old_pools`` (the view
+    minus the delta), the position itself draws from ``delta_pools`` and the
+    positions after it draw from ``full_pools`` (the whole view).  Every
+    combination containing at least one delta element is produced exactly
+    once, and no delta-free combination is ever materialized -- this is the
+    semi-naive join the naive product-then-filter loop only simulated.
+
+    Passing ``full_pools`` again as ``old_pools`` yields the combinations
+    with *exactly one* delta element instead (assuming the delta pools are
+    disjoint from the full pools), which is the Extended DRed / P_ADD
+    unfolding discipline.
+    """
+    arity = len(full_pools)
+    for position in range(arity):
+        delta_pool = delta_pools[position]
+        if not delta_pool:
+            continue
+        prefix = old_pools[:position]
+        suffix = full_pools[position + 1:]
+        if any(not pool for pool in prefix) or any(not pool for pool in suffix):
+            continue
+        for chosen in delta_pool:
+            for before in itertools.product(*prefix):
+                for after in itertools.product(*suffix):
+                    yield before + (chosen,) + after
+
+
 class FixpointEngine:
     """Computes ``T_P ↑ ω`` / ``W_P ↑ ω`` for a constrained database."""
 
@@ -80,6 +144,7 @@ class FixpointEngine:
         self._program = program
         self._solver = solver or ConstraintSolver()
         self._options = options
+        self._stats = FixpointStats()
 
     # ------------------------------------------------------------------
     # Public API
@@ -99,6 +164,11 @@ class FixpointEngine:
         """The options the engine was configured with."""
         return self._options
 
+    @property
+    def stats(self) -> FixpointStats:
+        """Counters of the most recent :meth:`compute` / :meth:`step` call."""
+        return self._stats
+
     def compute(
         self, initial: Optional[MaterializedView] = None
     ) -> MaterializedView:
@@ -108,36 +178,44 @@ class FixpointEngine:
         it is the inflationary iteration ``T_P ↑ ω(M')`` used by the
         rederivation step of the Extended DRed algorithm.
         """
+        self._stats = FixpointStats()
         view = MaterializedView(initial.entries if initial is not None else ())
         factory = self._make_factory(view)
 
         # Round 0: body-free clauses, plus the seed entries, form the delta.
+        # Seed entries count as delta (they can fire clauses) but not as
+        # *added*: entries_added only counts entries this computation put in.
         delta: List[ViewEntry] = list(view.entries)
         for clause in self._program:
             if clause.is_fact_clause:
                 entry = self._derive_fact(clause)
                 if entry is not None and view.add(entry):
                     delta.append(entry)
+                    self._stats.entries_added += 1
 
         iteration = 0
         while delta:
             iteration += 1
             if iteration > self._options.max_iterations:
                 raise FixpointDivergenceError(self._options.max_iterations)
-            delta_keys = {entry.key() for entry in delta}
+            self._stats.iterations = iteration
+            self._stats.round_delta_sizes.append(len(delta))
+            attempts_before = self._stats.derivation_attempts
             produced: List[ViewEntry] = []
-            for clause in self._program:
-                if clause.is_fact_clause:
-                    continue
+            for clause, pools_for in self._round_plan(view, delta):
                 produced.extend(
-                    self._derive_from_clause(clause, view, delta_keys, factory)
+                    self._derive_from_clause(clause, pools_for, factory)
                 )
+            self._stats.round_attempts.append(
+                self._stats.derivation_attempts - attempts_before
+            )
             new_delta: List[ViewEntry] = []
             for entry in produced:
                 if self._should_skip(entry, view):
                     continue
                 if view.add(entry):
                     new_delta.append(entry)
+                    self._stats.entries_added += 1
             if len(view) > self._options.max_entries:
                 raise FixpointDivergenceError(
                     iteration,
@@ -153,19 +231,22 @@ class FixpointEngine:
         *interpretation*, mirroring the paper's definition of the operator
         (the result does not include ``I`` itself).
         """
+        self._stats = FixpointStats()
         factory = self._make_factory(interpretation)
         result = MaterializedView()
-        all_keys = {entry.key() for entry in interpretation}
         for clause in self._program:
             if clause.is_fact_clause:
                 entry = self._derive_fact(clause)
                 if entry is not None:
                     result.add(entry)
-            else:
-                for entry in self._derive_from_clause(
-                    clause, interpretation, all_keys, factory
-                ):
-                    result.add(entry)
+        # Every entry of the interpretation counts as "delta": one operator
+        # application enumerates the full product, which the delta-join does
+        # too once the old pools are empty.
+        for clause, pools_for in self._round_plan(
+            interpretation, list(interpretation), everything_is_delta=True
+        ):
+            for entry in self._derive_from_clause(clause, pools_for, factory):
+                result.add(entry)
         return result
 
     # ------------------------------------------------------------------
@@ -185,24 +266,78 @@ class FixpointEngine:
             return None
         return ViewEntry(clause.head, constraint, Support(clause.number or 0))
 
+    def _round_plan(
+        self,
+        view: MaterializedView,
+        delta: Sequence[ViewEntry],
+        everything_is_delta: bool = False,
+    ) -> Iterator[Tuple[Clause, Callable[[str], Tuple[tuple, tuple, tuple]]]]:
+        """Yield the clauses a round must evaluate, with their join pools.
+
+        Only clauses whose body references a predicate that gained a delta
+        entry can derive anything new; the program's body-predicate index
+        selects exactly those, in clause-number order.  The returned
+        ``pools_for`` callable resolves a body predicate to its
+        ``(full, old, delta)`` entry pools, computed once per round.
+        """
+        delta_by_predicate: Dict[str, List[ViewEntry]] = {}
+        for entry in delta:
+            delta_by_predicate.setdefault(entry.predicate, []).append(entry)
+        delta_keys = (
+            None if everything_is_delta else {entry.key() for entry in delta}
+        )
+
+        pools: Dict[str, Tuple[tuple, tuple, tuple]] = {}
+
+        def pools_for(predicate: str) -> Tuple[tuple, tuple, tuple]:
+            cached = pools.get(predicate)
+            if cached is None:
+                full = view.entries_for(predicate)
+                fresh = tuple(delta_by_predicate.get(predicate, ()))
+                if not fresh:
+                    old = full
+                elif everything_is_delta:
+                    old = ()
+                else:
+                    old = tuple(
+                        entry for entry in full if entry.key() not in delta_keys
+                    )
+                cached = pools[predicate] = (full, old, fresh)
+            return cached
+
+        selected: Dict[int, Clause] = {}
+        for predicate in delta_by_predicate:
+            for clause in self._program.clauses_with_body_predicate(predicate):
+                selected[clause.number or 0] = clause
+        self._stats.clauses_skipped += len(self._program.rule_clauses) - len(selected)
+        for number in sorted(selected):
+            yield selected[number], pools_for
+
     def _derive_from_clause(
         self,
         clause: Clause,
-        view: MaterializedView,
-        delta_keys: set,
+        pools_for: Callable[[str], Tuple[tuple, tuple, tuple]],
         factory: FreshVariableFactory,
     ) -> Iterable[ViewEntry]:
-        candidate_lists: List[Tuple[ViewEntry, ...]] = []
+        full_pools: List[Tuple[ViewEntry, ...]] = []
+        old_pools: List[Tuple[ViewEntry, ...]] = []
+        delta_pools: List[Tuple[ViewEntry, ...]] = []
         for body_atom in clause.body:
-            entries = view.entries_for(body_atom.predicate)
-            if not entries:
+            full, old, fresh = pools_for(body_atom.predicate)
+            if not full:
                 return
-            candidate_lists.append(entries)
+            full_pools.append(full)
+            old_pools.append(old)
+            delta_pools.append(fresh)
 
-        for combination in itertools.product(*candidate_lists):
-            if not any(entry.key() in delta_keys for entry in combination):
-                continue
-            entry = self._combine(clause, combination, factory)
+        # Rename each pool entry apart once per clause evaluation instead of
+        # once per combination: fresh names are globally unique either way,
+        # and a premise reused across combinations (or across positions) can
+        # safely share its renamed copy -- each derived entry is independent.
+        renamed_cache: Dict[Tuple[int, int], ConstrainedAtom] = {}
+        for combination in iter_delta_joins(old_pools, delta_pools, full_pools):
+            self._stats.derivation_attempts += 1
+            entry = self._combine(clause, combination, factory, renamed_cache)
             if entry is not None:
                 yield entry
 
@@ -211,11 +346,19 @@ class FixpointEngine:
         clause: Clause,
         premises: Sequence[ViewEntry],
         factory: FreshVariableFactory,
+        renamed_cache: Optional[Dict[Tuple[int, int], ConstrainedAtom]] = None,
     ) -> Optional[ViewEntry]:
         parts: List[Constraint] = [clause.constraint]
         supports: List[Support] = []
-        for body_atom, premise in zip(clause.body, premises):
-            renamed, _ = premise.constrained_atom.renamed_apart(factory)
+        for position, (body_atom, premise) in enumerate(zip(clause.body, premises)):
+            renamed = None
+            cache_key = (position, id(premise))
+            if renamed_cache is not None:
+                renamed = renamed_cache.get(cache_key)
+            if renamed is None:
+                renamed, _ = premise.constrained_atom.renamed_apart(factory)
+                if renamed_cache is not None:
+                    renamed_cache[cache_key] = renamed
             parts.append(renamed.constraint)
             parts.append(tuple_equalities(renamed.atom.args, body_atom.args))
             supports.append(premise.support)

@@ -43,9 +43,16 @@ class ConstrainedDatabase:
             next_number += 1
         self._clauses: Dict[int, Clause] = dict(sorted(numbered.items()))
         self._by_predicate: Dict[str, Tuple[Clause, ...]] = {}
+        self._by_body_predicate: Dict[str, Tuple[Clause, ...]] = {}
+        self._rule_clauses: Tuple[Clause, ...] = tuple(
+            clause for clause in self._clauses.values() if not clause.is_fact_clause
+        )
         for clause in self._clauses.values():
             existing = self._by_predicate.get(clause.predicate, ())
             self._by_predicate[clause.predicate] = existing + (clause,)
+            for body_predicate in dict.fromkeys(clause.body_predicates()):
+                referencing = self._by_body_predicate.get(body_predicate, ())
+                self._by_body_predicate[body_predicate] = referencing + (clause,)
 
     # ------------------------------------------------------------------
     # Container protocol
@@ -92,6 +99,20 @@ class ConstrainedDatabase:
     def clauses_for(self, predicate: str) -> Tuple[Clause, ...]:
         """Clauses whose head predicate is *predicate* (may be empty)."""
         return self._by_predicate.get(predicate, ())
+
+    def clauses_with_body_predicate(self, predicate: str) -> Tuple[Clause, ...]:
+        """Clauses referencing *predicate* in their body, in number order.
+
+        This is the dependency index the semi-naive fixpoint and the
+        maintenance unfoldings use to skip clauses whose body predicates
+        gained no new entries in a round.
+        """
+        return self._by_body_predicate.get(predicate, ())
+
+    @property
+    def rule_clauses(self) -> Tuple[Clause, ...]:
+        """All clauses that have at least one body atom, in number order."""
+        return self._rule_clauses
 
     def predicates(self) -> Tuple[str, ...]:
         """All predicates defined by some clause head, sorted."""

@@ -45,19 +45,99 @@ class ViewEntry:
 
     @property
     def constrained_atom(self) -> ConstrainedAtom:
-        """The entry viewed as a constrained atom (dropping the support)."""
-        return ConstrainedAtom(self.atom, self.constraint)
+        """The entry viewed as a constrained atom (dropping the support).
+
+        Cached: join pools and renamed-premise caches rely on this being the
+        same object on every access.
+        """
+        cached = self.__dict__.get("_cached_atom")
+        if cached is None:
+            cached = ConstrainedAtom(self.atom, self.constraint)
+            object.__setattr__(self, "_cached_atom", cached)
+        return cached
 
     def with_constraint(self, constraint: Constraint) -> "ViewEntry":
         """Return a copy with the constraint replaced (same atom, same support)."""
         return ViewEntry(self.atom, constraint, self.support)
 
     def key(self) -> Tuple[Atom, Constraint, Support]:
-        """Deduplication key: atom, canonical constraint, support."""
-        return (self.atom, canonical_form(self.constraint), self.support)
+        """Deduplication key: atom, canonical constraint, support.
+
+        The canonical form is computed once and cached on the entry: every
+        membership test, add and remove goes through the key, and entries are
+        immutable, so recomputing it per lookup was pure waste.
+        """
+        cached = self.__dict__.get("_cached_key")
+        if cached is None:
+            cached = (self.atom, canonical_form(self.constraint), self.support)
+            object.__setattr__(self, "_cached_key", cached)
+        return cached
 
     def __str__(self) -> str:
         return f"{self.atom} <- {self.constraint}   {self.support}"
+
+
+class _IndexedSlots:
+    """An insertion-ordered entry sequence with O(1) add/remove/replace.
+
+    Entries live in a slot list; removal tombstones the slot and the list is
+    compacted once tombstones dominate, so amortized cost stays O(1) while
+    insertion order (and the position of in-place replacements) is preserved.
+    """
+
+    __slots__ = ("_slots", "_pos", "_dead")
+
+    def __init__(self) -> None:
+        self._slots: List[Optional[ViewEntry]] = []
+        self._pos: Dict[object, int] = {}
+        self._dead = 0
+
+    def __len__(self) -> int:
+        return len(self._pos)
+
+    def __iter__(self) -> Iterator[ViewEntry]:
+        for entry in self._slots:
+            if entry is not None:
+                yield entry
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._pos
+
+    def add(self, key: object, entry: ViewEntry) -> None:
+        self._pos[key] = len(self._slots)
+        self._slots.append(entry)
+
+    def remove(self, key: object) -> None:
+        index = self._pos.pop(key)
+        self._slots[index] = None
+        self._dead += 1
+        if self._dead > len(self._pos) and self._dead > 8:
+            self._compact()
+
+    def replace(self, old_key: object, new_key: object, entry: ViewEntry) -> None:
+        index = self._pos.pop(old_key)
+        self._pos[new_key] = index
+        self._slots[index] = entry
+
+    def first(self) -> Optional[ViewEntry]:
+        for entry in self._slots:
+            if entry is not None:
+                return entry
+        return None
+
+    def to_tuple(self) -> Tuple[ViewEntry, ...]:
+        if not self._dead:
+            return tuple(self._slots)
+        return tuple(entry for entry in self._slots if entry is not None)
+
+    def _compact(self) -> None:
+        live = [
+            (key, self._slots[index])
+            for key, index in sorted(self._pos.items(), key=lambda item: item[1])
+        ]
+        self._slots = [entry for _, entry in live]
+        self._pos = {key: index for index, (key, _) in enumerate(live)}
+        self._dead = 0
 
 
 class MaterializedView:
@@ -66,12 +146,17 @@ class MaterializedView:
     The container deduplicates on ``(atom, canonical constraint, support)``;
     two entries with the same constrained atom but different supports are
     *both* kept, which is exactly the paper's duplicate semantics.
+
+    Three indexes back the container: the key index (membership, removal),
+    a per-predicate index (the fixpoint operators' join pools) and a
+    per-support index (StDel's upward propagation), so ``remove``,
+    ``replace``, ``__contains__`` and ``find_by_support`` are all O(1).
     """
 
     def __init__(self, entries: Iterable[ViewEntry] = ()) -> None:
-        self._entries: List[ViewEntry] = []
-        self._keys: set = set()
-        self._by_predicate: Dict[str, List[ViewEntry]] = {}
+        self._index = _IndexedSlots()
+        self._by_predicate: Dict[str, _IndexedSlots] = {}
+        self._by_support: Dict[Support, _IndexedSlots] = {}
         for entry in entries:
             self.add(entry)
 
@@ -79,20 +164,20 @@ class MaterializedView:
     # Container protocol
     # ------------------------------------------------------------------
     def __iter__(self) -> Iterator[ViewEntry]:
-        return iter(self._entries)
+        return iter(self._index)
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self._index)
 
     def __contains__(self, entry: ViewEntry) -> bool:
-        return entry.key() in self._keys
+        return entry.key() in self._index
 
     def __str__(self) -> str:
-        return "\n".join(str(entry) for entry in self._entries)
+        return "\n".join(str(entry) for entry in self)
 
     def copy(self) -> "MaterializedView":
         """Return an independent shallow copy."""
-        return MaterializedView(self._entries)
+        return MaterializedView(self)
 
     # ------------------------------------------------------------------
     # Mutation
@@ -102,11 +187,17 @@ class MaterializedView:
         if not isinstance(entry, ViewEntry):
             raise ProgramError(f"not a view entry: {entry!r}")
         key = entry.key()
-        if key in self._keys:
+        if key in self._index:
             return False
-        self._keys.add(key)
-        self._entries.append(entry)
-        self._by_predicate.setdefault(entry.predicate, []).append(entry)
+        self._index.add(key, entry)
+        bucket = self._by_predicate.get(entry.predicate)
+        if bucket is None:
+            bucket = self._by_predicate[entry.predicate] = _IndexedSlots()
+        bucket.add(key, entry)
+        group = self._by_support.get(entry.support)
+        if group is None:
+            group = self._by_support[entry.support] = _IndexedSlots()
+        group.add(key, entry)
         return True
 
     def add_all(self, entries: Iterable[ViewEntry]) -> int:
@@ -116,36 +207,47 @@ class MaterializedView:
     def remove(self, entry: ViewEntry) -> bool:
         """Remove an entry; return False when it was not present."""
         key = entry.key()
-        if key not in self._keys:
+        if key not in self._index:
             return False
-        self._keys.discard(key)
-        self._entries = [existing for existing in self._entries if existing.key() != key]
-        bucket = self._by_predicate.get(entry.predicate, [])
-        self._by_predicate[entry.predicate] = [
-            existing for existing in bucket if existing.key() != key
-        ]
+        self._index.remove(key)
+        self._by_predicate[entry.predicate].remove(key)
+        self._by_support[entry.support].remove(key)
         return True
 
-    def replace(self, old: ViewEntry, new: ViewEntry) -> None:
-        """Replace *old* by *new* in place (preserving list order)."""
+    def replace(self, old: ViewEntry, new: ViewEntry) -> bool:
+        """Replace *old* by *new* in place (preserving insertion order).
+
+        Returns True when the slot was replaced.  When *new*'s key already
+        belongs to a *different* entry the two entries are identical by the
+        container's own dedup criterion (atom, canonical constraint and
+        support all match), so they are merged instead: *old* is removed,
+        the existing entry stays, and False is returned.  The previous
+        implementation silently reused the key for two list positions, and
+        a later ``remove`` of either entry dropped both from the key index.
+        """
         old_key = old.key()
-        if old_key not in self._keys:
+        if old_key not in self._index:
             raise ProgramError(f"entry not in view: {old}")
-        index = next(
-            i for i, existing in enumerate(self._entries) if existing.key() == old_key
-        )
-        self._keys.discard(old_key)
-        self._keys.add(new.key())
-        self._entries[index] = new
-        bucket = self._by_predicate.get(old.predicate, [])
-        bucket_index = next(
-            i for i, existing in enumerate(bucket) if existing.key() == old_key
-        )
+        new_key = new.key()
+        if new_key != old_key and new_key in self._index:
+            self.remove(old)
+            return False
+        self._index.replace(old_key, new_key, new)
+        bucket = self._by_predicate[old.predicate]
         if new.predicate == old.predicate:
-            bucket[bucket_index] = new
+            bucket.replace(old_key, new_key, new)
         else:  # pragma: no cover - algorithms never change the predicate
-            del bucket[bucket_index]
-            self._by_predicate.setdefault(new.predicate, []).append(new)
+            bucket.remove(old_key)
+            fresh = self._by_predicate.setdefault(new.predicate, _IndexedSlots())
+            fresh.add(new_key, new)
+        group = self._by_support[old.support]
+        if new.support == old.support:
+            group.replace(old_key, new_key, new)
+        else:  # pragma: no cover - algorithms never change the support
+            group.remove(old_key)
+            fresh = self._by_support.setdefault(new.support, _IndexedSlots())
+            fresh.add(new_key, new)
+        return True
 
     # ------------------------------------------------------------------
     # Lookup
@@ -153,26 +255,25 @@ class MaterializedView:
     @property
     def entries(self) -> Tuple[ViewEntry, ...]:
         """All entries in insertion order."""
-        return tuple(self._entries)
+        return self._index.to_tuple()
 
     def entries_for(self, predicate: str) -> Tuple[ViewEntry, ...]:
         """Entries whose atom has the given predicate."""
-        return tuple(self._by_predicate.get(predicate, ()))
+        bucket = self._by_predicate.get(predicate)
+        return bucket.to_tuple() if bucket is not None else ()
 
     def predicates(self) -> Tuple[str, ...]:
         """Predicates that have at least one entry, sorted."""
-        return tuple(sorted(p for p, bucket in self._by_predicate.items() if bucket))
+        return tuple(sorted(p for p, bucket in self._by_predicate.items() if len(bucket)))
 
     def constrained_atoms(self) -> Tuple[ConstrainedAtom, ...]:
         """All entries as constrained atoms (supports dropped)."""
-        return tuple(entry.constrained_atom for entry in self._entries)
+        return tuple(entry.constrained_atom for entry in self)
 
     def find_by_support(self, support: Support) -> Optional[ViewEntry]:
-        """Return the entry carrying exactly this support, if any."""
-        for entry in self._entries:
-            if entry.support == support:
-                return entry
-        return None
+        """Return the (first-inserted) entry carrying exactly this support."""
+        group = self._by_support.get(support)
+        return group.first() if group is not None else None
 
     # ------------------------------------------------------------------
     # Semantics
@@ -185,7 +286,7 @@ class MaterializedView:
         """The ground instance set ``[M]`` of the whole view."""
         universe_values = list(universe) if universe is not None else None
         collected = set()
-        for entry in self._entries:
+        for entry in self:
             collected.update(
                 entry.constrained_atom.instances(solver=solver, universe=universe_values)
             )
@@ -226,7 +327,7 @@ class MaterializedView:
         this operation.
         """
         doomed = [
-            entry for entry in self._entries if not solver.is_satisfiable(entry.constraint)
+            entry for entry in self if not solver.is_satisfiable(entry.constraint)
         ]
         for entry in doomed:
             self.remove(entry)
@@ -246,7 +347,7 @@ class MaterializedView:
         ``φ1 & φ2' & (X̄ = Ȳ')`` with the second entry renamed apart.
         """
         factory = fresh_factory or FreshVariableFactory(
-            variable.name for entry in self._entries for variable in entry.constrained_atom.variables()
+            variable.name for entry in self for variable in entry.constrained_atom.variables()
         )
         for predicate in self.predicates():
             bucket = self.entries_for(predicate)
@@ -265,13 +366,13 @@ class MaterializedView:
     def head_variables(self) -> FrozenSet[Variable]:
         """All variables used in entry atoms (not constraints)."""
         found: set = set()
-        for entry in self._entries:
+        for entry in self:
             found.update(entry.atom.variables())
         return frozenset(found)
 
     def all_variable_names(self) -> FrozenSet[str]:
         """Names of every variable in the view (atoms and constraints)."""
         names: set = set()
-        for entry in self._entries:
+        for entry in self:
             names.update(v.name for v in entry.constrained_atom.variables())
         return frozenset(names)

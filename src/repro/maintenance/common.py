@@ -8,7 +8,7 @@ keeps the three algorithm modules close to the paper's pseudo-code.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.constraints.ast import Constraint, NegatedConjunction, conjoin, negate, tuple_equalities
 from repro.constraints.projection import eliminate_variables
@@ -40,6 +40,7 @@ def negated_atom_constraint(
     target_atom: Atom,
     source: ConstrainedAtom,
     factory: FreshVariableFactory,
+    renamed_cache: Optional[Dict[int, ConstrainedAtom]] = None,
 ) -> Tuple[Constraint, Constraint]:
     """Express "is (not) an instance of *source*" over *target_atom*'s terms.
 
@@ -51,8 +52,17 @@ def negated_atom_constraint(
     variables are quantified *inside* it ("no instantiation of the source
     atom matches the target tuple"), per the library's quantification
     convention.
+
+    *renamed_cache* (keyed by ``id(source)``) lets a caller that matches the
+    same source atom against many view entries rename it apart only once:
+    the fresh names never collide with any entry's variables, and each use
+    scopes them independently (inside its own ``not(...)`` / conjunction).
     """
-    renamed, _ = source.renamed_apart(factory)
+    renamed = None if renamed_cache is None else renamed_cache.get(id(source))
+    if renamed is None:
+        renamed, _ = source.renamed_apart(factory)
+        if renamed_cache is not None:
+            renamed_cache[id(source)] = renamed
     equalities = tuple_equalities(renamed.atom.args, target_atom.args)
     positive = conjoin(renamed.constraint, equalities)
     negative = NegatedConjunction(tuple(positive.conjuncts()))
@@ -65,6 +75,7 @@ def restrict_entry_to_instances(
     solver: ConstraintSolver,
     factory: FreshVariableFactory,
     stats: Optional[MaintenanceStats] = None,
+    renamed_cache: Optional[Dict[int, ConstrainedAtom]] = None,
 ) -> Optional[ConstrainedAtom]:
     """The ``Del`` construction for one view entry.
 
@@ -75,7 +86,9 @@ def restrict_entry_to_instances(
     """
     if entry.atom.signature != request_atom.atom.signature:
         return None
-    positive, _ = negated_atom_constraint(entry.atom, request_atom, factory)
+    positive, _ = negated_atom_constraint(
+        entry.atom, request_atom, factory, renamed_cache
+    )
     combined = conjoin(entry.constraint, positive)
     if stats is not None:
         stats.solver_calls += 1
@@ -99,9 +112,10 @@ def build_del_set(
     or with empty overlap are skipped.
     """
     result: List[Tuple[ViewEntry, ConstrainedAtom]] = []
+    renamed_cache: Dict[int, ConstrainedAtom] = {}
     for entry in view.entries_for(request_atom.predicate):
         restricted = restrict_entry_to_instances(
-            entry, request_atom, solver, factory, stats
+            entry, request_atom, solver, factory, stats, renamed_cache
         )
         if restricted is not None:
             result.append((entry, restricted))
@@ -117,6 +131,7 @@ def apply_clause_with_premises(
     factory: FreshVariableFactory,
     check_solvable: bool = True,
     stats: Optional[MaintenanceStats] = None,
+    renamed_cache: Optional[Dict[Tuple[int, int], ConstrainedAtom]] = None,
 ) -> Optional[ConstrainedAtom]:
     """One clause application used by the P_OUT / P_ADD unfoldings.
 
@@ -124,12 +139,24 @@ def apply_clause_with_premises(
     constraints and the binding equalities, projects auxiliary variables away
     and optionally checks solvability.  Returns the derived constrained atom
     for the clause head, or ``None`` when the combination is unsolvable.
+
+    *renamed_cache* (keyed by ``(position, id(premise))``) lets the caller
+    share renamed premise copies across the many combinations of one
+    unfolding round; each combination stays mutually renamed apart because
+    distinct premises (and distinct positions) get distinct fresh names.
     """
     if stats is not None:
         stats.clause_applications += 1
     parts: List[Constraint] = [clause.constraint]
-    for body_atom, premise in zip(clause.body, premises):
-        renamed, _ = premise.renamed_apart(factory)
+    for position, (body_atom, premise) in enumerate(zip(clause.body, premises)):
+        renamed = None
+        cache_key = (position, id(premise))
+        if renamed_cache is not None:
+            renamed = renamed_cache.get(cache_key)
+        if renamed is None:
+            renamed, _ = premise.renamed_apart(factory)
+            if renamed_cache is not None:
+                renamed_cache[cache_key] = renamed
         parts.append(renamed.constraint)
         parts.append(tuple_equalities(renamed.atom.args, body_atom.args))
     constraint = eliminate_variables(conjoin(*parts), clause.head.variables())
@@ -148,18 +175,22 @@ def subtract_instances(
     solver: ConstraintSolver,
     factory: FreshVariableFactory,
     stats: Optional[MaintenanceStats] = None,
+    renamed_cache: Optional[Dict[int, ConstrainedAtom]] = None,
 ) -> ViewEntry:
     """Conjoin ``not(ψ & bindings)`` onto an entry for each removed atom.
 
     This is the over-estimation step of the Extended DRed algorithm: the
     entry's constraint is narrowed so its instances no longer include any
-    instance of the removed atoms.
+    instance of the removed atoms.  Pass one *renamed_cache* for a whole
+    batch of entries so each removed atom is renamed apart only once.
     """
     constraint = entry.constraint
     for atom in removed:
         if atom.atom.signature != entry.atom.signature:
             continue
-        positive, negative = negated_atom_constraint(entry.atom, atom, factory)
+        positive, negative = negated_atom_constraint(
+            entry.atom, atom, factory, renamed_cache
+        )
         if stats is not None:
             stats.solver_calls += 1
         if not solver.is_satisfiable(conjoin(constraint, positive)):

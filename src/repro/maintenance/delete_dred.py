@@ -32,12 +32,14 @@ practical advantage the benchmarks quantify.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.datalog.clauses import Clause
 
 from repro.constraints.simplify import simplify
 from repro.constraints.solver import ConstraintSolver
 from repro.datalog.atoms import ConstrainedAtom
-from repro.datalog.fixpoint import FixpointEngine, FixpointOptions
+from repro.datalog.fixpoint import FixpointEngine, FixpointOptions, iter_delta_joins
 from repro.datalog.program import ConstrainedDatabase
 from repro.datalog.view import MaterializedView, ViewEntry
 from repro.errors import MaintenanceError
@@ -120,14 +122,18 @@ class ExtendedDRed:
         p_out = self._unfold_p_out(view, del_atoms, factory, stats)
 
         # Step 2: M' -- subtract the P_OUT instances from affected entries.
+        p_out_by_signature: Dict[Tuple[str, int], List[ConstrainedAtom]] = {}
+        for atom in p_out:
+            p_out_by_signature.setdefault(atom.atom.signature, []).append(atom)
+        renamed_cache: Dict[int, ConstrainedAtom] = {}
         overestimate = MaterializedView()
         for entry in view:
-            relevant = [
-                atom for atom in p_out if atom.atom.signature == entry.atom.signature
-            ]
+            relevant = p_out_by_signature.get(entry.atom.signature)
             if relevant:
                 overestimate.add(
-                    subtract_instances(entry, relevant, self._solver, factory, stats)
+                    subtract_instances(
+                        entry, relevant, self._solver, factory, stats, renamed_cache
+                    )
                 )
             else:
                 overestimate.add(entry)
@@ -141,6 +147,8 @@ class ExtendedDRed:
         before = len(overestimate)
         result_view = engine.compute(initial=overestimate)
         stats.rederived_entries = len(result_view) - before
+        stats.fixpoint_iterations += engine.stats.iterations
+        stats.derivation_attempts += engine.stats.derivation_attempts
 
         if self._options.purge_unsolvable:
             stats.removed_entries += result_view.prune_unsolvable(self._solver)
@@ -166,6 +174,16 @@ class ExtendedDRed:
         collected: List[ConstrainedAtom] = list(del_atoms)
         seen = {self._atom_key(atom) for atom in collected}
         frontier: List[ConstrainedAtom] = list(del_atoms)
+        view_pools: Dict[str, Tuple[ConstrainedAtom, ...]] = {}
+
+        def pool_for(predicate: str) -> Tuple[ConstrainedAtom, ...]:
+            cached = view_pools.get(predicate)
+            if cached is None:
+                cached = view_pools[predicate] = tuple(
+                    entry.constrained_atom for entry in view.entries_for(predicate)
+                )
+            return cached
+
         rounds = 0
         while frontier:
             rounds += 1
@@ -174,47 +192,51 @@ class ExtendedDRed:
                     "P_OUT unfolding exceeded "
                     f"{self._options.max_unfold_rounds} rounds"
                 )
+            frontier_by_signature: Dict[Tuple[str, int], List[ConstrainedAtom]] = {}
+            for poisoned in frontier:
+                frontier_by_signature.setdefault(poisoned.atom.signature, []).append(
+                    poisoned
+                )
+            # Only clauses whose body mentions a frontier predicate can
+            # contribute to this round of the unfolding.
+            selected: Dict[int, Clause] = {}
+            for predicate, _ in frontier_by_signature:
+                for clause in self._program.clauses_with_body_predicate(predicate):
+                    selected[clause.number or 0] = clause
             next_frontier: List[ConstrainedAtom] = []
-            for clause in self._program:
-                if clause.is_fact_clause:
-                    continue
-                body_signatures = [atom.signature for atom in clause.body]
-                for position, signature in enumerate(body_signatures):
-                    for poisoned in frontier:
-                        if poisoned.atom.signature != signature:
-                            continue
-                        premise_choices: List[Tuple[ConstrainedAtom, ...]] = []
-                        feasible = True
-                        for other_position, other_atom in enumerate(clause.body):
-                            if other_position == position:
-                                premise_choices.append((poisoned,))
-                                continue
-                            entries = view.entries_for(other_atom.predicate)
-                            if not entries:
-                                feasible = False
-                                break
-                            premise_choices.append(
-                                tuple(entry.constrained_atom for entry in entries)
-                            )
-                        if not feasible:
-                            continue
-                        for combination in _product(premise_choices):
-                            derived = apply_clause_with_premises(
-                                clause,
-                                combination,
-                                self._solver,
-                                factory,
-                                check_solvable=True,
-                                stats=stats,
-                            )
-                            if derived is None:
-                                continue
-                            key = self._atom_key(derived)
-                            if key in seen:
-                                continue
-                            seen.add(key)
-                            collected.append(derived)
-                            next_frontier.append(derived)
+            for number in sorted(selected):
+                clause = selected[number]
+                view_premises = [pool_for(atom.predicate) for atom in clause.body]
+                frontier_premises = [
+                    tuple(frontier_by_signature.get(atom.signature, ()))
+                    for atom in clause.body
+                ]
+                # Passing the view pools as "old" pools makes the delta join
+                # draw *exactly one* premise from the frontier (P_OUT_k) and
+                # every other premise from the materialized view, which is
+                # precisely the paper's unfolding discipline.
+                renamed_premises: Dict[Tuple[int, int], ConstrainedAtom] = {}
+                for combination in iter_delta_joins(
+                    view_premises, frontier_premises, view_premises
+                ):
+                    stats.derivation_attempts += 1
+                    derived = apply_clause_with_premises(
+                        clause,
+                        combination,
+                        self._solver,
+                        factory,
+                        check_solvable=True,
+                        stats=stats,
+                        renamed_cache=renamed_premises,
+                    )
+                    if derived is None:
+                        continue
+                    key = self._atom_key(derived)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    collected.append(derived)
+                    next_frontier.append(derived)
             frontier = next_frontier
         stats.unfolded_atoms = len(collected) - len(del_atoms)
         return tuple(collected)
@@ -236,13 +258,6 @@ class ExtendedDRed:
         from repro.constraints.simplify import canonical_form
 
         return (atom.atom, canonical_form(atom.constraint))
-
-
-def _product(choices: Sequence[Tuple[ConstrainedAtom, ...]]):
-    """Cartesian product over premise choices (small helper, keeps imports light)."""
-    import itertools
-
-    return itertools.product(*choices)
 
 
 def delete_with_dred(

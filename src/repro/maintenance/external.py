@@ -62,9 +62,11 @@ class TpExternalMaintenance:
         options: Optional[FixpointOptions] = None,
     ) -> None:
         self._program = program
-        self._solver = solver
+        # This class owns a change-notification contract (on_source_changed),
+        # so it can safely memoize even DCA-dependent solver results.
+        self._solver = solver.with_external_memoization()
         self._options = options or FixpointOptions()
-        self._view = compute_tp_fixpoint(program, solver, options=self._options)
+        self._view = compute_tp_fixpoint(program, self._solver, options=self._options)
 
     @property
     def view(self) -> MaterializedView:
@@ -80,6 +82,7 @@ class TpExternalMaintenance:
         restore consistency because the view is recomputed outright, which is
         exactly the cost the paper's ``W_P`` proposal avoids.
         """
+        self._solver.invalidate_external_functions()
         added, removed = add_rem_sets(deltas)
         old_entries = {entry.key() for entry in self._view}
         self._view = compute_tp_fixpoint(self._program, self._solver, options=self._options)
@@ -112,9 +115,12 @@ class WpExternalMaintenance:
         options: Optional[FixpointOptions] = None,
     ) -> None:
         self._program = program
-        self._solver = solver
+        # Same contract as TpExternalMaintenance: memoization of external
+        # results is safe because every source change runs through
+        # on_source_changed, which invalidates them.
+        self._solver = solver.with_external_memoization()
         self._options = options or WP_OPTIONS
-        self._view = compute_wp_fixpoint(program, solver, options=self._options)
+        self._view = compute_wp_fixpoint(program, self._solver, options=self._options)
 
     @property
     def view(self) -> MaterializedView:
@@ -124,7 +130,13 @@ class WpExternalMaintenance:
     def on_source_changed(
         self, deltas: Sequence[FunctionDelta] = ()
     ) -> ExternalChangeReport:
-        """React to a source change: nothing to do (Theorem 4)."""
+        """React to a source change: only stale solver memos are dropped.
+
+        The view itself needs no work at all (Theorem 4); the solver cache
+        invalidation keeps query-time evaluation honest about the sources'
+        *current* behaviour (Corollary 1).
+        """
+        self._solver.invalidate_external_functions()
         added, removed = add_rem_sets(deltas)
         return ExternalChangeReport(
             strategy="wp-noop",

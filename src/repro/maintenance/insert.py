@@ -21,13 +21,14 @@ can still track derivations that depend on them.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.constraints.simplify import canonical_form
 from repro.constraints.solver import ConstraintSolver
 from repro.datalog.atoms import ConstrainedAtom
+from repro.datalog.clauses import Clause
+from repro.datalog.fixpoint import iter_delta_joins
 from repro.datalog.program import ConstrainedDatabase
 from repro.datalog.support import Support
 from repro.datalog.view import MaterializedView, ViewEntry
@@ -118,30 +119,65 @@ class ConstrainedAtomInsertion:
                     f"{self._options.max_unfold_rounds} rounds"
                 )
             frontier_keys = {entry.key() for entry in frontier}
+            frontier_by_predicate: Dict[str, List[ViewEntry]] = {}
+            for entry in frontier:
+                frontier_by_predicate.setdefault(entry.predicate, []).append(entry)
+            selected: Dict[int, Clause] = {}
+            for predicate in frontier_by_predicate:
+                for clause in self._program.clauses_with_body_predicate(predicate):
+                    selected[clause.number or 0] = clause
+
+            # Per-round (full, old, delta) pools, computed once per predicate
+            # (mirrors FixpointEngine._round_plan).
+            round_pools: Dict[str, Tuple[tuple, tuple, tuple]] = {}
+
+            def pools_for(predicate: str) -> Tuple[tuple, tuple, tuple]:
+                cached = round_pools.get(predicate)
+                if cached is None:
+                    full = working.entries_for(predicate)
+                    fresh = tuple(frontier_by_predicate.get(predicate, ()))
+                    old = (
+                        tuple(e for e in full if e.key() not in frontier_keys)
+                        if fresh
+                        else full
+                    )
+                    cached = round_pools[predicate] = (full, old, fresh)
+                return cached
+
             produced: List[ViewEntry] = []
-            for clause in self._program:
-                if clause.is_fact_clause:
-                    continue
-                premise_lists = []
+            for number in sorted(selected):
+                clause = selected[number]
+                full_pools = []
+                old_pools = []
+                delta_pools = []
                 feasible = True
                 for body_atom in clause.body:
-                    entries = working.entries_for(body_atom.predicate)
-                    if not entries:
+                    full, old, fresh = pools_for(body_atom.predicate)
+                    if not full:
                         feasible = False
                         break
-                    premise_lists.append(entries)
+                    full_pools.append(full)
+                    old_pools.append(old)
+                    delta_pools.append(fresh)
                 if not feasible:
                     continue
-                for combination in itertools.product(*premise_lists):
-                    if not any(entry.key() in frontier_keys for entry in combination):
-                        continue
+                # P_ADD: at least one premise from the frontier, the rest
+                # from the view (which, unlike deletion's P_OUT, already
+                # contains the frontier -- hence old/delta/full pools).
+                renamed_premises: Dict[Tuple[int, int], ConstrainedAtom] = {}
+                for combination in iter_delta_joins(old_pools, delta_pools, full_pools):
+                    stats.derivation_attempts += 1
+                    premise_atoms = tuple(
+                        entry.constrained_atom for entry in combination
+                    )
                     derived = apply_clause_with_premises(
                         clause,
-                        tuple(entry.constrained_atom for entry in combination),
+                        premise_atoms,
                         self._solver,
                         factory,
                         check_solvable=True,
                         stats=stats,
+                        renamed_cache=renamed_premises,
                     )
                     if derived is None:
                         continue

@@ -59,6 +59,11 @@ class MaintenanceStats:
     solver_calls: int = 0
     #: Clause applications attempted (combinations of premises considered).
     clause_applications: int = 0
+    #: Premise combinations enumerated by the semi-naive delta joins (both
+    #: the P_OUT / P_ADD unfoldings and any embedded fixpoint computation).
+    #: Proportional to the delta sizes, not the full view product -- the
+    #: benchmarks assert this shape, not just wall-clock.
+    derivation_attempts: int = 0
     #: Fixpoint iterations executed by any embedded fixpoint computation.
     fixpoint_iterations: int = 0
     #: Free-form extra counters.
@@ -78,6 +83,7 @@ class MaintenanceStats:
             "removed_entries": self.removed_entries,
             "solver_calls": self.solver_calls,
             "clause_applications": self.clause_applications,
+            "derivation_attempts": self.derivation_attempts,
             "fixpoint_iterations": self.fixpoint_iterations,
         }
         flat.update(self.extra)

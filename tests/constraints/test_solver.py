@@ -290,3 +290,70 @@ class TestSolverConfiguration:
     def test_options_exposed(self, solver):
         assert solver.options.max_branches > 0
         assert solver.evaluator is None
+
+
+class TestSatisfiabilityMemoization:
+    """The satisfiability memo must never change observable answers."""
+
+    def test_pure_results_are_cached_and_stable(self):
+        calls = []
+        solver = ConstraintSolver()
+        original = solver._decide_satisfiable
+
+        def counting(constraint):
+            calls.append(constraint)
+            return original(constraint)
+
+        solver._decide_satisfiable = counting
+        constraint = conjoin(compare(X, ">=", 3), compare(X, "<=", 1))
+        assert not solver.is_satisfiable(constraint)
+        assert not solver.is_satisfiable(constraint)
+        # Second call answered from the memo.
+        assert len(calls) == 1
+
+    def test_reordered_conjunction_hits_canonical_key(self):
+        calls = []
+        solver = ConstraintSolver()
+        original = solver._decide_satisfiable
+
+        def counting(constraint):
+            calls.append(constraint)
+            return original(constraint)
+
+        solver._decide_satisfiable = counting
+        assert not solver.is_satisfiable(conjoin(equals(X, 1), equals(X, 2)))
+        assert not solver.is_satisfiable(conjoin(equals(X, 2), equals(X, 1)))
+        assert len(calls) == 1
+
+    def test_external_results_not_cached_by_default(self):
+        # A solver with an evaluator must stay honest when the source
+        # changes behind its back (paper Example 7: compute_tp_fixpoint is
+        # re-run after a clock advance with the same solver instance).
+        contents = {"a"}
+        domain = Domain("d")
+        domain.register("f", lambda: set(contents))
+        solver = ConstraintSolver(DomainRegistry([domain]))
+        constraint = conjoin(member(X, "d", "f"), equals(X, "a"))
+        assert solver.is_satisfiable(constraint)
+        contents.clear()
+        assert not solver.is_satisfiable(constraint)
+
+    def test_external_memoization_with_invalidation_hook(self):
+        contents = {"a"}
+        domain = Domain("d")
+        domain.register("f", lambda: set(contents))
+        solver = ConstraintSolver(DomainRegistry([domain])).with_external_memoization()
+        constraint = conjoin(member(X, "d", "f"), equals(X, "a"))
+        assert solver.is_satisfiable(constraint)
+        contents.clear()
+        # Stale until the owner of the change notifies the solver...
+        assert solver.is_satisfiable(constraint)
+        solver.invalidate_external_functions()
+        # ...after which the answer reflects the current source contents.
+        assert not solver.is_satisfiable(constraint)
+
+    def test_memoization_can_be_disabled(self):
+        solver = ConstraintSolver(options=SolverOptions(memoize_satisfiability=False))
+        constraint = conjoin(compare(X, ">=", 3), compare(X, "<=", 1))
+        assert not solver.is_satisfiable(constraint)
+        assert solver._pure_sat_cache == {}

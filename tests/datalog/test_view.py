@@ -66,6 +66,33 @@ class TestContainer:
         with pytest.raises(ProgramError):
             view.replace(entry("z", equals(X, 1), 9), entry("z", equals(X, 2), 9))
 
+    def test_replace_key_collision_merges(self, view):
+        # Regression: replacing an entry with one whose key already belongs
+        # to ANOTHER entry used to leave the key index holding one key for
+        # two list slots; a later remove then silently dropped both.  The
+        # two entries are identical by the dedup criterion, so the replace
+        # merges them: the old entry goes, the existing one stays.
+        old = entry("a", compare(X, ">=", 3), 1)
+        collides = entry("b", compare(X, ">=", 5), 3)  # already in the view
+        assert view.replace(old, collides) is False
+        assert len(view) == 2
+        assert old not in view and collides in view
+        # The key index stays consistent: one remove drops exactly one entry.
+        assert view.remove(collides)
+        assert len(view) == 1
+        assert not view.remove(collides)
+
+    def test_replace_with_identical_key_is_allowed(self, view):
+        old = entry("b", compare(X, ">=", 5), 3)
+        assert view.replace(old, entry("b", compare(X, ">=", 5), 3)) is True
+        assert len(view) == 3
+
+    def test_remove_then_iterate_preserves_order(self, view):
+        view.remove(entry("b", compare(X, ">=", 5), 3))
+        assert [e.predicate for e in view] == ["a", "a"]
+        view.add(entry("b", compare(X, ">=", 7), 8))
+        assert [e.predicate for e in view] == ["a", "a", "b"]
+
     def test_add_rejects_non_entries(self, view):
         with pytest.raises(ProgramError):
             view.add("entry")  # type: ignore[arg-type]
@@ -113,6 +140,36 @@ class TestSemantics:
         removed = view.prune_unsolvable(solver)
         assert removed == 1
         assert len(view) == 1
+
+    def test_prune_unsolvable_preserves_insertion_order(self, solver):
+        view = MaterializedView()
+        unsolvable = conjoin(equals(X, 1), equals(X, 2))
+        for index in range(10):
+            view.add(entry("a", equals(X, index), index + 1))
+            view.add(entry("a", unsolvable, index + 100))
+        assert view.prune_unsolvable(solver) == 10
+        survivors = [e.support.clause_number for e in view]
+        assert survivors == list(range(1, 11))
+        bucket = [e.support.clause_number for e in view.entries_for("a")]
+        assert bucket == survivors
+
+    def test_prune_unsolvable_scales_linearly(self, solver):
+        # 10k entries: quadratic pruning (full list rebuild per removal)
+        # would take minutes; the indexed removal finishes in well under a
+        # second.  Time-bound generously to keep the test robust on slow CI.
+        import time
+
+        view = MaterializedView()
+        unsolvable = conjoin(equals(X, 1), equals(X, 2))
+        for index in range(10_000):
+            constraint = equals(X, index) if index % 2 else unsolvable
+            view.add(entry("a", constraint, index + 1))
+        start = time.perf_counter()
+        removed = view.prune_unsolvable(solver)
+        elapsed = time.perf_counter() - start
+        assert removed == 5_000 and len(view) == 5_000
+        assert elapsed < 5.0
+        assert [e.support.clause_number for e in view] == list(range(2, 10_001, 2))
 
     def test_duplicate_free_check(self, solver):
         disjoint = MaterializedView()

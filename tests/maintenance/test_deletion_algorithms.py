@@ -278,3 +278,41 @@ class TestMediatedDeletions:
         assert dred.view.instances(solver) == expected
         assert ("pear",) not in stdel.view.instances_for("listed", solver)
         assert ("apple",) in stdel.view.instances_for("listed", solver)
+
+
+class TestStDelKeyConvergence:
+    """Narrowing an entry may make it identical to an existing entry.
+
+    Regression for the MaterializedView.replace key-collision handling:
+    StDel's step 2 narrows ``a(X) <- X >= 0`` (Support(0)) by
+    ``not(X = 5)``; if the view also holds ``a(X) <- X >= 0 & X != 5``
+    with the *same* support (external insertions all share support 0),
+    the replacement's key collides with that entry.  The container must
+    merge the two -- not corrupt its key index, not abort the deletion.
+    """
+
+    def test_stdel_survives_key_convergence(self):
+        from repro.datalog import Atom, MaterializedView, Support, ViewEntry
+
+        X = Variable("X")
+        solver = ConstraintSolver()
+        program = parse_program("a(X) <- X >= 0.")
+        view = MaterializedView()
+        view.add(ViewEntry(Atom("a", (X,)), compare(X, ">=", 0), Support(0)))
+        view.add(
+            ViewEntry(
+                Atom("a", (X,)),
+                conjoin(compare(X, ">=", 0), compare(X, "!=", 5)),
+                Support(0),
+            )
+        )
+        request = parse_constrained_atom("a(Y) <- Y = 5")
+        result = delete_with_stdel(program, view, request, solver)
+        assert result.view.instances_for("a", solver, UNIVERSE) == {
+            (v,) for v in UNIVERSE if v != 5
+        }
+        # The merged view holds one entry per distinct key and stays
+        # internally consistent (removal drops exactly one entry).
+        for entry in list(result.view):
+            assert result.view.remove(entry)
+        assert len(result.view) == 0

@@ -1,0 +1,129 @@
+"""Sequences of deletions: DRed's rewritten-program requirement, StDel's lack of one.
+
+``delete_dred``'s module docstring states the requirement: because step 3
+rederives from the *program*, a later deletion must run against the program
+produced by the earlier deletion's rewrite (``DRedResult.rewritten_program``);
+otherwise rederivation can resurrect instances the earlier request removed
+(the original fact clause is still in the program and fires again in round 0
+of the rederivation fixpoint).  Straight Delete never rederives, so it has no
+such requirement.  These tests verify both halves of that statement.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constraints import ConstraintSolver
+from repro.datalog import compute_tp_fixpoint, parse_constrained_atom, parse_program
+from repro.maintenance import (
+    DeletionRequest,
+    ExtendedDRed,
+    StraightDelete,
+    recompute_after_deletion,
+)
+
+PROGRAM = """
+a(X) <- X = 1.
+a(X) <- X = 2.
+b(X) <- a(X).
+"""
+
+UNIVERSE = range(0, 5)
+
+
+@pytest.fixture
+def solver():
+    return ConstraintSolver()
+
+
+@pytest.fixture
+def program():
+    return parse_program(PROGRAM)
+
+
+@pytest.fixture
+def view(program, solver):
+    return compute_tp_fixpoint(program, solver)
+
+
+def delete_first(program, view, solver):
+    algorithm = ExtendedDRed(program, solver)
+    request = DeletionRequest(parse_constrained_atom("a(X) <- X = 1"))
+    return algorithm.delete(view, request)
+
+
+SECOND_REQUEST = "a(X) <- X = 2"
+
+
+class TestSequentialDRed:
+    def test_initial_view(self, view, solver):
+        assert view.instances_for("a", solver, UNIVERSE) == {(1,), (2,)}
+        assert view.instances_for("b", solver, UNIVERSE) == {(1,), (2,)}
+
+    def test_first_deletion_removes_instances(self, program, view, solver):
+        first = delete_first(program, view, solver)
+        assert first.view.instances_for("a", solver, UNIVERSE) == {(2,)}
+        assert first.view.instances_for("b", solver, UNIVERSE) == {(2,)}
+
+    def test_second_deletion_against_rewritten_program_does_not_resurrect(
+        self, program, view, solver
+    ):
+        first = delete_first(program, view, solver)
+        # The documented requirement: run deletion 2 against the program the
+        # first deletion's rewrite produced.
+        second_algorithm = ExtendedDRed(first.rewritten_program, solver)
+        second = second_algorithm.delete(
+            first.view, DeletionRequest(parse_constrained_atom(SECOND_REQUEST))
+        )
+        assert second.view.instances_for("a", solver, UNIVERSE) == frozenset()
+        assert second.view.instances_for("b", solver, UNIVERSE) == frozenset()
+
+    def test_second_deletion_against_original_program_resurrects(
+        self, program, view, solver
+    ):
+        first = delete_first(program, view, solver)
+        # Ignoring the requirement: the original program still contains the
+        # unmodified fact clause ``a(X) <- X = 1``; the rederivation step of
+        # the second deletion fires it again and brings the deleted instance
+        # back -- the failure mode the module docstring warns about.
+        wrong_algorithm = ExtendedDRed(program, solver)
+        wrong = wrong_algorithm.delete(
+            first.view, DeletionRequest(parse_constrained_atom(SECOND_REQUEST))
+        )
+        assert (1,) in wrong.view.instances_for("a", solver, UNIVERSE)
+        assert (1,) in wrong.view.instances_for("b", solver, UNIVERSE)
+
+    def test_rewritten_program_chain_matches_recomputation(
+        self, program, view, solver
+    ):
+        first = delete_first(program, view, solver)
+        second = ExtendedDRed(first.rewritten_program, solver).delete(
+            first.view, DeletionRequest(parse_constrained_atom(SECOND_REQUEST))
+        )
+        reference = recompute_after_deletion(
+            first.rewritten_program,
+            first.view,
+            parse_constrained_atom(SECOND_REQUEST),
+            solver,
+        )
+        assert second.view.instances(solver, UNIVERSE) == reference.view.instances(
+            solver, UNIVERSE
+        )
+
+
+class TestSequentialStDel:
+    def test_stdel_needs_no_program_rewrite_between_deletions(
+        self, program, view, solver
+    ):
+        # StDel never rederives, so running both deletions against the
+        # *original* program is correct -- the practical advantage the
+        # benchmarks quantify.
+        algorithm = StraightDelete(program, solver)
+        first = algorithm.delete(
+            view, DeletionRequest(parse_constrained_atom("a(X) <- X = 1"))
+        )
+        second = algorithm.delete(
+            first.view, DeletionRequest(parse_constrained_atom(SECOND_REQUEST))
+        )
+        assert second.view.instances_for("a", solver, UNIVERSE) == frozenset()
+        assert second.view.instances_for("b", solver, UNIVERSE) == frozenset()
