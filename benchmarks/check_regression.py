@@ -1,0 +1,130 @@
+"""Counter-regression gate over ``BENCH_smoke.json`` snapshots.
+
+Wall-clock numbers vary with hardware; the operation counters
+(``derivation_attempts``, ``solver_calls``, ...) are deterministic, so a PR
+that quietly decays a delta join back into a Cartesian product, or starts
+issuing per-pair solver calls again, is visible as a counter jump even on a
+different machine.  This script diffs the counters of a freshly-run (or
+supplied) snapshot against the committed baseline and exits nonzero when any
+counter regressed by more than the threshold (default 20%).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_regression.py                # run now, diff against BENCH_smoke.json
+    PYTHONPATH=src python benchmarks/check_regression.py --current new.json
+    PYTHONPATH=src python benchmarks/check_regression.py --threshold 0.1
+
+The tier-1 suite runs the same comparison via
+``tests/test_bench_regression.py``, so ``pytest`` alone already enforces the
+gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, Iterator, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT))
+
+#: The counters the gate watches.  Timings and entry counts are ignored.
+GATED_COUNTERS = ("derivation_attempts", "solver_calls")
+
+#: Counters below this value are exempt from the percentage check (a jump
+#: from 2 to 3 is +50% but meaningless); the absolute slack also absorbs it.
+ABSOLUTE_SLACK = 5
+
+
+def iter_counters(results: Dict[str, dict]) -> Iterator[Tuple[str, int]]:
+    """Flatten a snapshot's ``results`` into ``(dotted key, value)`` pairs."""
+    for family in sorted(results):
+        data = results[family]
+        if not isinstance(data, dict):
+            continue
+        for counter in GATED_COUNTERS:
+            value = data.get(counter)
+            if isinstance(value, int):
+                yield f"{family}.{counter}", value
+        for algorithm in sorted(data):
+            payload = data[algorithm]
+            if not isinstance(payload, dict):
+                continue
+            stats = payload.get("stats")
+            if not isinstance(stats, dict):
+                continue
+            for counter in GATED_COUNTERS:
+                value = stats.get(counter)
+                if isinstance(value, int):
+                    yield f"{family}.{algorithm}.{counter}", value
+
+
+def compare_snapshots(
+    baseline: dict, current: dict, threshold: float = 0.2
+) -> List[Tuple[str, int, int]]:
+    """Return ``(key, baseline value, current value)`` for every regression.
+
+    A counter regresses when it exceeds both the percentage threshold and an
+    absolute slack over the baseline.  Keys present on only one side are
+    ignored: removed families are not regressions, and new families have no
+    baseline to hold them to yet.
+    """
+    base_counters = dict(iter_counters(baseline.get("results", {})))
+    current_counters = dict(iter_counters(current.get("results", {})))
+    regressions = []
+    for key, base_value in sorted(base_counters.items()):
+        current_value = current_counters.get(key)
+        if current_value is None:
+            continue
+        allowed = max(base_value * (1.0 + threshold), base_value + ABSOLUTE_SLACK)
+        if current_value > allowed:
+            regressions.append((key, base_value, current_value))
+    return regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        default=str(REPO_ROOT / "BENCH_smoke.json"),
+        help="committed snapshot to compare against",
+    )
+    parser.add_argument(
+        "--current",
+        default=None,
+        help="snapshot to check; omitted = run the smoke families now",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.2,
+        help="relative regression budget (0.2 = +20%%)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(Path(args.baseline).read_text())
+    if args.current is not None:
+        current = json.loads(Path(args.current).read_text())
+    else:
+        from benchmarks.smoke import run_smoke
+
+        current = {"results": run_smoke(include_external=False)}
+
+    regressions = compare_snapshots(baseline, current, args.threshold)
+    checked = len(dict(iter_counters(baseline.get("results", {}))))
+    if not regressions:
+        print(f"counter regression gate: OK ({checked} counters within budget)")
+        return 0
+    print(f"counter regression gate: {len(regressions)} regression(s) over "
+          f"{args.threshold:.0%} budget")
+    for key, base_value, current_value in regressions:
+        growth = (current_value - base_value) / base_value if base_value else float("inf")
+        print(f"  {key}: {base_value} -> {current_value} (+{growth:.0%})")
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

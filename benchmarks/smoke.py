@@ -119,7 +119,10 @@ def run_external(spec) -> dict:
     }
 
 
-def run_smoke() -> dict:
+def run_smoke(include_external: bool = True) -> dict:
+    """Run the smoke families; ``include_external=False`` keeps only the
+    families whose counters are deterministic (the regression gate's diet --
+    the W_P materialization is the one slow, counterless family)."""
     snapshot: dict = {}
     snapshot["fixpoint_tc"] = run_materialization(length=6)
     snapshot["deletion_layered_small"] = run_deletion_family(
@@ -134,12 +137,18 @@ def run_smoke() -> dict:
     snapshot["deletion_recursive_tc6"] = run_deletion_family(
         build_tc_deletion_scenario(length=6)
     )
+    # The largest bench_recursive size: the headline counters of the
+    # hash-join / quick-reject / delta-rederivation claims.
+    snapshot["deletion_recursive_tc14"] = run_deletion_family(
+        build_tc_deletion_scenario(length=14)
+    )
     snapshot["insertion_layered_small"] = run_insertion(
         build_layered_deletion_scenario("small")
     )
-    snapshot["external_layered_small"] = run_external(
-        build_layered_deletion_scenario("small").spec
-    )
+    if include_external:
+        snapshot["external_layered_small"] = run_external(
+            build_layered_deletion_scenario("small").spec
+        )
     return snapshot
 
 

@@ -40,7 +40,19 @@ class ResultSetLike(Protocol):
 
 @runtime_checkable
 class CallEvaluator(Protocol):
-    """Evaluates ground domain calls; implemented by the domain registry."""
+    """Evaluates ground domain calls; implemented by the domain registry.
+
+    Beyond the two required methods, the solver discovers two *optional*
+    members by ``getattr`` (so ad-hoc evaluators need not provide them):
+
+    * ``version`` -- a comparable token that changes whenever any source's
+      behaviour may have changed; its presence makes memoization of
+      DCA-dependent satisfiability results safe by default (the solver drops
+      stale entries on token change).
+    * ``quick_reject(domain, function, args, value) -> bool`` -- a cheap
+      membership refuter consulted by the quick-reject pre-filter; True only
+      when *value* is definitely not in ``domain:function(args)``.
+    """
 
     def evaluate_call(
         self, domain: str, function: str, args: Tuple[object, ...]

@@ -83,10 +83,14 @@ class SolverOptions:
     #: functions (DCA-atoms with an evaluator attached) go into a separate
     #: cache dropped by :meth:`ConstraintSolver.invalidate_external_functions`.
     memoize_satisfiability: bool = True
-    #: Cache results that consult external domain functions.  Off by default:
-    #: such results go stale whenever a source changes, so only callers that
-    #: own a change-notification contract (the external-maintenance classes
-    #: of Section 4, which invalidate on every source change) enable this.
+    #: Force-cache results that consult external domain functions even when
+    #: the evaluator exposes no ``version`` token.  Evaluators *with* a token
+    #: (the domain registry) get external memoization automatically -- the
+    #: solver drops stale entries whenever the token changes -- so this flag
+    #: only matters for tokenless evaluators, where the caller must own a
+    #: change-notification contract (calling
+    #: :meth:`ConstraintSolver.invalidate_external_functions` on every
+    #: source change, as the Section-4 maintenance classes do).
     memoize_external_calls: bool = False
     #: Hard cap on cached satisfiability results (per cache; the cache is
     #: cleared wholesale when the cap is hit -- a simple, branch-free policy).
@@ -246,15 +250,22 @@ class ConstraintSolver:
         self._options = options
         # Satisfiability memo, split by what the result depends on.  Pure
         # results (no DCA-atom consults the evaluator) are time-invariant and
-        # survive source changes; external results are only valid until the
-        # next call to invalidate_external_functions().
+        # survive source changes; external results are valid while the
+        # evaluator's version token is unchanged (or, for evaluators without
+        # one, until invalidate_external_functions() is called).
         self._pure_sat_cache: Dict[Constraint, bool] = {}
         self._external_sat_cache: Dict[Constraint, bool] = {}
+        self._external_cache_version: object = None
         # Simplification memo (filled by repro.constraints.simplify), split
         # the same way: simplification consults entailment, which can depend
         # on external functions.
         self._pure_simplify_cache: Dict[object, Constraint] = {}
         self._external_simplify_cache: Dict[object, Constraint] = {}
+        # Argument-profile memo for the quick-reject pre-filter.  Profiles
+        # are purely syntactic summaries of the canonical form, so they stay
+        # valid across external source changes (only the per-domain
+        # quick_reject hooks consult live sources, at comparison time).
+        self._profile_cache: Dict[Tuple[Tuple[Term, ...], Constraint], "ArgumentProfile"] = {}
 
     # ------------------------------------------------------------------
     # Public API
@@ -352,17 +363,36 @@ class ConstraintSolver:
         A result is *pure* -- cacheable forever -- when no DCA-atom can reach
         the evaluator: either the constraint mentions none, or there is no
         evaluator (unknown memberships resolve by a fixed option).  Results
-        that do consult external functions are cached only when the caller
-        opted in via ``memoize_external_calls`` (pairing it with
+        that do consult external functions are cached when the evaluator
+        exposes a ``version`` token (the registry's token changes on every
+        source change, so stale entries are dropped automatically) or when
+        the caller opted in via ``memoize_external_calls`` (pairing it with
         :meth:`invalidate_external_functions` on every source change).
         """
         if not self._options.memoize_satisfiability:
             return None
         if self._evaluator is None or not _mentions_membership(constraint):
             return self._pure_sat_cache
-        if self._options.memoize_external_calls:
+        if self._refresh_external_caches() or self._options.memoize_external_calls:
             return self._external_sat_cache
         return None
+
+    def _refresh_external_caches(self) -> bool:
+        """Version-gate the external memo; True when it is safe to use.
+
+        Compares the evaluator's current version token against the one the
+        cached results were computed under, dropping them on mismatch.
+        Evaluators without a token answer False, keeping the legacy opt-in
+        behaviour.
+        """
+        token = getattr(self._evaluator, "version", None)
+        if token is None:
+            return False
+        if token != self._external_cache_version:
+            self._external_sat_cache.clear()
+            self._external_simplify_cache.clear()
+            self._external_cache_version = token
+        return True
 
     def cached_simplification(
         self, constraint: Constraint, variant: object
@@ -401,13 +431,97 @@ class ConstraintSolver:
             return None
         if self._evaluator is None or not _mentions_membership(constraint):
             return self._pure_simplify_cache
-        if self._options.memoize_external_calls:
+        if self._refresh_external_caches() or self._options.memoize_external_calls:
             return self._external_simplify_cache
         return None
 
     def is_unsatisfiable(self, constraint: Constraint) -> bool:
         """Return True if the constraint has no solution."""
         return not self.is_satisfiable(constraint)
+
+    # ------------------------------------------------------------------
+    # Quick-reject pre-filter
+    # ------------------------------------------------------------------
+    def argument_profile(
+        self, args: Sequence[Term], constraint: Constraint
+    ) -> "ArgumentProfile":
+        """Memoized per-argument summary of a constrained atom.
+
+        See :func:`build_argument_profile`; the memo is keyed on the raw
+        argument tuple and constraint object (canonicalization happens inside
+        the builder, whose own memo absorbs reordered duplicates).
+        """
+        key = (tuple(args), constraint)
+        try:
+            cached = self._profile_cache.get(key)
+        except TypeError:
+            return build_argument_profile(args, constraint)
+        if cached is None:
+            cached = build_argument_profile(args, constraint)
+            if len(self._profile_cache) >= self._options.max_memoized_results:
+                self._profile_cache.clear()
+            self._profile_cache[key] = cached
+        return cached
+
+    def quick_reject(
+        self,
+        left_args: Sequence[Term],
+        left_constraint: Constraint,
+        right_args: Sequence[Term],
+        right_constraint: Constraint,
+    ) -> bool:
+        """Cheap pre-filter for the overlap test of the maintenance rewrites.
+
+        Returns True only when ``left & right & (left_args = right_args)`` is
+        *definitely* unsatisfiable, established from the two atoms' argument
+        profiles alone: clashing pinned constants, a pinned constant outside
+        the other side's interval, disjoint intervals, or a per-domain
+        ``quick_reject`` hook refuting a pinned value's membership.  A False
+        result proves nothing -- callers follow up with the full
+        :meth:`is_satisfiable` check.  Skipping the solver call on a True
+        result is exactly equivalent to the solver returning unsatisfiable.
+        """
+        if len(left_args) != len(right_args):
+            return False
+        left = self.argument_profile(left_args, left_constraint)
+        if left.unsatisfiable:
+            return True
+        right = self.argument_profile(right_args, right_constraint)
+        if right.unsatisfiable:
+            return True
+        for left_slot, right_slot in zip(left.slots, right.slots):
+            if left_slot.value is not _UNKNOWN and right_slot.value is not _UNKNOWN:
+                if not _values_equal(left_slot.value, right_slot.value):
+                    return True
+                continue
+            if left_slot.value is not _UNKNOWN:
+                if self._slot_excludes(right_slot, left_slot.value):
+                    return True
+            elif right_slot.value is not _UNKNOWN:
+                if self._slot_excludes(left_slot, right_slot.value):
+                    return True
+            elif (
+                left_slot.interval is not None
+                and right_slot.interval is not None
+                and _intervals_disjoint(left_slot.interval, right_slot.interval)
+            ):
+                return True
+        return False
+
+    def _slot_excludes(self, slot: "ArgumentSlot", value: object) -> bool:
+        """True when *slot*'s summary definitely excludes the pinned *value*."""
+        if slot.interval is not None and _interval_excludes(slot.interval, value):
+            return True
+        if slot.calls:
+            hook = getattr(self._evaluator, "quick_reject", None)
+            if hook is not None:
+                for domain, function, args in slot.calls:
+                    try:
+                        if hook(domain, function, args, value):
+                            return True
+                    except Exception:  # hooks must never break the pre-filter
+                        continue
+        return False
 
     def entails(self, context: Constraint, fact: Constraint) -> bool:
         """Return True if every solution of *context* satisfies *fact*.
@@ -852,6 +966,154 @@ class _Unknown:
 
 
 _UNKNOWN = _Unknown()
+
+
+# ---------------------------------------------------------------------------
+# Quick-reject argument profiles
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ArgumentSlot:
+    """Cheap per-argument summary used by the quick-reject pre-filter.
+
+    ``value`` is the constant the canonical form pins the argument to (or
+    :data:`_UNKNOWN`); ``interval`` the numeric range allowed by top-level
+    ordering conjuncts (``None`` when unconstrained); ``calls`` the ground
+    positive DCA-atoms whose element is this argument, as
+    ``(domain, function, args)`` triples ready for a per-domain
+    ``quick_reject`` hook.
+    """
+
+    value: object = _UNKNOWN
+    interval: Optional[_Interval] = None
+    calls: Tuple[Tuple[str, str, Tuple[object, ...]], ...] = ()
+
+
+@dataclass(frozen=True)
+class ArgumentProfile:
+    """Per-position summaries of one constrained atom's canonical form."""
+
+    slots: Tuple[ArgumentSlot, ...]
+    #: The profile alone already closes the constraint (equality conflict or
+    #: a pinned value outside its own interval): no instances exist.
+    unsatisfiable: bool = False
+
+
+def _interval_excludes(interval: _Interval, value: object) -> bool:
+    """True when *interval* definitely excludes the pinned *value*.
+
+    Booleans get no opinion: the solver's ground comparisons coerce them to
+    0/1 (``True < 5`` holds), so excluding them here would prune overlaps
+    the full check finds satisfiable.
+    """
+    if isinstance(value, bool):
+        return False
+    return not interval.admits(value)
+
+
+def _intervals_disjoint(left: _Interval, right: _Interval) -> bool:
+    if left.high < right.low:
+        return True
+    if left.high == right.low and (left.high_strict or right.low_strict):
+        return True
+    if right.high < left.low:
+        return True
+    if right.high == left.low and (right.high_strict or left.low_strict):
+        return True
+    return False
+
+
+def build_argument_profile(
+    args: Sequence[Term], constraint: Constraint
+) -> ArgumentProfile:
+    """Summarize what the canonical form says about each atom argument.
+
+    Only *positive top-level* conjuncts are consulted (equalities, orderings
+    against constants, ground DCA-atoms); everything else -- negations,
+    variable-variable orderings, disequalities -- is ignored, which keeps the
+    profile a sound over-approximation: two atoms whose profiles are
+    incompatible definitely have no common instance, while compatible
+    profiles prove nothing.
+    """
+    from repro.constraints.simplify import canonical_form
+
+    canonical = canonical_form(constraint)
+    if isinstance(canonical, FalseConstraint):
+        return ArgumentProfile((), unsatisfiable=True)
+    uf = _UnionFind()
+    orderings: List[Comparison] = []
+    memberships: List[Membership] = []
+    if not isinstance(canonical, TrueConstraint):
+        for part in canonical.conjuncts():
+            if isinstance(part, Comparison):
+                if part.op == "=":
+                    uf.union(part.left, part.right)
+                    if uf.conflict:
+                        return ArgumentProfile((), unsatisfiable=True)
+                elif part.op in ("<", "<=", ">", ">="):
+                    orderings.append(part)
+            elif isinstance(part, Membership) and part.positive:
+                memberships.append(part)
+            elif isinstance(part, FalseConstraint):
+                return ArgumentProfile((), unsatisfiable=True)
+
+    intervals: Dict[Term, _Interval] = {}
+
+    def interval_for(term: Term) -> _Interval:
+        root = uf.find(term)
+        if root not in intervals:
+            intervals[root] = _Interval()
+        return intervals[root]
+
+    for ordering in orderings:
+        comparison = ordering
+        if comparison.op in (">", ">="):
+            comparison = comparison.flipped()
+        strict = comparison.op == "<"
+        left_const = uf.constant_of(comparison.left)
+        right_const = uf.constant_of(comparison.right)
+        if left_const is not None and right_const is not None:
+            if not _compare_values(left_const.value, comparison.op, right_const.value):
+                return ArgumentProfile((), unsatisfiable=True)
+            continue
+        if right_const is not None and _is_number(right_const.value):
+            interval_for(comparison.left).tighten_high(float(right_const.value), strict)
+        elif left_const is not None and _is_number(left_const.value):
+            interval_for(comparison.right).tighten_low(float(left_const.value), strict)
+
+    def ground_call(call: DomainCall) -> Optional[Tuple[object, ...]]:
+        values: List[object] = []
+        for arg in call.args:
+            constant = uf.constant_of(arg)
+            if constant is None:
+                return None
+            values.append(constant.value)
+        return tuple(values)
+
+    slots: List[ArgumentSlot] = []
+    for arg in args:
+        constant = uf.constant_of(arg)
+        value = constant.value if constant is not None else _UNKNOWN
+        root = uf.find(arg)
+        interval = intervals.get(root)
+        if interval is not None and interval.is_trivial():
+            interval = None
+        if value is not _UNKNOWN and interval is not None:
+            if _interval_excludes(interval, value):
+                return ArgumentProfile((), unsatisfiable=True)
+            interval = None  # the pinned value subsumes the interval
+        calls: List[Tuple[str, str, Tuple[object, ...]]] = []
+        for literal in memberships:
+            if uf.find(literal.element) != root:
+                continue
+            resolved = ground_call(literal.call)
+            if resolved is not None:
+                calls.append((literal.call.domain, literal.call.function, resolved))
+        if interval is not None and interval.is_empty():
+            return ArgumentProfile((), unsatisfiable=True)
+        slots.append(ArgumentSlot(value, interval, tuple(calls)))
+    return ArgumentProfile(tuple(slots))
 
 
 def _ground_term(term: Term, assignment: Mapping[Variable, object]) -> object:

@@ -29,12 +29,17 @@ from repro.constraints.ast import Constraint, conjoin, tuple_equalities
 from repro.constraints.projection import eliminate_variables
 from repro.constraints.simplify import simplify
 from repro.constraints.solver import ConstraintSolver
-from repro.constraints.terms import FreshVariableFactory, Variable
-from repro.datalog.atoms import ConstrainedAtom
+from repro.constraints.terms import Constant, FreshVariableFactory, Variable
+from repro.datalog.atoms import Atom, ConstrainedAtom
 from repro.datalog.clauses import Clause
 from repro.datalog.program import ConstrainedDatabase
 from repro.datalog.support import Support
-from repro.datalog.view import MaterializedView, ViewEntry
+from repro.datalog.view import (
+    MaterializedView,
+    UNBOUND,
+    ViewEntry,
+    bound_argument_values,
+)
 from repro.errors import FixpointDivergenceError
 
 
@@ -57,6 +62,12 @@ class FixpointOptions:
     #: derived entries read like the paper's examples (``A(X) <- X >= 5``
     #: instead of ``A(X) <- X1 >= 5 & X1 = X``).
     project_auxiliary_variables: bool = True
+    #: Probe the view's argument index with the bindings accumulated so far
+    #: instead of scanning the full per-position pools (hash join).  Only
+    #: applied under ``T_P`` (``check_solvability=True``): the index prunes
+    #: combinations whose binding equalities are unsatisfiable, and ``W_P``
+    #: must keep exactly those entries (Theorem 4).
+    hash_join_index: bool = True
     #: Hard cap on the number of iterations before giving up.
     max_iterations: int = 200
     #: Hard cap on the total number of view entries before giving up.
@@ -88,6 +99,8 @@ class FixpointStats:
     #: Clause evaluations skipped by the body-predicate dependency index
     #: (clause considered in a round times no body predicate had a delta).
     clauses_skipped: int = 0
+    #: Argument-index probes issued by the hash-join enumeration.
+    index_probes: int = 0
     #: Per-round delta sizes (number of entries new since the last round).
     round_delta_sizes: List[int] = field(default_factory=list)
     #: Per-round derivation attempts (aligned with ``round_delta_sizes``).
@@ -132,6 +145,185 @@ def iter_delta_joins(
                     yield before + (chosen,) + after
 
 
+def _values_compatible(left: object, right: object) -> bool:
+    """Conservative equality: False only when the values definitely differ.
+
+    Mirrors the solver's value equality (Python ``==``, which already treats
+    ``3 == 3.0``); anything odd (raising ``__eq__``, non-bool result) counts
+    as compatible so the index never prunes a satisfiable combination.
+    """
+    try:
+        return bool(left == right)
+    except Exception:
+        return True
+
+
+def _extend_bindings(
+    bindings: Dict[Variable, object],
+    body_atom: Atom,
+    values: Sequence[object],
+) -> Optional[Dict[Variable, object]]:
+    """Fold one premise's pinned argument values into the binding map.
+
+    Returns ``None`` when a pinned value clashes with an existing binding or
+    a constant argument -- exactly the combinations whose binding equalities
+    the solver would find unsatisfiable.
+    """
+    updated = bindings
+    copied = False
+    for arg, value in zip(body_atom.args, values):
+        if value is UNBOUND:
+            continue
+        if isinstance(arg, Constant):
+            if not _values_compatible(arg.value, value):
+                return None
+            continue
+        existing = updated.get(arg, UNBOUND)
+        if existing is UNBOUND:
+            if not copied:
+                updated = dict(updated)
+                copied = True
+            updated[arg] = value
+        elif not _values_compatible(existing, value):
+            return None
+    return updated
+
+
+def iter_indexed_delta_joins(
+    body_atoms: Sequence[Atom],
+    old_pools: Sequence[Sequence[_T]],
+    delta_pools: Sequence[Sequence[_T]],
+    full_pools: Sequence[Sequence[_T]],
+    probe_old: Callable[[Atom, int, object], Sequence[_T]],
+    probe_full: Callable[[Atom, int, object], Sequence[_T]],
+    bound_values: Optional[Callable[[_T], Sequence[object]]] = None,
+) -> Iterator[Tuple[_T, ...]]:
+    """Hash-join variant of :func:`iter_delta_joins`.
+
+    Enumerates the same partitions (first delta position draws from the
+    delta, earlier positions from the old pools, later ones from the full
+    pools) but visits the delta position *first* so its pinned argument
+    values become bindings, then resolves every remaining position through
+    ``probe_old`` / ``probe_full`` -- an argument-index lookup returning only
+    entries that can carry the accumulated binding -- falling back to the
+    positional pool when no argument of the position is bound yet.
+
+    The yielded set is the subset of :func:`iter_delta_joins`'s output whose
+    binding equalities are not trivially unsatisfiable, so it is only valid
+    for ``T_P``-style evaluation (solvability-checked derivations).  Each
+    combination is yielded with its premises in body order.
+    """
+    arity = len(full_pools)
+    if bound_values is None:
+        bound_values = _default_bound_values
+    values_cache: Dict[int, Sequence[object]] = {}
+
+    def values_of(item: _T) -> Sequence[object]:
+        cached = values_cache.get(id(item))
+        if cached is None:
+            cached = values_cache[id(item)] = bound_values(item)
+        return cached
+
+    def candidates(
+        position: int, use_old: bool, bindings: Dict[Variable, object]
+    ) -> Sequence[_T]:
+        body_atom = body_atoms[position]
+        for arg_index, arg in enumerate(body_atom.args):
+            if isinstance(arg, Constant):
+                value = arg.value
+            elif isinstance(arg, Variable) and arg in bindings:
+                value = bindings[arg]
+            else:
+                continue
+            probe = probe_old if use_old else probe_full
+            return probe(body_atom, arg_index, value)
+        return old_pools[position] if use_old else full_pools[position]
+
+    for delta_position in range(arity):
+        if not delta_pools[delta_position]:
+            continue
+        if any(not old_pools[p] for p in range(delta_position)):
+            continue
+        if any(not full_pools[p] for p in range(delta_position + 1, arity)):
+            continue
+        # Visit the delta position first so its bindings prune the rest;
+        # remaining positions go in body order.
+        order = [delta_position] + [p for p in range(arity) if p != delta_position]
+        chosen: List[Optional[_T]] = [None] * arity
+
+        def recurse(depth: int, bindings: Dict[Variable, object]) -> Iterator[Tuple[_T, ...]]:
+            if depth == arity:
+                yield tuple(chosen)  # type: ignore[arg-type]
+                return
+            position = order[depth]
+            if position == delta_position:
+                pool: Sequence[_T] = delta_pools[position]
+            else:
+                pool = candidates(position, position < delta_position, bindings)
+            for item in pool:
+                extended = _extend_bindings(bindings, body_atoms[position], values_of(item))
+                if extended is None:
+                    continue
+                chosen[position] = item
+                yield from recurse(depth + 1, extended)
+
+        yield from recurse(0, {})
+
+
+def _default_bound_values(item: object) -> Sequence[object]:
+    getter = getattr(item, "bound_args", None)
+    if getter is not None:
+        return getter()
+    return bound_argument_values(item.atom.args, item.constraint)  # type: ignore[attr-defined]
+
+
+def make_view_probes(
+    view: MaterializedView,
+    exclude_keys: Optional[set] = None,
+    delta_by_predicate: Optional[Dict[str, list]] = None,
+    old_is_empty: bool = False,
+    on_probe: Optional[Callable[[], None]] = None,
+) -> Tuple[Callable, Callable]:
+    """Build the ``(probe_old, probe_full)`` pair for indexed delta joins.
+
+    ``probe_full`` resolves a body atom + binding against *view*'s argument
+    index; ``probe_old`` additionally drops the entries in *exclude_keys*
+    (the round's delta / frontier) so the old pools stay delta-free --
+    skipping the filter for predicates *delta_by_predicate* marks as having
+    no delta (there old == full).  ``old_is_empty`` models one-shot operator
+    application, where every entry is delta and the old pools are empty.
+    This is the single implementation shared by the fixpoint engine, the
+    P_OUT unfolding and the P_ADD unfolding.
+    """
+
+    def probe_full(body_atom: Atom, arg_index: int, value: object):
+        if on_probe is not None:
+            on_probe()
+        return view.probe(body_atom.predicate, arg_index, value)
+
+    if old_is_empty:
+
+        def probe_old(body_atom: Atom, arg_index: int, value: object):
+            return ()
+
+    elif not exclude_keys:
+        probe_old = probe_full
+    else:
+
+        def probe_old(body_atom: Atom, arg_index: int, value: object):
+            result = probe_full(body_atom, arg_index, value)
+            if (
+                delta_by_predicate is not None
+                and not delta_by_predicate.get(body_atom.predicate)
+            ):
+                return result
+            return tuple(
+                entry for entry in result if entry.key() not in exclude_keys
+            )
+
+    return probe_old, probe_full
+
+
 class FixpointEngine:
     """Computes ``T_P ↑ ω`` / ``W_P ↑ ω`` for a constrained database."""
 
@@ -170,13 +362,24 @@ class FixpointEngine:
         return self._stats
 
     def compute(
-        self, initial: Optional[MaterializedView] = None
+        self,
+        initial: Optional[MaterializedView] = None,
+        initial_delta: Optional[Sequence[ViewEntry]] = None,
     ) -> MaterializedView:
         """Compute the least fixpoint, optionally seeded with *initial*.
 
         With no seed this is ``T_P ↑ ω(∅)`` (or ``W_P ↑ ω(∅)``).  With a seed
         it is the inflationary iteration ``T_P ↑ ω(M')`` used by the
         rederivation step of the Extended DRed algorithm.
+
+        *initial_delta*, when given, restricts the round-0 delta to those
+        seed entries (they must be members of *initial*; others are ignored).
+        Entries outside the delta are treated as already-stable: no clause
+        application drawing **all** premises from them is enumerated.  The
+        caller asserts that such applications cannot derive anything missing
+        from *initial* -- the delta-aware rederivation of Extended DRed
+        passes the over-deleted entries plus their direct premises, which is
+        exactly the set whose derivations the over-deletion disturbed.
         """
         self._stats = FixpointStats()
         view = MaterializedView(initial.entries if initial is not None else ())
@@ -185,7 +388,17 @@ class FixpointEngine:
         # Round 0: body-free clauses, plus the seed entries, form the delta.
         # Seed entries count as delta (they can fire clauses) but not as
         # *added*: entries_added only counts entries this computation put in.
-        delta: List[ViewEntry] = list(view.entries)
+        delta: List[ViewEntry] = []
+        if initial_delta is None:
+            delta.extend(view.entries)
+        else:
+            seen_keys = set()
+            for entry in initial_delta:
+                key = entry.key()
+                if key in seen_keys or entry not in view:
+                    continue
+                seen_keys.add(key)
+                delta.append(entry)
         for clause in self._program:
             if clause.is_fact_clause:
                 entry = self._derive_fact(clause)
@@ -202,9 +415,9 @@ class FixpointEngine:
             self._stats.round_delta_sizes.append(len(delta))
             attempts_before = self._stats.derivation_attempts
             produced: List[ViewEntry] = []
-            for clause, pools_for in self._round_plan(view, delta):
+            for clause, pools_for, probes in self._round_plan(view, delta):
                 produced.extend(
-                    self._derive_from_clause(clause, pools_for, factory)
+                    self._derive_from_clause(clause, pools_for, factory, probes)
                 )
             self._stats.round_attempts.append(
                 self._stats.derivation_attempts - attempts_before
@@ -242,10 +455,10 @@ class FixpointEngine:
         # Every entry of the interpretation counts as "delta": one operator
         # application enumerates the full product, which the delta-join does
         # too once the old pools are empty.
-        for clause, pools_for in self._round_plan(
+        for clause, pools_for, probes in self._round_plan(
             interpretation, list(interpretation), everything_is_delta=True
         ):
-            for entry in self._derive_from_clause(clause, pools_for, factory):
+            for entry in self._derive_from_clause(clause, pools_for, factory, probes):
                 result.add(entry)
         return result
 
@@ -271,14 +484,22 @@ class FixpointEngine:
         view: MaterializedView,
         delta: Sequence[ViewEntry],
         everything_is_delta: bool = False,
-    ) -> Iterator[Tuple[Clause, Callable[[str], Tuple[tuple, tuple, tuple]]]]:
+    ) -> Iterator[
+        Tuple[
+            Clause,
+            Callable[[str], Tuple[tuple, tuple, tuple]],
+            Optional[Tuple[Callable, Callable]],
+        ]
+    ]:
         """Yield the clauses a round must evaluate, with their join pools.
 
         Only clauses whose body references a predicate that gained a delta
         entry can derive anything new; the program's body-predicate index
         selects exactly those, in clause-number order.  The returned
         ``pools_for`` callable resolves a body predicate to its
-        ``(full, old, delta)`` entry pools, computed once per round.
+        ``(full, old, delta)`` entry pools, computed once per round; the
+        probe pair (when the hash-join index applies) resolves a body atom
+        plus one accumulated binding to the matching old / full entries.
         """
         delta_by_predicate: Dict[str, List[ViewEntry]] = {}
         for entry in delta:
@@ -305,19 +526,34 @@ class FixpointEngine:
                 cached = pools[predicate] = (full, old, fresh)
             return cached
 
+        probes: Optional[Tuple[Callable, Callable]] = None
+        if self._options.hash_join_index and self._options.check_solvability:
+
+            def on_probe() -> None:
+                self._stats.index_probes += 1
+
+            probes = make_view_probes(
+                view,
+                exclude_keys=delta_keys,
+                delta_by_predicate=delta_by_predicate,
+                old_is_empty=everything_is_delta,
+                on_probe=on_probe,
+            )
+
         selected: Dict[int, Clause] = {}
         for predicate in delta_by_predicate:
             for clause in self._program.clauses_with_body_predicate(predicate):
                 selected[clause.number or 0] = clause
         self._stats.clauses_skipped += len(self._program.rule_clauses) - len(selected)
         for number in sorted(selected):
-            yield selected[number], pools_for
+            yield selected[number], pools_for, probes
 
     def _derive_from_clause(
         self,
         clause: Clause,
         pools_for: Callable[[str], Tuple[tuple, tuple, tuple]],
         factory: FreshVariableFactory,
+        probes: Optional[Tuple[Callable, Callable]] = None,
     ) -> Iterable[ViewEntry]:
         full_pools: List[Tuple[ViewEntry, ...]] = []
         old_pools: List[Tuple[ViewEntry, ...]] = []
@@ -330,12 +566,25 @@ class FixpointEngine:
             old_pools.append(old)
             delta_pools.append(fresh)
 
+        if probes is not None:
+            probe_old, probe_full = probes
+            combinations: Iterable[Tuple[ViewEntry, ...]] = iter_indexed_delta_joins(
+                clause.body,
+                old_pools,
+                delta_pools,
+                full_pools,
+                probe_old,
+                probe_full,
+            )
+        else:
+            combinations = iter_delta_joins(old_pools, delta_pools, full_pools)
+
         # Rename each pool entry apart once per clause evaluation instead of
         # once per combination: fresh names are globally unique either way,
         # and a premise reused across combinations (or across positions) can
         # safely share its renamed copy -- each derived entry is independent.
         renamed_cache: Dict[Tuple[int, int], ConstrainedAtom] = {}
-        for combination in iter_delta_joins(old_pools, delta_pools, full_pools):
+        for combination in combinations:
             self._stats.derivation_attempts += 1
             entry = self._combine(clause, combination, factory, renamed_cache)
             if entry is not None:

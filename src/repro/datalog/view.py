@@ -22,12 +22,48 @@ from typing import (
 )
 
 from repro.constraints.ast import Constraint, conjoin, tuple_equalities
-from repro.constraints.simplify import canonical_form
+from repro.constraints.simplify import canonical_form, extract_bindings
 from repro.constraints.solver import ConstraintSolver
-from repro.constraints.terms import FreshVariableFactory, Variable
+from repro.constraints.terms import Constant, FreshVariableFactory, Variable
 from repro.datalog.atoms import Atom, ConstrainedAtom
 from repro.datalog.support import Support
 from repro.errors import ProgramError
+
+
+class _UnboundArgument:
+    """Sentinel: an atom argument not pinned to a constant by the constraint."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<unbound>"
+
+
+#: Marks argument positions whose value the constraint does not determine.
+UNBOUND = _UnboundArgument()
+
+
+def bound_argument_values(
+    args: Sequence[object], constraint: Constraint
+) -> Tuple[object, ...]:
+    """Per-position constant values pinned by *constraint* (or :data:`UNBOUND`).
+
+    Constant arguments are their own value; variable arguments take the value
+    the constraint's top-level equalities pin them to, when any.  This is the
+    per-position generalization of
+    :meth:`~repro.datalog.atoms.ConstrainedAtom.bound_tuple` and feeds the
+    hash-join argument index.
+    """
+    bindings = extract_bindings(constraint)
+    values = []
+    for arg in args:
+        if isinstance(arg, Constant):
+            values.append(arg.value)
+        elif isinstance(arg, Variable) and arg in bindings:
+            values.append(bindings[arg].value)
+        else:
+            values.append(UNBOUND)
+    return tuple(values)
 
 
 @dataclass(frozen=True)
@@ -59,6 +95,20 @@ class ViewEntry:
     def with_constraint(self, constraint: Constraint) -> "ViewEntry":
         """Return a copy with the constraint replaced (same atom, same support)."""
         return ViewEntry(self.atom, constraint, self.support)
+
+    def bound_args(self) -> Tuple[object, ...]:
+        """Per-position pinned constants (or :data:`UNBOUND`), cached.
+
+        Purely syntactic (top-level equalities only), so the result is
+        time-invariant even when the constraint mentions external domain
+        calls -- which is what lets the ``W_P`` view's hash indexes stay
+        byte-identical across source changes (Theorem 4).
+        """
+        cached = self.__dict__.get("_cached_bound_args")
+        if cached is None:
+            cached = bound_argument_values(self.atom.args, self.constraint)
+            object.__setattr__(self, "_cached_bound_args", cached)
+        return cached
 
     def key(self) -> Tuple[Atom, Constraint, Support]:
         """Deduplication key: atom, canonical constraint, support.
@@ -157,6 +207,19 @@ class MaterializedView:
         self._index = _IndexedSlots()
         self._by_predicate: Dict[str, _IndexedSlots] = {}
         self._by_support: Dict[Support, _IndexedSlots] = {}
+        # Hash-join argument index: (predicate, argument position) maps to
+        # per-bound-value entry buckets plus an unbound bucket (entries whose
+        # constraint does not pin that position).  A probe for a value must
+        # return the value's bucket *and* the unbound bucket to stay a
+        # superset of the entries that can join.
+        self._arg_bound: Dict[Tuple[str, int], Dict[object, Dict[object, ViewEntry]]] = {}
+        self._arg_unbound: Dict[Tuple[str, int], Dict[object, ViewEntry]] = {}
+        # Global insertion sequence per key, so probe results can be returned
+        # in the same deterministic (insertion) order the positional pools
+        # use.  ``replace`` reuses the old sequence number, mirroring the
+        # in-place semantics of ``_IndexedSlots.replace``.
+        self._seq: Dict[object, int] = {}
+        self._next_seq = 0
         for entry in entries:
             self.add(entry)
 
@@ -198,6 +261,10 @@ class MaterializedView:
         if group is None:
             group = self._by_support[entry.support] = _IndexedSlots()
         group.add(key, entry)
+        if key not in self._seq:
+            self._seq[key] = self._next_seq
+            self._next_seq += 1
+        self._index_arguments(key, entry)
         return True
 
     def add_all(self, entries: Iterable[ViewEntry]) -> int:
@@ -212,6 +279,8 @@ class MaterializedView:
         self._index.remove(key)
         self._by_predicate[entry.predicate].remove(key)
         self._by_support[entry.support].remove(key)
+        self._unindex_arguments(key, entry)
+        self._seq.pop(key, None)
         return True
 
     def replace(self, old: ViewEntry, new: ViewEntry) -> bool:
@@ -247,6 +316,13 @@ class MaterializedView:
             group.remove(old_key)
             fresh = self._by_support.setdefault(new.support, _IndexedSlots())
             fresh.add(new_key, new)
+        self._unindex_arguments(old_key, old)
+        sequence = self._seq.pop(old_key, None)
+        if sequence is None:
+            sequence = self._next_seq
+            self._next_seq += 1
+        self._seq[new_key] = sequence
+        self._index_arguments(new_key, new)
         return True
 
     # ------------------------------------------------------------------
@@ -274,6 +350,110 @@ class MaterializedView:
         """Return the (first-inserted) entry carrying exactly this support."""
         group = self._by_support.get(support)
         return group.first() if group is not None else None
+
+    def find_all_by_support(self, support: Support) -> Tuple[ViewEntry, ...]:
+        """Every entry carrying exactly this support, in insertion order.
+
+        Supports are unique in a freshly-computed fixpoint view, but not in
+        general: all externally inserted atoms share the reserved clause
+        number 0, and DRed rederivation can add a rederived twin alongside a
+        narrowed entry.  Callers that reason about *all* derivations touching
+        a support (the delta-rederivation seed) must use this, not
+        :meth:`find_by_support`.
+        """
+        group = self._by_support.get(support)
+        return group.to_tuple() if group is not None else ()
+
+    # ------------------------------------------------------------------
+    # Hash-join argument index
+    # ------------------------------------------------------------------
+    def _index_arguments(self, key: object, entry: ViewEntry) -> None:
+        for position, value in enumerate(entry.bound_args()):
+            slot = (entry.predicate, position)
+            if value is UNBOUND:
+                self._arg_unbound.setdefault(slot, {})[key] = entry
+                continue
+            try:
+                buckets = self._arg_bound.setdefault(slot, {})
+                buckets.setdefault(value, {})[key] = entry
+            except TypeError:  # unhashable constant: keep it probe-visible
+                self._arg_unbound.setdefault(slot, {})[key] = entry
+
+    def _unindex_arguments(self, key: object, entry: ViewEntry) -> None:
+        for position, value in enumerate(entry.bound_args()):
+            slot = (entry.predicate, position)
+            unbound = self._arg_unbound.get(slot)
+            if value is not UNBOUND:
+                try:
+                    buckets = self._arg_bound.get(slot)
+                    if buckets is not None and key in buckets.get(value, ()):
+                        del buckets[value][key]
+                        if not buckets[value]:
+                            del buckets[value]
+                        continue
+                except TypeError:
+                    pass  # was filed under the unbound bucket on the way in
+            if unbound is not None:
+                unbound.pop(key, None)
+
+    def probe(
+        self, predicate: str, position: int, value: object
+    ) -> Tuple[ViewEntry, ...]:
+        """Entries of *predicate* that can carry *value* at argument *position*.
+
+        Returns the entries whose constraint pins the position to *value*
+        plus every entry whose constraint leaves the position unbound -- a
+        superset of the entries that can join with that binding, and usually
+        a small fraction of the predicate's full pool.  Results come back in
+        insertion order (matching the positional pools).  An unhashable
+        *value* falls back to the full pool.
+        """
+        slot = (predicate, position)
+        try:
+            matched = self._arg_bound.get(slot, {}).get(value)
+        except TypeError:
+            return self.entries_for(predicate)
+        unbound = self._arg_unbound.get(slot)
+        candidates = list(matched.items()) if matched else []
+        if unbound:
+            candidates.extend(unbound.items())
+        # A sort (not a two-bucket merge) is required for correctness:
+        # ``replace`` keeps the old sequence number but re-files the entry at
+        # the end of its dict bucket, so bucket order alone is not sequence
+        # order.  Timsort is adaptive, so the common nearly-sorted case
+        # stays effectively linear.
+        candidates.sort(key=lambda item: self._seq[item[0]])
+        return tuple(entry for _, entry in candidates)
+
+    def argument_index_snapshot(self) -> Tuple[Tuple[str, int, str, Tuple[str, ...]], ...]:
+        """A canonical, comparable rendering of the argument index.
+
+        Each row is ``(predicate, position, value-or-"<unbound>", entry
+        keys)``; the W_P invariance tests compare snapshots byte-for-byte
+        across external source changes (Theorem 4 extended to the indexes).
+        """
+        rows = []
+        for (predicate, position), buckets in self._arg_bound.items():
+            for value, members in buckets.items():
+                rows.append(
+                    (
+                        predicate,
+                        position,
+                        repr(value),
+                        tuple(sorted(str(key) for key in members)),
+                    )
+                )
+        for (predicate, position), members in self._arg_unbound.items():
+            if members:
+                rows.append(
+                    (
+                        predicate,
+                        position,
+                        "<unbound>",
+                        tuple(sorted(str(key) for key in members)),
+                    )
+                )
+        return tuple(sorted(rows))
 
     # ------------------------------------------------------------------
     # Semantics

@@ -10,7 +10,7 @@ all at once").
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Tuple
 
 from repro.domains.base import Domain, IntensionalResultSet
 from repro.errors import EvaluationError
@@ -109,12 +109,65 @@ def make_arithmetic_domain(
             raise EvaluationError("arith:mod division by zero")
         return {_require_number(x, "mod") % divisor}
 
-    domain.register("greater", greater, "integers strictly greater than x", arity=1)
-    domain.register("great", greater, "alias used by the paper", arity=1)
-    domain.register("greater_eq", greater_eq, "integers >= x", arity=1)
-    domain.register("less", less, "integers strictly less than x", arity=1)
-    domain.register("less_eq", less_eq, "integers <= x", arity=1)
-    domain.register("between", between, "integers in [a, b]", arity=2)
+    def _is_number(value: object) -> bool:
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+    # Quick-reject hooks: True only when the value is *definitely* outside
+    # the call's result set, decided arithmetically.  Arithmetic behaviour is
+    # time-invariant, so these never go stale.  Non-numeric *arguments* make
+    # the underlying call fail -- the solver then treats the DCA-atom as
+    # unknown-satisfiable -- so the hooks venture no opinion there; a
+    # non-numeric *value* against a well-formed call is a definite non-member.
+    def reject_greater(args: Tuple[object, ...], value: object) -> bool:
+        return _is_number(args[0]) and (not _is_number(value) or value <= args[0])
+
+    def reject_greater_eq(args: Tuple[object, ...], value: object) -> bool:
+        return _is_number(args[0]) and (not _is_number(value) or value < args[0])
+
+    def reject_less(args: Tuple[object, ...], value: object) -> bool:
+        return _is_number(args[0]) and (not _is_number(value) or value >= args[0])
+
+    def reject_less_eq(args: Tuple[object, ...], value: object) -> bool:
+        return _is_number(args[0]) and (not _is_number(value) or value > args[0])
+
+    def reject_between(args: Tuple[object, ...], value: object) -> bool:
+        if not all(_is_number(arg) for arg in args):
+            return False
+        if isinstance(value, bool):
+            # between() returns a plain range, and bool is an int subclass:
+            # True in range(0, 3) holds, so no opinion here.
+            return False
+        if not _is_number(value):
+            return True
+        # Mirror between()'s own int() truncation of the bounds: the result
+        # set of between(2.5, 7.5) is range(2, 8), which contains 2.
+        low, high = int(args[0]), int(args[1])
+        return value < low or value > high or float(value) != int(value)
+
+    domain.register(
+        "greater", greater, "integers strictly greater than x", arity=1,
+        quick_reject=reject_greater,
+    )
+    domain.register(
+        "great", greater, "alias used by the paper", arity=1,
+        quick_reject=reject_greater,
+    )
+    domain.register(
+        "greater_eq", greater_eq, "integers >= x", arity=1,
+        quick_reject=reject_greater_eq,
+    )
+    domain.register(
+        "less", less, "integers strictly less than x", arity=1,
+        quick_reject=reject_less,
+    )
+    domain.register(
+        "less_eq", less_eq, "integers <= x", arity=1,
+        quick_reject=reject_less_eq,
+    )
+    domain.register(
+        "between", between, "integers in [a, b]", arity=2,
+        quick_reject=reject_between,
+    )
     domain.register("plus", plus, "{x + y}", arity=2)
     domain.register("minus", minus, "{x - y}", arity=2)
     domain.register("times", times, "{x * y}", arity=2)

@@ -105,6 +105,14 @@ class DomainFunction:
     callable: Callable[..., object]
     description: str = ""
     arity: Optional[int] = None
+    #: Optional cheap membership refuter: ``quick_reject(args, value)``
+    #: returns True only when *value* is **definitely not** a member of
+    #: ``function(args)`` -- decided without running the full call.  The
+    #: constraint solver's quick-reject pre-filter consults this to skip
+    #: satisfiability checks; a hook that errs on the True side corrupts
+    #: view maintenance, one that errs on the False side merely costs a
+    #: solver call.
+    quick_reject: Optional[Callable[[Tuple[object, ...], object], bool]] = None
 
     def invoke(self, args: Tuple[object, ...]) -> ResultSetLike:
         """Call the function and coerce its result into a result set."""
@@ -133,6 +141,7 @@ class Domain:
         self._name = name
         self._description = description
         self._functions: Dict[str, DomainFunction] = {}
+        self._source_counter = 0
 
     @property
     def name(self) -> str:
@@ -150,10 +159,12 @@ class Domain:
         callable: Callable[..., object],
         description: str = "",
         arity: Optional[int] = None,
+        quick_reject: Optional[Callable[[Tuple[object, ...], object], bool]] = None,
     ) -> DomainFunction:
         """Register a function; replaces any previous function of that name."""
-        function = DomainFunction(name, callable, description, arity)
+        function = DomainFunction(name, callable, description, arity, quick_reject)
         self._functions[name] = function
+        self._bump_source()
         return function
 
     def function(self, name: str) -> DomainFunction:
@@ -178,6 +189,22 @@ class Domain:
         """Execute ``function(args)`` within this domain."""
         return self.function(function).invoke(args)
 
+    # -- source versioning ---------------------------------------------------
+    def _bump_source(self) -> None:
+        """Record that the domain's observable behaviour may have changed."""
+        self._source_counter += 1
+
+    def source_version(self) -> object:
+        """A token that changes whenever the domain's behaviour can change.
+
+        The base implementation counts function (re)registrations and
+        explicit :meth:`_bump_source` calls; subclasses fold in whatever
+        state their functions actually read (a database version, a clock,
+        a mutable scenario).  :attr:`DomainRegistry.version` aggregates
+        these tokens so solvers can cache DCA-dependent results safely.
+        """
+        return self._source_counter
+
     def __repr__(self) -> str:
         return f"Domain({self._name!r}, functions={list(self.function_names())})"
 
@@ -196,6 +223,9 @@ class DomainRegistry:
         self._domains: Dict[str, Domain] = {}
         self._cache_calls = cache_calls
         self._cache: Dict[Tuple[str, str, Tuple[object, ...]], ResultSetLike] = {}
+        self._cache_token: object = None
+        self._mutation_counter = 0
+        self._sorted_domains: Tuple[Domain, ...] = ()
         for domain in domains:
             self.register(domain)
 
@@ -203,6 +233,9 @@ class DomainRegistry:
     def register(self, domain: Domain) -> Domain:
         """Add a domain; replaces any previous domain with the same name."""
         self._domains[domain.name] = domain
+        self._sorted_domains = tuple(
+            self._domains[name] for name in sorted(self._domains)
+        )
         self.invalidate_cache()
         return domain
 
@@ -211,6 +244,9 @@ class DomainRegistry:
         if name not in self._domains:
             raise UnknownDomainError(f"unknown domain: {name!r}")
         del self._domains[name]
+        self._sorted_domains = tuple(
+            self._domains[name] for name in sorted(self._domains)
+        )
         self.invalidate_cache()
 
     def domain(self, name: str) -> Domain:
@@ -237,7 +273,18 @@ class DomainRegistry:
     def evaluate_call(
         self, domain: str, function: str, args: Tuple[object, ...]
     ) -> ResultSetLike:
-        """Execute ``domain:function(args)``."""
+        """Execute ``domain:function(args)``.
+
+        The call memo is gated on the registry's version token, mirroring
+        the solver's external memo: any tracked source change (clock
+        advance, behaviour installation, database mutation, registration)
+        drops cached results before they can be served stale.
+        """
+        if self._cache_calls:
+            token = self.version
+            if token != self._cache_token:
+                self._cache.clear()
+                self._cache_token = token
         key = (domain, function, tuple(args))
         if self._cache_calls and key in self._cache:
             return self._cache[key]
@@ -246,12 +293,51 @@ class DomainRegistry:
             self._cache[key] = result
         return result
 
+    def quick_reject(
+        self, domain: str, function: str, args: Tuple[object, ...], value: object
+    ) -> bool:
+        """Consult a function's ``quick_reject`` hook, defaulting to False.
+
+        Part of the solver-facing evaluator surface: True means *value* is
+        definitely not a member of ``domain:function(args)``, so a
+        satisfiability check involving that DCA-atom can be skipped.  Unknown
+        domains, functions without a hook, and hook errors all answer False
+        (no opinion).
+        """
+        registered = self._domains.get(domain)
+        if registered is None or not registered.has_function(function):
+            return False
+        hook = registered.function(function).quick_reject
+        if hook is None:
+            return False
+        try:
+            return bool(hook(tuple(args), value))
+        except Exception:
+            return False
+
     # -- cache management ----------------------------------------------------
     def invalidate_cache(self) -> None:
         """Drop all memoized call results (call after any source update)."""
         self._cache.clear()
+        self._mutation_counter += 1
 
     @property
     def caches_calls(self) -> bool:
         """Whether ground calls are memoized."""
         return self._cache_calls
+
+    @property
+    def version(self) -> object:
+        """A token that changes whenever any integrated source may have.
+
+        Aggregates the registry's own mutation counter (registrations,
+        explicit invalidations) with every domain's :meth:`Domain.
+        source_version`.  Solvers compare successive tokens to decide whether
+        memoized DCA-dependent satisfiability results are still valid --
+        which makes that memoization safe *by default*, without the manual
+        ``invalidate_external_functions`` choreography.
+        """
+        return (
+            self._mutation_counter,
+            tuple(domain.source_version() for domain in self._sorted_domains),
+        )

@@ -37,6 +37,8 @@ class FaceScenario:
 
     people: Tuple[str, ...]
     appearances: Dict[str, List[List[str]]] = field(default_factory=dict)
+    #: Mutation counter folded into the face domains' source version tokens.
+    version: int = 0
 
     def mugshot_of(self, person: str) -> str:
         """Identifier of a person's mugshot in the background face database."""
@@ -65,6 +67,7 @@ class FaceScenario:
         if unknown:
             raise EvaluationError(f"unknown people in photo: {unknown}")
         self.appearances.setdefault(dataset, []).append(list(visible_people))
+        self.version += 1
 
     def remove_photo(self, dataset: str, photo_index: int) -> None:
         """Remove one photograph (models retraction of surveillance data)."""
@@ -74,6 +77,7 @@ class FaceScenario:
                 f"dataset {dataset!r} has no photo index {photo_index}"
             )
         del photos[photo_index]
+        self.version += 1
 
 
 def make_face_scenario(
@@ -128,6 +132,10 @@ class FaceExtractDomain(Domain):
         """The ground-truth scenario (mutate it to model source updates)."""
         return self._scenario
 
+    def source_version(self) -> object:
+        """Fold the scenario's mutation counter into the version token."""
+        return (super().source_version(), self._scenario.version)
+
     def _segmentface(self, dataset: object) -> Tuple[Row, ...]:
         if not isinstance(dataset, str):
             raise EvaluationError(f"segmentface expects a dataset name, got {dataset!r}")
@@ -160,6 +168,10 @@ class FaceDbDomain(Domain):
     def scenario(self) -> FaceScenario:
         """The ground-truth scenario shared with the extraction domain."""
         return self._scenario
+
+    def source_version(self) -> object:
+        """Fold the scenario's mutation counter into the version token."""
+        return (super().source_version(), self._scenario.version)
 
     def _findface(self, person: object) -> Tuple[str, ...]:
         if person in self._scenario.people:

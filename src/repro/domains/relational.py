@@ -65,6 +65,10 @@ class RelationalDomain(Domain):
         """The wrapped database (mutating it changes future call results)."""
         return self._database
 
+    def source_version(self) -> object:
+        """Fold the database's change counter into the version token."""
+        return (super().source_version(), self._database.version())
+
     # ------------------------------------------------------------------
     # Domain functions
     # ------------------------------------------------------------------

@@ -76,14 +76,17 @@ class SpatialDomain(Domain):
     def add_address(self, address: AddressKey, location: Tuple[float, float]) -> None:
         """Register a geocodable address."""
         self._addresses[tuple(address)] = (float(location[0]), float(location[1]))
+        self._bump_source()
 
     def remove_address(self, address: AddressKey) -> None:
         """Forget an address (models a source update)."""
         self._addresses.pop(tuple(address), None)
+        self._bump_source()
 
     def add_map(self, region: MapRegion) -> None:
         """Register a map region."""
         self._maps[region.name] = region
+        self._bump_source()
 
     def known_addresses(self) -> Tuple[AddressKey, ...]:
         """All registered address keys."""

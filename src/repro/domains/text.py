@@ -40,11 +40,13 @@ class TextDomain(Domain):
         """Add or replace a document and refresh the word index."""
         self._documents[doc_id] = text
         self._reindex()
+        self._bump_source()
 
     def remove_document(self, doc_id: str) -> None:
         """Remove a document (no error when absent)."""
         self._documents.pop(doc_id, None)
         self._reindex()
+        self._bump_source()
 
     def document_count(self) -> int:
         """Number of documents in the corpus."""

@@ -121,6 +121,10 @@ class VersionedDomain(Domain):
         """The clock this domain reads the current time from."""
         return self._clock
 
+    def source_version(self) -> object:
+        """Fold the clock into the version token: behaviour is time-indexed."""
+        return (super().source_version(), self._clock.time)
+
     def register_versioned(
         self, name: str, initial: Callable[..., object], description: str = ""
     ) -> VersionedFunction:
@@ -146,8 +150,14 @@ class VersionedDomain(Domain):
     def set_behavior(
         self, function: str, time: int, behavior: Callable[..., object]
     ) -> None:
-        """Install a new behaviour for *function* effective from *time*."""
+        """Install a new behaviour for *function* effective from *time*.
+
+        Bumps the source version: the new behaviour may already be in force
+        (``time <= clock.time``), in which case the clock alone would not
+        reveal the change.
+        """
         self.versioned_function(function).set_behavior(time, behavior)
+        self._bump_source()
 
     def call_at(
         self, function: str, args: Tuple[object, ...], time: int

@@ -86,6 +86,13 @@ def restrict_entry_to_instances(
     """
     if entry.atom.signature != request_atom.atom.signature:
         return None
+    if solver.quick_reject(
+        entry.atom.args, entry.constraint,
+        request_atom.atom.args, request_atom.constraint,
+    ):
+        if stats is not None:
+            stats.quick_rejects += 1
+        return None
     positive, _ = negated_atom_constraint(
         entry.atom, request_atom, factory, renamed_cache
     )
@@ -183,10 +190,23 @@ def subtract_instances(
     entry's constraint is narrowed so its instances no longer include any
     instance of the removed atoms.  Pass one *renamed_cache* for a whole
     batch of entries so each removed atom is renamed apart only once.
+
+    Most (entry, removed atom) pairs do not overlap at all; the quick-reject
+    profile comparison (bound tuples, intervals, domain hooks) skips those
+    without a solver call.  The profile is built from the entry's *original*
+    constraint -- a weaker summary than the evolving narrowed constraint,
+    hence still sound -- so it is computed once per entry, not once per pair.
     """
     constraint = entry.constraint
     for atom in removed:
         if atom.atom.signature != entry.atom.signature:
+            continue
+        if solver.quick_reject(
+            entry.atom.args, entry.constraint, atom.atom.args, atom.constraint
+        ):
+            # Definitely no overlap: same outcome as the unsat branch below.
+            if stats is not None:
+                stats.quick_rejects += 1
             continue
         positive, negative = negated_atom_constraint(
             entry.atom, atom, factory, renamed_cache

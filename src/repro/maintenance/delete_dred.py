@@ -39,7 +39,13 @@ from repro.datalog.clauses import Clause
 from repro.constraints.simplify import simplify
 from repro.constraints.solver import ConstraintSolver
 from repro.datalog.atoms import ConstrainedAtom
-from repro.datalog.fixpoint import FixpointEngine, FixpointOptions, iter_delta_joins
+from repro.datalog.fixpoint import (
+    FixpointEngine,
+    FixpointOptions,
+    iter_delta_joins,
+    iter_indexed_delta_joins,
+    make_view_probes,
+)
 from repro.datalog.program import ConstrainedDatabase
 from repro.datalog.view import MaterializedView, ViewEntry
 from repro.errors import MaintenanceError
@@ -72,6 +78,13 @@ class DRedOptions:
     #: Prune the rederivation program to clauses whose head predicate was
     #: touched by P_OUT (the paper's step 3(a)/(c) incrementality).
     prune_program: bool = True
+    #: Seed the rederivation fixpoint only with the entries the over-deletion
+    #: narrowed plus their direct premises (found through the support index),
+    #: instead of the whole over-estimate.  Round 1 of the rederivation then
+    #: only enumerates joins touching the disturbed derivations -- the
+    #: delta-proportional cost the paper argues for -- rather than joining
+    #: the entire over-estimate against itself.
+    delta_rederivation: bool = True
     #: Remove entries whose constraint became unsolvable before returning.
     purge_unsolvable: bool = True
     #: Cap on P_OUT unfolding rounds (defensive; recursion is bounded by the
@@ -127,16 +140,17 @@ class ExtendedDRed:
             p_out_by_signature.setdefault(atom.atom.signature, []).append(atom)
         renamed_cache: Dict[int, ConstrainedAtom] = {}
         overestimate = MaterializedView()
+        narrowed: List[ViewEntry] = []
         for entry in view:
             relevant = p_out_by_signature.get(entry.atom.signature)
+            replacement = entry
             if relevant:
-                overestimate.add(
-                    subtract_instances(
-                        entry, relevant, self._solver, factory, stats, renamed_cache
-                    )
+                replacement = subtract_instances(
+                    entry, relevant, self._solver, factory, stats, renamed_cache
                 )
-            else:
-                overestimate.add(entry)
+            overestimate.add(replacement)
+            if replacement is not entry:
+                narrowed.append(replacement)
 
         # Step 3: rederive using the rewritten program seeded with M'.
         rewritten = deletion_rewrite(self._program, del_atoms, factory)
@@ -145,10 +159,16 @@ class ExtendedDRed:
             rederivation_program, self._solver, self._options.fixpoint
         )
         before = len(overestimate)
-        result_view = engine.compute(initial=overestimate)
+        initial_delta = (
+            self._rederivation_seed(overestimate, narrowed)
+            if self._options.delta_rederivation
+            else None
+        )
+        result_view = engine.compute(initial=overestimate, initial_delta=initial_delta)
         stats.rederived_entries = len(result_view) - before
         stats.fixpoint_iterations += engine.stats.iterations
         stats.derivation_attempts += engine.stats.derivation_attempts
+        stats.index_probes += engine.stats.index_probes
 
         if self._options.purge_unsolvable:
             stats.removed_entries += result_view.prune_unsolvable(self._solver)
@@ -158,6 +178,41 @@ class ExtendedDRed:
     # ------------------------------------------------------------------
     # Internal steps
     # ------------------------------------------------------------------
+    @staticmethod
+    def _rederivation_seed(
+        overestimate: MaterializedView, narrowed: Sequence[ViewEntry]
+    ) -> Tuple[ViewEntry, ...]:
+        """The delta-aware seed of the rederivation fixpoint.
+
+        Rederivation only has to revisit derivations the over-deletion
+        disturbed: joins that *use* a narrowed entry (seeded by the narrowed
+        entries themselves) and joins that *re-derive* a narrowed entry from
+        its own, possibly untouched, premises (seeded by the direct premises
+        of every narrowed entry, found through the support index).  Every
+        other clause application draws all premises from entries that are
+        byte-identical to the pre-deletion fixpoint and can only reproduce
+        entries the over-estimate already contains.
+
+        Supports need not be unique (externally inserted atoms all carry
+        clause number 0), so *every* entry sharing a child support goes into
+        the seed -- any of them could be the premise of a restoring join.
+        """
+        seed: List[ViewEntry] = []
+        seen: set = set()
+
+        def push(entry: ViewEntry) -> None:
+            key = entry.key()
+            if key not in seen:
+                seen.add(key)
+                seed.append(entry)
+
+        for entry in narrowed:
+            push(entry)
+            for child in entry.support.children:
+                for premise in overestimate.find_all_by_support(child):
+                    push(premise)
+        return tuple(seed)
+
     def _unfold_p_out(
         self,
         view: MaterializedView,
@@ -174,15 +229,17 @@ class ExtendedDRed:
         collected: List[ConstrainedAtom] = list(del_atoms)
         seen = {self._atom_key(atom) for atom in collected}
         frontier: List[ConstrainedAtom] = list(del_atoms)
-        view_pools: Dict[str, Tuple[ConstrainedAtom, ...]] = {}
+        use_index = self._options.fixpoint.hash_join_index
 
-        def pool_for(predicate: str) -> Tuple[ConstrainedAtom, ...]:
-            cached = view_pools.get(predicate)
-            if cached is None:
-                cached = view_pools[predicate] = tuple(
-                    entry.constrained_atom for entry in view.entries_for(predicate)
-                )
-            return cached
+        def pool_for(predicate: str) -> Tuple[ViewEntry, ...]:
+            return view.entries_for(predicate)
+
+        def on_probe() -> None:
+            stats.index_probes += 1
+
+        # P_OUT draws the non-frontier premises from the *full* view, so the
+        # old-pool and full-pool probes coincide (no delta exclusion).
+        probe, _ = make_view_probes(view, on_probe=on_probe)
 
         rounds = 0
         while frontier:
@@ -214,15 +271,32 @@ class ExtendedDRed:
                 # Passing the view pools as "old" pools makes the delta join
                 # draw *exactly one* premise from the frontier (P_OUT_k) and
                 # every other premise from the materialized view, which is
-                # precisely the paper's unfolding discipline.
+                # precisely the paper's unfolding discipline.  With the
+                # argument index on, the view positions are resolved by
+                # probing with the bindings the frontier atom pins down.
                 renamed_premises: Dict[Tuple[int, int], ConstrainedAtom] = {}
-                for combination in iter_delta_joins(
-                    view_premises, frontier_premises, view_premises
-                ):
+                if use_index:
+                    combinations = iter_indexed_delta_joins(
+                        clause.body,
+                        view_premises,
+                        frontier_premises,
+                        view_premises,
+                        probe,
+                        probe,
+                    )
+                else:
+                    combinations = iter_delta_joins(
+                        view_premises, frontier_premises, view_premises
+                    )
+                for combination in combinations:
                     stats.derivation_attempts += 1
+                    premise_atoms = tuple(
+                        item.constrained_atom if isinstance(item, ViewEntry) else item
+                        for item in combination
+                    )
                     derived = apply_clause_with_premises(
                         clause,
-                        combination,
+                        premise_atoms,
                         self._solver,
                         factory,
                         check_solvable=True,

@@ -120,6 +120,12 @@ class StraightDelete:
 
         # Step 2: narrow directly affected entries, seed P_OUT.
         for entry in list(working.entries_for(request.atom.predicate)):
+            if self._solver.quick_reject(
+                entry.atom.args, entry.constraint,
+                request.atom.atom.args, request.atom.constraint,
+            ):
+                stats.quick_rejects += 1
+                continue
             positive, negative = negated_atom_constraint(
                 entry.atom, request.atom, factory
             )

@@ -28,7 +28,11 @@ from repro.constraints.simplify import canonical_form
 from repro.constraints.solver import ConstraintSolver
 from repro.datalog.atoms import ConstrainedAtom
 from repro.datalog.clauses import Clause
-from repro.datalog.fixpoint import iter_delta_joins
+from repro.datalog.fixpoint import (
+    iter_delta_joins,
+    iter_indexed_delta_joins,
+    make_view_probes,
+)
 from repro.datalog.program import ConstrainedDatabase
 from repro.datalog.support import Support
 from repro.datalog.view import MaterializedView, ViewEntry
@@ -61,6 +65,9 @@ class InsertionOptions:
     exclude_existing: bool = True
     #: Defensive bound on unfolding rounds.
     max_unfold_rounds: int = 100
+    #: Resolve view-side join positions through the argument index (hash
+    #: join) instead of scanning the per-predicate pools.
+    hash_join_index: bool = True
 
 
 DEFAULT_INSERTION_OPTIONS = InsertionOptions()
@@ -144,6 +151,19 @@ class ConstrainedAtomInsertion:
                     cached = round_pools[predicate] = (full, old, fresh)
                 return cached
 
+            probes = None
+            if self._options.hash_join_index:
+
+                def on_probe() -> None:
+                    stats.index_probes += 1
+
+                probes = make_view_probes(
+                    working,
+                    exclude_keys=frontier_keys,
+                    delta_by_predicate=frontier_by_predicate,
+                    on_probe=on_probe,
+                )
+
             produced: List[ViewEntry] = []
             for number in sorted(selected):
                 clause = selected[number]
@@ -165,7 +185,17 @@ class ConstrainedAtomInsertion:
                 # from the view (which, unlike deletion's P_OUT, already
                 # contains the frontier -- hence old/delta/full pools).
                 renamed_premises: Dict[Tuple[int, int], ConstrainedAtom] = {}
-                for combination in iter_delta_joins(old_pools, delta_pools, full_pools):
+                if probes is not None:
+                    combinations = iter_indexed_delta_joins(
+                        clause.body,
+                        old_pools,
+                        delta_pools,
+                        full_pools,
+                        *probes,
+                    )
+                else:
+                    combinations = iter_delta_joins(old_pools, delta_pools, full_pools)
+                for combination in combinations:
                     stats.derivation_attempts += 1
                     premise_atoms = tuple(
                         entry.constrained_atom for entry in combination

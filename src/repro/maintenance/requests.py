@@ -66,6 +66,13 @@ class MaintenanceStats:
     derivation_attempts: int = 0
     #: Fixpoint iterations executed by any embedded fixpoint computation.
     fixpoint_iterations: int = 0
+    #: Argument-index probes issued by the hash-join enumerations (both the
+    #: unfoldings and any embedded fixpoint computation).
+    index_probes: int = 0
+    #: Solver calls skipped by the quick-reject pre-filter (bound-tuple /
+    #: interval-overlap test on canonical forms, see
+    #: :meth:`repro.constraints.solver.ConstraintSolver.quick_reject`).
+    quick_rejects: int = 0
     #: Free-form extra counters.
     extra: Dict[str, int] = field(default_factory=dict)
 
@@ -85,6 +92,8 @@ class MaintenanceStats:
             "clause_applications": self.clause_applications,
             "derivation_attempts": self.derivation_attempts,
             "fixpoint_iterations": self.fixpoint_iterations,
+            "index_probes": self.index_probes,
+            "quick_rejects": self.quick_rejects,
         }
         flat.update(self.extra)
         return flat

@@ -325,14 +325,54 @@ class TestSatisfiabilityMemoization:
         assert not solver.is_satisfiable(conjoin(equals(X, 2), equals(X, 1)))
         assert len(calls) == 1
 
-    def test_external_results_not_cached_by_default(self):
-        # A solver with an evaluator must stay honest when the source
-        # changes behind its back (paper Example 7: compute_tp_fixpoint is
-        # re-run after a clock advance with the same solver instance).
+    def test_external_results_cached_under_registry_version_token(self):
+        # The registry exposes a version token, so DCA-dependent results are
+        # memoized by default; any *tracked* source change (here: function
+        # re-registration) bumps the token and drops the stale entry.  A
+        # mutation the domain layer cannot see (the closure's set) is the
+        # one remaining case needing an explicit bump.
         contents = {"a"}
         domain = Domain("d")
         domain.register("f", lambda: set(contents))
-        solver = ConstraintSolver(DomainRegistry([domain]))
+        registry = DomainRegistry([domain])
+        solver = ConstraintSolver(registry)
+        constraint = conjoin(member(X, "d", "f"), equals(X, "a"))
+        assert solver.is_satisfiable(constraint)
+        contents.clear()
+        # Invisible mutation: the memoized answer is served...
+        assert solver.is_satisfiable(constraint)
+        # ...until the change is registered (new behaviour = new function).
+        domain.register("f", lambda: set(contents))
+        assert not solver.is_satisfiable(constraint)
+
+    def test_registry_invalidate_cache_refreshes_external_results(self):
+        contents = {"a"}
+        domain = Domain("d")
+        domain.register("f", lambda: set(contents))
+        registry = DomainRegistry([domain])
+        solver = ConstraintSolver(registry)
+        constraint = conjoin(member(X, "d", "f"), equals(X, "a"))
+        assert solver.is_satisfiable(constraint)
+        contents.clear()
+        registry.invalidate_cache()  # bumps the registry version token
+        assert not solver.is_satisfiable(constraint)
+
+    def test_external_results_not_cached_without_version_token(self):
+        # An ad-hoc evaluator without a version token keeps the old
+        # conservative behaviour: nothing is cached unless the caller opts
+        # in via with_external_memoization().
+        contents = {"a"}
+
+        class BareEvaluator:
+            def has_domain(self, name):
+                return name == "d"
+
+            def evaluate_call(self, domain_name, function, args):
+                from repro.constraints.interfaces import FrozenResultSet
+
+                return FrozenResultSet(contents)
+
+        solver = ConstraintSolver(BareEvaluator())
         constraint = conjoin(member(X, "d", "f"), equals(X, "a"))
         assert solver.is_satisfiable(constraint)
         contents.clear()

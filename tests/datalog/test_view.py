@@ -185,3 +185,79 @@ class TestSemantics:
     def test_variable_name_collection(self, view):
         assert "X" in view.all_variable_names()
         assert view.head_variables() == frozenset({X})
+
+
+class TestArgumentIndex:
+    """The hash-join index: (predicate, position, value) -> entries."""
+
+    def ground(self, predicate: str, value, clause_number: int) -> ViewEntry:
+        return ViewEntry(
+            Atom(predicate, (X,)), equals(X, value), Support(clause_number)
+        )
+
+    def test_probe_returns_bound_matches_plus_unbound_bucket(self):
+        view = MaterializedView()
+        pinned3 = self.ground("p", 3, 1)
+        pinned4 = self.ground("p", 4, 2)
+        open_entry = entry("p", compare(X, ">=", 0), 5)
+        view.add(pinned3)
+        view.add(pinned4)
+        view.add(open_entry)
+        assert view.probe("p", 0, 3) == (pinned3, open_entry)
+        assert view.probe("p", 0, 4) == (pinned4, open_entry)
+        # No bound match: only the unbound bucket can join.
+        assert view.probe("p", 0, 99) == (open_entry,)
+        assert view.probe("q", 0, 3) == ()
+
+    def test_probe_results_preserve_insertion_order(self):
+        view = MaterializedView()
+        open_entry = entry("p", compare(X, ">=", 0), 5)
+        view.add(open_entry)
+        pinned = self.ground("p", 3, 1)
+        view.add(pinned)
+        assert view.probe("p", 0, 3) == (open_entry, pinned)
+
+    def test_remove_and_replace_maintain_the_index(self):
+        view = MaterializedView()
+        pinned = self.ground("p", 3, 1)
+        view.add(pinned)
+        assert view.probe("p", 0, 3) == (pinned,)
+        view.remove(pinned)
+        assert view.probe("p", 0, 3) == ()
+
+        original = self.ground("p", 7, 2)
+        view.add(original)
+        narrowed = original.with_constraint(
+            conjoin(equals(X, 7), compare(X, ">=", 0))
+        )
+        view.replace(original, narrowed)
+        assert view.probe("p", 0, 7) == (narrowed,)
+        assert original not in view
+
+    def test_replace_can_move_entry_between_buckets(self):
+        view = MaterializedView()
+        pinned = self.ground("p", 3, 1)
+        view.add(pinned)
+        unpinned = pinned.with_constraint(compare(X, ">=", 0))
+        view.replace(pinned, unpinned)
+        # The entry now joins with any probe value via the unbound bucket.
+        assert view.probe("p", 0, 3) == (unpinned,)
+        assert view.probe("p", 0, 42) == (unpinned,)
+
+    def test_numeric_probe_values_match_across_int_and_float(self):
+        # Python dict lookup equates 3 and 3.0 (same hash and equality),
+        # matching the solver's numeric value equality.
+        view = MaterializedView()
+        pinned = self.ground("p", 3, 1)
+        view.add(pinned)
+        assert view.probe("p", 0, 3.0) == (pinned,)
+
+    def test_snapshot_is_stable_and_comparable(self):
+        view = MaterializedView()
+        view.add(self.ground("p", 3, 1))
+        view.add(entry("p", compare(X, ">=", 0), 5))
+        first = view.argument_index_snapshot()
+        second = view.argument_index_snapshot()
+        assert first == second
+        assert any(row[2] == "3" for row in first)
+        assert any(row[2] == "<unbound>" for row in first)

@@ -137,3 +137,104 @@ class TestDomainRegistry:
         registry.evaluate_call("d", "f", ())
         assert len(calls) == 2
         assert not registry.caches_calls
+
+
+class TestVersionTokens:
+    """The registry version token changes on every tracked source change."""
+
+    def test_registration_changes_bump_the_token(self):
+        registry = DomainRegistry()
+        tokens = {registry.version}
+        domain = Domain("d")
+        registry.register(domain)
+        tokens.add(registry.version)
+        domain.register("f", lambda: {1})
+        tokens.add(registry.version)
+        domain.register("f", lambda: {2})  # re-registration = behaviour change
+        tokens.add(registry.version)
+        registry.unregister("d")
+        tokens.add(registry.version)
+        assert len(tokens) == 5
+
+    def test_invalidate_cache_bumps_the_token(self):
+        registry = DomainRegistry([Domain("d")])
+        before = registry.version
+        registry.invalidate_cache()
+        assert registry.version != before
+
+    def test_clock_advance_changes_versioned_domain_token(self):
+        from repro.domains import DomainClock, VersionedDomain
+
+        clock = DomainClock()
+        domain = VersionedDomain("v", clock)
+        domain.register_versioned("f", lambda: {1})
+        registry = DomainRegistry([domain])
+        before = registry.version
+        clock.advance()
+        assert registry.version != before
+
+    def test_set_behavior_changes_token_even_without_clock_advance(self):
+        from repro.domains import DomainClock, VersionedDomain
+
+        clock = DomainClock()
+        domain = VersionedDomain("v", clock)
+        domain.register_versioned("f", lambda: {1})
+        registry = DomainRegistry([domain])
+        before = registry.version
+        domain.set_behavior("f", 0, lambda: {2})  # already in force at time 0
+        assert registry.version != before
+
+    def test_relational_mutation_changes_token(self):
+        from repro.domains import make_relational_domain
+
+        domain = make_relational_domain(
+            "crm", {"t": (("k",), [("a",)])}
+        )
+        registry = DomainRegistry([domain])
+        before = registry.version
+        domain.database.insert("t", ("b",))
+        assert registry.version != before
+
+    def test_quick_reject_defaults_to_false(self):
+        domain = Domain("d")
+        domain.register("f", lambda: {1})
+        registry = DomainRegistry([domain])
+        assert not registry.quick_reject("d", "f", (), 2)
+        assert not registry.quick_reject("missing", "f", (), 2)
+        assert not registry.quick_reject("d", "missing", (), 2)
+
+    def test_quick_reject_consults_registered_hook(self):
+        domain = Domain("d")
+        domain.register(
+            "f", lambda: {1}, quick_reject=lambda args, value: value != 1
+        )
+        registry = DomainRegistry([domain])
+        assert registry.quick_reject("d", "f", (), 2)
+        assert not registry.quick_reject("d", "f", (), 1)
+
+    def test_quick_reject_swallows_hook_errors(self):
+        def broken(args, value):
+            raise RuntimeError("boom")
+
+        domain = Domain("d")
+        domain.register("f", lambda: {1}, quick_reject=broken)
+        registry = DomainRegistry([domain])
+        assert not registry.quick_reject("d", "f", (), 2)
+
+    def test_call_cache_is_version_gated(self):
+        # Regression: with cache_calls=True a tracked source change bumped
+        # the version token (clearing the solver's memo) but the registry's
+        # own call cache kept serving the stale result set.
+        from repro.constraints import ConstraintSolver, Variable, conjoin, equals, member
+        from repro.domains import DomainClock, VersionedDomain
+
+        clock = DomainClock()
+        domain = VersionedDomain("v", clock)
+        domain.register_versioned("f", lambda: {1})
+        registry = DomainRegistry([domain], cache_calls=True)
+        solver = ConstraintSolver(registry)
+        X = Variable("X")
+        constraint = conjoin(member(X, "v", "f"), equals(X, 1))
+        assert solver.is_satisfiable(constraint)
+        domain.set_behavior("f", 0, lambda: {2})  # tracked change, no clock tick
+        assert not solver.is_satisfiable(constraint)

@@ -316,3 +316,38 @@ class TestStDelKeyConvergence:
         for entry in list(result.view):
             assert result.view.remove(entry)
         assert len(result.view) == 0
+
+
+class TestDeltaRederivationWithDuplicateSupports:
+    """Regression: external insertions all share Support(0), so the
+    delta-rederivation seed must include *every* entry carrying a child
+    support, not just the first one the support index returns."""
+
+    def test_externally_inserted_base_facts_keep_alternative_paths(self):
+        from repro.datalog import parse_program
+        from repro.maintenance import insert_atom
+        from repro.maintenance.delete_dred import DRedOptions, ExtendedDRed
+        from repro.maintenance.requests import DeletionRequest
+        from repro.workloads import ground_request_atom
+
+        solver = ConstraintSolver()
+        program = parse_program(
+            """
+            t(X, Y) <- e(X, Y).
+            t(X, Y) <- e(X, Z), t(Z, Y).
+            """
+        )
+        view = compute_tp_fixpoint(program, solver)
+        for edge in (("a", "b"), ("a", "d"), ("d", "b"), ("b", "c")):
+            view = insert_atom(program, view, ground_request_atom("e", edge), solver).view
+
+        request = DeletionRequest(ground_request_atom("e", ("a", "b")))
+        delta = ExtendedDRed(program, solver).delete(view, request)
+        full = ExtendedDRed(
+            program, solver, DRedOptions(delta_rederivation=False)
+        ).delete(view, request)
+
+        assert delta.view.instances(solver) == full.view.instances(solver)
+        # t(a,b) and t(a,c) survive via a -> d -> b.
+        assert ("a", "b") in delta.view.instances_for("t", solver)
+        assert ("a", "c") in delta.view.instances_for("t", solver)

@@ -1,0 +1,63 @@
+"""Tier-1 wiring of the benchmark counter-regression gate.
+
+Re-runs the deterministic smoke families (everything except the slow,
+counterless external-maintenance family) and diffs their operation counters
+against the committed ``BENCH_smoke.json`` via
+:func:`benchmarks.check_regression.compare_snapshots`.  Counters are
+machine-independent, so this runs as an ordinary test: a PR that regresses
+``derivation_attempts`` or ``solver_calls`` by more than 20% fails ``pytest``
+outright and must either fix the regression or consciously re-baseline the
+snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
+
+from benchmarks.check_regression import compare_snapshots, iter_counters  # noqa: E402
+from benchmarks.smoke import run_smoke  # noqa: E402
+
+BASELINE_PATH = REPO_ROOT / "BENCH_smoke.json"
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return json.loads(BASELINE_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def current():
+    return {"results": run_smoke(include_external=False)}
+
+
+def test_baseline_snapshot_has_gated_counters(baseline):
+    counters = dict(iter_counters(baseline["results"]))
+    assert counters, "committed BENCH_smoke.json carries no gated counters"
+    assert any(key.endswith("derivation_attempts") for key in counters)
+    assert any(key.endswith("solver_calls") for key in counters)
+
+
+def test_counters_within_budget_of_committed_baseline(baseline, current):
+    regressions = compare_snapshots(baseline, current, threshold=0.2)
+    assert not regressions, (
+        "operation counters regressed >20% vs committed BENCH_smoke.json "
+        "(fix the regression or consciously re-baseline with "
+        "`PYTHONPATH=src python benchmarks/smoke.py`): "
+        + ", ".join(f"{key}: {base} -> {now}" for key, base, now in regressions)
+    )
+
+
+def test_compare_snapshots_flags_synthetic_regression(baseline):
+    inflated = json.loads(json.dumps(baseline))  # deep copy
+    stats = inflated["results"]["deletion_recursive_tc6"]["dred"]["stats"]
+    stats["solver_calls"] = stats["solver_calls"] * 2 + 100
+    regressions = compare_snapshots(baseline, inflated, threshold=0.2)
+    assert any(key == "deletion_recursive_tc6.dred.solver_calls" for key, _, _ in regressions)
