@@ -23,6 +23,7 @@ from repro.workloads import (
     insertion_stream,
     make_layered_program,
     make_chain_program,
+    make_interval_join_program,
     make_interval_program,
     make_law_enforcement_scenario,
     make_path_graph_edges,
@@ -85,6 +86,29 @@ def build_interval_deletion_scenario(predicates: int = 4) -> DeletionScenario:
     solver = ConstraintSolver()
     view = compute_tp_fixpoint(spec.program, solver)
     request = deletion_stream(spec, 1, seed=2)[0]
+    return DeletionScenario(spec, solver, view, request)
+
+
+def build_interval_join_deletion_scenario(
+    ground_facts: int = 6, pairs: int = 2, seed: int = 2
+) -> DeletionScenario:
+    """Ground × interval joins (range-posting + child-support index regime).
+
+    Deletes a point inside the interval base facts, so the propagation
+    touches many overlapping entries while the view stays far larger than
+    the affected derivation set -- the shape where the child-support index
+    and the interval range postings pay off.
+    """
+    spec = make_interval_join_program(
+        ground_facts=ground_facts,
+        intervals_per_predicate=3,
+        pairs=pairs,
+        width=40,
+        seed=seed,
+    )
+    solver = ConstraintSolver()
+    view = compute_tp_fixpoint(spec.program, solver)
+    request = deletion_stream(spec, 1, seed=seed, predicate="iv0")[0]
     return DeletionScenario(spec, solver, view, request)
 
 

@@ -29,11 +29,13 @@ sys.path.insert(0, str(REPO_ROOT))
 from benchmarks.conftest import (  # noqa: E402
     build_chain_deletion_scenario,
     build_interval_deletion_scenario,
+    build_interval_join_deletion_scenario,
     build_layered_deletion_scenario,
     build_tc_deletion_scenario,
 )
 from repro.constraints import ConstraintSolver  # noqa: E402
 from repro.datalog import FixpointEngine  # noqa: E402
+from repro.datalog.fixpoint import FixpointOptions  # noqa: E402
 from repro.maintenance import (  # noqa: E402
     TpExternalMaintenance,
     WpExternalMaintenance,
@@ -44,6 +46,7 @@ from repro.maintenance import (  # noqa: E402
 )
 from repro.workloads import (  # noqa: E402
     insertion_stream,
+    make_interval_join_program,
     make_path_graph_edges,
     make_transitive_closure_program,
 )
@@ -87,6 +90,35 @@ def run_materialization(length: int) -> dict:
         "iterations": engine.stats.iterations,
         "derivation_attempts": engine.stats.derivation_attempts,
         "clauses_skipped": engine.stats.clauses_skipped,
+    }
+
+
+def run_interval_materialization() -> dict:
+    """Interval-join T_P with range postings on vs off.
+
+    The gated ``derivation_attempts`` counter is the ranged run; the
+    ``derivation_attempts_unranged`` companion (not gated -- it measures the
+    *fallback*, kept only for the ratio) shows what the unbound-bucket
+    fallback would have enumerated.
+    """
+    spec = make_interval_join_program(
+        ground_facts=6, intervals_per_predicate=3, pairs=2, width=40, seed=2
+    )
+    ranged = FixpointEngine(
+        spec.program, ConstraintSolver(), FixpointOptions(range_postings=True)
+    )
+    seconds, view = timed(ranged.compute)
+    unranged = FixpointEngine(
+        spec.program, ConstraintSolver(), FixpointOptions(range_postings=False)
+    )
+    unranged.compute()
+    return {
+        "workload": spec.description,
+        "seconds": round(seconds, 4),
+        "view_entries": len(view),
+        "derivation_attempts": ranged.stats.derivation_attempts,
+        "derivation_attempts_unranged": unranged.stats.derivation_attempts,
+        "index_probes": ranged.stats.index_probes,
     }
 
 
@@ -134,6 +166,13 @@ def run_smoke(include_external: bool = True) -> dict:
     snapshot["deletion_interval"] = run_deletion_family(
         build_interval_deletion_scenario(predicates=2)
     )
+    # Interval-heavy joins: the range-posting + child-support-index regime.
+    # ``stdel.support_probes`` against ``stdel.stdel_scan_equivalent`` shows
+    # step 3's probed match set vs the per-pair view scan it replaced.
+    snapshot["deletion_interval_join"] = run_deletion_family(
+        build_interval_join_deletion_scenario()
+    )
+    snapshot["fixpoint_interval_join"] = run_interval_materialization()
     snapshot["deletion_recursive_tc6"] = run_deletion_family(
         build_tc_deletion_scenario(length=6)
     )

@@ -18,4 +18,9 @@ setup(
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     python_requires=">=3.9",
+    extras_require={
+        # The tier-1 suite's property tests (tests/constraints, tests/
+        # maintenance, tests/datalog/test_support_index.py) need hypothesis.
+        "test": ["pytest", "hypothesis"],
+    },
 )

@@ -53,9 +53,16 @@ from repro.constraints.ast import (
     TrueConstraint,
     conjoin,
     negate,
+    tuple_equalities,
 )
 from repro.constraints.interfaces import CallEvaluator, ResultSetLike
-from repro.constraints.terms import Constant, Substitution, Term, Variable
+from repro.constraints.terms import (
+    Constant,
+    FreshVariableFactory,
+    Substitution,
+    Term,
+    Variable,
+)
 from repro.errors import EvaluationError, SolverError, UnknownDomainError, UnknownFunctionError
 
 
@@ -522,6 +529,46 @@ class ConstraintSolver:
                     except Exception:  # hooks must never break the pre-filter
                         continue
         return False
+
+    def subsumes_instances(
+        self,
+        left_args: Sequence[Term],
+        left_constraint: Constraint,
+        right_args: Sequence[Term],
+        right_constraint: Constraint,
+    ) -> bool:
+        """True when every instance of the left atom is an instance of the right.
+
+        The check behind Extended DRed's post-rederivation subsumption pass:
+        for two entries ``A(X̄) <- φ`` and ``A(Ȳ) <- ψ`` of the same
+        predicate, the left is *syntactically redundant* next to the right
+        when ``φ & not(ψ' & (Ȳ' = X̄))`` is unsatisfiable (the right side
+        renamed apart, its variables quantified inside the negation): no
+        left instance escapes the right's instance set.  A False result
+        proves nothing -- the procedure errs on the side of satisfiable, so
+        subsumption errs on the side of "not subsumed", which only costs
+        keeping a redundant entry.
+        """
+        if len(left_args) != len(right_args):
+            return False
+        reserved = {v.name for v in left_constraint.variables()}
+        reserved.update(v.name for v in right_constraint.variables())
+        for arg in itertools.chain(left_args, right_args):
+            if isinstance(arg, Variable):
+                reserved.add(arg.name)
+        factory = FreshVariableFactory(reserved)
+        right_variables = set(right_constraint.variables())
+        right_variables.update(
+            arg for arg in right_args if isinstance(arg, Variable)
+        )
+        renaming = factory.renaming_for(right_variables)
+        renamed_args = renaming.apply_all(right_args)
+        matched = conjoin(
+            right_constraint.substitute(renaming),
+            tuple_equalities(renamed_args, left_args),
+        )
+        negated = NegatedConjunction(tuple(matched.conjuncts()))
+        return not self.is_satisfiable(conjoin(left_constraint, negated))
 
     def entails(self, context: Constraint, fact: Constraint) -> bool:
         """Return True if every solution of *context* satisfies *fact*.
@@ -1077,10 +1124,17 @@ def build_argument_profile(
             if not _compare_values(left_const.value, comparison.op, right_const.value):
                 return ArgumentProfile((), unsatisfiable=True)
             continue
-        if right_const is not None and _is_number(right_const.value):
-            interval_for(comparison.left).tighten_high(float(right_const.value), strict)
-        elif left_const is not None and _is_number(left_const.value):
-            interval_for(comparison.right).tighten_low(float(left_const.value), strict)
+        try:
+            if right_const is not None and _is_number(right_const.value):
+                interval_for(comparison.left).tighten_high(
+                    float(right_const.value), strict
+                )
+            elif left_const is not None and _is_number(left_const.value):
+                interval_for(comparison.right).tighten_low(
+                    float(left_const.value), strict
+                )
+        except OverflowError:
+            pass  # int beyond float range: the profile ventures no bound
 
     def ground_call(call: DomainCall) -> Optional[Tuple[object, ...]]:
         values: List[object] = []
@@ -1114,6 +1168,40 @@ def build_argument_profile(
             return ArgumentProfile((), unsatisfiable=True)
         slots.append(ArgumentSlot(value, interval, tuple(calls)))
     return ArgumentProfile(tuple(slots))
+
+
+# ---------------------------------------------------------------------------
+# Public interval toolkit
+# ---------------------------------------------------------------------------
+# The argument index's range postings (repro.datalog.view) and the indexed
+# join enumeration (repro.datalog.fixpoint) are built on the same interval
+# arithmetic the branch procedure and the quick-reject profiles use.  These
+# aliases are the supported surface for that sharing: the underscore names
+# remain internal to this module and may be refactored freely.
+
+#: A (possibly unbounded) numeric interval; see :class:`_Interval`.
+Interval = _Interval
+
+#: Sentinel for "no pinned value" in :class:`ArgumentSlot` profiles.
+PROFILE_UNKNOWN = _UNKNOWN
+
+
+def interval_excludes(interval: Interval, value: object) -> bool:
+    """True when *interval* definitely excludes *value* (bools: no opinion)."""
+    return _interval_excludes(interval, value)
+
+
+def intervals_disjoint(left: Interval, right: Interval) -> bool:
+    """True when the two intervals share no point."""
+    return _intervals_disjoint(left, right)
+
+
+def intersect_intervals(left: Interval, right: Interval) -> Interval:
+    """The intersection of two intervals (possibly empty)."""
+    merged = _Interval(left.low, left.low_strict, left.high, left.high_strict)
+    merged.tighten_low(right.low, right.low_strict)
+    merged.tighten_high(right.high, right.high_strict)
+    return merged
 
 
 def _ground_term(term: Term, assignment: Mapping[Variable, object]) -> object:

@@ -34,11 +34,20 @@ from repro.datalog.atoms import Atom, ConstrainedAtom
 from repro.datalog.clauses import Clause
 from repro.datalog.program import ConstrainedDatabase
 from repro.datalog.support import Support
+from repro.constraints.solver import (
+    Interval as _Interval,
+    intersect_intervals as _intersect_intervals,
+    interval_excludes as _interval_excludes,
+)
 from repro.datalog.view import (
+    IntervalQuery,
     MaterializedView,
     UNBOUND,
     ViewEntry,
+    argument_intervals,
     bound_argument_values,
+    evaluator_token,
+    interval_query_from,
 )
 from repro.errors import FixpointDivergenceError
 
@@ -68,6 +77,13 @@ class FixpointOptions:
     #: combinations whose binding equalities are unsatisfiable, and ``W_P``
     #: must keep exactly those entries (Theorem 4).
     hash_join_index: bool = True
+    #: Consult the argument index's interval range postings: positions whose
+    #: entries are interval-constrained (not pinned to a constant) are probed
+    #: by containment/overlap instead of falling back to the unbound bucket,
+    #: and join bindings carry intervals alongside pinned values.  Only
+    #: effective when ``hash_join_index`` is on; like it, never applied under
+    #: ``W_P`` (the postings are then never even populated).
+    range_postings: bool = True
     #: Hard cap on the number of iterations before giving up.
     max_iterations: int = 200
     #: Hard cap on the total number of view entries before giving up.
@@ -162,17 +178,51 @@ def _extend_bindings(
     bindings: Dict[Variable, object],
     body_atom: Atom,
     values: Sequence[object],
+    intervals: Optional[Sequence[Optional[_Interval]]] = None,
 ) -> Optional[Dict[Variable, object]]:
     """Fold one premise's pinned argument values into the binding map.
 
     Returns ``None`` when a pinned value clashes with an existing binding or
     a constant argument -- exactly the combinations whose binding equalities
     the solver would find unsatisfiable.
+
+    With *intervals* (the premise's per-position numeric bounds, from
+    :func:`repro.datalog.view.argument_intervals`), positions the premise
+    does not pin to a value contribute an *interval* binding instead:
+    intervals intersect (an empty intersection prunes the combination), a
+    later pinned value refines an interval binding (a value outside it
+    prunes), and constants are checked for containment.  All the pruned
+    combinations are exactly those whose binding equalities plus ordering
+    conjuncts are unsatisfiable, so this stays ``T_P``-only, like the rest
+    of the indexed enumeration.
     """
     updated = bindings
     copied = False
-    for arg, value in zip(body_atom.args, values):
+    for index, (arg, value) in enumerate(zip(body_atom.args, values)):
         if value is UNBOUND:
+            interval = intervals[index] if intervals is not None else None
+            if interval is None:
+                continue
+            if isinstance(arg, Constant):
+                if _interval_excludes(interval, arg.value):
+                    return None
+                continue
+            existing = updated.get(arg, UNBOUND)
+            if existing is UNBOUND:
+                if not copied:
+                    updated = dict(updated)
+                    copied = True
+                updated[arg] = interval
+            elif isinstance(existing, _Interval):
+                merged = _intersect_intervals(existing, interval)
+                if merged.is_empty():
+                    return None
+                if not copied:
+                    updated = dict(updated)
+                    copied = True
+                updated[arg] = merged
+            elif _interval_excludes(interval, existing):
+                return None
             continue
         if isinstance(arg, Constant):
             if not _values_compatible(arg.value, value):
@@ -180,6 +230,13 @@ def _extend_bindings(
             continue
         existing = updated.get(arg, UNBOUND)
         if existing is UNBOUND:
+            if not copied:
+                updated = dict(updated)
+                copied = True
+            updated[arg] = value
+        elif isinstance(existing, _Interval):
+            if _interval_excludes(existing, value):
+                return None
             if not copied:
                 updated = dict(updated)
                 copied = True
@@ -197,6 +254,9 @@ def iter_indexed_delta_joins(
     probe_old: Callable[[Atom, int, object], Sequence[_T]],
     probe_full: Callable[[Atom, int, object], Sequence[_T]],
     bound_values: Optional[Callable[[_T], Sequence[object]]] = None,
+    bound_intervals: Optional[
+        Callable[[_T], Sequence[Optional[_Interval]]]
+    ] = None,
 ) -> Iterator[Tuple[_T, ...]]:
     """Hash-join variant of :func:`iter_delta_joins`.
 
@@ -208,6 +268,13 @@ def iter_indexed_delta_joins(
     entries that can carry the accumulated binding -- falling back to the
     positional pool when no argument of the position is bound yet.
 
+    With *bound_intervals* (range postings enabled), positions a premise
+    bounds numerically without pinning contribute interval bindings, and a
+    position whose first informative argument carries only an interval is
+    resolved with an :class:`~repro.datalog.view.IntervalQuery` probe
+    (overlap instead of containment) -- interval-constrained workloads then
+    skip the unbound-bucket fallback that made them effectively positional.
+
     The yielded set is the subset of :func:`iter_delta_joins`'s output whose
     binding equalities are not trivially unsatisfiable, so it is only valid
     for ``T_P``-style evaluation (solvability-checked derivations).  Each
@@ -217,6 +284,7 @@ def iter_indexed_delta_joins(
     if bound_values is None:
         bound_values = _default_bound_values
     values_cache: Dict[int, Sequence[object]] = {}
+    intervals_cache: Dict[int, Sequence[Optional[_Interval]]] = {}
 
     def values_of(item: _T) -> Sequence[object]:
         cached = values_cache.get(id(item))
@@ -224,19 +292,37 @@ def iter_indexed_delta_joins(
             cached = values_cache[id(item)] = bound_values(item)
         return cached
 
+    def intervals_of(item: _T) -> Optional[Sequence[Optional[_Interval]]]:
+        if bound_intervals is None:
+            return None
+        cached = intervals_cache.get(id(item))
+        if cached is None:
+            cached = intervals_cache[id(item)] = bound_intervals(item)
+        return cached
+
     def candidates(
         position: int, use_old: bool, bindings: Dict[Variable, object]
     ) -> Sequence[_T]:
         body_atom = body_atoms[position]
+        interval_query: Optional[Tuple[int, _Interval]] = None
         for arg_index, arg in enumerate(body_atom.args):
             if isinstance(arg, Constant):
                 value = arg.value
             elif isinstance(arg, Variable) and arg in bindings:
-                value = bindings[arg]
+                bound = bindings[arg]
+                if isinstance(bound, _Interval):
+                    if interval_query is None:
+                        interval_query = (arg_index, bound)
+                    continue
+                value = bound
             else:
                 continue
             probe = probe_old if use_old else probe_full
             return probe(body_atom, arg_index, value)
+        if interval_query is not None:
+            arg_index, interval = interval_query
+            probe = probe_old if use_old else probe_full
+            return probe(body_atom, arg_index, interval_query_from(interval))
         return old_pools[position] if use_old else full_pools[position]
 
     for delta_position in range(arity):
@@ -261,7 +347,12 @@ def iter_indexed_delta_joins(
             else:
                 pool = candidates(position, position < delta_position, bindings)
             for item in pool:
-                extended = _extend_bindings(bindings, body_atoms[position], values_of(item))
+                extended = _extend_bindings(
+                    bindings,
+                    body_atoms[position],
+                    values_of(item),
+                    intervals_of(item),
+                )
                 if extended is None:
                     continue
                 chosen[position] = item
@@ -277,12 +368,34 @@ def _default_bound_values(item: object) -> Sequence[object]:
     return bound_argument_values(item.atom.args, item.constraint)  # type: ignore[attr-defined]
 
 
+def make_interval_getter(
+    evaluator: Optional[object],
+) -> Callable[[object], Sequence[Optional[_Interval]]]:
+    """Per-item interval getter for :func:`iter_indexed_delta_joins`.
+
+    Resolves :class:`~repro.datalog.view.ViewEntry` items through their
+    cached ``arg_intervals``; bare constrained atoms (the P_OUT / P_ADD
+    frontiers) are summarized on the fly.
+    """
+    token = evaluator_token(evaluator)
+
+    def getter(item: object) -> Sequence[Optional[_Interval]]:
+        method = getattr(item, "arg_intervals", None)
+        if method is not None:
+            return method(evaluator, token)
+        return argument_intervals(item.atom.args, item.constraint, evaluator)  # type: ignore[attr-defined]
+
+    return getter
+
+
 def make_view_probes(
     view: MaterializedView,
     exclude_keys: Optional[set] = None,
     delta_by_predicate: Optional[Dict[str, list]] = None,
     old_is_empty: bool = False,
     on_probe: Optional[Callable[[], None]] = None,
+    range_postings: bool = False,
+    evaluator: Optional[object] = None,
 ) -> Tuple[Callable, Callable]:
     """Build the ``(probe_old, probe_full)`` pair for indexed delta joins.
 
@@ -294,11 +407,26 @@ def make_view_probes(
     application, where every entry is delta and the old pools are empty.
     This is the single implementation shared by the fixpoint engine, the
     P_OUT unfolding and the P_ADD unfolding.
+
+    With ``range_postings=True`` probes go through the view's range-aware
+    :meth:`~repro.datalog.view.MaterializedView.probe_range` (consulting
+    *evaluator*'s ``index_interval`` hooks for DCA-bounded positions) and
+    accept :class:`~repro.datalog.view.IntervalQuery` overlap queries.
     """
+
+    token = evaluator_token(evaluator) if range_postings else None
 
     def probe_full(body_atom: Atom, arg_index: int, value: object):
         if on_probe is not None:
             on_probe()
+        if range_postings:
+            return view.probe_range(
+                body_atom.predicate, arg_index, value, evaluator, token
+            )
+        if isinstance(value, IntervalQuery):
+            # Defensive: a range-unaware probe cannot answer an overlap
+            # query with a superset; fall back to the positional pool.
+            return view.entries_for(body_atom.predicate)
         return view.probe(body_atom.predicate, arg_index, value)
 
     if old_is_empty:
@@ -415,9 +543,9 @@ class FixpointEngine:
             self._stats.round_delta_sizes.append(len(delta))
             attempts_before = self._stats.derivation_attempts
             produced: List[ViewEntry] = []
-            for clause, pools_for, probes in self._round_plan(view, delta):
+            for clause, pools_for, probes, intervals in self._round_plan(view, delta):
                 produced.extend(
-                    self._derive_from_clause(clause, pools_for, factory, probes)
+                    self._derive_from_clause(clause, pools_for, factory, probes, intervals)
                 )
             self._stats.round_attempts.append(
                 self._stats.derivation_attempts - attempts_before
@@ -455,10 +583,12 @@ class FixpointEngine:
         # Every entry of the interpretation counts as "delta": one operator
         # application enumerates the full product, which the delta-join does
         # too once the old pools are empty.
-        for clause, pools_for, probes in self._round_plan(
+        for clause, pools_for, probes, intervals in self._round_plan(
             interpretation, list(interpretation), everything_is_delta=True
         ):
-            for entry in self._derive_from_clause(clause, pools_for, factory, probes):
+            for entry in self._derive_from_clause(
+                clause, pools_for, factory, probes, intervals
+            ):
                 result.add(entry)
         return result
 
@@ -489,6 +619,7 @@ class FixpointEngine:
             Clause,
             Callable[[str], Tuple[tuple, tuple, tuple]],
             Optional[Tuple[Callable, Callable]],
+            Optional[Callable[[ViewEntry], Sequence[Optional[_Interval]]]],
         ]
     ]:
         """Yield the clauses a round must evaluate, with their join pools.
@@ -527,6 +658,7 @@ class FixpointEngine:
             return cached
 
         probes: Optional[Tuple[Callable, Callable]] = None
+        interval_getter: Optional[Callable] = None
         if self._options.hash_join_index and self._options.check_solvability:
 
             def on_probe() -> None:
@@ -538,7 +670,13 @@ class FixpointEngine:
                 delta_by_predicate=delta_by_predicate,
                 old_is_empty=everything_is_delta,
                 on_probe=on_probe,
+                range_postings=self._options.range_postings,
+                evaluator=self._solver.evaluator,
             )
+            # Built once per round, next to the probes: the getter pins the
+            # evaluator's version token, which cannot change mid-round.
+            if self._options.range_postings:
+                interval_getter = make_interval_getter(self._solver.evaluator)
 
         selected: Dict[int, Clause] = {}
         for predicate in delta_by_predicate:
@@ -546,7 +684,7 @@ class FixpointEngine:
                 selected[clause.number or 0] = clause
         self._stats.clauses_skipped += len(self._program.rule_clauses) - len(selected)
         for number in sorted(selected):
-            yield selected[number], pools_for, probes
+            yield selected[number], pools_for, probes, interval_getter
 
     def _derive_from_clause(
         self,
@@ -554,6 +692,9 @@ class FixpointEngine:
         pools_for: Callable[[str], Tuple[tuple, tuple, tuple]],
         factory: FreshVariableFactory,
         probes: Optional[Tuple[Callable, Callable]] = None,
+        interval_getter: Optional[
+            Callable[[ViewEntry], Sequence[Optional[_Interval]]]
+        ] = None,
     ) -> Iterable[ViewEntry]:
         full_pools: List[Tuple[ViewEntry, ...]] = []
         old_pools: List[Tuple[ViewEntry, ...]] = []
@@ -575,6 +716,7 @@ class FixpointEngine:
                 full_pools,
                 probe_old,
                 probe_full,
+                bound_intervals=interval_getter,
             )
         else:
             combinations = iter_delta_joins(old_pools, delta_pools, full_pools)

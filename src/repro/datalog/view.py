@@ -21,9 +21,19 @@ from typing import (
     Tuple,
 )
 
+import bisect
+
 from repro.constraints.ast import Constraint, conjoin, tuple_equalities
 from repro.constraints.simplify import canonical_form, extract_bindings
-from repro.constraints.solver import ConstraintSolver
+from repro.constraints.solver import (
+    ConstraintSolver,
+    Interval as _Interval,
+    PROFILE_UNKNOWN as _UNKNOWN,
+    build_argument_profile,
+    intersect_intervals as _intersect_intervals,
+    interval_excludes as _interval_excludes,
+    intervals_disjoint as _intervals_disjoint,
+)
 from repro.constraints.terms import Constant, FreshVariableFactory, Variable
 from repro.datalog.atoms import Atom, ConstrainedAtom
 from repro.datalog.support import Support
@@ -41,6 +51,28 @@ class _UnboundArgument:
 
 #: Marks argument positions whose value the constraint does not determine.
 UNBOUND = _UnboundArgument()
+
+#: Sentinel: "compute the evaluator's version token here".  Callers on the
+#: hot join path (probe pairs, interval getters) fetch the token once per
+#: round and pass it down, instead of rebuilding the registry's tuple on
+#: every probe.
+_NO_TOKEN = object()
+
+
+def evaluator_token(evaluator: Optional[object]) -> Optional[object]:
+    """The evaluator's hook-relevant version token (``None`` when absent).
+
+    Prefers ``registration_version`` -- which changes only when the
+    registered function set (and thus the ``index_interval`` hooks) can
+    change -- over the full ``version`` token, which also moves on every
+    external *data* change; hook results are contractually time-invariant,
+    so gating them on the full token would rebuild the interval caches on
+    every clock advance for nothing.
+    """
+    token = getattr(evaluator, "registration_version", None)
+    if token is not None:
+        return token
+    return getattr(evaluator, "version", None)
 
 
 def bound_argument_values(
@@ -64,6 +96,104 @@ def bound_argument_values(
         else:
             values.append(UNBOUND)
     return tuple(values)
+
+
+@dataclass(frozen=True)
+class IntervalQuery:
+    """A range query against the argument index (probe-by-overlap).
+
+    Built from the interval an already-chosen join premise pins a shared
+    variable into; the index answers with every entry that could carry a
+    value inside it at the probed position.
+    """
+
+    low: float
+    low_strict: bool
+    high: float
+    high_strict: bool
+
+    def as_interval(self) -> _Interval:
+        """The query as a solver interval (for overlap arithmetic)."""
+        return _Interval(self.low, self.low_strict, self.high, self.high_strict)
+
+
+def interval_query_from(interval: _Interval) -> IntervalQuery:
+    """Wrap a solver interval as a probe query."""
+    return IntervalQuery(
+        interval.low, interval.low_strict, interval.high, interval.high_strict
+    )
+
+
+def argument_intervals(
+    args: Sequence[object],
+    constraint: Constraint,
+    evaluator: Optional[object] = None,
+) -> Tuple[Optional[_Interval], ...]:
+    """Per-position numeric intervals implied by *constraint* (or ``None``).
+
+    The interval at a position is a *time-invariant over-approximation* of
+    the values the constraint admits there: it is assembled from the
+    canonical form's top-level ordering conjuncts (via the solver's
+    argument profile) intersected with the ``index_interval`` hook of every
+    ground positive DCA-atom on that position, when *evaluator* exposes one
+    (see :meth:`repro.domains.base.DomainFunction` -- hooks must return a
+    superset interval valid at every time point, which is what keeps range
+    postings sound under external source changes).  Positions the profile
+    pins to a numeric constant get the point interval; non-numeric pins and
+    unconstrained positions get ``None``.
+    """
+    profile = build_argument_profile(args, constraint)
+    if profile.unsatisfiable:
+        # No instances at all: the empty interval excludes every probe and
+        # refutes every join binding.  This is a large share of the win on
+        # deletion workloads -- DRed's over-estimate is full of entries
+        # narrowed to ``false``, and every combination using one would be
+        # enumerated only for the solvability check to kill it.
+        empty = _Interval(float("inf"), False, float("-inf"), False)
+        return tuple(empty for _ in args)
+    hook = getattr(evaluator, "index_interval", None)
+    intervals: List[Optional[_Interval]] = []
+    for slot in profile.slots:
+        interval: Optional[_Interval] = None
+        if slot.value is not _UNKNOWN:
+            value = slot.value
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                try:
+                    point = float(value)
+                except OverflowError:  # int beyond float range: no bound
+                    intervals.append(None)
+                    continue
+                interval = _Interval(point, False, point, False)
+            else:
+                intervals.append(None)
+                continue
+        elif slot.interval is not None:
+            interval = _Interval(
+                slot.interval.low,
+                slot.interval.low_strict,
+                slot.interval.high,
+                slot.interval.high_strict,
+            )
+        if hook is not None:
+            for domain, function, call_args in slot.calls:
+                try:
+                    bounds = hook(domain, function, call_args)
+                except Exception:  # hooks must never break indexing
+                    bounds = None
+                if bounds is None:
+                    continue
+                try:
+                    low, low_strict, high, high_strict = bounds
+                    called = _Interval(
+                        float(low), bool(low_strict), float(high), bool(high_strict)
+                    )
+                except (OverflowError, TypeError, ValueError):
+                    continue  # malformed or unrepresentable bound: no opinion
+                interval = called if interval is None else _intersect_intervals(interval, called)
+        if interval is not None and interval.is_trivial():
+            interval = None
+        intervals.append(interval)
+    return tuple(intervals)
 
 
 @dataclass(frozen=True)
@@ -109,6 +239,36 @@ class ViewEntry:
             cached = bound_argument_values(self.atom.args, self.constraint)
             object.__setattr__(self, "_cached_bound_args", cached)
         return cached
+
+    def arg_intervals(
+        self, evaluator: Optional[object] = None, token: object = _NO_TOKEN
+    ) -> Tuple[Optional[_Interval], ...]:
+        """Per-position numeric intervals (see :func:`argument_intervals`).
+
+        Cached per (evaluator identity, evaluator version token): the
+        intervals are syntactic except for ``index_interval`` hook results,
+        and while the hook *contract* makes a given hook's answers
+        time-invariant, re-registering a function installs a different hook
+        -- the registry's version token changes then, dropping the stale
+        tuple (the same gating the solver's external memo uses).  Pass a
+        pre-fetched *token* on hot paths; the token cannot change inside a
+        single evaluation round.
+        """
+        if token is _NO_TOKEN:
+            token = evaluator_token(evaluator)
+        cached = self.__dict__.get("_cached_arg_intervals")
+        if cached is not None:
+            known, known_token, intervals = cached
+            if known is evaluator and known_token == token:
+                return intervals
+        intervals = argument_intervals(self.atom.args, self.constraint, evaluator)
+        # Single slot (most recent evaluator + token): entries are shared
+        # across copied views and outlive solvers, so an unbounded per-
+        # evaluator list would pin dead registries for the entry's lifetime.
+        object.__setattr__(
+            self, "_cached_arg_intervals", (evaluator, token, intervals)
+        )
+        return intervals
 
     def key(self) -> Tuple[Atom, Constraint, Support]:
         """Deduplication key: atom, canonical constraint, support.
@@ -190,6 +350,119 @@ class _IndexedSlots:
         self._dead = 0
 
 
+class _RangePostings:
+    """A sorted interval list for one ``(predicate, position)`` index slot.
+
+    Holds the entries of the slot's *unbound* bucket that carry a numeric
+    interval at the position, sorted by interval lower bound, so a probe for
+    a value (or an overlap query) only scans the prefix whose lower bounds
+    can admit it.  Entries without an interval stay in the plain unbound
+    bucket and are returned by every probe, as before.  Removals tombstone;
+    the list is compacted once tombstones dominate.
+    """
+
+    __slots__ = ("_items", "_bounds", "_dead", "_counter")
+
+    def __init__(self) -> None:
+        #: ``(low, low_strict_rank, tiebreak, key)`` sorted ascending.  The
+        #: monotonic tiebreak keeps tuples comparable (keys never compared),
+        #: makes the order deterministic for equal lower bounds, and -- held
+        #: alongside the bounds entry -- identifies the one live item of a
+        #: key, so stale items from remove/re-add cycles are recognized by
+        #: both the scans and the compaction.
+        self._items: List[Tuple[float, int, int, object]] = []
+        self._bounds: Dict[object, Tuple[_Interval, ViewEntry, int]] = {}
+        self._dead = 0
+        self._counter = 0
+
+    def __len__(self) -> int:
+        return len(self._bounds)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._bounds
+
+    def add(self, key: object, entry: ViewEntry, interval: _Interval) -> None:
+        if key in self._bounds:
+            self.remove(key)
+        self._counter += 1
+        self._bounds[key] = (interval, entry, self._counter)
+        bisect.insort(
+            self._items,
+            (interval.low, int(interval.low_strict), self._counter, key),
+        )
+
+    def remove(self, key: object) -> None:
+        if self._bounds.pop(key, None) is None:
+            return
+        self._dead += 1
+        if self._dead > len(self._bounds) and self._dead > 8:
+            self._compact()
+
+    def _compact(self) -> None:
+        live = {counter for _, _, counter in self._bounds.values()}
+        self._items = [item for item in self._items if item[2] in live]
+        self._dead = 0
+
+    def _scan(self, upper: float) -> Iterator[Tuple[object, _Interval, ViewEntry]]:
+        """Live postings whose lower bound is at most *upper*.
+
+        A key removed and re-added leaves its old sort item as a tombstone
+        next to the fresh one; matching the item's tiebreak against the
+        live posting's yields each key exactly once, from the item carrying
+        the authoritative interval.
+        """
+        limit = bisect.bisect_right(self._items, (upper, 2))
+        for _, _, counter, key in self._items[:limit]:
+            found = self._bounds.get(key)
+            if found is None or found[2] != counter:
+                continue
+            yield key, found[0], found[1]
+
+    def probe_value(self, value: object) -> List[Tuple[object, ViewEntry]]:
+        """Entries whose interval can admit *value* (conservative for bools)."""
+        if isinstance(value, bool):
+            # Mirror the quick-reject pre-filter: the solver coerces bools in
+            # numeric comparisons, so range postings venture no opinion.
+            return self.entries()
+        if not isinstance(value, (int, float)):
+            # Non-numeric values can only satisfy trivial intervals, and
+            # trivial intervals are never posted -- nothing matches.
+            return []
+        try:
+            upper = float(value)
+        except OverflowError:
+            # int beyond float range: scan everything; the exact
+            # containment filter below still decides precisely (Python
+            # compares big ints against floats without converting).
+            upper = float("inf")
+        return [
+            (key, entry)
+            for key, interval, entry in self._scan(upper)
+            if not _interval_excludes(interval, value)
+        ]
+
+    def probe_overlap(self, query: _Interval) -> List[Tuple[object, ViewEntry]]:
+        """Entries whose interval overlaps *query*."""
+        return [
+            (key, entry)
+            for key, interval, entry in self._scan(query.high)
+            if not _intervals_disjoint(interval, query)
+        ]
+
+    def entries(self) -> List[Tuple[object, ViewEntry]]:
+        """All live ``(key, entry)`` postings, in no particular order."""
+        return [(key, entry) for key, (_, entry, _) in self._bounds.items()]
+
+    def snapshot_rows(self) -> List[Tuple[str, str]]:
+        """Canonical ``(interval repr, entry key)`` rows for the tests."""
+        rows = []
+        for key, (interval, _, _) in self._bounds.items():
+            lo = "(" if interval.low_strict else "["
+            hi = ")" if interval.high_strict else "]"
+            rows.append((f"{lo}{interval.low}, {interval.high}{hi}", str(key)))
+        return rows
+
+
 class MaterializedView:
     """An insertion-ordered collection of :class:`ViewEntry` objects.
 
@@ -197,16 +470,36 @@ class MaterializedView:
     two entries with the same constrained atom but different supports are
     *both* kept, which is exactly the paper's duplicate semantics.
 
-    Three indexes back the container: the key index (membership, removal),
-    a per-predicate index (the fixpoint operators' join pools) and a
-    per-support index (StDel's upward propagation), so ``remove``,
-    ``replace``, ``__contains__`` and ``find_by_support`` are all O(1).
+    Four indexes back the container: the key index (membership, removal),
+    a per-predicate index (the fixpoint operators' join pools), a
+    per-support index (StDel's re-fetch of replaced entries) and a
+    child-support index mapping each *direct premise* support to the parent
+    entries whose derivation used it (StDel's upward propagation), so
+    ``remove``, ``replace``, ``__contains__``, ``find_by_support`` and
+    ``find_parents_of`` are all O(1).
     """
 
     def __init__(self, entries: Iterable[ViewEntry] = ()) -> None:
         self._index = _IndexedSlots()
         self._by_predicate: Dict[str, _IndexedSlots] = {}
         self._by_support: Dict[Support, _IndexedSlots] = {}
+        # Child-support index: the support of a direct premise maps to the
+        # entries whose derivation used it.  StDel step 3 probes this with
+        # each P_OUT pair's support instead of scanning the whole view.
+        # Built lazily on the first probe (like the range postings): only
+        # StDel consults it, so fixpoint materialization, over-estimates
+        # and baseline copies pay nothing; once built it is maintained
+        # incrementally by every mutation.
+        self._by_child_support: Dict[Support, _IndexedSlots] = {}
+        self._child_support_built = False
+        # Interval range postings: per (predicate, position), a sorted
+        # interval list of the unbound-bucket entries whose constraint
+        # bounds the position numerically.  Built lazily on the first
+        # range-aware probe of a slot (so W_P materialization, which never
+        # probes, never populates them) and maintained incrementally after.
+        self._range_postings: Dict[Tuple[str, int], _RangePostings] = {}
+        self._range_evaluator: Optional[object] = None
+        self._range_version: Optional[object] = None
         # Hash-join argument index: (predicate, argument position) maps to
         # per-bound-value entry buckets plus an unbound bucket (entries whose
         # constraint does not pin that position).  A probe for a value must
@@ -261,6 +554,12 @@ class MaterializedView:
         if group is None:
             group = self._by_support[entry.support] = _IndexedSlots()
         group.add(key, entry)
+        if self._child_support_built:
+            for child in dict.fromkeys(entry.support.children):
+                parents = self._by_child_support.get(child)
+                if parents is None:
+                    parents = self._by_child_support[child] = _IndexedSlots()
+                parents.add(key, entry)
         if key not in self._seq:
             self._seq[key] = self._next_seq
             self._next_seq += 1
@@ -279,6 +578,9 @@ class MaterializedView:
         self._index.remove(key)
         self._by_predicate[entry.predicate].remove(key)
         self._by_support[entry.support].remove(key)
+        if self._child_support_built:
+            for child in dict.fromkeys(entry.support.children):
+                self._by_child_support[child].remove(key)
         self._unindex_arguments(key, entry)
         self._seq.pop(key, None)
         return True
@@ -312,10 +614,20 @@ class MaterializedView:
         group = self._by_support[old.support]
         if new.support == old.support:
             group.replace(old_key, new_key, new)
+            if self._child_support_built:
+                for child in dict.fromkeys(old.support.children):
+                    self._by_child_support[child].replace(old_key, new_key, new)
         else:  # pragma: no cover - algorithms never change the support
             group.remove(old_key)
             fresh = self._by_support.setdefault(new.support, _IndexedSlots())
             fresh.add(new_key, new)
+            if self._child_support_built:
+                for child in dict.fromkeys(old.support.children):
+                    self._by_child_support[child].remove(old_key)
+                for child in dict.fromkeys(new.support.children):
+                    self._by_child_support.setdefault(child, _IndexedSlots()).add(
+                        new_key, new
+                    )
         self._unindex_arguments(old_key, old)
         sequence = self._seq.pop(old_key, None)
         if sequence is None:
@@ -364,6 +676,50 @@ class MaterializedView:
         group = self._by_support.get(support)
         return group.to_tuple() if group is not None else ()
 
+    def find_parents_of(self, support: Support) -> Tuple[ViewEntry, ...]:
+        """Entries whose derivation used *support* as a direct premise.
+
+        This is StDel step 3's probe: instead of scanning the whole view per
+        ``P_OUT`` pair, the propagation asks the child-support index for
+        exactly the parents the pair can affect.  Results come back in
+        insertion order; entries replaced in place keep their slot.  The
+        first probe builds the index from the current entries; mutations
+        maintain it incrementally after that.
+        """
+        self._ensure_child_support_index()
+        group = self._by_child_support.get(support)
+        return group.to_tuple() if group is not None else ()
+
+    def _ensure_child_support_index(self) -> None:
+        """Build the child-support index on first use (lazy, then live)."""
+        if self._child_support_built:
+            return
+        self._child_support_built = True
+        for entry in self._index:
+            key = entry.key()
+            for child in dict.fromkeys(entry.support.children):
+                parents = self._by_child_support.get(child)
+                if parents is None:
+                    parents = self._by_child_support[child] = _IndexedSlots()
+                parents.add(key, entry)
+
+    def child_support_snapshot(self) -> Tuple[Tuple[str, Tuple[str, ...]], ...]:
+        """A canonical, comparable rendering of the child-support index.
+
+        Each row is ``(child support, sorted parent entry keys)``; the
+        property tests compare this against a brute-force scan of
+        ``entries`` after random mutation sequences.  Builds the index if
+        it has not been probed yet.
+        """
+        self._ensure_child_support_index()
+        rows = []
+        for child, group in self._by_child_support.items():
+            if len(group):
+                rows.append(
+                    (str(child), tuple(sorted(str(entry.key()) for entry in group)))
+                )
+        return tuple(sorted(rows))
+
     # ------------------------------------------------------------------
     # Hash-join argument index
     # ------------------------------------------------------------------
@@ -371,6 +727,14 @@ class MaterializedView:
         for position, value in enumerate(entry.bound_args()):
             slot = (entry.predicate, position)
             if value is UNBOUND:
+                postings = self._range_postings.get(slot)
+                if postings is not None:
+                    interval = entry.arg_intervals(
+                        self._range_evaluator, self._range_version
+                    )[position]
+                    if interval is not None:
+                        postings.add(key, entry, interval)
+                        continue
                 self._arg_unbound.setdefault(slot, {})[key] = entry
                 continue
             try:
@@ -393,8 +757,11 @@ class MaterializedView:
                         continue
                 except TypeError:
                     pass  # was filed under the unbound bucket on the way in
-            if unbound is not None:
-                unbound.pop(key, None)
+            if unbound is not None and unbound.pop(key, None) is not None:
+                continue
+            postings = self._range_postings.get(slot)
+            if postings is not None:
+                postings.remove(key)
 
     def probe(
         self, predicate: str, position: int, value: object
@@ -417,6 +784,12 @@ class MaterializedView:
         candidates = list(matched.items()) if matched else []
         if unbound:
             candidates.extend(unbound.items())
+        postings = self._range_postings.get(slot)
+        if postings is not None:
+            # A range-unaware probe must stay a superset: posted entries are
+            # returned unfiltered, exactly as if they still sat in the
+            # unbound bucket.
+            candidates.extend(postings.entries())
         # A sort (not a two-bucket merge) is required for correctness:
         # ``replace`` keeps the old sequence number but re-files the entry at
         # the end of its dict bucket, so bucket order alone is not sequence
@@ -424,6 +797,120 @@ class MaterializedView:
         # stays effectively linear.
         candidates.sort(key=lambda item: self._seq[item[0]])
         return tuple(entry for _, entry in candidates)
+
+    def probe_range(
+        self,
+        predicate: str,
+        position: int,
+        query: object,
+        evaluator: Optional[object] = None,
+        token: object = _NO_TOKEN,
+    ) -> Tuple[ViewEntry, ...]:
+        """Range-aware probe: *query* is a pinned value or an :class:`IntervalQuery`.
+
+        Like :meth:`probe`, but entries whose constraint bounds the position
+        into a numeric interval are consulted through the slot's range
+        postings: a pinned value only returns the postings whose interval
+        admits it, an interval query only those whose interval overlaps it.
+        Entries with no interval at the position remain in the plain unbound
+        bucket and are returned by every probe.  The result is still a
+        superset of the entries that can join -- the interval is a
+        time-invariant over-approximation of the position's admissible
+        values -- just a tighter one than the unbound-bucket fallback.
+
+        The first range-aware probe of a slot builds its postings from the
+        unbound bucket (using *evaluator*'s ``index_interval`` hooks, when
+        present); later mutations maintain them incrementally.  ``W_P``
+        materialization never calls this, so under ``W_P`` the postings are
+        never populated (Theorem 4's byte-invariance is untouched).
+        """
+        slot = (predicate, position)
+        if isinstance(query, IntervalQuery):
+            interval = query.as_interval()
+            postings = self._ensure_postings(slot, evaluator, token)
+            candidates: List[Tuple[object, ViewEntry]] = []
+            buckets = self._arg_bound.get(slot)
+            if buckets:
+                # Linear over the slot's *distinct* bound values -- bounded
+                # by (and in practice far under) the positional pool this
+                # probe replaces.  A sorted value list (bisect the query
+                # window, as the postings do for interval lows) would make
+                # it logarithmic; see ROADMAP if this ever shows up hot.
+                for value, members in buckets.items():
+                    if not _interval_excludes(interval, value):
+                        candidates.extend(members.items())
+            candidates.extend(postings.probe_overlap(interval))
+        else:
+            try:
+                matched = self._arg_bound.get(slot, {}).get(query)
+            except TypeError:
+                return self.entries_for(predicate)
+            postings = self._ensure_postings(slot, evaluator, token)
+            candidates = list(matched.items()) if matched else []
+            candidates.extend(postings.probe_value(query))
+        unbound = self._arg_unbound.get(slot)
+        if unbound:
+            candidates.extend(unbound.items())
+        candidates.sort(key=lambda item: self._seq[item[0]])
+        return tuple(entry for _, entry in candidates)
+
+    def _ensure_postings(
+        self, slot: Tuple[str, int], evaluator: Optional[object], token: object = _NO_TOKEN
+    ) -> _RangePostings:
+        """Build (or fetch) the range postings of one index slot.
+
+        Gated on the evaluator's identity *and* its version token: a
+        different evaluator could resolve ``index_interval`` hooks
+        differently, and re-registering a function on the same registry
+        installs a different hook (the token changes, exactly like the
+        solver's external memo gating) -- either way the postings rebuild
+        from scratch before they can serve stale intervals.
+        """
+        if token is _NO_TOKEN:
+            token = evaluator_token(evaluator)
+        if self._range_postings and (
+            evaluator is not self._range_evaluator or token != self._range_version
+        ):
+            self._reset_range_postings()
+        postings = self._range_postings.get(slot)
+        if postings is None:
+            self._range_evaluator = evaluator
+            self._range_version = token
+            postings = self._range_postings[slot] = _RangePostings()
+            unbound = self._arg_unbound.get(slot)
+            if unbound:
+                position = slot[1]
+                for key, entry in list(unbound.items()):
+                    interval = entry.arg_intervals(evaluator, token)[position]
+                    if interval is not None:
+                        del unbound[key]
+                        postings.add(key, entry, interval)
+        return postings
+
+    def _reset_range_postings(self) -> None:
+        """Dissolve all postings back into the plain unbound buckets."""
+        for slot, postings in self._range_postings.items():
+            unbound = self._arg_unbound.setdefault(slot, {})
+            for key, entry in postings.entries():
+                unbound[key] = entry
+        self._range_postings.clear()
+        self._range_evaluator = None
+        self._range_version = None
+
+    def range_posting_snapshot(
+        self,
+    ) -> Tuple[Tuple[str, int, str, str], ...]:
+        """A canonical rendering of the built range postings.
+
+        Each row is ``(predicate, position, interval, entry key)``.  Empty
+        until the first range-aware probe -- the W_P invariance tests assert
+        it *stays* empty under ``W_P`` materialization and source changes.
+        """
+        rows = []
+        for (predicate, position), postings in self._range_postings.items():
+            for interval_repr, key_repr in postings.snapshot_rows():
+                rows.append((predicate, position, interval_repr, key_repr))
+        return tuple(sorted(rows))
 
     def argument_index_snapshot(self) -> Tuple[Tuple[str, int, str, Tuple[str, ...]], ...]:
         """A canonical, comparable rendering of the argument index.
@@ -443,16 +930,19 @@ class MaterializedView:
                         tuple(sorted(str(key) for key in members)),
                     )
                 )
-        for (predicate, position), members in self._arg_unbound.items():
-            if members:
-                rows.append(
-                    (
-                        predicate,
-                        position,
-                        "<unbound>",
-                        tuple(sorted(str(key) for key in members)),
-                    )
-                )
+        # Entries moved into range postings still belong to the unbound
+        # partition of the value index; merging them back here keeps the
+        # snapshot independent of whether a slot's postings were built.
+        unbound_keys: Dict[Tuple[str, int], List[str]] = {}
+        for slot, members in self._arg_unbound.items():
+            unbound_keys.setdefault(slot, []).extend(str(key) for key in members)
+        for slot, postings in self._range_postings.items():
+            unbound_keys.setdefault(slot, []).extend(
+                str(key) for key, _ in postings.entries()
+            )
+        for (predicate, position), keys in unbound_keys.items():
+            if keys:
+                rows.append((predicate, position, "<unbound>", tuple(sorted(keys))))
         return tuple(sorted(rows))
 
     # ------------------------------------------------------------------

@@ -144,29 +144,63 @@ def make_arithmetic_domain(
         low, high = int(args[0]), int(args[1])
         return value < low or value > high or float(value) != int(value)
 
+    # index_interval hooks: a time-invariant numeric interval containing
+    # every member of the call's result set, feeding the argument index's
+    # range postings.  Arithmetic behaviour never changes, so the bounds are
+    # computed once from the (ground) arguments; non-numeric arguments make
+    # the underlying call fail, so the hooks venture no bound there.
+    INF = float("inf")
+
+    def interval_greater(args: Tuple[object, ...]) -> Optional[Tuple[float, bool, float, bool]]:
+        if not _is_number(args[0]):
+            return None
+        return (float(args[0]), True, INF, False)
+
+    def interval_greater_eq(args: Tuple[object, ...]) -> Optional[Tuple[float, bool, float, bool]]:
+        if not _is_number(args[0]):
+            return None
+        return (float(args[0]), False, INF, False)
+
+    def interval_less(args: Tuple[object, ...]) -> Optional[Tuple[float, bool, float, bool]]:
+        if not _is_number(args[0]):
+            return None
+        return (-INF, False, float(args[0]), True)
+
+    def interval_less_eq(args: Tuple[object, ...]) -> Optional[Tuple[float, bool, float, bool]]:
+        if not _is_number(args[0]):
+            return None
+        return (-INF, False, float(args[0]), False)
+
+    def interval_between(args: Tuple[object, ...]) -> Optional[Tuple[float, bool, float, bool]]:
+        if not all(_is_number(arg) for arg in args):
+            return None
+        # Mirror between()'s own int() truncation of the bounds (the result
+        # set of between(2.5, 7.5) is range(2, 8), bounded by [2, 7]).
+        return (float(int(args[0])), False, float(int(args[1])), False)
+
     domain.register(
         "greater", greater, "integers strictly greater than x", arity=1,
-        quick_reject=reject_greater,
+        quick_reject=reject_greater, index_interval=interval_greater,
     )
     domain.register(
         "great", greater, "alias used by the paper", arity=1,
-        quick_reject=reject_greater,
+        quick_reject=reject_greater, index_interval=interval_greater,
     )
     domain.register(
         "greater_eq", greater_eq, "integers >= x", arity=1,
-        quick_reject=reject_greater_eq,
+        quick_reject=reject_greater_eq, index_interval=interval_greater_eq,
     )
     domain.register(
         "less", less, "integers strictly less than x", arity=1,
-        quick_reject=reject_less,
+        quick_reject=reject_less, index_interval=interval_less,
     )
     domain.register(
         "less_eq", less_eq, "integers <= x", arity=1,
-        quick_reject=reject_less_eq,
+        quick_reject=reject_less_eq, index_interval=interval_less_eq,
     )
     domain.register(
         "between", between, "integers in [a, b]", arity=2,
-        quick_reject=reject_between,
+        quick_reject=reject_between, index_interval=interval_between,
     )
     domain.register("plus", plus, "{x + y}", arity=2)
     domain.register("minus", minus, "{x - y}", arity=2)

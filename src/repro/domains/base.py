@@ -113,6 +113,25 @@ class DomainFunction:
     #: view maintenance, one that errs on the False side merely costs a
     #: solver call.
     quick_reject: Optional[Callable[[Tuple[object, ...], object], bool]] = None
+    #: Optional range summariser feeding the view's interval range postings:
+    #: ``index_interval(args)`` returns ``(low, low_strict, high,
+    #: high_strict)`` -- a numeric interval that contains **every** member of
+    #: ``function(args)`` **at every time point** -- or ``None`` for "no
+    #: bound".  The contract is strict on both axes:
+    #:
+    #: * *superset*: a member outside the returned interval would let the
+    #:   argument index prune a joinable entry, corrupting maintenance;
+    #: * *time-invariant*: the hook is consulted when an entry is indexed,
+    #:   not when it is probed, so the interval must hold across external
+    #:   source changes.  Sources whose result sets drift over time must
+    #:   answer ``None`` (the conservative default) unless they can bound
+    #:   every future behaviour.
+    #:
+    #: Arithmetic comparison constraints (``between``, ``greater``, ...)
+    #: satisfy both trivially; see :mod:`repro.domains.arithmetic`.
+    index_interval: Optional[
+        Callable[[Tuple[object, ...]], Optional[Tuple[float, bool, float, bool]]]
+    ] = None
 
     def invoke(self, args: Tuple[object, ...]) -> ResultSetLike:
         """Call the function and coerce its result into a result set."""
@@ -160,9 +179,14 @@ class Domain:
         description: str = "",
         arity: Optional[int] = None,
         quick_reject: Optional[Callable[[Tuple[object, ...], object], bool]] = None,
+        index_interval: Optional[
+            Callable[[Tuple[object, ...]], Optional[Tuple[float, bool, float, bool]]]
+        ] = None,
     ) -> DomainFunction:
         """Register a function; replaces any previous function of that name."""
-        function = DomainFunction(name, callable, description, arity, quick_reject)
+        function = DomainFunction(
+            name, callable, description, arity, quick_reject, index_interval
+        )
         self._functions[name] = function
         self._bump_source()
         return function
@@ -202,6 +226,18 @@ class Domain:
         state their functions actually read (a database version, a clock,
         a mutable scenario).  :attr:`DomainRegistry.version` aggregates
         these tokens so solvers can cache DCA-dependent results safely.
+        """
+        return self._source_counter
+
+    def registration_version(self) -> object:
+        """A token that changes only when the *function set* changes.
+
+        Counts (re)registrations, behaviour installs and explicit
+        :meth:`_bump_source` calls -- but, unlike :meth:`source_version`,
+        never folds in live source state (clock time, database versions):
+        subclasses do not override it.  This is the right gate for caches
+        of ``index_interval`` hook results, which are contractually
+        time-invariant but do change when a different hook is installed.
         """
         return self._source_counter
 
@@ -315,6 +351,29 @@ class DomainRegistry:
         except Exception:
             return False
 
+    def index_interval(
+        self, domain: str, function: str, args: Tuple[object, ...]
+    ) -> Optional[Tuple[float, bool, float, bool]]:
+        """Consult a function's ``index_interval`` hook, defaulting to ``None``.
+
+        Part of the evaluator surface the view's range postings consume: a
+        non-``None`` result is a time-invariant numeric interval containing
+        every member ``domain:function(args)`` can ever have (see
+        :class:`DomainFunction` for the full contract).  Unknown domains,
+        functions without a hook, and hook errors all answer ``None`` (no
+        bound), which merely keeps the entry in the always-returned bucket.
+        """
+        registered = self._domains.get(domain)
+        if registered is None or not registered.has_function(function):
+            return None
+        hook = registered.function(function).index_interval
+        if hook is None:
+            return None
+        try:
+            return hook(tuple(args))
+        except Exception:
+            return None
+
     # -- cache management ----------------------------------------------------
     def invalidate_cache(self) -> None:
         """Drop all memoized call results (call after any source update)."""
@@ -340,4 +399,19 @@ class DomainRegistry:
         return (
             self._mutation_counter,
             tuple(domain.source_version() for domain in self._sorted_domains),
+        )
+
+    @property
+    def registration_version(self) -> object:
+        """A token that changes only when registered functions change.
+
+        Aggregates the registry's own mutation counter with every domain's
+        :meth:`Domain.registration_version` -- deliberately *excluding*
+        live source state, so external data changes (clock advances,
+        database updates) do not thrash caches of time-invariant hook
+        results such as the view's interval range postings.
+        """
+        return (
+            self._mutation_counter,
+            tuple(domain.registration_version() for domain in self._sorted_domains),
         )

@@ -59,18 +59,37 @@ def recompute_after_deletion(
     (``T_{P'} ↑ ω(∅)``); it is both the correctness yardstick used by the
     tests and the non-incremental cost the incremental algorithms are
     measured against.
+
+    Entries the view acquired through external insertions (Algorithm 3,
+    reserved support 0) are not program clauses; they are treated as extra
+    EDB -- narrowed by the deletion like any rewritten clause and seeded
+    into the recomputation -- so interleaved insert/delete streams stay
+    comparable against the incremental algorithms.
     """
     solver = solver or ConstraintSolver()
     # Restrict to instances present in the view, like the incremental
     # algorithms do: deleting something absent must be a no-op.
-    from repro.maintenance.common import build_del_set, make_fresh_factory
+    from repro.maintenance.common import (
+        build_del_set,
+        make_fresh_factory,
+        narrowed_external_entries,
+    )
 
     factory = make_fresh_factory(program, view, (atom,))
     del_pairs = build_del_set(view, atom, solver, factory)
     del_atoms = tuple(entry_atom for _, entry_atom in del_pairs)
     rewritten = deletion_rewrite(program, del_atoms or (atom,), factory)
-    engine = FixpointEngine(rewritten, solver, options or FixpointOptions())
-    new_view = engine.compute()
+    effective = options or FixpointOptions()
+    engine = FixpointEngine(rewritten, solver, effective)
+    external = narrowed_external_entries(
+        view,
+        del_atoms or (atom,),
+        solver,
+        factory,
+        drop_redundant_comparisons=effective.drop_redundant_comparisons,
+    )
+    initial = MaterializedView(external) if external else None
+    new_view = engine.compute(initial=initial)
     stats = MaintenanceStats()
     stats.seed_atoms = len(del_atoms)
     stats.rederived_entries = len(new_view)

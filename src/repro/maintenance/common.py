@@ -131,6 +131,46 @@ def build_del_set(
     return tuple(result)
 
 
+def narrowed_external_entries(
+    view: MaterializedView,
+    deleted: Sequence[ConstrainedAtom],
+    solver: ConstraintSolver,
+    factory: FreshVariableFactory,
+    stats: Optional[MaintenanceStats] = None,
+    drop_redundant_comparisons: bool = True,
+) -> Tuple[ViewEntry, ...]:
+    """Externally inserted entries, narrowed by a deletion's ``Del`` atoms.
+
+    Entries whose support is the bare reserved clause number 0 were inserted
+    by Algorithm 3, not produced by any program clause, so a from-scratch
+    recomputation of the rewritten program would silently lose them.  The
+    declarative reading treats them as extra EDB: they survive a deletion as
+    ``φ & not(δ & bindings)`` -- the same narrowing the deletion rewrite
+    applies to program clauses -- and seed the recomputation fixpoint.
+    Entries whose narrowed constraint is unsolvable are dropped (they would
+    be purged by ``T_P`` anyway).
+    """
+    from repro.maintenance.insert import EXTERNAL_CLAUSE_NUMBER
+    from repro.datalog.support import Support
+
+    external_support = Support(EXTERNAL_CLAUSE_NUMBER)
+    survivors: List[ViewEntry] = []
+    renamed_cache: Dict[int, ConstrainedAtom] = {}
+    for entry in view.find_all_by_support(external_support):
+        narrowed = subtract_instances(
+            entry,
+            deleted,
+            solver,
+            factory,
+            stats,
+            renamed_cache,
+            drop_redundant_comparisons=drop_redundant_comparisons,
+        )
+        if solver.is_satisfiable(narrowed.constraint):
+            survivors.append(narrowed)
+    return tuple(survivors)
+
+
 def apply_clause_with_premises(
     clause: Clause,
     premises: Sequence[ConstrainedAtom],
@@ -139,6 +179,7 @@ def apply_clause_with_premises(
     check_solvable: bool = True,
     stats: Optional[MaintenanceStats] = None,
     renamed_cache: Optional[Dict[Tuple[int, int], ConstrainedAtom]] = None,
+    drop_redundant_comparisons: bool = True,
 ) -> Optional[ConstrainedAtom]:
     """One clause application used by the P_OUT / P_ADD unfoldings.
 
@@ -167,7 +208,14 @@ def apply_clause_with_premises(
         parts.append(renamed.constraint)
         parts.append(tuple_equalities(renamed.atom.args, body_atom.args))
     constraint = eliminate_variables(conjoin(*parts), clause.head.variables())
-    constraint = simplify(constraint, solver)
+    # Match the fixpoint engine's normalization (by default it drops
+    # comparisons entailed by the rest), so unfolded atoms carry the same
+    # canonical constraints one clause application under T_P would produce.
+    # Callers running against a differently-configured fixpoint pass its
+    # flag through, keeping the two sides key-comparable either way.
+    constraint = simplify(
+        constraint, solver, drop_redundant_comparisons=drop_redundant_comparisons
+    )
     if check_solvable:
         if stats is not None:
             stats.solver_calls += 1
@@ -183,6 +231,7 @@ def subtract_instances(
     factory: FreshVariableFactory,
     stats: Optional[MaintenanceStats] = None,
     renamed_cache: Optional[Dict[int, ConstrainedAtom]] = None,
+    drop_redundant_comparisons: bool = True,
 ) -> ViewEntry:
     """Conjoin ``not(ψ & bindings)`` onto an entry for each removed atom.
 
@@ -198,6 +247,7 @@ def subtract_instances(
     hence still sound -- so it is computed once per entry, not once per pair.
     """
     constraint = entry.constraint
+    subtracted = False
     for atom in removed:
         if atom.atom.signature != entry.atom.signature:
             continue
@@ -217,7 +267,19 @@ def subtract_instances(
             # No overlap: nothing to subtract for this removed atom.
             continue
         constraint = conjoin(constraint, negative)
-    constraint = simplify(constraint, solver)
+        subtracted = True
+    if not subtracted:
+        # Untouched entries keep their exact constraint: re-canonicalizing
+        # them here would change keys StDel (which only rewrites affected
+        # entries) leaves alone.
+        return entry
+    # Drop redundant comparisons like the fixpoint engine (and StDel's
+    # replacement step) do: a two-sided entry narrowed by an overlapping
+    # deletion (e.g. ``X <= 50`` minus ``X >= 46``) otherwise keeps the
+    # now-entailed bound and diverges from the other algorithms by key().
+    constraint = simplify(
+        constraint, solver, drop_redundant_comparisons=drop_redundant_comparisons
+    )
     if constraint == entry.constraint:
         return entry
     return entry.with_constraint(constraint)

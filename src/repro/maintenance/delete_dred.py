@@ -44,6 +44,7 @@ from repro.datalog.fixpoint import (
     FixpointOptions,
     iter_delta_joins,
     iter_indexed_delta_joins,
+    make_interval_getter,
     make_view_probes,
 )
 from repro.datalog.program import ConstrainedDatabase
@@ -56,6 +57,7 @@ from repro.maintenance.common import (
     subtract_instances,
 )
 from repro.maintenance.declarative import deletion_rewrite
+from repro.maintenance.insert import EXTERNAL_CLAUSE_NUMBER
 from repro.maintenance.requests import DeletionRequest, MaintenanceStats
 
 
@@ -85,6 +87,16 @@ class DRedOptions:
     #: delta-proportional cost the paper argues for -- rather than joining
     #: the entire over-estimate against itself.
     delta_rederivation: bool = True
+    #: Drop narrowed entries that rederivation fully restored: when the
+    #: rewritten program rederives a derivation (same support) whose
+    #: constraint subsumes the over-deletion's narrowed twin, the narrowed
+    #: entry is syntactically redundant -- its instances are all contained in
+    #: the rederived one's -- and keeping it is exactly the
+    #: instance-equal-but-key-different gap to StDel / recomputation on
+    #: views with duplicate (overlapping) entries.  Sound for instances
+    #: either way; with the pass on, the result is key-identical to the
+    #: recomputed ``T_{P'} ↑ ω`` view on the interval family too.
+    subsume_rederived: bool = True
     #: Remove entries whose constraint became unsolvable before returning.
     purge_unsolvable: bool = True
     #: Cap on P_OUT unfolding rounds (defensive; recursion is bounded by the
@@ -146,7 +158,13 @@ class ExtendedDRed:
             replacement = entry
             if relevant:
                 replacement = subtract_instances(
-                    entry, relevant, self._solver, factory, stats, renamed_cache
+                    entry,
+                    relevant,
+                    self._solver,
+                    factory,
+                    stats,
+                    renamed_cache,
+                    drop_redundant_comparisons=self._options.fixpoint.drop_redundant_comparisons,
                 )
             overestimate.add(replacement)
             if replacement is not entry:
@@ -173,11 +191,78 @@ class ExtendedDRed:
         if self._options.purge_unsolvable:
             stats.removed_entries += result_view.prune_unsolvable(self._solver)
 
+        if self._options.subsume_rederived:
+            self._subsume_rederived(result_view, narrowed, stats)
+
         return DRedResult(result_view, del_atoms, p_out, overestimate, rewritten, stats)
 
     # ------------------------------------------------------------------
     # Internal steps
     # ------------------------------------------------------------------
+    def _subsume_rederived(
+        self,
+        view: MaterializedView,
+        narrowed: Sequence[ViewEntry],
+        stats: MaintenanceStats,
+    ) -> None:
+        """Drop narrowed entries subsumed by a fully-rederived same-support twin.
+
+        Rederivation re-runs derivations the over-deletion disturbed; when a
+        derivation survives the rewrite in full, the fixpoint adds an entry
+        with the *same support* as the narrowed one but a wider constraint.
+        Both are sound, but recomputation (and StDel) represent that
+        derivation once -- so for every narrowed entry still in the view, its
+        same-support siblings are checked for syntactic subsumption
+        (``instances(narrowed) ⊆ instances(sibling)``, see
+        :meth:`~repro.constraints.solver.ConstraintSolver.subsumes_instances`)
+        and the narrowed duplicate is removed when one subsumes it.  Only
+        narrowed entries are candidates for removal; ties (mutual
+        subsumption) therefore keep the rederived twin, whose canonical form
+        matches what recomputation produces.
+        """
+        dropped = 0
+        for entry in narrowed:
+            if entry not in view:
+                continue  # purged, or merged away by a replace
+            if entry.support.clause_number == EXTERNAL_CLAUSE_NUMBER:
+                # Externally inserted (Algorithm 3's reserved support 0):
+                # no program clause carries number 0, so rederivation can
+                # never produce a twin of this derivation -- any same-
+                # support sibling is a *different* external insertion, and
+                # dropping it would lose a distinct derivation (duplicate
+                # semantics).
+                continue
+            stats.solver_calls += 1
+            if not self._solver.is_satisfiable(entry.constraint):
+                # An empty instance set is vacuously subsumed by *any*
+                # sibling; removing it here would purge behind
+                # ``purge_unsolvable=False``'s back and miscount the drop
+                # as a subsumption.  Leave unsolvable narrows to the purge
+                # option.  (With purging on -- the default -- these entries
+                # are already gone and this check is a memo hit.)
+                continue
+            for sibling in view.find_all_by_support(entry.support):
+                if sibling.key() == entry.key():
+                    continue
+                if sibling.atom.signature != entry.atom.signature:
+                    # Supports are not unique across externally inserted
+                    # atoms (all carry clause number 0); only a same-
+                    # predicate twin can represent the same derivation.
+                    continue
+                stats.solver_calls += 1
+                if self._solver.subsumes_instances(
+                    entry.atom.args,
+                    entry.constraint,
+                    sibling.atom.args,
+                    sibling.constraint,
+                ):
+                    view.remove(entry)
+                    dropped += 1
+                    break
+        if dropped:
+            stats.removed_entries += dropped
+            stats.bump("subsumed_rederived", dropped)
+
     @staticmethod
     def _rederivation_seed(
         overestimate: MaterializedView, narrowed: Sequence[ViewEntry]
@@ -230,6 +315,7 @@ class ExtendedDRed:
         seen = {self._atom_key(atom) for atom in collected}
         frontier: List[ConstrainedAtom] = list(del_atoms)
         use_index = self._options.fixpoint.hash_join_index
+        use_ranges = use_index and self._options.fixpoint.range_postings
 
         def pool_for(predicate: str) -> Tuple[ViewEntry, ...]:
             return view.entries_for(predicate)
@@ -239,7 +325,15 @@ class ExtendedDRed:
 
         # P_OUT draws the non-frontier premises from the *full* view, so the
         # old-pool and full-pool probes coincide (no delta exclusion).
-        probe, _ = make_view_probes(view, on_probe=on_probe)
+        probe, _ = make_view_probes(
+            view,
+            on_probe=on_probe,
+            range_postings=use_ranges,
+            evaluator=self._solver.evaluator,
+        )
+        bound_intervals = (
+            make_interval_getter(self._solver.evaluator) if use_ranges else None
+        )
 
         rounds = 0
         while frontier:
@@ -283,6 +377,7 @@ class ExtendedDRed:
                         view_premises,
                         probe,
                         probe,
+                        bound_intervals=bound_intervals,
                     )
                 else:
                     combinations = iter_delta_joins(
@@ -302,6 +397,7 @@ class ExtendedDRed:
                         check_solvable=True,
                         stats=stats,
                         renamed_cache=renamed_premises,
+                        drop_redundant_comparisons=self._options.fixpoint.drop_redundant_comparisons,
                     )
                     if derived is None:
                         continue

@@ -76,6 +76,12 @@ class StDelOptions:
     #: constraints"); turning this off is the ablation measured in
     #: ``benchmarks/bench_simplification.py``.
     simplify_constraints: bool = True
+    #: Also drop comparison conjuncts entailed by the rest, matching the
+    #: fixpoint engine's normalization -- required for the rebuilt parent
+    #: constraints to stay *key*-identical to ``T_{P'} ↑ ω``'s on clauses
+    #: whose premises bound a variable on both sides (two-sided interval
+    #: joins make one premise's bound redundant next to the other's).
+    drop_redundant_comparisons: bool = True
     #: Defensive bound on propagation rounds.
     max_rounds: int = 10_000
 
@@ -142,7 +148,15 @@ class StraightDelete:
             p_out.append(POutPair(deleted_part, entry.support))
         stats.seed_atoms = len(p_out)
 
-        # Step 3: propagate upwards along supports.
+        # Step 3: propagate upwards along supports.  Each P_OUT pair probes
+        # the child-support index for exactly the parents whose derivation
+        # used the pair's support as a direct premise, instead of scanning
+        # ``working.entries`` per pair -- the propagation cost becomes
+        # proportional to the affected derivations, not the view size.  The
+        # ``processed`` dedup set lives outside the whole propagation loop
+        # (one membership test per probed parent, keys built once), so a
+        # diamond of supports sharing a premise is subtracted exactly once
+        # per (parent support, premise position, pair).
         processed: Set[Tuple[Support, int, int]] = set()
         rounds = 0
         frontier_start = 0
@@ -155,19 +169,21 @@ class StraightDelete:
             frontier_end = len(p_out)
             for pair_index in range(frontier_start, frontier_end):
                 pair = p_out[pair_index]
-                for entry in list(working.entries):
-                    if entry.support.is_leaf:
-                        continue
-                    for child_position, child in enumerate(entry.support.children):
+                # What the pre-index implementation would have compared for
+                # this pair: every entry of the working view.
+                stats.bump("stdel_scan_equivalent", len(working))
+                for parent in working.find_parents_of(pair.support):
+                    stats.support_probes += 1
+                    for child_position, child in enumerate(parent.support.children):
                         if child != pair.support:
                             continue
-                        key = (entry.support, child_position, pair_index)
+                        key = (parent.support, child_position, pair_index)
                         if key in processed:
                             continue
                         processed.add(key)
-                        # Re-fetch: the entry may already have been replaced
+                        # Re-fetch: the parent may already have been replaced
                         # (for a different affected premise) in this round.
-                        current = working.find_by_support(entry.support)
+                        current = working.find_by_support(parent.support)
                         if current is None:
                             continue
                         replacement = self._replace_parent(
@@ -178,7 +194,7 @@ class StraightDelete:
                         new_entry, deleted_part = replacement
                         working.replace(current, new_entry)
                         replaced.append(new_entry)
-                        p_out.append(POutPair(deleted_part, entry.support))
+                        p_out.append(POutPair(deleted_part, parent.support))
             frontier_start = frontier_end
         stats.unfolded_atoms = len(p_out) - stats.seed_atoms
         stats.replaced_entries = len(replaced)
@@ -280,7 +296,11 @@ class StraightDelete:
     def _simplify(self, constraint: Constraint) -> Constraint:
         if not self._options.simplify_constraints:
             return constraint
-        return simplify(constraint, self._solver)
+        return simplify(
+            constraint,
+            self._solver,
+            drop_redundant_comparisons=self._options.drop_redundant_comparisons,
+        )
 
 
 def delete_with_stdel(

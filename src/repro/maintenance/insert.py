@@ -31,6 +31,7 @@ from repro.datalog.clauses import Clause
 from repro.datalog.fixpoint import (
     iter_delta_joins,
     iter_indexed_delta_joins,
+    make_interval_getter,
     make_view_probes,
 )
 from repro.datalog.program import ConstrainedDatabase
@@ -68,6 +69,14 @@ class InsertionOptions:
     #: Resolve view-side join positions through the argument index (hash
     #: join) instead of scanning the per-predicate pools.
     hash_join_index: bool = True
+    #: Also consult the argument index's interval range postings (see
+    #: :attr:`repro.datalog.fixpoint.FixpointOptions.range_postings`).
+    range_postings: bool = True
+    #: Drop comparison conjuncts entailed by the rest when simplifying
+    #: derived constraints, matching
+    #: :attr:`repro.datalog.fixpoint.FixpointOptions.drop_redundant_comparisons`
+    #: (keep the two in sync when comparing against recomputation by key).
+    drop_redundant_comparisons: bool = True
 
 
 DEFAULT_INSERTION_OPTIONS = InsertionOptions()
@@ -152,17 +161,23 @@ class ConstrainedAtomInsertion:
                 return cached
 
             probes = None
+            bound_intervals = None
             if self._options.hash_join_index:
 
                 def on_probe() -> None:
                     stats.index_probes += 1
 
+                use_ranges = self._options.range_postings
                 probes = make_view_probes(
                     working,
                     exclude_keys=frontier_keys,
                     delta_by_predicate=frontier_by_predicate,
                     on_probe=on_probe,
+                    range_postings=use_ranges,
+                    evaluator=self._solver.evaluator,
                 )
+                if use_ranges:
+                    bound_intervals = make_interval_getter(self._solver.evaluator)
 
             produced: List[ViewEntry] = []
             for number in sorted(selected):
@@ -192,6 +207,7 @@ class ConstrainedAtomInsertion:
                         delta_pools,
                         full_pools,
                         *probes,
+                        bound_intervals=bound_intervals,
                     )
                 else:
                     combinations = iter_delta_joins(old_pools, delta_pools, full_pools)
@@ -208,6 +224,7 @@ class ConstrainedAtomInsertion:
                         check_solvable=True,
                         stats=stats,
                         renamed_cache=renamed_premises,
+                        drop_redundant_comparisons=self._options.drop_redundant_comparisons,
                     )
                     if derived is None:
                         continue

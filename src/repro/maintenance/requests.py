@@ -73,6 +73,11 @@ class MaintenanceStats:
     #: interval-overlap test on canonical forms, see
     #: :meth:`repro.constraints.solver.ConstraintSolver.quick_reject`).
     quick_rejects: int = 0
+    #: Parent entries returned by child-support index probes (StDel step 3).
+    #: The pre-index implementation compared every view entry against every
+    #: ``P_OUT`` pair; the ``stdel_scan_equivalent`` extra counter records
+    #: what that scan would have cost, so the benchmarks can show the ratio.
+    support_probes: int = 0
     #: Free-form extra counters.
     extra: Dict[str, int] = field(default_factory=dict)
 
@@ -94,6 +99,7 @@ class MaintenanceStats:
             "fixpoint_iterations": self.fixpoint_iterations,
             "index_probes": self.index_probes,
             "quick_rejects": self.quick_rejects,
+            "support_probes": self.support_probes,
         }
         flat.update(self.extra)
         return flat

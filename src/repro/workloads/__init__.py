@@ -11,6 +11,7 @@ from repro.workloads.synthetic import (
     WorkloadSpec,
     make_chain_program,
     make_cycle_graph_edges,
+    make_interval_join_program,
     make_interval_program,
     make_layered_program,
     make_path_graph_edges,
@@ -36,6 +37,7 @@ __all__ = [
     "insertion_stream",
     "make_chain_program",
     "make_cycle_graph_edges",
+    "make_interval_join_program",
     "make_interval_program",
     "make_law_enforcement_scenario",
     "make_layered_program",

@@ -228,3 +228,104 @@ def make_interval_program(
             f"intervals_per_predicate={intervals_per_predicate}, width={width})"
         ),
     )
+
+
+def make_interval_join_program(
+    ground_facts: int = 6,
+    intervals_per_predicate: int = 3,
+    pairs: int = 2,
+    width: int = 40,
+    seed: int = 0,
+) -> WorkloadSpec:
+    """Joins of ground facts against *bounded*-interval predicates.
+
+    The workload the argument index's range postings are for: every join
+    clause has at least one interval-constrained body position, and the
+    ``pair`` clauses have arithmetic constraints on **two** body positions.
+
+    * ``g{i}`` -- ground unary base facts (``X = v``),
+    * ``iv{i}`` -- base facts bounded into closed intervals
+      (``X >= lo & X <= hi``),
+    * ``j{i}(X) <- g{i}(X), iv{i}(X)`` -- a pinned value probing an
+      interval-constrained pool,
+    * ``pair{i}(X) <- iv{i}(X), iv{i+1}(X)`` -- interval × interval, probed
+      by overlap,
+    * ``top(X) <- j0(X), iv0(X)``.
+
+    Views contain overlapping non-ground entries (DRed's duplicate regime),
+    many distinct supports per deleted base fact (StDel's child-support
+    index regime) and interval-heavy pools (range-posting regime) at once.
+    """
+    if pairs < 1 or ground_facts < 1 or intervals_per_predicate < 1:
+        raise WorkloadError("interval-join programs need positive parameters")
+    if ground_facts > width + width // 2:
+        raise WorkloadError(
+            "interval-join programs draw distinct ground facts from "
+            f"[0, width * 1.5): ground_facts={ground_facts} needs width >= "
+            f"{(2 * ground_facts + 2) // 3}"
+        )
+    rng = random.Random(seed)
+    variable = Variable("X")
+    clauses: List[Clause] = []
+    base_facts: Dict[str, Tuple[Tuple[object, ...], ...]] = {}
+    interval_count = pairs + 1
+    for index in range(interval_count):
+        name = f"iv{index}"
+        # Deletion targets are *points* inside the intervals (the atoms are
+        # unary), one per interval fact -- deleting one carves a hole out of
+        # every overlapping entry, the duplicate regime StDel is built for.
+        points: List[Tuple[object, ...]] = []
+        for _ in range(intervals_per_predicate):
+            low = rng.randrange(0, width)
+            high = low + rng.randrange(2, max(3, width // 4))
+            points.append((rng.randrange(low, high + 1),))
+            clauses.append(
+                Clause(
+                    Atom(name, (variable,)),
+                    conjoin(compare(variable, ">=", low), compare(variable, "<=", high)),
+                    (),
+                )
+            )
+        base_facts[name] = tuple(points)
+    for index in range(interval_count):
+        name = f"g{index}"
+        values = sorted(rng.sample(range(0, width + width // 2), ground_facts))
+        base_facts[name] = tuple((value,) for value in values)
+        for value in values:
+            clauses.append(Clause(Atom(name, (variable,)), equals(variable, value), ()))
+        clauses.append(
+            Clause(
+                Atom(f"j{index}", (variable,)),
+                TRUE,
+                (Atom(name, (variable,)), Atom(f"iv{index}", (variable,))),
+            )
+        )
+    for index in range(pairs):
+        clauses.append(
+            Clause(
+                Atom(f"pair{index}", (variable,)),
+                TRUE,
+                (Atom(f"iv{index}", (variable,)), Atom(f"iv{index + 1}", (variable,))),
+            )
+        )
+    clauses.append(
+        Clause(
+            Atom("top", (variable,)),
+            TRUE,
+            (Atom("j0", (variable,)), Atom("iv0", (variable,))),
+        )
+    )
+    return WorkloadSpec(
+        program=ConstrainedDatabase(clauses),
+        base_predicates=tuple(
+            [f"iv{index}" for index in range(interval_count)]
+            + [f"g{index}" for index in range(interval_count)]
+        ),
+        base_facts=base_facts,
+        top_predicates=("top",) + tuple(f"pair{index}" for index in range(pairs)),
+        description=(
+            f"interval_join(ground_facts={ground_facts}, "
+            f"intervals_per_predicate={intervals_per_predicate}, "
+            f"pairs={pairs}, width={width})"
+        ),
+    )

@@ -351,3 +351,75 @@ class TestDeltaRederivationWithDuplicateSupports:
         # t(a,b) and t(a,c) survive via a -> d -> b.
         assert ("a", "b") in delta.view.instances_for("t", solver)
         assert ("a", "c") in delta.view.instances_for("t", solver)
+
+
+class TestSubsumptionRespectsPurgeOption:
+    """Regression: the post-rederivation subsumption pass must not remove
+    entries narrowed to an unsolvable constraint when purging is off -- an
+    empty instance set is vacuously subsumed by any same-support sibling,
+    but dropping it is ``purge_unsolvable``'s decision, not subsumption's."""
+
+    def test_unsolvable_narrow_survives_with_purging_off(self):
+        from repro.maintenance import insert_atom
+        from repro.maintenance.delete_dred import DRedOptions, ExtendedDRed
+        from repro.maintenance.requests import DeletionRequest
+        from repro.datalog import parse_program
+        from repro.datalog.atoms import ConstrainedAtom
+        from repro.datalog.atoms import Atom
+        from repro.constraints.terms import Variable
+
+        solver = ConstraintSolver()
+        program = parse_program("q(X) <- X >= 200.")
+        view = compute_tp_fixpoint(program, solver)
+        x = Variable("X")
+        for low, high in ((0, 10), (20, 30)):
+            atom = ConstrainedAtom(
+                Atom("p", (x,)), conjoin(compare(x, ">=", low), compare(x, "<=", high))
+            )
+            view = insert_atom(program, view, atom, solver).view
+        deleted = ConstrainedAtom(
+            Atom("p", (x,)), conjoin(compare(x, ">=", 0), compare(x, "<=", 10))
+        )
+        result = ExtendedDRed(
+            program, solver, DRedOptions(purge_unsolvable=False)
+        ).delete(view, DeletionRequest(deleted))
+        # Both external entries are still present: the fully-deleted one
+        # narrowed to an unsolvable constraint, the disjoint one untouched.
+        assert len(result.view.entries_for("p")) == 2
+        assert "subsumed_rederived" not in result.stats.extra
+
+    def test_overlapping_external_duplicates_are_never_subsumed(self):
+        # Regression: with exclude_existing=False two overlapping external
+        # insertions both carry Support(0); after a deletion narrows both,
+        # one subsumes the other syntactically -- but they are *distinct
+        # derivations* and rederivation can never produce a support-0 twin,
+        # so the subsumption pass must leave them alone (duplicate
+        # semantics, and key-parity with StDel).
+        from repro.maintenance import insert_atom
+        from repro.maintenance.insert import InsertionOptions
+        from repro.maintenance.delete_dred import ExtendedDRed
+        from repro.maintenance.delete_stdel import StraightDelete
+        from repro.maintenance.requests import DeletionRequest
+        from repro.datalog import parse_program
+        from repro.datalog.atoms import Atom, ConstrainedAtom
+        from repro.constraints.terms import Variable
+
+        solver = ConstraintSolver()
+        program = parse_program("q(X) <- X >= 200.")
+        view = compute_tp_fixpoint(program, solver)
+        x = Variable("X")
+        keep_duplicates = InsertionOptions(exclude_existing=False)
+        for low, high in ((0, 50), (0, 10)):
+            atom = ConstrainedAtom(
+                Atom("p", (x,)), conjoin(compare(x, ">=", low), compare(x, "<=", high))
+            )
+            view = insert_atom(program, view, atom, solver, keep_duplicates).view
+        deleted = ConstrainedAtom(
+            Atom("p", (x,)), conjoin(compare(x, ">=", 3), compare(x, "<=", 4))
+        )
+        request = DeletionRequest(deleted)
+        dred = ExtendedDRed(program, solver).delete(view, request)
+        stdel = StraightDelete(program, solver).delete(view, request)
+        assert len(dred.view.entries_for("p")) == 2
+        assert len(stdel.view.entries_for("p")) == 2
+        assert "subsumed_rederived" not in dred.stats.extra

@@ -45,6 +45,7 @@ def wp_snapshot(wp):
     return (
         tuple(str(entry.key()) for entry in wp.view),
         wp.view.argument_index_snapshot(),
+        wp.view.range_posting_snapshot(),
     )
 
 
@@ -71,6 +72,21 @@ class TestWpIndexInvariance:
             tp.on_source_changed()
         assert wp.query("watched") == {(1,), (7,)}
         assert wp_snapshot(wp) == before
+
+    def test_range_postings_never_populated_under_wp(self, setup):
+        # Interval range postings are built lazily on the first range-aware
+        # probe, and W_P materialization never probes (the hash-join index
+        # is T_P-only); across source changes and queries the posting store
+        # must stay byte-for-byte empty -- Theorem 4 extended to the new
+        # derived state, mirroring the argument-index invariance above.
+        clock, solver, program = setup
+        wp = WpExternalMaintenance(program, solver)
+        assert wp.view.range_posting_snapshot() == ()
+        for _ in range(3):
+            wp.query("watched")
+            clock.advance()
+            wp.on_source_changed()
+            assert wp.view.range_posting_snapshot() == ()
 
     def test_version_token_keeps_queries_honest_without_notification(self, setup):
         # The ROADMAP footgun: before the registry version token, a solver

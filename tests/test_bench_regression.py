@@ -55,6 +55,21 @@ def test_counters_within_budget_of_committed_baseline(baseline, current):
     )
 
 
+def test_interval_join_counters_hit_the_acceptance_ratios(baseline, current):
+    """The committed (and freshly re-run) interval-join counters show the
+    delta-proportional shape: StDel step-3 support probes at most 25% of the
+    per-pair view scans they replaced, and range-posting enumeration
+    strictly below the unbound-bucket fallback."""
+    for snapshot in (baseline["results"], current["results"]):
+        stdel = snapshot["deletion_interval_join"]["stdel"]["stats"]
+        assert stdel["support_probes"] * 4 <= stdel["stdel_scan_equivalent"]
+        fixpoint = snapshot["fixpoint_interval_join"]
+        assert (
+            fixpoint["derivation_attempts"]
+            < fixpoint["derivation_attempts_unranged"]
+        )
+
+
 def test_compare_snapshots_flags_synthetic_regression(baseline):
     inflated = json.loads(json.dumps(baseline))  # deep copy
     stats = inflated["results"]["deletion_recursive_tc6"]["dred"]["stats"]
