@@ -25,7 +25,7 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
@@ -64,20 +64,33 @@ def iter_counters(results: Dict[str, dict]) -> Iterator[Tuple[str, int]]:
 
 def compare_snapshots(
     baseline: dict, current: dict, threshold: float = 0.2
-) -> List[Tuple[str, int, int]]:
+) -> List[Tuple[str, int, Optional[int]]]:
     """Return ``(key, baseline value, current value)`` for every regression.
 
     A counter regresses when it exceeds both the percentage threshold and an
-    absolute slack over the baseline.  Keys present on only one side are
-    ignored: removed families are not regressions, and new families have no
-    baseline to hold them to yet.
+    absolute slack over the baseline.  A counter present in the baseline but
+    **missing from the current run** is reported as a regression with
+    ``None`` as the current value: a silently vanished counter usually means
+    a family was renamed or an algorithm stopped reporting its stats, and
+    the gate must say so clearly instead of letting the coverage rot (or
+    crashing with a ``KeyError``).  Whole families missing from the current
+    snapshot are exempt -- the tier-1 gate deliberately skips the slow
+    external family -- as are keys only the current side has (new families
+    have no baseline to hold them to yet).
     """
     base_counters = dict(iter_counters(baseline.get("results", {})))
     current_counters = dict(iter_counters(current.get("results", {})))
-    regressions = []
+    current_families = {
+        family
+        for family, data in current.get("results", {}).items()
+        if isinstance(data, dict)
+    }
+    regressions: List[Tuple[str, int, Optional[int]]] = []
     for key, base_value in sorted(base_counters.items()):
         current_value = current_counters.get(key)
         if current_value is None:
+            if key.split(".", 1)[0] in current_families:
+                regressions.append((key, base_value, None))
             continue
         allowed = max(base_value * (1.0 + threshold), base_value + ABSOLUTE_SLACK)
         if current_value > allowed:
@@ -121,6 +134,11 @@ def main(argv=None) -> int:
     print(f"counter regression gate: {len(regressions)} regression(s) over "
           f"{args.threshold:.0%} budget")
     for key, base_value, current_value in regressions:
+        if current_value is None:
+            print(f"  {key}: {base_value} -> MISSING (counter present in the "
+                  "baseline but absent from the fresh run; re-baseline "
+                  "consciously if the family/algorithm was renamed)")
+            continue
         growth = (current_value - base_value) / base_value if base_value else float("inf")
         print(f"  {key}: {base_value} -> {current_value} (+{growth:.0%})")
     return 1

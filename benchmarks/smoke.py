@@ -44,11 +44,20 @@ from repro.maintenance import (  # noqa: E402
     insert_atom,
     recompute_after_deletion,
 )
+from repro.maintenance import (  # noqa: E402
+    ExtendedDRed,
+    StraightDelete,
+    ViewMaintainer,
+)
+from repro.stream import StreamOptions, StreamScheduler  # noqa: E402
 from repro.workloads import (  # noqa: E402
+    deletion_stream,
     insertion_stream,
     make_interval_join_program,
+    make_layered_program,
     make_path_graph_edges,
     make_transitive_closure_program,
+    stream_batches,
 )
 
 
@@ -122,6 +131,105 @@ def run_interval_materialization() -> dict:
     }
 
 
+def run_deletion_batch(length: int = 14, deletions: int = 3) -> dict:
+    """Batched vs one-at-a-time deletion on the recursive tc workload.
+
+    For each deletion algorithm the same *deletions* requests are applied
+    once sequentially (summed stats) and once through ``delete_many``; the
+    regression test asserts the batched counters never exceed the
+    sequential ones, the paper-shaped half of the stream subsystem's
+    acceptance bar.
+    """
+    spec = make_transitive_closure_program(make_path_graph_edges(length))
+    requests = deletion_stream(spec, deletions, seed=4)
+    result: dict = {"workload": f"{spec.description} x {deletions} deletions"}
+    for algorithm in ("stdel", "dred"):
+        solver = ConstraintSolver()
+        view = FixpointEngine(spec.program, solver).compute()
+        sequential = None
+        program = spec.program
+        seconds_sequential = 0.0
+        for request in requests:
+            if algorithm == "stdel":
+                step_seconds, step = timed(
+                    StraightDelete(spec.program, solver).delete, view, request
+                )
+            else:
+                step_seconds, step = timed(
+                    ExtendedDRed(program, solver).delete, view, request
+                )
+                program = step.rewritten_program
+            seconds_sequential += step_seconds
+            view = step.view
+            if sequential is None:
+                sequential = step.stats
+            else:
+                sequential.merge(step.stats)
+        solver = ConstraintSolver()
+        view = FixpointEngine(spec.program, solver).compute()
+        if algorithm == "stdel":
+            seconds_batched, batched = timed(
+                StraightDelete(spec.program, solver).delete_many, view, requests
+            )
+        else:
+            seconds_batched, batched = timed(
+                ExtendedDRed(spec.program, solver).delete_many, view, requests
+            )
+        result[f"{algorithm}_sequential"] = {
+            "seconds": round(seconds_sequential, 4),
+            "stats": sequential.as_dict(),
+        }
+        result[f"{algorithm}_batched"] = {
+            "seconds": round(seconds_batched, 4),
+            "stats": batched.stats.as_dict(),
+        }
+    return result
+
+
+def run_stream_mixed_batch() -> dict:
+    """A coalesced mixed batch through the stream scheduler vs one-at-a-time.
+
+    The batch carries duplicates and an insert-then-delete pair, so the
+    snapshot also records what coalescing removed; the `sequential` payload
+    is the same stream through the per-request ``ViewMaintainer`` path.
+    """
+    spec = make_layered_program(
+        base_facts=8, layers=2, predicates_per_layer=2, fanin=2, seed=1
+    )
+    batch = stream_batches(
+        spec, 1, deletions=3, insertions=2, seed=3, duplicates=1, cancellations=1
+    )[0]
+
+    maintainer = ViewMaintainer(spec.program, ConstraintSolver())
+    seconds_sequential, report = timed(maintainer.apply_all, batch.requests)
+    sequential = None
+    for item in report.applied:
+        if sequential is None:
+            sequential = item.stats
+        else:
+            sequential.merge(item.stats)
+
+    scheduler = StreamScheduler(
+        spec.program, ConstraintSolver(), options=StreamOptions()
+    )
+    seconds_batched, result = timed(scheduler.apply_batch, batch.requests)
+    stream_stats = result.stats.as_dict()
+    return {
+        "workload": f"{spec.description} stream batch "
+        f"({len(batch.requests)} requests incl. 1 duplicate + 1 cancelling pair)",
+        "sequential": {
+            "seconds": round(seconds_sequential, 4),
+            "stats": sequential.as_dict(),
+        },
+        "batched": {
+            "seconds": round(seconds_batched, 4),
+            "stats": stream_stats["stats"],
+        },
+        "coalesce": stream_stats["coalesce"],
+        "units": stream_stats["units"],
+    }
+
+
 def run_insertion(scenario) -> dict:
     request = insertion_stream(scenario.spec, 1, seed=5)[0]
     seconds, outcome = timed(
@@ -184,6 +292,9 @@ def run_smoke(include_external: bool = True) -> dict:
     snapshot["insertion_layered_small"] = run_insertion(
         build_layered_deletion_scenario("small")
     )
+    # Batched maintenance: the stream subsystem's amortization claims.
+    snapshot["deletion_batch_tc14"] = run_deletion_batch(length=14, deletions=3)
+    snapshot["stream_mixed_batch"] = run_stream_mixed_batch()
     if include_external:
         snapshot["external_layered_small"] = run_external(
             build_layered_deletion_scenario("small").spec

@@ -122,6 +122,18 @@ class FixpointStats:
     #: Per-round derivation attempts (aligned with ``round_delta_sizes``).
     round_attempts: List[int] = field(default_factory=list)
 
+    def merge_into(self, stats) -> None:
+        """Fold this computation's counters into a ``MaintenanceStats``.
+
+        The maintenance algorithms embed fixpoint computations (DRed's
+        rederivation, batched recomputation baselines) and report the engine
+        counters under their own stats object; this is the single place that
+        mapping lives.
+        """
+        stats.fixpoint_iterations += self.iterations
+        stats.derivation_attempts += self.derivation_attempts
+        stats.index_probes += self.index_probes
+
 
 _T = TypeVar("_T")
 

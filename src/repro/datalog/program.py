@@ -152,6 +152,89 @@ class ConstrainedDatabase:
 
         return any(dfs(predicate) for predicate in graph)
 
+    def predicate_dependency_edges(self) -> Dict[str, Tuple[str, ...]]:
+        """Edges ``body predicate -> head predicates`` of the dependency graph.
+
+        Derived from the clause -> body-predicate index the semi-naive
+        fixpoint already maintains: an edge ``q -> p`` means some clause
+        derives ``p`` using ``q`` in its body, i.e. an update to ``q`` can
+        disturb ``p``'s entries.  Every predicate mentioned anywhere (head or
+        body) appears as a key, so reachability walks need no special cases.
+        """
+        edges: Dict[str, set] = {}
+        for clause in self:
+            edges.setdefault(clause.predicate, set())
+            for body_predicate in clause.body_predicates():
+                edges.setdefault(body_predicate, set()).add(clause.predicate)
+        return {
+            predicate: tuple(sorted(heads)) for predicate, heads in edges.items()
+        }
+
+    def predicate_sccs(self) -> Tuple[Tuple[str, ...], ...]:
+        """Strongly connected components of the predicate dependency graph.
+
+        Components come back in bottom-up topological order (a component
+        only depends on earlier ones); predicates inside a component are
+        sorted.  This is the stratification the update-stream scheduler uses
+        to recognize independent parts of a batch: recursion is confined to
+        a component, so two updates whose reachable components are disjoint
+        can be maintained as separate units.
+
+        Iterative Tarjan over the same edges as
+        :meth:`predicate_dependency_edges`, with sorted adjacency so the
+        result is deterministic.
+        """
+        edges = self.predicate_dependency_edges()
+        index_counter = 0
+        indexes: Dict[str, int] = {}
+        lowlinks: Dict[str, int] = {}
+        on_stack: Dict[str, bool] = {}
+        stack: List[str] = []
+        components: List[Tuple[str, ...]] = []
+
+        for root in sorted(edges):
+            if root in indexes:
+                continue
+            work: List[Tuple[str, int]] = [(root, 0)]
+            while work:
+                node, child_index = work.pop()
+                if child_index == 0:
+                    indexes[node] = lowlinks[node] = index_counter
+                    index_counter += 1
+                    stack.append(node)
+                    on_stack[node] = True
+                successors = edges.get(node, ())
+                advanced = False
+                while child_index < len(successors):
+                    successor = successors[child_index]
+                    child_index += 1
+                    if successor not in indexes:
+                        work.append((node, child_index))
+                        work.append((successor, 0))
+                        advanced = True
+                        break
+                    if on_stack.get(successor):
+                        lowlinks[node] = min(lowlinks[node], indexes[successor])
+                if advanced:
+                    continue
+                if lowlinks[node] == indexes[node]:
+                    component: List[str] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack[member] = False
+                        component.append(member)
+                        if member == node:
+                            break
+                    components.append(tuple(sorted(component)))
+                if work:
+                    parent = work[-1][0]
+                    lowlinks[parent] = min(lowlinks[parent], lowlinks[node])
+        # Tarjan pops a component before the components it was reached from;
+        # with body->head edges that is dependents-first, so reverse for the
+        # bottom-up (dependencies-first) order the docstring promises.
+        components.reverse()
+        return tuple(components)
+
     def dependency_order(self) -> Tuple[str, ...]:
         """Predicates in a bottom-up order (callees before callers).
 

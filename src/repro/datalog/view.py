@@ -350,6 +350,93 @@ class _IndexedSlots:
         self._dead = 0
 
 
+class _SortedValueWindow:
+    """Sorted numeric bound values of one argument-index slot.
+
+    ``probe_range``'s overlap path used to scan *every* distinct bound value
+    of the slot linearly; this keeps the numeric values in a sorted list so
+    an interval query bisects its window instead (the ROADMAP's "sorted
+    value list with a bisected query window").  Values that are not plain
+    numbers (strings, bools, tuples, ...) are kept aside and offered to
+    every query -- ``_interval_excludes`` decides about them exactly as the
+    linear scan did, so results are unchanged.
+
+    Removals tombstone (the sorted list keeps the value until compaction);
+    the live set is the authority, mirroring ``_RangePostings``.
+    """
+
+    __slots__ = ("_sorted", "_live", "_other", "_dead")
+
+    def __init__(self) -> None:
+        self._sorted: List[float] = []
+        self._live: set = set()
+        self._other: set = set()
+        self._dead = 0
+
+    @staticmethod
+    def _is_numeric(value: object) -> bool:
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+    def add(self, value: object) -> None:
+        if not self._is_numeric(value):
+            self._other.add(value)
+            return
+        if value in self._live:
+            return
+        self._live.add(value)
+        try:
+            key = float(value)
+        except OverflowError:  # int beyond float range: cannot be windowed
+            self._live.discard(value)
+            self._other.add(value)
+            return
+        bisect.insort(self._sorted, key)
+
+    def discard(self, value: object) -> None:
+        if not self._is_numeric(value):
+            self._other.discard(value)
+            return
+        if value in self._live:
+            self._live.discard(value)
+            self._dead += 1
+            if self._dead > len(self._live) and self._dead > 8:
+                self._compact()
+
+    def _compact(self) -> None:
+        live_keys = {float(value) for value in self._live}
+        self._sorted = sorted(live_keys)
+        self._dead = 0
+
+    def window(self, interval: _Interval) -> Iterator[object]:
+        """Values the query *interval* could admit (superset; exact filter
+        stays with the caller's ``_interval_excludes`` check)."""
+        low = bisect.bisect_left(self._sorted, interval.low)
+        high = bisect.bisect_right(self._sorted, interval.high)
+        previous = None
+        for key in self._sorted[low:high]:
+            if key == previous:  # tombstoned duplicates collapse to one probe
+                continue
+            previous = key
+            yield key
+        yield from self._other
+
+    def candidate_values(self, interval: _Interval, buckets: Dict[object, Dict]):
+        """The slot's bound values admitted by *interval*, bucket-resolved.
+
+        The sorted window yields float keys; the bucket dictionary's own
+        hashing resolves them to the stored values (``3`` and ``3.0`` hash
+        and compare alike), and every candidate -- windowed numerics and
+        non-numeric leftovers -- is screened by ``_interval_excludes``
+        exactly like the linear scan this replaces.
+        """
+        for value in self.window(interval):
+            if _interval_excludes(interval, value):
+                continue
+            members = buckets.get(value)
+            if members:
+                yield from members.items()
+
+
 class _RangePostings:
     """A sorted interval list for one ``(predicate, position)`` index slot.
 
@@ -507,6 +594,11 @@ class MaterializedView:
         # superset of the entries that can join.
         self._arg_bound: Dict[Tuple[str, int], Dict[object, Dict[object, ViewEntry]]] = {}
         self._arg_unbound: Dict[Tuple[str, int], Dict[object, ViewEntry]] = {}
+        # Sorted bound-value windows: per slot, the distinct bound values in
+        # sorted order so overlap probes bisect instead of scanning.  Built
+        # lazily on a slot's first overlap probe, maintained incrementally
+        # afterwards.
+        self._arg_value_windows: Dict[Tuple[str, int], _SortedValueWindow] = {}
         # Global insertion sequence per key, so probe results can be returned
         # in the same deterministic (insertion) order the positional pools
         # use.  ``replace`` reuses the old sequence number, mirroring the
@@ -740,6 +832,9 @@ class MaterializedView:
             try:
                 buckets = self._arg_bound.setdefault(slot, {})
                 buckets.setdefault(value, {})[key] = entry
+                window = self._arg_value_windows.get(slot)
+                if window is not None:
+                    window.add(value)
             except TypeError:  # unhashable constant: keep it probe-visible
                 self._arg_unbound.setdefault(slot, {})[key] = entry
 
@@ -754,6 +849,9 @@ class MaterializedView:
                         del buckets[value][key]
                         if not buckets[value]:
                             del buckets[value]
+                            window = self._arg_value_windows.get(slot)
+                            if window is not None:
+                                window.discard(value)
                         continue
                 except TypeError:
                     pass  # was filed under the unbound bucket on the way in
@@ -831,14 +929,12 @@ class MaterializedView:
             candidates: List[Tuple[object, ViewEntry]] = []
             buckets = self._arg_bound.get(slot)
             if buckets:
-                # Linear over the slot's *distinct* bound values -- bounded
-                # by (and in practice far under) the positional pool this
-                # probe replaces.  A sorted value list (bisect the query
-                # window, as the postings do for interval lows) would make
-                # it logarithmic; see ROADMAP if this ever shows up hot.
-                for value, members in buckets.items():
-                    if not _interval_excludes(interval, value):
-                        candidates.extend(members.items())
+                # Bisected window over the slot's sorted distinct bound
+                # values (plus the non-numeric stragglers, screened exactly
+                # like the linear scan this replaced) -- logarithmic in the
+                # number of distinct values instead of linear.
+                window = self._ensure_value_window(slot, buckets)
+                candidates.extend(window.candidate_values(interval, buckets))
             candidates.extend(postings.probe_overlap(interval))
         else:
             try:
@@ -853,6 +949,17 @@ class MaterializedView:
             candidates.extend(unbound.items())
         candidates.sort(key=lambda item: self._seq[item[0]])
         return tuple(entry for _, entry in candidates)
+
+    def _ensure_value_window(
+        self, slot: Tuple[str, int], buckets: Dict[object, Dict]
+    ) -> _SortedValueWindow:
+        """Build (or fetch) the sorted bound-value window of one index slot."""
+        window = self._arg_value_windows.get(slot)
+        if window is None:
+            window = self._arg_value_windows[slot] = _SortedValueWindow()
+            for value in buckets:
+                window.add(value)
+        return window
 
     def _ensure_postings(
         self, slot: Tuple[str, int], evaluator: Optional[object], token: object = _NO_TOKEN
@@ -989,15 +1096,31 @@ class MaterializedView:
             solver=solver, universe=universe
         )
 
-    def prune_unsolvable(self, solver: ConstraintSolver) -> int:
+    def prune_unsolvable(
+        self,
+        solver: ConstraintSolver,
+        predicates: Optional[Iterable[str]] = None,
+    ) -> int:
         """Drop entries whose constraint is unsatisfiable; return the count.
 
         StDel's final step ("remove any constraint atom from M whose
         constraint is not solvable") and W_P's query-time evaluation both use
-        this operation.
+        this operation.  With *predicates*, only those predicates' entries
+        are scanned -- the stream scheduler passes a batch's write closure,
+        outside of which a solvability-purged input view cannot have gained
+        unsolvable entries, making the purge proportional to the batch's
+        propagation cone instead of the view.
         """
+        if predicates is None:
+            candidates: Iterable[ViewEntry] = self
+        else:
+            candidates = (
+                entry
+                for predicate in sorted(set(predicates))
+                for entry in self.entries_for(predicate)
+            )
         doomed = [
-            entry for entry in self if not solver.is_satisfiable(entry.constraint)
+            entry for entry in candidates if not solver.is_satisfiable(entry.constraint)
         ]
         for entry in doomed:
             self.remove(entry)

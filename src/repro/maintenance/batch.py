@@ -12,23 +12,31 @@ bookkeeping straight across a stream:
 * it lets the caller choose the deletion algorithm per stream;
 * it accumulates the per-update statistics so benchmarks and operators can
   see where time went.
+
+Since the update-stream subsystem landed, the maintainer is a thin
+per-request façade over :class:`repro.stream.scheduler.StreamScheduler`:
+:meth:`ViewMaintainer.apply` runs a batch of one, and
+:meth:`ViewMaintainer.apply_batched` hands a whole request sequence to the
+scheduler's coalesced path (net-effect computation, one maintenance pass
+per algorithm, stratified units).  One behavioural consequence: StDel
+deletions now run against the *original* program rather than the effective
+one -- StDel never rederives, so the deletion rewrites are irrelevant to it
+(its documented advantage), and the differential harness pins the
+original-program run key-identical to the recomputed rewrite semantics.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.constraints.solver import ConstraintSolver
-from repro.datalog.fixpoint import compute_tp_fixpoint
 from repro.datalog.program import ConstrainedDatabase
 from repro.datalog.view import MaterializedView
 from repro.errors import MaintenanceError
-from repro.maintenance.baselines import full_recompute
-from repro.maintenance.declarative import build_add_set, deletion_rewrite, insertion_rewrite
-from repro.maintenance.delete_dred import DRedOptions, ExtendedDRed
-from repro.maintenance.delete_stdel import StDelOptions, StraightDelete
-from repro.maintenance.insert import ConstrainedAtomInsertion, InsertionOptions
+from repro.maintenance.delete_dred import DRedOptions
+from repro.maintenance.delete_stdel import StDelOptions
+from repro.maintenance.insert import InsertionOptions
 from repro.maintenance.requests import (
     DeletionRequest,
     InsertionRequest,
@@ -86,18 +94,32 @@ class ViewMaintainer:
         dred_options: Optional[DRedOptions] = None,
         insertion_options: Optional[InsertionOptions] = None,
     ) -> None:
+        # Imported lazily: repro.stream imports the maintenance algorithm
+        # modules, so a module-level import here would be circular when
+        # ``repro.stream`` is the first package loaded.
+        from repro.stream.scheduler import StreamOptions, StreamScheduler
+
         if deletion_algorithm not in ("stdel", "dred"):
             raise MaintenanceError(
                 f"unknown deletion algorithm {deletion_algorithm!r}; use 'stdel' or 'dred'"
             )
-        self._original_program = program
-        self._effective_program = program
-        self._solver = solver or ConstraintSolver()
-        self._view = view if view is not None else compute_tp_fixpoint(program, self._solver)
         self._deletion_algorithm = deletion_algorithm
-        self._stdel_options = stdel_options or StDelOptions()
-        self._dred_options = dred_options or DRedOptions()
-        self._insertion_options = insertion_options or InsertionOptions()
+        self._scheduler = StreamScheduler(
+            program,
+            solver,
+            view=view,
+            options=StreamOptions(
+                deletion_algorithm=deletion_algorithm,
+                coalesce=False,
+                max_workers=1,
+                # Per-request application keeps the algorithms' historical
+                # fail-fast contract; the batched path retries per unit.
+                max_unit_attempts=1,
+                stdel=stdel_options or StDelOptions(),
+                dred=dred_options or DRedOptions(),
+                insertion=insertion_options or InsertionOptions(),
+            ),
+        )
         self._applied: List[AppliedUpdate] = []
 
     # ------------------------------------------------------------------
@@ -106,12 +128,12 @@ class ViewMaintainer:
     @property
     def view(self) -> MaterializedView:
         """The current materialized view."""
-        return self._view
+        return self._scheduler.view
 
     @property
     def original_program(self) -> ConstrainedDatabase:
         """The constrained database the view was first materialized from."""
-        return self._original_program
+        return self._scheduler.program
 
     @property
     def effective_program(self) -> ConstrainedDatabase:
@@ -120,12 +142,17 @@ class ViewMaintainer:
         Its least model is the declarative semantics of the maintained view;
         :meth:`verify` recomputes it to cross-check the incremental state.
         """
-        return self._effective_program
+        return self._scheduler.effective_program
 
     @property
     def deletion_algorithm(self) -> str:
         """Which deletion algorithm the maintainer uses (``stdel``/``dred``)."""
         return self._deletion_algorithm
+
+    @property
+    def scheduler(self):
+        """The underlying :class:`~repro.stream.scheduler.StreamScheduler`."""
+        return self._scheduler
 
     def report(self) -> BatchReport:
         """Summary of everything applied so far."""
@@ -137,50 +164,45 @@ class ViewMaintainer:
     def apply(self, request: UpdateRequest) -> AppliedUpdate:
         """Apply a single deletion or insertion request."""
         if isinstance(request, DeletionRequest):
-            record = self._apply_deletion(request)
+            algorithm = self._deletion_algorithm
         elif isinstance(request, InsertionRequest):
-            record = self._apply_insertion(request)
+            algorithm = "insert"
         else:
             raise MaintenanceError(f"unknown update request: {request!r}")
+        result = self._scheduler.apply_batch((request,), coalesce=False)
+        failed = result.failed_units
+        if failed:
+            raise MaintenanceError(
+                f"update failed: {request} ({failed[0].error})"
+            )
+        stats = result.stats.totals()
+        record = AppliedUpdate(request, algorithm, stats, len(result.view))
         self._applied.append(record)
         return record
 
     def apply_all(self, requests: Iterable[UpdateRequest]) -> BatchReport:
-        """Apply a whole stream in order and return the summary."""
+        """Apply a whole stream in order, one request at a time."""
         for request in requests:
             self.apply(request)
         return self.report()
 
-    def _apply_deletion(self, request: DeletionRequest) -> AppliedUpdate:
-        if self._deletion_algorithm == "stdel":
-            result = StraightDelete(
-                self._effective_program, self._solver, self._stdel_options
-            ).delete(self._view, request)
-        else:
-            result = ExtendedDRed(
-                self._effective_program, self._solver, self._dred_options
-            ).delete(self._view, request)
-        self._view = result.view
-        self._effective_program = deletion_rewrite(
-            self._effective_program, (request.atom,)
-        )
-        return AppliedUpdate(
-            request, self._deletion_algorithm, result.stats, len(self._view)
-        )
+    def apply_batched(self, requests: Sequence[UpdateRequest]):
+        """Apply a whole stream as one coalesced batch.
 
-    def _apply_insertion(self, request: InsertionRequest) -> AppliedUpdate:
-        add_atoms = build_add_set(
-            self._view,
-            request.atom,
-            self._solver,
-            exclude_existing=self._insertion_options.exclude_existing,
-        )
-        result = ConstrainedAtomInsertion(
-            self._effective_program, self._solver, self._insertion_options
-        ).insert(self._view, request)
-        self._view = result.view
-        self._effective_program = insertion_rewrite(self._effective_program, add_atoms)
-        return AppliedUpdate(request, "insert", result.stats, len(self._view))
+        Routes through the stream scheduler's net-effect path: duplicates
+        dedup, insert-then-delete cancels, and each independent stratum gets
+        one batched maintenance pass per algorithm.  Returns the scheduler's
+        :class:`~repro.stream.scheduler.BatchResult`; the per-request
+        :meth:`report` is not extended (the batch has no per-request cost
+        attribution -- that is the point).
+        """
+        result = self._scheduler.apply_batch(tuple(requests), coalesce=True)
+        failed = result.failed_units
+        if failed:
+            raise MaintenanceError(
+                f"batched update failed: {failed[0].description} ({failed[0].error})"
+            )
+        return result
 
     # ------------------------------------------------------------------
     # Verification
@@ -192,7 +214,4 @@ class ViewMaintainer:
         sets -- the executable form of Theorems 1-3 for the whole stream.
         Expensive; intended for tests and audits, not for the hot path.
         """
-        expected = full_recompute(self._effective_program, self._solver).view
-        return self._view.instances(self._solver, universe) == expected.instances(
-            self._solver, universe
-        )
+        return self._scheduler.verify(universe)

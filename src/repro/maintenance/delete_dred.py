@@ -130,12 +130,78 @@ class ExtendedDRed:
         The input view is not modified; a new view is returned inside the
         result object.
         """
-        stats = MaintenanceStats()
-        factory = make_fresh_factory(self._program, view, (request.atom,))
+        return self.delete_many(view, (request,))
 
-        # Step 0: Del -- the actually-present instances to delete.
-        del_pairs = build_del_set(view, request.atom, self._solver, factory, stats)
-        del_atoms = tuple(atom for _, atom in del_pairs)
+    def delete_many(
+        self,
+        view: MaterializedView,
+        requests: Sequence[DeletionRequest],
+        purge_predicates: Optional[Sequence[str]] = None,
+    ) -> DRedResult:
+        """Delete a whole batch of constrained atoms in one maintenance pass.
+
+        A batch runs **one** ``P_OUT`` unfolding seeded with the union of the
+        requests' ``Del`` atoms, one over-estimation pass, one deletion
+        rewrite, one rederivation fixpoint and one subsumption/purge pass --
+        amortizing the renaming, simplification and fixpoint setup that a
+        sequential run pays per request (see :mod:`repro.stream`).
+
+        The ``Del`` sets are composed *sequentially*: after each request, the
+        touched same-predicate entries are narrowed in a working copy, so a
+        later request's ``Del`` atoms are computed from exactly the entries a
+        sequential run would see.  The shared unfolding draws its view-side
+        premises from the pre-batch entries, which can only *widen* ``P_OUT``
+        relative to the sequential runs -- over-deletion is the side DRed is
+        robust against (rederivation restores, the subsumption pass drops the
+        narrowed twins), so the batch result has the same instances, and on
+        duplicate-free and interval views the same keys, as the sequential
+        chain.
+
+        Requests deleting a *derivable* predicate (the head of a rule clause)
+        fall back to the chained one-at-a-time application: their ``Del``
+        sets depend on the previous request's rederivation, which the cheap
+        same-predicate narrowing cannot reproduce.
+
+        *purge_predicates* restricts the final unsolvability purge to the
+        given predicates (the stream scheduler passes the batch's write
+        closure; see :meth:`StraightDelete.delete_many`).
+        """
+        requests = tuple(requests)
+        stats = MaintenanceStats()
+        if len(requests) > 1 and any(
+            self._is_derivable(request.atom.predicate) for request in requests
+        ):
+            return self._delete_chained(view, requests, stats, purge_predicates)
+
+        factory = make_fresh_factory(
+            self._program, view, tuple(request.atom for request in requests)
+        )
+
+        # Step 0: Del -- the actually-present instances to delete, composed
+        # sequentially across the batch (same-predicate entries are narrowed
+        # between requests so each Del set matches its sequential twin).
+        working = view.copy()
+        original_keys = {entry.key() for entry in view}
+        del_atoms_all: List[ConstrainedAtom] = []
+        for request in requests:
+            del_pairs = build_del_set(working, request.atom, self._solver, factory, stats)
+            atoms_here = tuple(atom for _, atom in del_pairs)
+            del_atoms_all.extend(atoms_here)
+            if len(requests) > 1 and atoms_here:
+                narrow_cache: Dict[int, ConstrainedAtom] = {}
+                for entry, _ in del_pairs:
+                    replacement = subtract_instances(
+                        entry,
+                        atoms_here,
+                        self._solver,
+                        factory,
+                        stats,
+                        narrow_cache,
+                        drop_redundant_comparisons=self._options.fixpoint.drop_redundant_comparisons,
+                    )
+                    if replacement is not entry:
+                        working.replace(entry, replacement)
+        del_atoms = tuple(del_atoms_all)
         if not del_atoms:
             # Nothing to delete: the view is returned unchanged (but copied,
             # to keep the no-mutation contract).
@@ -144,16 +210,22 @@ class ExtendedDRed:
             )
 
         # Step 1: P_OUT -- unfold the deletions upward through the program.
+        # Premises come from the pre-batch view: a superset of what any
+        # sequential step would use, so the unfolding can only over-delete.
         p_out = self._unfold_p_out(view, del_atoms, factory, stats)
 
         # Step 2: M' -- subtract the P_OUT instances from affected entries.
+        # ``working`` already carries the between-request narrowing of the
+        # deleted predicates; subtracting a Del atom twice is a no-op (the
+        # overlap check against the already-narrowed constraint is
+        # unsatisfiable).
         p_out_by_signature: Dict[Tuple[str, int], List[ConstrainedAtom]] = {}
         for atom in p_out:
             p_out_by_signature.setdefault(atom.atom.signature, []).append(atom)
         renamed_cache: Dict[int, ConstrainedAtom] = {}
         overestimate = MaterializedView()
         narrowed: List[ViewEntry] = []
-        for entry in view:
+        for entry in working:
             relevant = p_out_by_signature.get(entry.atom.signature)
             replacement = entry
             if relevant:
@@ -167,7 +239,9 @@ class ExtendedDRed:
                     drop_redundant_comparisons=self._options.fixpoint.drop_redundant_comparisons,
                 )
             overestimate.add(replacement)
-            if replacement is not entry:
+            if replacement.key() not in original_keys:
+                # Narrowed either by this pass or by the between-request
+                # composition above -- both disturb the entry's derivations.
                 narrowed.append(replacement)
 
         # Step 3: rederive using the rewritten program seeded with M'.
@@ -178,23 +252,75 @@ class ExtendedDRed:
         )
         before = len(overestimate)
         initial_delta = (
-            self._rederivation_seed(overestimate, narrowed)
+            self._rederivation_seed(overestimate, narrowed, stats)
             if self._options.delta_rederivation
             else None
         )
         result_view = engine.compute(initial=overestimate, initial_delta=initial_delta)
         stats.rederived_entries = len(result_view) - before
-        stats.fixpoint_iterations += engine.stats.iterations
-        stats.derivation_attempts += engine.stats.derivation_attempts
-        stats.index_probes += engine.stats.index_probes
+        engine.stats.merge_into(stats)
 
         if self._options.purge_unsolvable:
-            stats.removed_entries += result_view.prune_unsolvable(self._solver)
+            # One satisfiability check per scanned entry: count them like
+            # StDel's step 4 does, so the batched purge restriction (scan
+            # only the write closure, once per batch) shows up in the
+            # counters the benchmarks gate on.
+            if purge_predicates is None:
+                stats.solver_calls += len(result_view)
+            else:
+                stats.solver_calls += sum(
+                    len(result_view.entries_for(predicate))
+                    for predicate in set(purge_predicates)
+                )
+            stats.removed_entries += result_view.prune_unsolvable(
+                self._solver, purge_predicates
+            )
 
         if self._options.subsume_rederived:
             self._subsume_rederived(result_view, narrowed, stats)
 
         return DRedResult(result_view, del_atoms, p_out, overestimate, rewritten, stats)
+
+    def _is_derivable(self, predicate: str) -> bool:
+        """True when some rule clause (non-empty body) derives *predicate*."""
+        return any(
+            clause.body for clause in self._program.clauses_for(predicate)
+        )
+
+    def _delete_chained(
+        self,
+        view: MaterializedView,
+        requests: Sequence[DeletionRequest],
+        stats: MaintenanceStats,
+        purge_predicates: Optional[Sequence[str]] = None,
+    ) -> DRedResult:
+        """Fallback: apply the requests one at a time, threading the rewrite.
+
+        Used when a batch deletes a derivable predicate; the combined result
+        carries the accumulated Del / P_OUT atoms, the final rewritten
+        program and the last step's over-estimate.  The purge restriction
+        still applies per step (each step must purge -- its successor's Del
+        set depends on it -- but never outside the batch's write closure).
+        """
+        program = self._program
+        current = view
+        del_atoms: List[ConstrainedAtom] = []
+        p_out: List[ConstrainedAtom] = []
+        result: Optional[DRedResult] = None
+        for request in requests:
+            step = ExtendedDRed(program, self._solver, self._options).delete_many(
+                current, (request,), purge_predicates=purge_predicates
+            )
+            stats.merge(step.stats)
+            del_atoms.extend(step.del_atoms)
+            p_out.extend(step.p_out)
+            current = step.view
+            program = step.rewritten_program
+            result = step
+        assert result is not None  # requests is non-empty on this path
+        return DRedResult(
+            current, tuple(del_atoms), tuple(p_out), result.overestimate, program, stats
+        )
 
     # ------------------------------------------------------------------
     # Internal steps
@@ -263,9 +389,11 @@ class ExtendedDRed:
             stats.removed_entries += dropped
             stats.bump("subsumed_rederived", dropped)
 
-    @staticmethod
     def _rederivation_seed(
-        overestimate: MaterializedView, narrowed: Sequence[ViewEntry]
+        self,
+        overestimate: MaterializedView,
+        narrowed: Sequence[ViewEntry],
+        stats: Optional[MaintenanceStats] = None,
     ) -> Tuple[ViewEntry, ...]:
         """The delta-aware seed of the rederivation fixpoint.
 
@@ -273,14 +401,18 @@ class ExtendedDRed:
         disturbed: joins that *use* a narrowed entry (seeded by the narrowed
         entries themselves) and joins that *re-derive* a narrowed entry from
         its own, possibly untouched, premises (seeded by the direct premises
-        of every narrowed entry, found through the support index).  Every
-        other clause application draws all premises from entries that are
-        byte-identical to the pre-deletion fixpoint and can only reproduce
-        entries the over-estimate already contains.
+        of every narrowed entry, found through the view's support index --
+        each probe is counted under ``support_probes``, the same counter
+        StDel's child-support propagation reports).
 
-        Supports need not be unique (externally inserted atoms all carry
-        clause number 0), so *every* entry sharing a child support goes into
-        the seed -- any of them could be the premise of a restoring join.
+        Supports need not be unique: externally inserted atoms all carry the
+        bare clause number 0, so a probe for such a child support returns
+        *every* external entry.  Only entries matching the clause's body-atom
+        predicate at that premise position can actually have been the premise
+        of the narrowed derivation, so the candidates are filtered against
+        the clause before seeding -- on external-insertion-heavy views this
+        keeps the seed proportional to the disturbed derivations instead of
+        the total number of insertions ever applied.
         """
         seed: List[ViewEntry] = []
         seen: set = set()
@@ -293,8 +425,23 @@ class ExtendedDRed:
 
         for entry in narrowed:
             push(entry)
-            for child in entry.support.children:
+            clause = (
+                self._program.clause(entry.support.clause_number)
+                if self._program.has_clause(entry.support.clause_number)
+                else None
+            )
+            body = (
+                clause.body
+                if clause is not None
+                and len(clause.body) == len(entry.support.children)
+                else None
+            )
+            for position, child in enumerate(entry.support.children):
+                if stats is not None:
+                    stats.support_probes += 1
                 for premise in overestimate.find_all_by_support(child):
+                    if body is not None and premise.predicate != body[position].predicate:
+                        continue
                     push(premise)
         return tuple(seed)
 

@@ -110,99 +110,165 @@ class StraightDelete:
         The input view is not modified; the updated view is returned inside
         the result object.
         """
+        return self.delete_many(view, (request,))
+
+    def delete_many(
+        self,
+        view: MaterializedView,
+        requests: Sequence[DeletionRequest],
+        purge_predicates: Optional[Sequence[str]] = None,
+    ) -> StDelResult:
+        """Delete a whole batch of constrained atoms in one maintenance pass.
+
+        Applying the requests in batch order against a single working view is
+        *result-identical* to applying them one at a time (each request's
+        step 2/3 sees exactly the view state a sequential run would), but the
+        per-request view-proportional costs are paid once per batch:
+
+        * one working-view copy instead of one per request,
+        * one fresh-variable factory and one ``originals`` snapshot, updated
+          incrementally with the entries each request's propagation replaced
+          instead of being rebuilt from the whole view per request,
+        * one step-4 purge scan at the end of the batch instead of one full
+          solvability sweep per request.  Deferring the purge is safe: an
+          entry narrowed to an unsolvable constraint can never seed a new
+          ``P_OUT`` pair (its step-2 overlap and step-3 applicability checks
+          are unsatisfiable), so later requests behave exactly as if it had
+          already been removed.
+
+        *purge_predicates* further restricts the purge scan to the given
+        predicates.  The stream scheduler passes the batch's write closure:
+        on an input view with no unsolvable entries (any ``T_P``-maintained
+        view) only entries the propagation replaced -- all inside the
+        closure -- can need purging, so the scan becomes proportional to the
+        propagation cone.  Leave it ``None`` for the paper's full final
+        sweep.
+
+        This is the deletion half of the update-stream subsystem's "one
+        maintenance pass per algorithm per batch" discipline (see
+        :mod:`repro.stream`).
+        """
+        requests = tuple(requests)
         stats = MaintenanceStats()
         working = view.copy()
-        factory = make_fresh_factory(self._program, working, (request.atom,))
+        factory = make_fresh_factory(
+            self._program, working, tuple(request.atom for request in requests)
+        )
 
         # Snapshot of the original constraints per support: P_OUT pair
         # constraints are always built from pre-replacement premises so they
         # stay free of nested negation unless the input view already had it.
+        # Between requests the snapshot is refreshed with the replacements
+        # the finished request produced, matching the fresh snapshot a
+        # sequential run would take.
         originals: Dict[Support, ConstrainedAtom] = {
             entry.support: entry.constrained_atom for entry in working
         }
 
         p_out: List[POutPair] = []
         replaced: List[ViewEntry] = []
-
-        # Step 2: narrow directly affected entries, seed P_OUT.
-        for entry in list(working.entries_for(request.atom.predicate)):
-            if self._solver.quick_reject(
-                entry.atom.args, entry.constraint,
-                request.atom.atom.args, request.atom.constraint,
-            ):
-                stats.quick_rejects += 1
-                continue
-            positive, negative = negated_atom_constraint(
-                entry.atom, request.atom, factory
-            )
-            stats.solver_calls += 1
-            if not self._solver.is_satisfiable(conjoin(entry.constraint, positive)):
-                continue
-            deleted_part = ConstrainedAtom(
-                entry.atom, self._simplify(conjoin(entry.constraint, positive))
-            )
-            new_constraint = self._simplify(conjoin(entry.constraint, negative))
-            new_entry = entry.with_constraint(new_constraint)
-            working.replace(entry, new_entry)
-            replaced.append(new_entry)
-            p_out.append(POutPair(deleted_part, entry.support))
-        stats.seed_atoms = len(p_out)
-
-        # Step 3: propagate upwards along supports.  Each P_OUT pair probes
-        # the child-support index for exactly the parents whose derivation
-        # used the pair's support as a direct premise, instead of scanning
-        # ``working.entries`` per pair -- the propagation cost becomes
-        # proportional to the affected derivations, not the view size.  The
-        # ``processed`` dedup set lives outside the whole propagation loop
-        # (one membership test per probed parent, keys built once), so a
-        # diamond of supports sharing a premise is subtracted exactly once
-        # per (parent support, premise position, pair).
         processed: Set[Tuple[Support, int, int]] = set()
-        rounds = 0
-        frontier_start = 0
-        while frontier_start < len(p_out):
-            rounds += 1
-            if rounds > self._options.max_rounds:
-                raise MaintenanceError(
-                    f"StDel propagation exceeded {self._options.max_rounds} rounds"
+
+        for request in requests:
+            seed_start = len(p_out)
+            replaced_start = len(replaced)
+
+            # Step 2: narrow directly affected entries, seed P_OUT.
+            for entry in list(working.entries_for(request.atom.predicate)):
+                if self._solver.quick_reject(
+                    entry.atom.args, entry.constraint,
+                    request.atom.atom.args, request.atom.constraint,
+                ):
+                    stats.quick_rejects += 1
+                    continue
+                positive, negative = negated_atom_constraint(
+                    entry.atom, request.atom, factory
                 )
-            frontier_end = len(p_out)
-            for pair_index in range(frontier_start, frontier_end):
-                pair = p_out[pair_index]
-                # What the pre-index implementation would have compared for
-                # this pair: every entry of the working view.
-                stats.bump("stdel_scan_equivalent", len(working))
-                for parent in working.find_parents_of(pair.support):
-                    stats.support_probes += 1
-                    for child_position, child in enumerate(parent.support.children):
-                        if child != pair.support:
-                            continue
-                        key = (parent.support, child_position, pair_index)
-                        if key in processed:
-                            continue
-                        processed.add(key)
-                        # Re-fetch: the parent may already have been replaced
-                        # (for a different affected premise) in this round.
-                        current = working.find_by_support(parent.support)
-                        if current is None:
-                            continue
-                        replacement = self._replace_parent(
-                            current, child_position, pair, originals, factory, stats
-                        )
-                        if replacement is None:
-                            continue
-                        new_entry, deleted_part = replacement
-                        working.replace(current, new_entry)
-                        replaced.append(new_entry)
-                        p_out.append(POutPair(deleted_part, parent.support))
-            frontier_start = frontier_end
+                stats.solver_calls += 1
+                if not self._solver.is_satisfiable(conjoin(entry.constraint, positive)):
+                    continue
+                deleted_part = ConstrainedAtom(
+                    entry.atom, self._simplify(conjoin(entry.constraint, positive))
+                )
+                new_constraint = self._simplify(conjoin(entry.constraint, negative))
+                new_entry = entry.with_constraint(new_constraint)
+                working.replace(entry, new_entry)
+                replaced.append(new_entry)
+                p_out.append(POutPair(deleted_part, entry.support))
+            stats.seed_atoms += len(p_out) - seed_start
+
+            # Step 3: propagate upwards along supports.  Each P_OUT pair
+            # probes the child-support index for exactly the parents whose
+            # derivation used the pair's support as a direct premise, instead
+            # of scanning ``working.entries`` per pair -- the propagation
+            # cost becomes proportional to the affected derivations, not the
+            # view size.  The ``processed`` dedup set lives outside the whole
+            # propagation loop (one membership test per probed parent, keys
+            # built once), so a diamond of supports sharing a premise is
+            # subtracted exactly once per (parent support, premise position,
+            # pair); pair indexes are unique across the batch, so sharing the
+            # set across requests changes nothing.
+            rounds = 0
+            frontier_start = seed_start
+            while frontier_start < len(p_out):
+                rounds += 1
+                if rounds > self._options.max_rounds:
+                    raise MaintenanceError(
+                        f"StDel propagation exceeded {self._options.max_rounds} rounds"
+                    )
+                frontier_end = len(p_out)
+                for pair_index in range(frontier_start, frontier_end):
+                    pair = p_out[pair_index]
+                    # What the pre-index implementation would have compared
+                    # for this pair: every entry of the working view.
+                    stats.bump("stdel_scan_equivalent", len(working))
+                    for parent in working.find_parents_of(pair.support):
+                        stats.support_probes += 1
+                        for child_position, child in enumerate(parent.support.children):
+                            if child != pair.support:
+                                continue
+                            key = (parent.support, child_position, pair_index)
+                            if key in processed:
+                                continue
+                            processed.add(key)
+                            # Re-fetch: the parent may already have been
+                            # replaced (for a different affected premise) in
+                            # this round.
+                            current = working.find_by_support(parent.support)
+                            if current is None:
+                                continue
+                            replacement = self._replace_parent(
+                                current, child_position, pair, originals, factory, stats
+                            )
+                            if replacement is None:
+                                continue
+                            new_entry, deleted_part = replacement
+                            working.replace(current, new_entry)
+                            replaced.append(new_entry)
+                            p_out.append(POutPair(deleted_part, parent.support))
+                frontier_start = frontier_end
+
+            # Refresh the originals snapshot with this request's replacements
+            # so the next request's step 3 rebuilds parents from the same
+            # premise constraints a sequential run would snapshot.
+            for entry in replaced[replaced_start:]:
+                originals[entry.support] = entry.constrained_atom
         stats.unfolded_atoms = len(p_out) - stats.seed_atoms
         stats.replaced_entries = len(replaced)
 
-        # Step 4: drop entries whose constraint became unsolvable.
+        # Step 4: drop entries whose constraint became unsolvable -- once for
+        # the whole batch.
         removed: List[ViewEntry] = []
         if self._options.purge_unsolvable:
-            for entry in list(working.entries):
+            if purge_predicates is None:
+                candidates = list(working.entries)
+            else:
+                candidates = [
+                    entry
+                    for predicate in sorted(set(purge_predicates))
+                    for entry in working.entries_for(predicate)
+                ]
+            for entry in candidates:
                 stats.solver_calls += 1
                 if not self._solver.is_satisfiable(entry.constraint):
                     working.remove(entry)

@@ -24,7 +24,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.constraints.simplify import canonical_form
 from repro.constraints.solver import ConstraintSolver
 from repro.datalog.atoms import ConstrainedAtom
 from repro.datalog.clauses import Clause
@@ -99,34 +98,80 @@ class ConstrainedAtomInsertion:
         self, view: MaterializedView, request: InsertionRequest
     ) -> InsertionResult:
         """Insert the requested constrained atom's instances into *view*."""
+        return self.insert_many(view, (request,))
+
+    def insert_many(
+        self, view: MaterializedView, requests: Sequence[InsertionRequest]
+    ) -> InsertionResult:
+        """Insert a whole batch of constrained atoms in one maintenance pass.
+
+        The ``Add`` sets are built sequentially (each against the working
+        view including the previous requests' external entries, so the
+        disjointification matches a one-at-a-time run), but the ``P_ADD``
+        unfolding runs **once**, seeded with the union of the external
+        entries -- amortizing the per-request pool construction, probe setup
+        and renaming across the batch (see :mod:`repro.stream`).  The union
+        unfolding enumerates exactly the clause applications the sequential
+        runs would (every combination using at least one inserted entry,
+        each exactly once), so the result is identical.
+
+        A request whose predicate is *derivable* (the head of a rule clause)
+        first drains the accumulated frontier: its ``Add`` set must be
+        narrowed by everything earlier insertions can derive, which only the
+        unfolded view provides.
+        """
+        requests = tuple(requests)
         stats = MaintenanceStats()
         working = view.copy()
-        factory = make_fresh_factory(self._program, working, (request.atom,))
-
-        add_atoms = build_add_set(
-            working,
-            request.atom,
-            self._solver,
-            factory,
-            exclude_existing=self._options.exclude_existing,
+        factory = make_fresh_factory(
+            self._program, working, tuple(request.atom for request in requests)
         )
-        stats.seed_atoms = len(add_atoms)
-        if not add_atoms:
-            return InsertionResult(working, (), (), stats)
+        derivable = {
+            clause.predicate for clause in self._program if clause.body
+        }
 
+        seen_keys = {entry.key() for entry in working}
         added: List[ViewEntry] = []
         frontier: List[ViewEntry] = []
-        for atom in add_atoms:
-            entry = ViewEntry(atom.atom, atom.constraint, Support(EXTERNAL_CLAUSE_NUMBER))
-            if working.add(entry):
-                added.append(entry)
-                frontier.append(entry)
+        all_add_atoms: List[ConstrainedAtom] = []
+        for request in requests:
+            if frontier and request.atom.predicate in derivable:
+                self._unfold_p_add(working, frontier, factory, seen_keys, added, stats)
+                frontier = []
+            add_atoms = build_add_set(
+                working,
+                request.atom,
+                self._solver,
+                factory,
+                exclude_existing=self._options.exclude_existing,
+            )
+            stats.seed_atoms += len(add_atoms)
+            all_add_atoms.extend(add_atoms)
+            for atom in add_atoms:
+                entry = ViewEntry(
+                    atom.atom, atom.constraint, Support(EXTERNAL_CLAUSE_NUMBER)
+                )
+                if working.add(entry):
+                    seen_keys.add(entry.key())
+                    added.append(entry)
+                    frontier.append(entry)
+        if frontier:
+            self._unfold_p_add(working, frontier, factory, seen_keys, added, stats)
+        stats.unfolded_atoms = len(added) - stats.seed_atoms
+        stats.rederived_entries = len(added)
+        return InsertionResult(working, tuple(all_add_atoms), tuple(added), stats)
 
+    def _unfold_p_add(
+        self,
+        working: MaterializedView,
+        frontier: List[ViewEntry],
+        factory,
+        seen_keys: set,
+        added: List[ViewEntry],
+        stats: MaintenanceStats,
+    ) -> None:
+        """Run the ``P_ADD`` unfolding to fixpoint for one frontier."""
         rounds = 0
-        seen_keys = {
-            (entry.atom, canonical_form(entry.constraint), entry.support)
-            for entry in working
-        }
         while frontier:
             rounds += 1
             if rounds > self._options.max_unfold_rounds:
@@ -233,7 +278,7 @@ class ConstrainedAtomInsertion:
                         tuple(entry.support for entry in combination),
                     )
                     entry = ViewEntry(derived.atom, derived.constraint, support)
-                    key = (entry.atom, canonical_form(entry.constraint), entry.support)
+                    key = entry.key()
                     if key in seen_keys:
                         continue
                     seen_keys.add(key)
@@ -243,9 +288,6 @@ class ConstrainedAtomInsertion:
                 if working.add(entry):
                     added.append(entry)
                     frontier.append(entry)
-        stats.unfolded_atoms = len(added) - stats.seed_atoms
-        stats.rederived_entries = len(added)
-        return InsertionResult(working, add_atoms, tuple(added), stats)
 
 
 def insert_atom(

@@ -85,6 +85,29 @@ class MaintenanceStats:
         """Increment a free-form counter."""
         self.extra[name] = self.extra.get(name, 0) + amount
 
+    def merge(self, other: "MaintenanceStats") -> None:
+        """Fold another stats object into this one (counter-wise addition).
+
+        The stream scheduler applies one coalesced batch as several algorithm
+        passes (one deletion pass, one insertion pass, per stratum unit) and
+        reports them as a single set of counters; the chained fallbacks of
+        ``delete_many`` use it too.
+        """
+        self.seed_atoms += other.seed_atoms
+        self.unfolded_atoms += other.unfolded_atoms
+        self.replaced_entries += other.replaced_entries
+        self.rederived_entries += other.rederived_entries
+        self.removed_entries += other.removed_entries
+        self.solver_calls += other.solver_calls
+        self.clause_applications += other.clause_applications
+        self.derivation_attempts += other.derivation_attempts
+        self.fixpoint_iterations += other.fixpoint_iterations
+        self.index_probes += other.index_probes
+        self.quick_rejects += other.quick_rejects
+        self.support_probes += other.support_probes
+        for name, amount in other.extra.items():
+            self.bump(name, amount)
+
     def as_dict(self) -> Dict[str, int]:
         """Flatten to a plain dictionary (used by the benchmark reports)."""
         flat = {

@@ -46,14 +46,41 @@ class Change:
 
 
 class ChangeLog:
-    """An append-only log of changes, queryable by version interval."""
+    """An append-only log of changes, queryable by version interval.
+
+    Listeners subscribed with :meth:`subscribe` see every recorded change as
+    it happens; the update-stream subsystem uses this to feed base-table
+    deltas into the same transaction log as the view-level update requests
+    (see :func:`repro.stream.log.attach_changelog`).
+    """
 
     def __init__(self) -> None:
         self._changes: List[Change] = []
+        self._listeners: List[object] = []
 
     def record(self, change: Change) -> None:
-        """Append one change."""
+        """Append one change and notify the subscribed listeners."""
         self._changes.append(change)
+        for listener in tuple(self._listeners):
+            listener(change)
+
+    def subscribe(self, listener) -> "callable[[], None]":
+        """Call *listener* with every subsequently recorded change.
+
+        Returns a zero-argument detach callable; detaching twice is a no-op.
+        Listeners must not raise -- a recording transaction is not the place
+        to handle consumer failures -- and exceptions propagate to the
+        recorder by design.
+        """
+        self._listeners.append(listener)
+
+        def detach() -> None:
+            try:
+                self._listeners.remove(listener)
+            except ValueError:
+                pass
+
+        return detach
 
     def __len__(self) -> int:
         return len(self._changes)

@@ -1,0 +1,183 @@
+"""The update-stream transaction log.
+
+Accepts the paper's three update kinds -- insertion requests, deletion
+requests (Section 3) and external source-change notices (Section 4) -- as
+timestamped transactions in arrival order.  The log is the only producer /
+consumer hand-off point of the subsystem: writers ``append`` from any
+thread, the scheduler ``drain``\\ s a batch atomically, and everything that
+was ever appended stays readable for audits.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple, Union
+
+from repro.maintenance.requests import DeletionRequest, InsertionRequest
+
+UpdateRequest = Union[DeletionRequest, InsertionRequest]
+
+
+@dataclass(frozen=True)
+class ExternalChangeNotice:
+    """Notification that an integrated external source changed.
+
+    Carries the net effect when the producer knows it (rows whose net effect
+    over the notified interval is an insertion / deletion, in the sense of
+    :meth:`repro.reldb.changelog.ChangeLog.inserted_rows`); an empty notice
+    just says "something about *source* changed".  Under the ``W_P``
+    maintenance discipline the scheduler needs no row detail at all -- the
+    view is syntactically invariant (Theorem 4) and only the solver's
+    external memos must be dropped -- so the rows exist for reporting and
+    for ``T_P``-style consumers.
+    """
+
+    source: str
+    added_rows: Tuple[Tuple[object, ...], ...] = ()
+    removed_rows: Tuple[Tuple[object, ...], ...] = ()
+    version: Optional[int] = None
+
+    def __str__(self) -> str:
+        return (
+            f"external change {self.source}"
+            f" (+{len(self.added_rows)}/-{len(self.removed_rows)} rows)"
+        )
+
+
+StreamPayload = Union[UpdateRequest, ExternalChangeNotice]
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """One logged stream event: a payload plus its position and wall time."""
+
+    txn_id: int
+    timestamp: float
+    payload: StreamPayload
+
+    def __str__(self) -> str:
+        return f"txn {self.txn_id} @ {self.timestamp:.6f}: {self.payload}"
+
+
+class UpdateLog:
+    """An append-only, thread-safe log of update transactions.
+
+    ``append`` assigns monotonically increasing transaction ids (the
+    stream's total order; wall-clock timestamps are attached for operators
+    but never used for ordering).  ``drain`` atomically hands the pending
+    suffix to the caller -- the scheduler turns exactly one drain into one
+    coalesced batch -- while the full history stays available.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._transactions: List[Transaction] = []
+        self._consumed = 0
+
+    def append(self, payload: StreamPayload) -> Transaction:
+        """Log one request / notice; returns the recorded transaction."""
+        if not isinstance(
+            payload, (DeletionRequest, InsertionRequest, ExternalChangeNotice)
+        ):
+            raise TypeError(f"not a stream payload: {payload!r}")
+        with self._lock:
+            transaction = Transaction(next(self._ids), time.time(), payload)
+            self._transactions.append(transaction)
+            return transaction
+
+    def extend(self, payloads) -> Tuple[Transaction, ...]:
+        """Log several payloads in order."""
+        return tuple(self.append(payload) for payload in payloads)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._transactions)
+
+    def __iter__(self):
+        return iter(self.history())
+
+    def history(self) -> Tuple[Transaction, ...]:
+        """Every transaction ever logged, in order."""
+        with self._lock:
+            return tuple(self._transactions)
+
+    def pending(self) -> Tuple[Transaction, ...]:
+        """Transactions appended since the last :meth:`drain` (not consumed)."""
+        with self._lock:
+            return tuple(self._transactions[self._consumed:])
+
+    def pending_count(self) -> int:
+        """How many transactions a drain would return right now."""
+        with self._lock:
+            return len(self._transactions) - self._consumed
+
+    def drain(self) -> Tuple[Transaction, ...]:
+        """Atomically consume and return the pending transactions."""
+        with self._lock:
+            batch = tuple(self._transactions[self._consumed:])
+            self._consumed = len(self._transactions)
+            return batch
+
+
+def notice_from_changelog(
+    changelog,
+    from_version: int,
+    to_version: int,
+    table: Optional[str] = None,
+    source: Optional[str] = None,
+) -> ExternalChangeNotice:
+    """Summarize a :class:`~repro.reldb.changelog.ChangeLog` interval.
+
+    The notice carries the interval's *net effect* (the changelog's own
+    insert/delete cancellation), so a row inserted and deleted inside the
+    interval never reaches the stream at all -- the relational layer's
+    version of the coalescer's cancellation rule.
+    """
+    return ExternalChangeNotice(
+        source=source or table or "reldb",
+        added_rows=tuple(changelog.inserted_rows(from_version, to_version, table)),
+        removed_rows=tuple(changelog.deleted_rows(from_version, to_version, table)),
+        version=to_version,
+    )
+
+
+def attach_changelog(
+    log: UpdateLog,
+    changelog,
+    source: Optional[str] = None,
+) -> Callable[[], None]:
+    """Subscribe *log* to a table change log; returns the detach callable.
+
+    Every change the relational layer records is forwarded to the update
+    log as an :class:`ExternalChangeNotice` (one notice per change; the
+    coalescer compacts consecutive notices of one source).  This is how
+    base-table writes behind the domain layer reach the same stream as the
+    view-level requests.
+    """
+
+    def forward(change) -> None:
+        kind = getattr(change.kind, "value", str(change.kind))
+        added: Tuple[Tuple[object, ...], ...] = ()
+        removed: Tuple[Tuple[object, ...], ...] = ()
+        if kind == "insert":
+            added = (change.row,)
+        elif kind == "delete":
+            removed = (change.row,)
+        else:  # update = delete old + insert new
+            added = (change.row,)
+            if change.old_row is not None:
+                removed = (change.old_row,)
+        log.append(
+            ExternalChangeNotice(
+                source=source or change.table,
+                added_rows=added,
+                removed_rows=removed,
+                version=change.version,
+            )
+        )
+
+    return changelog.subscribe(forward)

@@ -1,0 +1,545 @@
+"""The stream scheduler: one maintenance pass per algorithm per batch.
+
+``StreamScheduler`` owns a materialized view and applies drained update
+batches to it with the batch entry points of the maintenance algorithms:
+
+* all of a unit's deletions go through **one**
+  :meth:`~repro.maintenance.delete_stdel.StraightDelete.delete_many` /
+  :meth:`~repro.maintenance.delete_dred.ExtendedDRed.delete_many` pass (one
+  ``P_OUT`` unfolding, one rename/simplify regime, one final purge, the
+  child-support index shared across the whole batch);
+* all of a unit's insertions go through one
+  :meth:`~repro.maintenance.insert.ConstrainedAtomInsertion.insert_many`
+  pass (one ``P_ADD`` fixpoint seeded with every inserted atom);
+* external change notices cost nothing: under the ``W_P`` reading of
+  Section 4 the view is syntactically invariant (Theorem 4), so the
+  scheduler only drops the solver's external memos -- the registry version
+  token already does this for well-behaved sources, the explicit
+  invalidation covers sources mutated behind the domain layer's back.
+
+Independent strata (disjoint upward closures, see
+:mod:`repro.stream.strata`) are applied as separate units -- concurrently
+on a ``ThreadPoolExecutor`` when ``max_workers > 1`` -- and each unit is
+individually retried and reported.  Readers are snapshot-isolated: the
+scheduler publishes a new view reference only after the whole batch
+applied, so a query served mid-batch sees the complete pre-batch view.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.constraints.solver import ConstraintSolver
+from repro.datalog.fixpoint import compute_tp_fixpoint
+from repro.datalog.program import ConstrainedDatabase
+from repro.datalog.view import MaterializedView
+from repro.errors import MaintenanceError
+from repro.maintenance.declarative import deletion_rewrite, insertion_rewrite
+from repro.maintenance.delete_dred import DRedOptions, ExtendedDRed
+from repro.maintenance.delete_stdel import StDelOptions, StraightDelete
+from repro.maintenance.insert import ConstrainedAtomInsertion, InsertionOptions
+from repro.maintenance.requests import (
+    DeletionRequest,
+    InsertionRequest,
+    MaintenanceStats,
+)
+from repro.stream.coalesce import CoalescedBatch, CoalesceReport, Coalescer
+from repro.stream.log import ExternalChangeNotice, StreamPayload, Transaction, UpdateLog
+from repro.stream.strata import PredicateStrata, StratumUnit
+
+
+@dataclass(frozen=True)
+class StreamOptions:
+    """Tunable behaviour of the stream scheduler."""
+
+    #: Deletion algorithm for the batched pass (``stdel`` or ``dred``).
+    #: StDel runs against the *original* program (it never rederives, so the
+    #: deletion rewrites are irrelevant to it -- the documented advantage);
+    #: DRed runs against the threaded rewritten program it requires.
+    deletion_algorithm: str = "stdel"
+    #: Compute the net effect of a batch before applying it.
+    coalesce: bool = True
+    #: Threads for independent strata (1 = apply units sequentially).
+    max_workers: int = 1
+    #: How often a failing unit is attempted before it is reported failed.
+    max_unit_attempts: int = 2
+    stdel: StDelOptions = StDelOptions()
+    dred: DRedOptions = DRedOptions()
+    insertion: InsertionOptions = InsertionOptions()
+    #: Observability hook, called with each finished :class:`UnitReport`
+    #: *before* the batch publishes (tests use it to observe snapshot
+    #: isolation; operators can stream progress from it).
+    on_unit_complete: Optional[Callable[["UnitReport"], None]] = None
+
+
+@dataclass
+class UnitReport:
+    """Outcome of one stratum unit of one batch."""
+
+    description: str
+    predicates: Tuple[str, ...]
+    strata: Tuple[int, ...]
+    deletions: int
+    insertions: int
+    #: How many times the unit was attempted (1 = first try succeeded).
+    attempts: int
+    status: str  # "applied" | "failed"
+    error: Optional[str] = None
+    stats: MaintenanceStats = field(default_factory=MaintenanceStats)
+    seconds: float = 0.0
+
+
+@dataclass
+class StreamStats:
+    """Per-batch statistics of the stream scheduler."""
+
+    #: Requests submitted to the batch (before coalescing).
+    submitted: int = 0
+    #: Requests that survived coalescing and were applied.
+    applied: int = 0
+    coalesce: CoalesceReport = field(default_factory=CoalesceReport)
+    units: List[UnitReport] = field(default_factory=list)
+    #: External notices folded in (cost-free under ``W_P``).
+    external_notices: int = 0
+    seconds: float = 0.0
+
+    def totals(self) -> MaintenanceStats:
+        """All units' maintenance counters, summed."""
+        total = MaintenanceStats()
+        for unit in self.units:
+            total.merge(unit.stats)
+        return total
+
+    @property
+    def derivation_attempts(self) -> int:
+        return sum(unit.stats.derivation_attempts for unit in self.units)
+
+    @property
+    def solver_calls(self) -> int:
+        return sum(unit.stats.solver_calls for unit in self.units)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat rendering for benchmark snapshots."""
+        return {
+            "submitted": self.submitted,
+            "applied": self.applied,
+            "units": len(self.units),
+            "failed_units": sum(1 for unit in self.units if unit.status != "applied"),
+            "external_notices": self.external_notices,
+            "seconds": round(self.seconds, 4),
+            "coalesce": self.coalesce.as_dict(),
+            "stats": self.totals().as_dict(),
+        }
+
+
+@dataclass
+class BatchResult:
+    """Outcome of applying one batch."""
+
+    view: MaterializedView
+    stats: StreamStats
+    coalesced: CoalescedBatch
+
+    @property
+    def failed_units(self) -> Tuple[UnitReport, ...]:
+        return tuple(
+            unit for unit in self.stats.units if unit.status != "applied"
+        )
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed_units
+
+
+class StreamScheduler:
+    """Maintains one materialized view across batched update streams."""
+
+    def __init__(
+        self,
+        program: ConstrainedDatabase,
+        solver: Optional[ConstraintSolver] = None,
+        view: Optional[MaterializedView] = None,
+        options: StreamOptions = StreamOptions(),
+        log: Optional[UpdateLog] = None,
+    ) -> None:
+        if options.deletion_algorithm not in ("stdel", "dred"):
+            raise MaintenanceError(
+                f"unknown deletion algorithm {options.deletion_algorithm!r};"
+                " use 'stdel' or 'dred'"
+            )
+        self._program = program
+        self._solver = solver or ConstraintSolver()
+        self._options = options
+        self._published = (
+            view if view is not None else compute_tp_fixpoint(program, self._solver)
+        )
+        self._strata = PredicateStrata(program)
+        self._coalescer = Coalescer(
+            self._solver,
+            dedupe_insertions=options.insertion.exclude_existing,
+        )
+        self._log = log if log is not None else UpdateLog()
+        #: The program DRed deletions run against (threads the rewrites the
+        #: algorithm's rederivation step requires; == original for StDel).
+        self._deletion_program = program
+        #: The original program composed with every applied rewrite -- the
+        #: declarative semantics of everything applied so far (verify()).
+        self._effective_program = program
+        self._apply_lock = threading.Lock()
+        self._batches: List[StreamStats] = []
+
+    # ------------------------------------------------------------------
+    # Introspection & snapshot-isolated reads
+    # ------------------------------------------------------------------
+    @property
+    def view(self) -> MaterializedView:
+        """The last *published* view.
+
+        Mid-batch this is still the complete pre-batch view (snapshot
+        isolation): the scheduler works on private copies and swaps the
+        reference only once the whole batch has applied.  Treat it as
+        read-only.
+        """
+        return self._published
+
+    def snapshot(self) -> MaterializedView:
+        """An independent copy of the published view (safe to mutate)."""
+        return self._published.copy()
+
+    def query(self, predicate: str, universe=None):
+        """Ground instances of *predicate* from the published view."""
+        return self._published.instances_for(
+            predicate, solver=self._solver, universe=universe
+        )
+
+    @property
+    def program(self) -> ConstrainedDatabase:
+        return self._program
+
+    @property
+    def effective_program(self) -> ConstrainedDatabase:
+        """Original program composed with every rewrite applied so far."""
+        return self._effective_program
+
+    @property
+    def options(self) -> StreamOptions:
+        return self._options
+
+    @property
+    def log(self) -> UpdateLog:
+        """The transaction log this scheduler drains."""
+        return self._log
+
+    @property
+    def batches(self) -> Tuple[StreamStats, ...]:
+        """Per-batch statistics, in application order."""
+        return tuple(self._batches)
+
+    # ------------------------------------------------------------------
+    # Submitting & applying
+    # ------------------------------------------------------------------
+    def submit(self, payload: StreamPayload) -> Transaction:
+        """Log one request / notice for the next :meth:`flush`."""
+        return self._log.append(payload)
+
+    def flush(self) -> BatchResult:
+        """Drain the log and apply the pending transactions as one batch."""
+        return self.apply_batch(self._log.drain())
+
+    def apply_batch(
+        self,
+        payloads: Sequence[StreamPayload],
+        coalesce: Optional[bool] = None,
+    ) -> BatchResult:
+        """Apply one ordered batch of requests / notices.
+
+        The batch is coalesced (unless disabled), partitioned into
+        independent stratum units, applied -- deletions first, then
+        insertions, matching the net-effect construction of the coalescer --
+        and published atomically at the end.
+        """
+        start = time.perf_counter()
+        with self._apply_lock:
+            effective_coalesce = (
+                self._options.coalesce if coalesce is None else coalesce
+            )
+            stats = StreamStats()
+            if effective_coalesce:
+                coalesced = self._coalescer.coalesce(payloads)
+                stats.coalesce = coalesced.report
+                stats.submitted = coalesced.report.submitted
+                # One phase: the coalescer's cancel/narrow pass is exactly
+                # what makes deletions-first-then-insertions reproduce the
+                # interleaved stream's net effect.
+                phases = [coalesced]
+            else:
+                coalesced = self._raw_batch(payloads)
+                stats.submitted = len(coalesced)
+                # Without coalescing there is no cancel/narrow pass, so the
+                # stream order must be preserved: consecutive same-kind runs
+                # become phases, applied in order.
+                phases = self._raw_phases(payloads)
+            stats.applied = len(coalesced)
+            stats.external_notices = len(coalesced.notices)
+
+            # External changes first: the batch must be maintained against
+            # the sources' *current* behaviour.  Under W_P-style memoization
+            # the registry version token already invalidates stale results;
+            # the explicit call covers behind-the-back mutations.
+            if coalesced.notices:
+                self._solver.invalidate_external_functions()
+
+            working = self._published
+            for phase in phases:
+                units = self._strata.partition(phase.deletions, phase.insertions)
+                outcomes = self._run_units(working, units)
+
+                # Merge: each successful unit rewrote only its disjoint
+                # write closure, so its entries replace the phase base's for
+                # exactly those predicates.  (With one unit -- or sequential
+                # application -- the unit result already *is* the merge.)
+                working = self._merge(working, units, outcomes)
+
+                # Thread the programs for the successful units, in unit
+                # order, before the next phase runs (its insertion passes
+                # must see this phase's deletion rewrites).
+                for unit, (result_view, report, del_result, ins_result) in zip(
+                    units, outcomes
+                ):
+                    stats.units.append(report)
+                    if report.status != "applied":
+                        continue
+                    del_atoms = getattr(del_result, "del_atoms", ())
+                    if del_atoms:
+                        # Only DRed results carry Del atoms: StDel needs no
+                        # threaded rewrite for its own deletions.
+                        self._deletion_program = deletion_rewrite(
+                            self._deletion_program, del_atoms
+                        )
+                    for request in unit.deletions:
+                        self._effective_program = deletion_rewrite(
+                            self._effective_program, (request.atom,)
+                        )
+                    if ins_result is not None and ins_result.add_atoms:
+                        self._effective_program = insertion_rewrite(
+                            self._effective_program, ins_result.add_atoms
+                        )
+
+            self._published = working
+            stats.seconds = time.perf_counter() - start
+            self._batches.append(stats)
+            return BatchResult(working, stats, coalesced)
+
+    def verify(self, universe=None) -> bool:
+        """Cross-check the published view against the effective program.
+
+        Recomputes ``T_P_effective`` from scratch and compares instance sets
+        -- the executable form of Theorems 1-3 for the whole stream.
+        Expensive; for tests and audits.
+        """
+        from repro.maintenance.baselines import full_recompute
+
+        expected = full_recompute(self._effective_program, self._solver).view
+        return self._published.instances(
+            self._solver, universe
+        ) == expected.instances(self._solver, universe)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _raw_batch(payloads: Sequence[StreamPayload]) -> CoalescedBatch:
+        """Wrap a batch without computing its net effect."""
+        deletions: List[DeletionRequest] = []
+        insertions: List[InsertionRequest] = []
+        notices: List[ExternalChangeNotice] = []
+        for payload in payloads:
+            if isinstance(payload, Transaction):
+                payload = payload.payload
+            if isinstance(payload, DeletionRequest):
+                deletions.append(payload)
+            elif isinstance(payload, InsertionRequest):
+                insertions.append(payload)
+            elif isinstance(payload, ExternalChangeNotice):
+                notices.append(payload)
+            else:
+                raise MaintenanceError(f"unknown update request: {payload!r}")
+        return CoalescedBatch(
+            tuple(deletions), tuple(insertions), tuple(notices), CoalesceReport()
+        )
+
+    @staticmethod
+    def _raw_phases(payloads: Sequence[StreamPayload]) -> List[CoalescedBatch]:
+        """Split an uncoalesced batch into consecutive same-kind runs.
+
+        Without the coalescer's cancel/narrow pass, applying all deletions
+        before all insertions would silently change the meaning of an
+        insert-then-delete sequence; replaying the stream as alternating
+        deletion-only / insertion-only phases preserves it exactly.
+        """
+        phases: List[CoalescedBatch] = []
+        run: List[object] = []
+        run_kind: Optional[type] = None
+
+        def close_run() -> None:
+            if not run:
+                return
+            if run_kind is DeletionRequest:
+                phases.append(CoalescedBatch(tuple(run), (), ()))
+            else:
+                phases.append(CoalescedBatch((), tuple(run), ()))
+            run.clear()
+
+        for payload in payloads:
+            if isinstance(payload, Transaction):
+                payload = payload.payload
+            if isinstance(payload, ExternalChangeNotice):
+                continue
+            kind = type(payload)
+            if kind is not run_kind:
+                close_run()
+                run_kind = kind
+            run.append(payload)
+        close_run()
+        return phases
+
+    def _run_units(
+        self, base: MaterializedView, units: Sequence[StratumUnit]
+    ) -> List[tuple]:
+        """Apply every unit (with retries), concurrently when configured."""
+        workers = min(self._options.max_workers, len(units))
+        if workers > 1:
+            with ThreadPoolExecutor(max_workers=workers) as executor:
+                futures = [
+                    executor.submit(self._apply_unit_with_retry, base, unit)
+                    for unit in units
+                ]
+                outcomes = [future.result() for future in futures]
+        else:
+            outcomes = []
+            current = base
+            for unit in units:
+                outcome = self._apply_unit_with_retry(current, unit)
+                if outcome[1].status == "applied":
+                    current = outcome[0]
+                outcomes.append(outcome)
+        return outcomes
+
+    def _merge(
+        self,
+        base: MaterializedView,
+        units: Sequence[StratumUnit],
+        outcomes: Sequence[tuple],
+    ) -> MaterializedView:
+        """Combine unit results into the next published view."""
+        applied = [
+            (unit, outcome)
+            for unit, outcome in zip(units, outcomes)
+            if outcome[1].status == "applied"
+        ]
+        if not applied:
+            return base
+        if self._options.max_workers <= 1 or len(units) == 1:
+            # Sequential application already threaded the view through the
+            # units; the last successful unit's result is complete.
+            return applied[-1][1][0]
+        merged = base.copy()
+        for unit, (result_view, _, _, _) in applied:
+            for predicate in sorted(unit.write_closure):
+                for entry in merged.entries_for(predicate):
+                    merged.remove(entry)
+                for entry in result_view.entries_for(predicate):
+                    merged.add(entry)
+        return merged
+
+    def _apply_unit_with_retry(
+        self, base: MaterializedView, unit: StratumUnit
+    ) -> tuple:
+        """Run one unit up to ``max_unit_attempts`` times."""
+        attempts = 0
+        error: Optional[str] = None
+        started = time.perf_counter()
+        while attempts < max(1, self._options.max_unit_attempts):
+            attempts += 1
+            try:
+                view, stats, del_result, ins_result = self._apply_unit(base, unit)
+            except Exception as exc:  # individually retryable by design
+                error = f"{type(exc).__name__}: {exc}"
+                continue
+            report = UnitReport(
+                description=unit.describe(),
+                predicates=tuple(sorted(unit.predicates)),
+                strata=unit.strata,
+                deletions=len(unit.deletions),
+                insertions=len(unit.insertions),
+                attempts=attempts,
+                status="applied",
+                stats=stats,
+                seconds=time.perf_counter() - started,
+            )
+            if self._options.on_unit_complete is not None:
+                self._options.on_unit_complete(report)
+            return (view, report, del_result, ins_result)
+        report = UnitReport(
+            description=unit.describe(),
+            predicates=tuple(sorted(unit.predicates)),
+            strata=unit.strata,
+            deletions=len(unit.deletions),
+            insertions=len(unit.insertions),
+            attempts=attempts,
+            status="failed",
+            error=error,
+            seconds=time.perf_counter() - started,
+        )
+        if self._options.on_unit_complete is not None:
+            self._options.on_unit_complete(report)
+        return (base, report, None, None)
+
+    def _apply_unit(self, base: MaterializedView, unit: StratumUnit) -> tuple:
+        """One unit = at most one batched deletion pass + one insertion pass."""
+        stats = MaintenanceStats()
+        current = base
+        del_result = None
+        if unit.deletions:
+            # The purge scan is restricted to the unit's write closure: the
+            # published view carries no unsolvable entries, so only entries
+            # this unit's propagation can touch need the final solvability
+            # sweep.
+            purge = tuple(sorted(unit.write_closure))
+            if self._options.deletion_algorithm == "stdel":
+                del_result = StraightDelete(
+                    self._program, self._solver, self._options.stdel
+                ).delete_many(current, unit.deletions, purge_predicates=purge)
+            else:
+                del_result = ExtendedDRed(
+                    self._deletion_program, self._solver, self._options.dred
+                ).delete_many(current, unit.deletions, purge_predicates=purge)
+            current = del_result.view
+            stats.merge(del_result.stats)
+        ins_result = None
+        if unit.insertions:
+            # The P_ADD unfolding must run against the program carrying
+            # every deletion rewrite applied so far -- previous batches'
+            # (already in the effective program) AND this unit's own, which
+            # precede the insertions in batch order -- or it would re-derive
+            # instances those deletions removed.  Other concurrent units'
+            # deletions rewrite clauses outside this unit's closure and
+            # cannot affect its unfolding.
+            insert_program = self._effective_program
+            if unit.deletions:
+                insert_program = deletion_rewrite(
+                    insert_program,
+                    tuple(request.atom for request in unit.deletions),
+                )
+            ins_result = ConstrainedAtomInsertion(
+                insert_program,
+                self._solver,
+                self._options.insertion,
+            ).insert_many(current, unit.insertions)
+            current = ins_result.view
+            stats.merge(ins_result.stats)
+        return current, stats, del_result, ins_result

@@ -24,6 +24,7 @@ from repro.workloads.updates import (
     ground_request_atom,
     insertion_stream,
     mixed_stream,
+    stream_batches,
 )
 
 __all__ = [
@@ -46,4 +47,5 @@ __all__ = [
     "make_transitive_closure_program",
     "mixed_stream",
     "person_name",
+    "stream_batches",
 ]

@@ -111,3 +111,82 @@ def mixed_stream(
     combined: List[UpdateRequest] = delete_requests + insert_requests
     rng.shuffle(combined)
     return MixedStream(tuple(combined))
+
+
+def stream_batches(
+    spec: WorkloadSpec,
+    batches: int,
+    deletions: int = 2,
+    insertions: int = 2,
+    seed: int = 0,
+    duplicates: int = 0,
+    cancellations: int = 0,
+) -> Tuple[MixedStream, ...]:
+    """A deterministic sequence of update batches for the stream scheduler.
+
+    Each batch interleaves *deletions* of distinct base facts (sampled
+    without replacement across the whole sequence, so every deletion is
+    effective) with *insertions* of fresh facts (value ranges disjoint per
+    batch).  On top of that, per batch:
+
+    * *duplicates* requests are repeated verbatim later in the batch --
+      coalescing fodder (the repeat is a sequential no-op);
+    * *cancellations* insert a fresh atom and delete exactly that atom later
+      in the same batch -- the insert-then-delete pair the coalescer
+      cancels outright via ``subsumes_instances``.
+
+    The same seed always produces the same batches, so every scheduler
+    configuration (coalescing on/off, sequential/parallel strata, either
+    deletion algorithm) is measured on an identical stream.
+    """
+    rng = random.Random(seed)
+    candidates: List[Tuple[str, Tuple[object, ...]]] = []
+    for base_predicate, facts in sorted(spec.base_facts.items()):
+        candidates.extend((base_predicate, fact) for fact in facts)
+    rng.shuffle(candidates)
+    predicates = sorted(spec.base_facts)
+    if not predicates:
+        raise WorkloadError("workload has no base facts to build a stream from")
+
+    result: List[MixedStream] = []
+    for batch_index in range(batches):
+        requests: List[UpdateRequest] = []
+        for _ in range(deletions):
+            if not candidates:
+                break
+            base_predicate, fact = candidates.pop()
+            requests.append(DeletionRequest(ground_request_atom(base_predicate, fact)))
+        requests.extend(
+            insertion_stream(
+                spec,
+                insertions,
+                seed=seed + 31 * batch_index + 1,
+                value_offset=1_000_000 + 10_000 * batch_index,
+            )
+        )
+        rng.shuffle(requests)
+        for _ in range(duplicates):
+            if not requests:
+                break
+            position = rng.randrange(len(requests))
+            requests.insert(
+                rng.randrange(position, len(requests)) + 1, requests[position]
+            )
+        for cancel_index in range(cancellations):
+            target = predicates[rng.randrange(len(predicates))]
+            arity = (
+                len(spec.base_facts[target][0]) if spec.base_facts.get(target) else 1
+            )
+            values = tuple(
+                5_000_000 + 10_000 * batch_index + cancel_index * arity + position
+                for position in range(arity)
+            )
+            atom = ground_request_atom(target, values)
+            insert_at = rng.randrange(len(requests) + 1)
+            requests.insert(insert_at, InsertionRequest(atom))
+            requests.insert(
+                rng.randrange(insert_at + 1, len(requests) + 1),
+                DeletionRequest(atom),
+            )
+        result.append(MixedStream(tuple(requests)))
+    return tuple(result)

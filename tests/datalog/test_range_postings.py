@@ -285,3 +285,96 @@ class TestJoinEnumeration:
         view = ranged.compute()
         assert view.entries_for("pair") == ()
         assert ranged.stats.derivation_attempts == 0
+
+
+class TestSortedBoundValueWindow:
+    """The overlap path's bisected window over the slot's bound values.
+
+    ``probe_range`` used to scan every distinct bound value of a slot
+    linearly per overlap query; the sorted window bisects instead.  These
+    tests pin the window to the linear scan's semantics: same results for
+    numeric values, strict bounds, non-numeric and boolean stragglers, and
+    consistency under bucket churn.
+    """
+
+    def build_value_view(self):
+        view = MaterializedView()
+        for clause_number, value in enumerate((1, 3, 5, 7, 20), start=1):
+            view.add(entry("p", equals(X, value), clause_number))
+        return view
+
+    def overlap_hits(self, view, low, high):
+        query = IntervalQuery(float(low), False, float(high), False)
+        return sorted(e.support.clause_number for e in view.probe_range("p", 0, query))
+
+    def brute_force_hits(self, view, low, high):
+        hits = []
+        for e in view.entries_for("p"):
+            value = e.bound_args()[0]
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                if low <= value <= high:
+                    hits.append(e.support.clause_number)
+            else:
+                hits.append(e.support.clause_number)
+        return sorted(hits)
+
+    def test_window_matches_linear_scan(self):
+        view = self.build_value_view()
+        for low, high in ((0, 4), (3, 7), (6, 19), (21, 99), (-5, 100)):
+            assert self.overlap_hits(view, low, high) == self.brute_force_hits(
+                view, low, high
+            ), (low, high)
+
+    def test_window_is_bisected_not_scanned(self):
+        view = MaterializedView()
+        for value in range(100):
+            view.add(entry("p", equals(X, value), value + 1))
+        query = IntervalQuery(10.0, False, 12.0, False)
+        view.probe_range("p", 0, query)  # builds the window
+        window = view._arg_value_windows[("p", 0)]
+        visited = list(window.window(query.as_interval()))
+        assert len(visited) <= 3  # 10, 11, 12 -- not all 100 values
+
+    def test_bucket_churn_keeps_window_consistent(self):
+        view = self.build_value_view()
+        self.overlap_hits(view, 0, 100)  # build the window
+        five = entry("p", equals(X, 5), 3)
+        view.remove(five)
+        assert 3 not in self.overlap_hits(view, 4, 6)
+        view.add(five)
+        hits = self.overlap_hits(view, 4, 6)
+        assert hits.count(3) == 1
+        fresh = entry("p", equals(X, 50), 9)
+        view.add(fresh)
+        assert 9 in self.overlap_hits(view, 49, 51)
+
+    def test_window_stays_bounded_under_churn(self):
+        view = self.build_value_view()
+        self.overlap_hits(view, 0, 100)  # build
+        five = entry("p", equals(X, 5), 3)
+        for _ in range(200):
+            view.remove(five)
+            view.add(five)
+        window = view._arg_value_windows[("p", 0)]
+        assert len(window._sorted) < 50
+        assert self.overlap_hits(view, 4, 6).count(3) == 1
+
+    def test_non_numeric_and_bool_values_screened_like_linear_scan(self):
+        view = MaterializedView()
+        view.add(entry("p", equals(X, 3), 1))
+        view.add(entry("p", equals(X, "abc"), 2))
+        view.add(entry("p", equals(X, True), 3))
+        # Strings cannot satisfy a numeric bound; bools get no opinion (the
+        # solver coerces them), matching _interval_excludes.
+        hits = self.overlap_hits(view, 2, 4)
+        assert hits == [1, 3]
+        hits = self.overlap_hits(view, 10, 20)
+        assert hits == [3]
+
+    def test_strict_query_bounds_respected(self):
+        view = self.build_value_view()
+        query = IntervalQuery(3.0, True, 7.0, True)  # (3, 7)
+        hits = sorted(
+            e.support.clause_number for e in view.probe_range("p", 0, query)
+        )
+        assert hits == [3]  # only X = 5

@@ -272,6 +272,79 @@ def test_non_overlapping_deletion_leaves_external_entry_keys_untouched():
     assert view_keys(dred.view) == view_keys(recomputed.view)
 
 
+@pytest.mark.parametrize("seed", SEEDS)
+def test_coalesced_batches_match_one_at_a_time(seed):
+    """The stream scheduler's batched application vs the sequential tracks.
+
+    Every random update sequence is also applied as ONE coalesced batch per
+    algorithm through :class:`repro.stream.StreamScheduler`; the result must
+    be key-identical to the one-at-a-time application, and the batch must
+    never cost more (``derivation_attempts + solver_calls``) than the
+    sequential run -- *strictly* less whenever at least two deletions were
+    batched into shared passes (DRed batches deleting a derivable predicate
+    fall back to the safe sequential chain and may only tie).
+    """
+    from repro.stream import StreamOptions, StreamScheduler
+
+    spec = build_spec(seed)
+    solver = ConstraintSolver()
+    initial = compute_tp_fixpoint(spec.program, solver)
+    stream = build_stream(spec, seed)
+    requests = [request for _, request in stream]
+    deletions = [r for kind, r in stream if kind == "delete"]
+    derivable = {
+        clause.predicate for clause in spec.program if clause.body
+    }
+    dred_batches_fully = not any(
+        request.atom.predicate in derivable for request in deletions
+    )
+
+    for algorithm in ("stdel", "dred"):
+        sequential_view = initial
+        program = spec.program
+        sequential_cost = 0
+        for kind, request in stream:
+            if kind == "insert":
+                step = insert_atom(
+                    program if algorithm == "dred" else spec.program,
+                    sequential_view,
+                    request.atom,
+                    solver,
+                )
+                sequential_view = step.view
+            elif algorithm == "stdel":
+                step = StraightDelete(spec.program, solver).delete(
+                    sequential_view, request
+                )
+                sequential_view = step.view
+            else:
+                step = ExtendedDRed(program, solver).delete(sequential_view, request)
+                sequential_view, program = step.view, step.rewritten_program
+            sequential_cost += (
+                step.stats.derivation_attempts + step.stats.solver_calls
+            )
+
+        scheduler = StreamScheduler(
+            spec.program,
+            ConstraintSolver(),
+            view=initial.copy(),
+            options=StreamOptions(deletion_algorithm=algorithm),
+        )
+        result = scheduler.apply_batch(requests)
+        assert result.ok
+        assert view_keys(result.view) == view_keys(sequential_view), (
+            f"{algorithm} batch diverged from one-at-a-time"
+        )
+        batched_cost = (
+            result.stats.derivation_attempts + result.stats.solver_calls
+        )
+        assert batched_cost <= sequential_cost, f"{algorithm} batch cost more"
+        if len(deletions) >= 2 and (algorithm == "stdel" or dred_batches_fully):
+            assert batched_cost < sequential_cost, (
+                f"{algorithm} batch did not amortize anything"
+            )
+
+
 @pytest.mark.parametrize("seed", range(0, 60, 5))
 def test_indexed_materialization_matches_positional(seed):
     """T_P materialization: same view, never more derivation attempts.

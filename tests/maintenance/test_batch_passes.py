@@ -1,0 +1,219 @@
+"""Directed tests for the batched maintenance passes (delete_many / insert_many)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constraints import ConstraintSolver
+from repro.datalog import compute_tp_fixpoint, parse_constrained_atom, parse_program
+from repro.maintenance import (
+    ConstrainedAtomInsertion,
+    DeletionRequest,
+    ExtendedDRed,
+    InsertionRequest,
+    StraightDelete,
+    insert_atom,
+)
+
+UNIVERSE = tuple(range(0, 30))
+
+CHAIN_RULES = """
+base(X) <- X = 1.
+base(X) <- X = 2.
+base(X) <- X = 3.
+mid(X) <- base(X).
+top(X) <- mid(X).
+"""
+
+DERIVED_RULES = """
+a(X) <- X = 1.
+a(X) <- X = 2.
+b(X) <- a(X).
+b(X) <- X = 9.
+"""
+
+
+def deletion(text: str) -> DeletionRequest:
+    return DeletionRequest(parse_constrained_atom(text))
+
+
+def insertion(text: str) -> InsertionRequest:
+    return InsertionRequest(parse_constrained_atom(text))
+
+
+def view_keys(view):
+    return sorted(str(entry.key()) for entry in view)
+
+
+@pytest.fixture
+def chain():
+    program = parse_program(CHAIN_RULES)
+    solver = ConstraintSolver()
+    return program, solver, compute_tp_fixpoint(program, solver)
+
+
+class TestStDelBatch:
+    def test_single_request_batch_equals_delete(self, chain):
+        program, solver, view = chain
+        request = deletion("base(X) <- X = 1")
+        one = StraightDelete(program, solver).delete(view, request)
+        many = StraightDelete(program, solver).delete_many(view, (request,))
+        assert view_keys(one.view) == view_keys(many.view)
+        assert one.stats.as_dict() == many.stats.as_dict()
+
+    def test_batch_matches_sequential_chain(self, chain):
+        program, solver, view = chain
+        requests = (deletion("base(X) <- X = 1"), deletion("base(X) <- X = 2"))
+        sequential = view
+        for request in requests:
+            sequential = StraightDelete(program, solver).delete(sequential, request).view
+        batched = StraightDelete(program, solver).delete_many(view, requests)
+        assert view_keys(batched.view) == view_keys(sequential)
+
+    def test_batch_purges_once_not_per_request(self, chain):
+        program, solver, view = chain
+        requests = (deletion("base(X) <- X = 1"), deletion("base(X) <- X = 2"))
+        sequential_calls = 0
+        current = view
+        for request in requests:
+            step = StraightDelete(program, solver).delete(current, request)
+            current = step.view
+            sequential_calls += step.stats.solver_calls
+        batched = StraightDelete(program, solver).delete_many(view, requests)
+        # The batch pays one final purge sweep instead of one per request.
+        assert batched.stats.solver_calls < sequential_calls
+
+    def test_purge_predicates_restricts_the_sweep(self, chain):
+        program, solver, view = chain
+        request = deletion("base(X) <- X = 1")
+        full = StraightDelete(program, solver).delete_many(view, (request,))
+        restricted = StraightDelete(program, solver).delete_many(
+            view, (request,), purge_predicates=("base", "mid", "top")
+        )
+        assert view_keys(full.view) == view_keys(restricted.view)
+        assert restricted.stats.solver_calls <= full.stats.solver_calls
+
+    def test_overlapping_deletions_on_one_entry_compose(self):
+        # Two deletions carving different parts out of the same interval
+        # entry: the batch must narrow the entry exactly like the chain.
+        program = parse_program("iv(X) <- X >= 0 & X <= 10.\nup(X) <- iv(X).")
+        solver = ConstraintSolver()
+        view = compute_tp_fixpoint(program, solver)
+        requests = (deletion("iv(X) <- X = 3"), deletion("iv(X) <- X = 7"))
+        sequential = view
+        for request in requests:
+            sequential = StraightDelete(program, solver).delete(sequential, request).view
+        batched = StraightDelete(program, solver).delete_many(view, requests)
+        assert view_keys(batched.view) == view_keys(sequential)
+
+
+class TestDRedBatch:
+    def test_single_request_batch_equals_delete(self, chain):
+        program, solver, view = chain
+        request = deletion("base(X) <- X = 1")
+        one = ExtendedDRed(program, solver).delete(view, request)
+        many = ExtendedDRed(program, solver).delete_many(view, (request,))
+        assert view_keys(one.view) == view_keys(many.view)
+
+    def test_edb_batch_matches_sequential_chain(self, chain):
+        program, solver, view = chain
+        requests = (deletion("base(X) <- X = 1"), deletion("base(X) <- X = 2"))
+        sequential, current_program = view, program
+        for request in requests:
+            step = ExtendedDRed(current_program, solver).delete(sequential, request)
+            sequential, current_program = step.view, step.rewritten_program
+        batched = ExtendedDRed(program, solver).delete_many(view, requests)
+        assert view_keys(batched.view) == view_keys(sequential)
+        assert len(batched.del_atoms) == 2
+
+    def test_derivable_predicate_falls_back_to_chaining(self):
+        program = parse_program(DERIVED_RULES)
+        solver = ConstraintSolver()
+        view = compute_tp_fixpoint(program, solver)
+        # b is derivable (b(X) <- a(X)): a batch deleting b must chain so a
+        # later Del set sees the earlier request's rederivation.
+        requests = (deletion("b(X) <- X = 9"), deletion("b(X) <- X = 1"))
+        sequential, current_program = view, program
+        for request in requests:
+            step = ExtendedDRed(current_program, solver).delete(sequential, request)
+            sequential, current_program = step.view, step.rewritten_program
+        batched = ExtendedDRed(program, solver).delete_many(view, requests)
+        assert view_keys(batched.view) == view_keys(sequential)
+
+    def test_rederivation_seed_counts_support_probes(self, chain):
+        program, solver, view = chain
+        result = ExtendedDRed(program, solver).delete(
+            view, deletion("base(X) <- X = 1")
+        )
+        # The delta-rederivation seed probes the support index once per
+        # premise position of each narrowed entry.
+        assert result.stats.support_probes > 0
+
+    def test_seed_filters_external_premises_by_body_predicate(self):
+        # Externally inserted atoms all share support <0>; the seed must not
+        # drag every external entry of *other* predicates in.
+        program = parse_program("out(X) <- inp(X).")
+        solver = ConstraintSolver()
+        view = compute_tp_fixpoint(program, solver)
+        view = insert_atom(program, view, parse_constrained_atom("inp(X) <- X = 1"), solver).view
+        for value in range(10):
+            view = insert_atom(
+                program,
+                view,
+                parse_constrained_atom(f"noise(X) <- X = {20 + value}"),
+                solver,
+            ).view
+        algorithm = ExtendedDRed(program, solver)
+        result = algorithm.delete(view, deletion("inp(X) <- X = 1"))
+        assert result.view.instances_for("out", solver, UNIVERSE) == frozenset()
+        # The disturbed derivation (out <- inp) has one premise position; a
+        # predicate-blind seed would have pulled in the 10 noise entries.
+        narrowed = [
+            entry
+            for entry in result.overestimate
+            if str(entry.key()) not in {str(e.key()) for e in view}
+        ]
+        seed = algorithm._rederivation_seed(result.overestimate, narrowed)
+        seed_predicates = {entry.predicate for entry in seed}
+        assert "noise" not in seed_predicates
+
+
+class TestInsertBatch:
+    def test_single_request_batch_equals_insert(self, chain):
+        program, solver, view = chain
+        request = insertion("base(X) <- X = 7")
+        one = ConstrainedAtomInsertion(program, solver).insert(view, request)
+        many = ConstrainedAtomInsertion(program, solver).insert_many(view, (request,))
+        assert view_keys(one.view) == view_keys(many.view)
+        assert one.stats.as_dict() == many.stats.as_dict()
+
+    def test_batch_matches_sequential_chain(self, chain):
+        program, solver, view = chain
+        requests = (insertion("base(X) <- X = 7"), insertion("base(X) <- X = 8"))
+        sequential = view
+        for request in requests:
+            sequential = insert_atom(program, sequential, request.atom, solver).view
+        batched = ConstrainedAtomInsertion(program, solver).insert_many(view, requests)
+        assert view_keys(batched.view) == view_keys(sequential)
+        assert batched.stats.seed_atoms == 2
+
+    def test_derivable_insertion_flushes_the_frontier_first(self):
+        # Inserting mid after base: the Add set of the mid insertion must be
+        # narrowed by what the base insertion *derives* (mid <- base), which
+        # requires unfolding the first frontier before the second Add set.
+        program = parse_program(CHAIN_RULES)
+        solver = ConstraintSolver()
+        view = compute_tp_fixpoint(program, solver)
+        requests = (insertion("base(X) <- X = 7"), insertion("mid(X) <- X = 7"))
+        sequential = view
+        for request in requests:
+            sequential = insert_atom(program, sequential, request.atom, solver).view
+        batched = ConstrainedAtomInsertion(program, solver).insert_many(view, requests)
+        assert view_keys(batched.view) == view_keys(sequential)
+
+    def test_batch_unfolds_derivations_of_both_insertions(self, chain):
+        program, solver, view = chain
+        requests = (insertion("base(X) <- X = 7"), insertion("base(X) <- X = 8"))
+        result = ConstrainedAtomInsertion(program, solver).insert_many(view, requests)
+        for value in (7, 8):
+            assert (value,) in result.view.instances_for("top", solver, UNIVERSE)

@@ -1,0 +1,109 @@
+"""Unit tests for the update-stream transaction log."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.datalog import parse_constrained_atom
+from repro.maintenance import DeletionRequest, InsertionRequest
+from repro.reldb.changelog import Change, ChangeKind, ChangeLog
+from repro.stream import (
+    ExternalChangeNotice,
+    UpdateLog,
+    attach_changelog,
+    notice_from_changelog,
+)
+
+
+def deletion(text: str) -> DeletionRequest:
+    return DeletionRequest(parse_constrained_atom(text))
+
+
+def insertion(text: str) -> InsertionRequest:
+    return InsertionRequest(parse_constrained_atom(text))
+
+
+class TestUpdateLog:
+    def test_appends_are_ordered_and_timestamped(self):
+        log = UpdateLog()
+        first = log.append(deletion("b(X) <- X = 6"))
+        second = log.append(insertion("b(X) <- X = 1"))
+        third = log.append(ExternalChangeNotice("faces"))
+        assert [t.txn_id for t in log.history()] == [first.txn_id, second.txn_id, third.txn_id]
+        assert first.txn_id < second.txn_id < third.txn_id
+        assert first.timestamp <= second.timestamp <= third.timestamp
+
+    def test_drain_consumes_exactly_the_pending_suffix(self):
+        log = UpdateLog()
+        log.append(deletion("b(X) <- X = 6"))
+        log.append(insertion("b(X) <- X = 1"))
+        assert log.pending_count() == 2
+        batch = log.drain()
+        assert [type(t.payload).__name__ for t in batch] == [
+            "DeletionRequest",
+            "InsertionRequest",
+        ]
+        assert log.pending() == ()
+        late = log.append(deletion("b(X) <- X = 7"))
+        assert [t.txn_id for t in log.drain()] == [late.txn_id]
+        # History is never consumed.
+        assert len(log.history()) == 3
+
+    def test_rejects_non_payloads(self):
+        log = UpdateLog()
+        with pytest.raises(TypeError):
+            log.append("delete everything")  # type: ignore[arg-type]
+
+    def test_concurrent_appends_keep_ids_unique(self):
+        log = UpdateLog()
+
+        def writer():
+            for _ in range(100):
+                log.append(ExternalChangeNotice("src"))
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        ids = [t.txn_id for t in log.history()]
+        assert len(ids) == 400
+        assert len(set(ids)) == 400
+
+
+class TestChangelogFeed:
+    def make_changelog(self):
+        changelog = ChangeLog()
+        changelog.record(Change(ChangeKind.INSERT, "people", 1, ("alice",)))
+        changelog.record(Change(ChangeKind.INSERT, "people", 2, ("bob",)))
+        changelog.record(Change(ChangeKind.DELETE, "people", 3, ("bob",)))
+        return changelog
+
+    def test_notice_from_changelog_carries_net_effect(self):
+        changelog = self.make_changelog()
+        notice = notice_from_changelog(changelog, 0, 3, table="people")
+        # bob was inserted and deleted inside the interval: net effect empty.
+        assert notice.added_rows == (("alice",),)
+        assert notice.removed_rows == ()
+        assert notice.version == 3
+        assert notice.source == "people"
+
+    def test_attach_changelog_forwards_changes_as_notices(self):
+        changelog = ChangeLog()
+        log = UpdateLog()
+        detach = attach_changelog(log, changelog)
+        changelog.record(Change(ChangeKind.INSERT, "people", 1, ("alice",)))
+        changelog.record(
+            Change(ChangeKind.UPDATE, "people", 2, ("alice", 30), old_row=("alice",))
+        )
+        notices = [t.payload for t in log.pending()]
+        assert len(notices) == 2
+        assert notices[0].added_rows == (("alice",),)
+        assert notices[1].added_rows == (("alice", 30),)
+        assert notices[1].removed_rows == (("alice",),)
+        detach()
+        changelog.record(Change(ChangeKind.DELETE, "people", 3, ("alice", 30)))
+        assert log.pending_count() == 2  # detached: nothing new
+        detach()  # double detach is a no-op

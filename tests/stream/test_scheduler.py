@@ -1,0 +1,365 @@
+"""Unit and integration tests for the stream scheduler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constraints import ConstraintSolver
+from repro.datalog import compute_tp_fixpoint, parse_constrained_atom, parse_program
+from repro.errors import MaintenanceError
+from repro.maintenance import (
+    DeletionRequest,
+    ExtendedDRed,
+    InsertionRequest,
+    StraightDelete,
+    ViewMaintainer,
+    insert_atom,
+)
+from repro.stream import ExternalChangeNotice, StreamOptions, StreamScheduler
+from repro.workloads import make_layered_program, stream_batches
+
+TWO_TOWER_RULES = """
+left(X) <- X = 1.
+left(X) <- X = 2.
+right(X) <- X = 11.
+right(X) <- X = 12.
+mid(X) <- left(X).
+top(X) <- mid(X).
+other(X) <- right(X).
+"""
+
+UNIVERSE = tuple(range(0, 40))
+
+
+def deletion(text: str) -> DeletionRequest:
+    return DeletionRequest(parse_constrained_atom(text))
+
+
+def insertion(text: str) -> InsertionRequest:
+    return InsertionRequest(parse_constrained_atom(text))
+
+
+def view_keys(view):
+    return sorted(str(entry.key()) for entry in view)
+
+
+def sequential_track(spec_program, initial, requests, solver, algorithm):
+    """The one-at-a-time reference: same requests, per-request algorithms."""
+    view, program = initial, spec_program
+    for request in requests:
+        if isinstance(request, InsertionRequest):
+            view = insert_atom(
+                program if algorithm == "dred" else spec_program,
+                view,
+                request.atom,
+                solver,
+            ).view
+        elif algorithm == "stdel":
+            view = StraightDelete(spec_program, solver).delete(view, request).view
+        else:
+            result = ExtendedDRed(program, solver).delete(view, request)
+            view, program = result.view, result.rewritten_program
+    return view
+
+
+class TestBatchedApplication:
+    @pytest.mark.parametrize("algorithm", ["stdel", "dred"])
+    def test_batch_matches_one_at_a_time_keys(self, algorithm):
+        spec = make_layered_program(
+            base_facts=6, layers=2, predicates_per_layer=2, fanin=2, seed=3
+        )
+        solver = ConstraintSolver()
+        initial = compute_tp_fixpoint(spec.program, solver)
+        batch = stream_batches(spec, 1, deletions=3, insertions=2, seed=5)[0]
+        expected = sequential_track(
+            spec.program, initial, batch.requests, solver, algorithm
+        )
+        scheduler = StreamScheduler(
+            spec.program,
+            ConstraintSolver(),
+            view=initial.copy(),
+            options=StreamOptions(deletion_algorithm=algorithm),
+        )
+        result = scheduler.apply_batch(batch.requests)
+        assert result.ok
+        assert view_keys(result.view) == view_keys(expected)
+        assert scheduler.verify(UNIVERSE)
+
+    def test_batch_costs_less_than_one_at_a_time(self):
+        spec = make_layered_program(
+            base_facts=8, layers=2, predicates_per_layer=2, fanin=2, seed=3
+        )
+        solver = ConstraintSolver()
+        initial = compute_tp_fixpoint(spec.program, solver)
+        batch = stream_batches(spec, 1, deletions=3, insertions=2, seed=5)[0]
+
+        maintainer = ViewMaintainer(spec.program, solver, view=initial.copy())
+        report = maintainer.apply_all(batch.requests)
+        sequential_cost = sum(
+            item.stats.derivation_attempts + item.stats.solver_calls
+            for item in report.applied
+        )
+        scheduler = StreamScheduler(
+            spec.program, ConstraintSolver(), view=initial.copy()
+        )
+        stats = scheduler.apply_batch(batch.requests).stats
+        assert stats.derivation_attempts + stats.solver_calls < sequential_cost
+
+    def test_coalescing_shrinks_the_applied_batch(self):
+        program = parse_program(TWO_TOWER_RULES)
+        scheduler = StreamScheduler(program, ConstraintSolver())
+        result = scheduler.apply_batch(
+            [
+                deletion("left(X) <- X = 1"),
+                deletion("left(X) <- X = 1"),  # duplicate
+                insertion("right(X) <- X = 30"),
+                deletion("right(X) <- X = 30"),  # cancels the insertion
+            ]
+        )
+        assert result.stats.coalesce.deduplicated == 1
+        assert result.stats.coalesce.cancelled == 1
+        assert result.stats.applied == 2  # one deletion per tower survives
+        assert scheduler.query("left", UNIVERSE) == {(2,)}
+        assert scheduler.query("right", UNIVERSE) == {(11,), (12,)}
+
+    def test_independent_strata_become_separate_units(self):
+        program = parse_program(TWO_TOWER_RULES)
+        scheduler = StreamScheduler(program, ConstraintSolver())
+        result = scheduler.apply_batch(
+            [deletion("left(X) <- X = 1"), deletion("right(X) <- X = 11")]
+        )
+        assert len(result.stats.units) == 2
+        closures = sorted(
+            tuple(sorted(unit.predicates)) for unit in result.stats.units
+        )
+        assert closures == [("left",), ("right",)]
+        assert scheduler.query("top", UNIVERSE) == {(2,)}
+        assert scheduler.query("other", UNIVERSE) == {(12,)}
+
+    @pytest.mark.parametrize("algorithm", ["stdel", "dred"])
+    def test_parallel_units_match_sequential(self, algorithm):
+        program = parse_program(TWO_TOWER_RULES)
+        requests = [
+            deletion("left(X) <- X = 1"),
+            deletion("right(X) <- X = 11"),
+            insertion("left(X) <- X = 3"),
+            insertion("right(X) <- X = 13"),
+        ]
+        reference = StreamScheduler(
+            program,
+            ConstraintSolver(),
+            options=StreamOptions(deletion_algorithm=algorithm, max_workers=1),
+        )
+        parallel = StreamScheduler(
+            program,
+            ConstraintSolver(),
+            options=StreamOptions(deletion_algorithm=algorithm, max_workers=4),
+        )
+        sequential_result = reference.apply_batch(requests)
+        parallel_result = parallel.apply_batch(requests)
+        assert len(parallel_result.stats.units) == 2
+        assert view_keys(parallel_result.view) == view_keys(sequential_result.view)
+        assert parallel.verify(UNIVERSE)
+
+
+class TestStreamOrderSemantics:
+    JOIN_RULES = """
+    e(X) <- X = 1.
+    f(X) <- X = 1.
+    t(X) <- e(X), f(X).
+    """
+
+    @pytest.mark.parametrize("algorithm", ["stdel", "dred"])
+    def test_insertion_after_deletion_does_not_rederive_deleted_instances(
+        self, algorithm
+    ):
+        # Regression: the insertion pass must unfold through the program
+        # carrying the batch's deletion rewrites -- with the original
+        # program, re-inserting f(1) would re-derive the deleted t(1).
+        program = parse_program(self.JOIN_RULES)
+        requests = [
+            deletion("t(X) <- X = 1"),
+            deletion("f(X) <- X = 1"),
+            insertion("f(X) <- X = 1"),
+        ]
+        scheduler = StreamScheduler(
+            program,
+            ConstraintSolver(),
+            options=StreamOptions(deletion_algorithm=algorithm),
+        )
+        result = scheduler.apply_batch(requests)
+        assert result.ok
+        assert scheduler.query("t", UNIVERSE) == frozenset()
+        assert scheduler.query("f", UNIVERSE) == {(1,)}
+        assert scheduler.verify(UNIVERSE)
+
+    def test_per_request_maintainer_keeps_deletion_rewrites_for_insertions(self):
+        # Same scenario through the rebased per-request ViewMaintainer.
+        program = parse_program(self.JOIN_RULES)
+        maintainer = ViewMaintainer(program, ConstraintSolver())
+        maintainer.apply(deletion("t(X) <- X = 1"))
+        maintainer.apply(deletion("f(X) <- X = 1"))
+        maintainer.apply(insertion("f(X) <- X = 1"))
+        solver = ConstraintSolver()
+        assert maintainer.view.instances_for("t", solver, UNIVERSE) == frozenset()
+        assert maintainer.verify(UNIVERSE)
+
+    def test_uncoalesced_batch_preserves_insert_then_delete_order(self):
+        # Regression: with coalescing off there is no cancel/narrow pass,
+        # so the scheduler must NOT reorder deletions ahead of insertions;
+        # the stream is replayed as consecutive same-kind phases instead.
+        program = parse_program(TWO_TOWER_RULES)
+        scheduler = StreamScheduler(
+            program, ConstraintSolver(), options=StreamOptions(coalesce=False)
+        )
+        result = scheduler.apply_batch(
+            [insertion("left(X) <- X = 30"), deletion("left(X) <- X = 30")]
+        )
+        assert result.ok
+        assert (30,) not in scheduler.query("left", UNIVERSE)
+        assert scheduler.verify(UNIVERSE)
+
+    def test_uncoalesced_batch_preserves_delete_then_insert_order(self):
+        program = parse_program(TWO_TOWER_RULES)
+        scheduler = StreamScheduler(
+            program, ConstraintSolver(), options=StreamOptions(coalesce=False)
+        )
+        scheduler.apply_batch(
+            [deletion("left(X) <- X = 1"), insertion("left(X) <- X = 1")]
+        )
+        assert (1,) in scheduler.query("left", UNIVERSE)
+        assert scheduler.verify(UNIVERSE)
+
+
+class TestSnapshotIsolation:
+    def test_mid_batch_reads_see_the_pre_batch_view(self):
+        program = parse_program(TWO_TOWER_RULES)
+        observed = []
+
+        scheduler = StreamScheduler(
+            program,
+            ConstraintSolver(),
+            options=StreamOptions(
+                on_unit_complete=lambda report: observed.append(
+                    scheduler.query("left", UNIVERSE)
+                )
+            ),
+        )
+        before = scheduler.query("left", UNIVERSE)
+        scheduler.apply_batch(
+            [deletion("left(X) <- X = 1"), deletion("right(X) <- X = 11")]
+        )
+        # Both unit-completion callbacks ran before publication: every
+        # mid-batch read must still see the full pre-batch instance set.
+        assert observed == [before, before]
+        assert scheduler.query("left", UNIVERSE) == {(2,)}
+
+    def test_snapshot_returns_an_independent_copy(self):
+        program = parse_program(TWO_TOWER_RULES)
+        scheduler = StreamScheduler(program, ConstraintSolver())
+        snapshot = scheduler.snapshot()
+        scheduler.apply_batch([deletion("left(X) <- X = 1")])
+        assert len(snapshot) != len(scheduler.view)
+
+
+class TestFailureAndRetry:
+    def test_failing_unit_is_retried_and_succeeds(self, monkeypatch):
+        program = parse_program(TWO_TOWER_RULES)
+        scheduler = StreamScheduler(
+            program, ConstraintSolver(), options=StreamOptions(max_unit_attempts=2)
+        )
+        original = StraightDelete.delete_many
+        failures = {"left": 1}
+
+        def flaky(self, view, requests, purge_predicates=None):
+            predicate = requests[0].atom.predicate
+            if failures.get(predicate, 0) > 0:
+                failures[predicate] -= 1
+                raise RuntimeError("transient source hiccup")
+            return original(self, view, requests, purge_predicates)
+
+        monkeypatch.setattr(StraightDelete, "delete_many", flaky)
+        result = scheduler.apply_batch([deletion("left(X) <- X = 1")])
+        assert result.ok
+        (unit,) = result.stats.units
+        assert unit.attempts == 2
+        assert scheduler.query("left", UNIVERSE) == {(2,)}
+
+    def test_exhausted_unit_reported_failed_and_others_still_apply(self, monkeypatch):
+        program = parse_program(TWO_TOWER_RULES)
+        scheduler = StreamScheduler(
+            program, ConstraintSolver(), options=StreamOptions(max_unit_attempts=2)
+        )
+        original = StraightDelete.delete_many
+
+        def poisoned(self, view, requests, purge_predicates=None):
+            if requests[0].atom.predicate == "left":
+                raise RuntimeError("permanent failure")
+            return original(self, view, requests, purge_predicates)
+
+        monkeypatch.setattr(StraightDelete, "delete_many", poisoned)
+        result = scheduler.apply_batch(
+            [deletion("left(X) <- X = 1"), deletion("right(X) <- X = 11")]
+        )
+        assert not result.ok
+        (failed,) = result.failed_units
+        assert failed.attempts == 2
+        assert "permanent failure" in failed.error
+        # The failed unit's closure is untouched; the other applied.
+        assert scheduler.query("left", UNIVERSE) == {(1,), (2,)}
+        assert scheduler.query("right", UNIVERSE) == {(12,)}
+        # The failed unit's rewrite must NOT have entered the effective
+        # program, so verification still holds.
+        assert scheduler.verify(UNIVERSE)
+
+
+class TestExternalNotices:
+    def test_notices_cost_no_maintenance_work(self):
+        program = parse_program(TWO_TOWER_RULES)
+        scheduler = StreamScheduler(program, ConstraintSolver())
+        before = view_keys(scheduler.view)
+        result = scheduler.apply_batch(
+            [
+                ExternalChangeNotice("faces", added_rows=(("f1",),)),
+                ExternalChangeNotice("faces", removed_rows=(("f1",),)),
+            ]
+        )
+        assert result.stats.external_notices == 1  # compacted per source
+        assert result.stats.units == []
+        assert result.stats.derivation_attempts == 0
+        assert result.stats.solver_calls == 0
+        assert view_keys(scheduler.view) == before  # Theorem 4: no view work
+
+
+class TestLogIntegration:
+    def test_submit_and_flush_drain_the_log(self):
+        program = parse_program(TWO_TOWER_RULES)
+        scheduler = StreamScheduler(program, ConstraintSolver())
+        scheduler.submit(deletion("left(X) <- X = 1"))
+        scheduler.submit(insertion("left(X) <- X = 4"))
+        assert scheduler.log.pending_count() == 2
+        result = scheduler.flush()
+        assert result.ok
+        assert scheduler.log.pending_count() == 0
+        assert scheduler.query("left", UNIVERSE) == {(2,), (4,)}
+        # Flushing an empty log is a harmless no-op batch.
+        assert scheduler.flush().stats.applied == 0
+
+
+class TestViewMaintainerRebase:
+    def test_apply_batched_routes_through_the_scheduler(self):
+        spec = make_layered_program(base_facts=5, layers=2, seed=8)
+        maintainer = ViewMaintainer(spec.program, ConstraintSolver())
+        batch = stream_batches(spec, 1, deletions=2, insertions=2, seed=3)[0]
+        result = maintainer.apply_batched(batch.requests)
+        assert result.ok
+        assert maintainer.verify()
+
+    def test_rejects_unknown_algorithm(self):
+        spec = make_layered_program(base_facts=4, layers=1, seed=1)
+        with pytest.raises(MaintenanceError):
+            StreamScheduler(
+                spec.program,
+                ConstraintSolver(),
+                options=StreamOptions(deletion_algorithm="magic"),
+            )

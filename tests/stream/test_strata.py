@@ -1,0 +1,112 @@
+"""Unit tests for predicate stratification and batch partitioning."""
+
+from __future__ import annotations
+
+from repro.datalog import parse_constrained_atom, parse_program
+from repro.maintenance import DeletionRequest, InsertionRequest
+from repro.stream import PredicateStrata
+
+LAYERED = """
+left(X) <- X = 1.
+right(X) <- X = 2.
+mid(X) <- left(X).
+top(X) <- mid(X).
+other(X) <- right(X).
+"""
+
+RECURSIVE = """
+edge(X, Y) <- X = 1 & Y = 2.
+path(X, Y) <- edge(X, Y).
+path(X, Y) <- edge(X, Z), path(Z, Y).
+"""
+
+JOINED = """
+a(X) <- X = 1.
+b(X) <- X = 2.
+both(X) <- a(X), b(X).
+"""
+
+
+def deletion(text: str) -> DeletionRequest:
+    return DeletionRequest(parse_constrained_atom(text))
+
+
+def insertion(text: str) -> InsertionRequest:
+    return InsertionRequest(parse_constrained_atom(text))
+
+
+class TestSccs:
+    def test_sccs_bottom_up_and_recursion_confined(self):
+        program = parse_program(RECURSIVE)
+        components = program.predicate_sccs()
+        assert ("path",) in components  # the recursive component
+        assert components.index(("edge",)) < components.index(("path",))
+
+    def test_mutually_recursive_predicates_share_a_component(self):
+        program = parse_program(
+            """
+            base(X) <- X = 1.
+            even(X) <- base(X).
+            even(X) <- odd(X).
+            odd(X) <- even(X).
+            """
+        )
+        components = program.predicate_sccs()
+        assert ("even", "odd") in components
+
+    def test_every_predicate_gets_a_stratum(self):
+        strata = PredicateStrata(parse_program(LAYERED))
+        levels = {p: strata.stratum_of(p) for p in ("left", "mid", "top", "right", "other")}
+        assert levels["left"] < levels["mid"] < levels["top"]
+        assert levels["right"] < levels["other"]
+
+
+class TestClosures:
+    def test_upward_closure_follows_dependents(self):
+        strata = PredicateStrata(parse_program(LAYERED))
+        assert strata.upward_closure("left") == {"left", "mid", "top"}
+        assert strata.upward_closure("right") == {"right", "other"}
+        assert strata.upward_closure("top") == {"top"}
+
+    def test_recursive_closure_contains_the_component(self):
+        strata = PredicateStrata(parse_program(RECURSIVE))
+        assert strata.upward_closure("edge") == {"edge", "path"}
+
+
+class TestPartition:
+    def test_independent_predicates_split_into_units(self):
+        strata = PredicateStrata(parse_program(LAYERED))
+        units = strata.partition(
+            (deletion("left(X) <- X = 1"), deletion("right(X) <- X = 2")),
+            (insertion("left(X) <- X = 9"),),
+        )
+        assert len(units) == 2
+        left_unit = next(u for u in units if "left" in u.predicates)
+        assert left_unit.write_closure == {"left", "mid", "top"}
+        assert len(left_unit.deletions) == 1 and len(left_unit.insertions) == 1
+        right_unit = next(u for u in units if "right" in u.predicates)
+        assert right_unit.insertions == ()
+
+    def test_clause_joining_two_predicates_merges_their_units(self):
+        strata = PredicateStrata(parse_program(JOINED))
+        units = strata.partition(
+            (deletion("a(X) <- X = 1"), deletion("b(X) <- X = 2")), ()
+        )
+        # both(X) <- a(X), b(X): a and b share `both` in their closures.
+        assert len(units) == 1
+        assert units[0].write_closure == {"a", "b", "both"}
+
+    def test_units_ordered_by_earliest_request(self):
+        strata = PredicateStrata(parse_program(LAYERED))
+        units = strata.partition(
+            (deletion("right(X) <- X = 2"), deletion("left(X) <- X = 1")), ()
+        )
+        assert [sorted(u.predicates)[0] for u in units] == ["right", "left"]
+
+    def test_request_order_preserved_inside_a_unit(self):
+        strata = PredicateStrata(parse_program(LAYERED))
+        first = deletion("left(X) <- X = 1")
+        second = deletion("mid(X) <- X = 1")
+        units = strata.partition((first, second), ())
+        assert len(units) == 1
+        assert units[0].deletions == (first, second)

@@ -76,3 +76,51 @@ def test_compare_snapshots_flags_synthetic_regression(baseline):
     stats["solver_calls"] = stats["solver_calls"] * 2 + 100
     regressions = compare_snapshots(baseline, inflated, threshold=0.2)
     assert any(key == "deletion_recursive_tc6.dred.solver_calls" for key, _, _ in regressions)
+
+
+def test_compare_snapshots_flags_missing_counter_clearly(baseline):
+    """A counter present in the baseline but gone from the fresh run must be
+    reported (current value ``None``), not silently skipped or KeyError'd."""
+    gutted = json.loads(json.dumps(baseline))  # deep copy
+    del gutted["results"]["deletion_recursive_tc6"]["dred"]["stats"]["solver_calls"]
+    regressions = compare_snapshots(baseline, gutted, threshold=0.2)
+    assert ("deletion_recursive_tc6.dred.solver_calls" in {k for k, _, _ in regressions})
+    missing = next(r for r in regressions if r[0].endswith("dred.solver_calls"))
+    assert missing[2] is None
+
+
+def test_compare_snapshots_ignores_families_absent_from_current(baseline):
+    """The tier-1 gate runs without the slow external family; whole families
+    missing from the current snapshot are not regressions."""
+    gutted = json.loads(json.dumps(baseline))  # deep copy
+    gutted["results"].pop("deletion_recursive_tc6")
+    regressions = compare_snapshots(baseline, gutted, threshold=0.2)
+    assert not any(key.startswith("deletion_recursive_tc6.") for key, _, _ in regressions)
+
+
+def test_batched_deletion_never_costs_more_than_sequential(baseline, current):
+    """The stream subsystem's amortization bar, enforced on the committed and
+    the freshly-run snapshot: for each algorithm the batched tc14 deletion
+    pass performs at most the sequential attempts+calls, and strictly fewer
+    in total; the coalesced mixed batch likewise beats one-at-a-time."""
+    for snapshot in (baseline["results"], current["results"]):
+        family = snapshot["deletion_batch_tc14"]
+        for algorithm in ("stdel", "dred"):
+            sequential = family[f"{algorithm}_sequential"]["stats"]
+            batched = family[f"{algorithm}_batched"]["stats"]
+            cost_sequential = (
+                sequential["derivation_attempts"] + sequential["solver_calls"]
+            )
+            cost_batched = batched["derivation_attempts"] + batched["solver_calls"]
+            assert cost_batched < cost_sequential, algorithm
+        mixed = snapshot["stream_mixed_batch"]
+        sequential = mixed["sequential"]["stats"]
+        batched = mixed["batched"]["stats"]
+        assert (
+            batched["derivation_attempts"] + batched["solver_calls"]
+            < sequential["derivation_attempts"] + sequential["solver_calls"]
+        )
+        # The batch genuinely coalesced: the injected duplicate and the
+        # insert-then-delete pair never reached a maintenance pass.
+        assert mixed["coalesce"]["deduplicated"] >= 1
+        assert mixed["coalesce"]["cancelled"] >= 1

@@ -152,3 +152,50 @@ class TestLawEnforcementScenario:
     def test_kingpin_subset(self):
         scenario = make_law_enforcement_scenario(num_people=9, seed=2)
         assert set(scenario.expected_kingpin_suspects()) <= set(scenario.expected_suspects())
+
+
+class TestStreamBatches:
+    def test_batches_are_deterministic(self):
+        from repro.workloads import make_layered_program, stream_batches
+
+        spec = make_layered_program(base_facts=8, layers=2, seed=1)
+        first = stream_batches(spec, 2, deletions=2, insertions=2, seed=5,
+                               duplicates=1, cancellations=1)
+        second = stream_batches(spec, 2, deletions=2, insertions=2, seed=5,
+                                duplicates=1, cancellations=1)
+        assert [[str(r) for r in b.requests] for b in first] == [
+            [str(r) for r in b.requests] for b in second
+        ]
+
+    def test_deletions_are_distinct_across_batches(self):
+        from repro.maintenance import DeletionRequest
+        from repro.workloads import make_layered_program, stream_batches
+
+        spec = make_layered_program(base_facts=8, layers=2, seed=1)
+        batches = stream_batches(spec, 3, deletions=2, insertions=0, seed=4)
+        deleted = [
+            str(r.atom)
+            for batch in batches
+            for r in batch.requests
+            if isinstance(r, DeletionRequest) and "5000" not in str(r.atom)
+        ]
+        assert len(deleted) == len(set(deleted)) == 6
+
+    def test_cancellation_pair_orders_insert_before_delete(self):
+        from repro.maintenance import DeletionRequest, InsertionRequest
+        from repro.workloads import make_layered_program, stream_batches
+
+        spec = make_layered_program(base_facts=6, layers=1, seed=2)
+        for seed in range(5):
+            batch = stream_batches(
+                spec, 1, deletions=1, insertions=1, seed=seed, cancellations=1
+            )[0]
+            pair_atoms = [
+                (index, type(r).__name__)
+                for index, r in enumerate(batch.requests)
+                if str(r.atom).startswith(("a", "b", "l")) and "50000" in str(r.atom)
+            ]
+            # The cancelling pair targets the 5_000_000+ value range: the
+            # insertion must precede the deletion of the same atom.
+            kinds = [kind for _, kind in sorted(pair_atoms)]
+            assert kinds == ["InsertionRequest", "DeletionRequest"]
