@@ -34,9 +34,14 @@ from benchmarks.conftest import (  # noqa: E402
     build_tc_deletion_scenario,
 )
 from repro.constraints import ConstraintSolver  # noqa: E402
-from repro.datalog import FixpointEngine  # noqa: E402
+from repro.datalog import (  # noqa: E402
+    FixpointEngine,
+    parse_constrained_atom,
+    parse_program,
+)
 from repro.datalog.fixpoint import FixpointOptions  # noqa: E402
 from repro.maintenance import (  # noqa: E402
+    DeletionRequest,
     TpExternalMaintenance,
     WpExternalMaintenance,
     delete_with_dred,
@@ -192,6 +197,12 @@ def run_stream_mixed_batch() -> dict:
     The batch carries duplicates and an insert-then-delete pair, so the
     snapshot also records what coalescing removed; the `sequential` payload
     is the same stream through the per-request ``ViewMaintainer`` path.
+
+    The batched run forces ``max_workers=4``: with predicate-sharded
+    storage the parallel units check out (copy-on-write) only the shards of
+    their write closures, so the snapshot records ``shard_checkouts``
+    against the closure size and the view's predicate count -- the gate
+    asserts untouched predicates are never copied.
     """
     spec = make_layered_program(
         base_facts=8, layers=2, predicates_per_layer=2, fanin=2, seed=1
@@ -210,13 +221,42 @@ def run_stream_mixed_batch() -> dict:
             sequential.merge(item.stats)
 
     scheduler = StreamScheduler(
-        spec.program, ConstraintSolver(), options=StreamOptions()
+        spec.program, ConstraintSolver(), options=StreamOptions(max_workers=4)
     )
     seconds_batched, result = timed(scheduler.apply_batch, batch.requests)
     stream_stats = result.stats.as_dict()
+    closure = set()
+    for unit in result.stats.units:
+        closure.update(unit.write_closure)
+
+    # Two independent towers, one of them untouched by the batch: its
+    # shards must come through the parallel publish by pointer, never
+    # copied (closure strictly smaller than the view's predicate set).
+    towers = parse_program(
+        """
+        left(X) <- X = 1.
+        left(X) <- X = 2.
+        right(X) <- X = 11.
+        right(X) <- X = 12.
+        mid(X) <- left(X).
+        top(X) <- mid(X).
+        other(X) <- right(X).
+        """
+    )
+    tower_scheduler = StreamScheduler(
+        towers, ConstraintSolver(), options=StreamOptions(max_workers=4)
+    )
+    tower_result = tower_scheduler.apply_batch(
+        [DeletionRequest(parse_constrained_atom("left(X) <- X = 1"))]
+    )
+    tower_closure = set()
+    for unit in tower_result.stats.units:
+        tower_closure.update(unit.write_closure)
+
     return {
         "workload": f"{spec.description} stream batch "
-        f"({len(batch.requests)} requests incl. 1 duplicate + 1 cancelling pair)",
+        f"({len(batch.requests)} requests incl. 1 duplicate + 1 cancelling pair, "
+        f"max_workers=4)",
         "sequential": {
             "seconds": round(seconds_sequential, 4),
             "stats": sequential.as_dict(),
@@ -227,6 +267,14 @@ def run_stream_mixed_batch() -> dict:
         },
         "coalesce": stream_stats["coalesce"],
         "units": stream_stats["units"],
+        "shard_checkouts": stream_stats["shard_checkouts"],
+        "closure_predicates": len(closure),
+        "view_predicates": len(scheduler.view.predicates()),
+        "tower": {
+            "shard_checkouts": tower_result.stats.shard_checkouts,
+            "closure_predicates": len(tower_closure),
+            "view_predicates": len(tower_scheduler.view.predicates()),
+        },
     }
 
 

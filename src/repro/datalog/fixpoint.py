@@ -522,7 +522,10 @@ class FixpointEngine:
         exactly the set whose derivations the over-deletion disturbed.
         """
         self._stats = FixpointStats()
-        view = MaterializedView(initial.entries if initial is not None else ())
+        # Copy-on-write: the computation shares the seed's per-predicate
+        # shards and only clones the shards its derivations actually touch,
+        # instead of re-indexing the whole seed view entry by entry.
+        view = initial.copy() if initial is not None else MaterializedView()
         factory = self._make_factory(view)
 
         # Round 0: body-free clauses, plus the seed entries, form the delta.

@@ -5,6 +5,16 @@ A materialized mediated view is a set of constrained atoms (paper Section
 indexed by the support of its derivation (Section 3.1.2).  This module
 provides the container used by the fixpoint operators, the maintenance
 algorithms and the mediator.
+
+Storage is **sharded by predicate**: every predicate's entries and indexes
+live in their own :class:`PredicateShard`, and :class:`MaterializedView` is a
+copy-on-write façade over the shard map.  ``copy()`` shares shard pointers
+and only clones a shard when it is first written, so a maintenance pass over
+a view pays copy cost proportional to the predicates it actually touches --
+the paper's delta-proportionality carried into the storage layer -- and the
+stream scheduler can run independent stratum units in parallel against the
+same base shards, publishing by swapping shard pointers instead of merging
+whole views.
 """
 
 from __future__ import annotations
@@ -18,6 +28,7 @@ from typing import (
     List,
     Optional,
     Sequence,
+    Set,
     Tuple,
 )
 
@@ -313,6 +324,13 @@ class _IndexedSlots:
     def __contains__(self, key: object) -> bool:
         return key in self._pos
 
+    def copy(self) -> "_IndexedSlots":
+        dup = _IndexedSlots.__new__(_IndexedSlots)
+        dup._slots = list(self._slots)
+        dup._pos = dict(self._pos)
+        dup._dead = self._dead
+        return dup
+
     def add(self, key: object, entry: ViewEntry) -> None:
         self._pos[key] = len(self._slots)
         self._slots.append(entry)
@@ -356,10 +374,12 @@ class _SortedValueWindow:
     ``probe_range``'s overlap path used to scan *every* distinct bound value
     of the slot linearly; this keeps the numeric values in a sorted list so
     an interval query bisects its window instead (the ROADMAP's "sorted
-    value list with a bisected query window").  Values that are not plain
-    numbers (strings, bools, tuples, ...) are kept aside and offered to
-    every query -- ``_interval_excludes`` decides about them exactly as the
-    linear scan did, so results are unchanged.
+    value list with a bisected query window").  Values that cannot serve as
+    an **exact** float sort key -- non-numbers, bools, NaN, and ints whose
+    ``float()`` rounding moves them (so a bisected window could cut them
+    off) -- are kept aside and offered to every query; the caller's
+    ``_interval_excludes`` screens them exactly as the linear scan did, so
+    results are unchanged.
 
     Removals tombstone (the sorted list keeps the value until compaction);
     the live set is the authority, mirroring ``_RangePostings``.
@@ -374,26 +394,49 @@ class _SortedValueWindow:
         self._dead = 0
 
     @staticmethod
-    def _is_numeric(value: object) -> bool:
-        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    def _window_key(value: object) -> Optional[float]:
+        """The value's exact float sort key, or ``None`` when it has none.
+
+        A key is only usable when ``float(value) == value`` *exactly*: huge
+        ints round (``2**53 + 1`` becomes ``2**53``), so bisecting on the
+        rounded key could place the value outside a query window that a
+        linear scan would include -- the value must then be screened by the
+        exact per-value check instead.  NaN (never equal to itself) and
+        overflowing ints land in the same bucket, which also fixes the old
+        leak where an overflowing int filed under ``_other`` on ``add`` was
+        never discarded (the numeric ``discard`` path could not find it).
+        """
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            return None
+        try:
+            key = float(value)
+        except OverflowError:  # int beyond float range: cannot be windowed
+            return None
+        if key != value:  # rounded (huge int) or NaN: bisect would misplace
+            return None
+        return key
+
+    def copy(self) -> "_SortedValueWindow":
+        dup = _SortedValueWindow.__new__(_SortedValueWindow)
+        dup._sorted = list(self._sorted)
+        dup._live = set(self._live)
+        dup._other = set(self._other)
+        dup._dead = self._dead
+        return dup
 
     def add(self, value: object) -> None:
-        if not self._is_numeric(value):
+        key = self._window_key(value)
+        if key is None:
             self._other.add(value)
             return
         if value in self._live:
             return
         self._live.add(value)
-        try:
-            key = float(value)
-        except OverflowError:  # int beyond float range: cannot be windowed
-            self._live.discard(value)
-            self._other.add(value)
-            return
         bisect.insort(self._sorted, key)
 
     def discard(self, value: object) -> None:
-        if not self._is_numeric(value):
+        key = self._window_key(value)
+        if key is None:
             self._other.discard(value)
             return
         if value in self._live:
@@ -428,17 +471,28 @@ class _SortedValueWindow:
         and compare alike), and every candidate -- windowed numerics and
         non-numeric leftovers -- is screened by ``_interval_excludes``
         exactly like the linear scan this replaces.
+
+        A bucket is yielded at most once: a straggler that compares equal
+        to a windowed numeric (``True`` vs ``1``, ``Decimal('3.5')`` vs
+        ``3.5``) resolves to the *same* bucket dictionary, and the linear
+        scan this replaces -- which iterated distinct bucket keys -- never
+        returned a bucket twice.
         """
+        emitted: set = set()
         for value in self.window(interval):
             if _interval_excludes(interval, value):
                 continue
             members = buckets.get(value)
             if members:
+                ident = id(members)
+                if ident in emitted:
+                    continue
+                emitted.add(ident)
                 yield from members.items()
 
 
 class _RangePostings:
-    """A sorted interval list for one ``(predicate, position)`` index slot.
+    """A sorted interval list for one per-position index slot.
 
     Holds the entries of the slot's *unbound* bucket that carry a numeric
     interval at the position, sorted by interval lower bound, so a probe for
@@ -467,6 +521,14 @@ class _RangePostings:
 
     def __contains__(self, key: object) -> bool:
         return key in self._bounds
+
+    def copy(self) -> "_RangePostings":
+        dup = _RangePostings.__new__(_RangePostings)
+        dup._items = list(self._items)
+        dup._bounds = dict(self._bounds)
+        dup._dead = self._dead
+        dup._counter = self._counter
+        return dup
 
     def add(self, key: object, entry: ViewEntry, interval: _Interval) -> None:
         if key in self._bounds:
@@ -550,6 +612,443 @@ class _RangePostings:
         return rows
 
 
+class _ArgSlot:
+    """Argument-index state of one argument position inside one shard.
+
+    Bundling the per-position bound buckets, unbound bucket, range postings
+    and sorted value window into one object gives lazy index builds an
+    atomic publication point: a build constructs a *complete* replacement
+    slot and swaps it in with a single assignment, so a concurrent reader
+    holding the old slot object always sees a consistent (postings-free,
+    unbound-complete) superset state.  Shared shards are read-only apart
+    from these swaps -- writers always operate on a copy-on-write clone --
+    which is what makes the stream scheduler's parallel units safe without
+    per-probe locking.
+    """
+
+    __slots__ = ("bound", "unbound", "postings", "postings_gate", "window")
+
+    def __init__(self) -> None:
+        #: bound value -> {entry key -> entry}
+        self.bound: Dict[object, Dict[object, ViewEntry]] = {}
+        #: entry key -> entry (position not pinned, no posted interval)
+        self.unbound: Dict[object, ViewEntry] = {}
+        self.postings: Optional[_RangePostings] = None
+        #: ``(evaluator, version token)`` the postings were built under.
+        #: Kept on the slot -- not the shard -- so an evaluator change is
+        #: handled per slot by one more atomic slot swap; shard-level gate
+        #: fields would need a multi-step reset that a concurrent reader
+        #: could observe half-done.
+        self.postings_gate: Optional[Tuple[object, object]] = None
+        self.window: Optional[_SortedValueWindow] = None
+
+    def copy(self) -> "_ArgSlot":
+        dup = _ArgSlot()
+        dup.bound = {value: dict(members) for value, members in self.bound.items()}
+        dup.unbound = dict(self.unbound)
+        dup.postings = self.postings.copy() if self.postings is not None else None
+        dup.postings_gate = self.postings_gate
+        dup.window = self.window.copy() if self.window is not None else None
+        return dup
+
+
+class PredicateShard:
+    """Entries and indexes of one predicate.
+
+    Everything the monolithic view used to keep in global maps keyed by
+    ``(predicate, ...)`` lives here scoped to a single predicate: the
+    insertion-ordered entry sequence, the per-support groups, the
+    child-support -> parent index, and the per-position argument slots
+    (bound-value buckets, unbound bucket, range postings, sorted value
+    window).  The façade owns the cross-predicate glue -- global sequence
+    numbers (kept in ``_seq`` here, allocated by the façade) and the merge
+    of per-shard answers for support lookups and snapshots.
+
+    Mutating methods must only be called on shards the owning view has
+    checked out (see :meth:`MaterializedView._writable_shard`); read paths
+    may run concurrently on shared shards, and every lazy index build
+    publishes fully-built state with a single atomic assignment.
+    """
+
+    __slots__ = (
+        "predicate",
+        "_entries",
+        "_by_support",
+        "_child_index",
+        "_arg",
+        "_seq",
+    )
+
+    def __init__(self, predicate: str) -> None:
+        self.predicate = predicate
+        self._entries = _IndexedSlots()
+        self._by_support: Dict[Support, _IndexedSlots] = {}
+        #: ``None`` until the first :meth:`parents_of` probe builds it; after
+        #: that it is maintained incrementally by every mutation.
+        self._child_index: Optional[Dict[Support, _IndexedSlots]] = None
+        self._arg: Dict[int, _ArgSlot] = {}
+        #: entry key -> global sequence number (façade-allocated).
+        self._seq: Dict[object, int] = {}
+
+    # ------------------------------------------------------------------
+    # Container basics
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[ViewEntry]:
+        return iter(self._entries)
+
+    def contains_key(self, key: object) -> bool:
+        return key in self._entries
+
+    def to_tuple(self) -> Tuple[ViewEntry, ...]:
+        return self._entries.to_tuple()
+
+    def copy(self) -> "PredicateShard":
+        dup = PredicateShard(self.predicate)
+        dup._entries = self._entries.copy()
+        dup._by_support = {
+            support: group.copy() for support, group in self._by_support.items()
+        }
+        if self._child_index is not None:
+            dup._child_index = {
+                child: group.copy() for child, group in self._child_index.items()
+            }
+        dup._arg = {position: slot.copy() for position, slot in self._arg.items()}
+        dup._seq = dict(self._seq)
+        return dup
+
+    # ------------------------------------------------------------------
+    # Mutation (writable shards only)
+    # ------------------------------------------------------------------
+    def add(self, key: object, entry: ViewEntry) -> None:
+        self._entries.add(key, entry)
+        group = self._by_support.get(entry.support)
+        if group is None:
+            group = self._by_support[entry.support] = _IndexedSlots()
+        group.add(key, entry)
+        if self._child_index is not None:
+            for child in dict.fromkeys(entry.support.children):
+                parents = self._child_index.get(child)
+                if parents is None:
+                    parents = self._child_index[child] = _IndexedSlots()
+                parents.add(key, entry)
+        self._index_arguments(key, entry)
+
+    def remove(self, key: object, entry: ViewEntry) -> None:
+        self._entries.remove(key)
+        self._by_support[entry.support].remove(key)
+        if self._child_index is not None:
+            for child in dict.fromkeys(entry.support.children):
+                self._child_index[child].remove(key)
+        self._unindex_arguments(key, entry)
+
+    def replace(
+        self, old_key: object, new_key: object, old: ViewEntry, new: ViewEntry
+    ) -> None:
+        """Swap *old* for *new* in place (same predicate, slot preserved)."""
+        self._entries.replace(old_key, new_key, new)
+        group = self._by_support[old.support]
+        if new.support == old.support:
+            group.replace(old_key, new_key, new)
+            if self._child_index is not None:
+                for child in dict.fromkeys(old.support.children):
+                    self._child_index[child].replace(old_key, new_key, new)
+        else:  # pragma: no cover - algorithms never change the support
+            group.remove(old_key)
+            fresh = self._by_support.setdefault(new.support, _IndexedSlots())
+            fresh.add(new_key, new)
+            if self._child_index is not None:
+                for child in dict.fromkeys(old.support.children):
+                    self._child_index[child].remove(old_key)
+                for child in dict.fromkeys(new.support.children):
+                    self._child_index.setdefault(child, _IndexedSlots()).add(
+                        new_key, new
+                    )
+        self._unindex_arguments(old_key, old)
+        self._index_arguments(new_key, new)
+
+    # ------------------------------------------------------------------
+    # Support lookups
+    # ------------------------------------------------------------------
+    def first_by_support(self, support: Support) -> Optional[ViewEntry]:
+        group = self._by_support.get(support)
+        return group.first() if group is not None else None
+
+    def all_by_support(self, support: Support) -> Tuple[ViewEntry, ...]:
+        group = self._by_support.get(support)
+        return group.to_tuple() if group is not None else ()
+
+    def parents_of(self, support: Support) -> Tuple[ViewEntry, ...]:
+        index = self._ensure_child_index()
+        group = index.get(support)
+        return group.to_tuple() if group is not None else ()
+
+    def _ensure_child_index(self) -> Dict[Support, _IndexedSlots]:
+        """Build the child-support index on first use (lazy, then live).
+
+        The index is assembled fully before the single publishing
+        assignment, so concurrent readers of a shared shard either see the
+        complete index or build their own identical one.
+        """
+        index = self._child_index
+        if index is None:
+            index = {}
+            for entry in self._entries:
+                key = entry.key()
+                for child in dict.fromkeys(entry.support.children):
+                    parents = index.get(child)
+                    if parents is None:
+                        parents = index[child] = _IndexedSlots()
+                    parents.add(key, entry)
+            self._child_index = index
+        return index
+
+    # ------------------------------------------------------------------
+    # Argument index
+    # ------------------------------------------------------------------
+    def _index_arguments(self, key: object, entry: ViewEntry) -> None:
+        for position, value in enumerate(entry.bound_args()):
+            slot = self._arg.get(position)
+            if slot is None:
+                slot = self._arg[position] = _ArgSlot()
+            if value is UNBOUND:
+                if slot.postings is not None:
+                    gate = slot.postings_gate or (None, None)
+                    interval = entry.arg_intervals(gate[0], gate[1])[position]
+                    if interval is not None:
+                        slot.postings.add(key, entry, interval)
+                        continue
+                slot.unbound[key] = entry
+                continue
+            try:
+                slot.bound.setdefault(value, {})[key] = entry
+                if slot.window is not None:
+                    slot.window.add(value)
+            except TypeError:  # unhashable constant: keep it probe-visible
+                slot.unbound[key] = entry
+
+    def _unindex_arguments(self, key: object, entry: ViewEntry) -> None:
+        for position, value in enumerate(entry.bound_args()):
+            slot = self._arg.get(position)
+            if slot is None:  # pragma: no cover - slots exist for all positions
+                continue
+            if value is not UNBOUND:
+                try:
+                    members = slot.bound.get(value)
+                    if members is not None and key in members:
+                        del members[key]
+                        if not members:
+                            del slot.bound[value]
+                            if slot.window is not None:
+                                slot.window.discard(value)
+                        continue
+                except TypeError:
+                    pass  # was filed under the unbound bucket on the way in
+            if slot.unbound.pop(key, None) is not None:
+                continue
+            if slot.postings is not None:
+                slot.postings.remove(key)
+
+    def probe(self, position: int, value: object) -> Optional[Tuple[ViewEntry, ...]]:
+        """Entries that can carry *value* at *position* (``None``: fall back).
+
+        Returns ``None`` for unhashable values, telling the façade to fall
+        back to the full per-predicate pool.
+        """
+        slot = self._arg.get(position)
+        if slot is None:
+            return ()
+        try:
+            matched = slot.bound.get(value)
+        except TypeError:
+            return None
+        candidates = list(matched.items()) if matched else []
+        if slot.unbound:
+            candidates.extend(slot.unbound.items())
+        if slot.postings is not None:
+            # A range-unaware probe must stay a superset: posted entries are
+            # returned unfiltered, exactly as if they still sat in the
+            # unbound bucket.
+            candidates.extend(slot.postings.entries())
+        return self._ordered(candidates)
+
+    def probe_range(
+        self,
+        position: int,
+        query: object,
+        evaluator: Optional[object],
+        token: object,
+    ) -> Optional[Tuple[ViewEntry, ...]]:
+        """Range-aware probe (``None``: fall back to the full pool)."""
+        if isinstance(query, IntervalQuery):
+            interval = query.as_interval()
+            slot = self._ensure_postings(position, evaluator, token)
+            if slot is None:
+                return ()
+            candidates: List[Tuple[object, ViewEntry]] = []
+            if slot.bound:
+                # Bisected window over the slot's sorted distinct bound
+                # values (plus the not-exactly-floatable stragglers,
+                # screened exactly like the linear scan this replaced) --
+                # logarithmic in the number of distinct values instead of
+                # linear.
+                window = self._ensure_window(slot)
+                candidates.extend(window.candidate_values(interval, slot.bound))
+            candidates.extend(slot.postings.probe_overlap(interval))
+        else:
+            probe_slot = self._arg.get(position)
+            if probe_slot is None:
+                return ()
+            try:
+                matched = probe_slot.bound.get(query)
+            except TypeError:
+                return None
+            slot = self._ensure_postings(position, evaluator, token)
+            candidates = list(matched.items()) if matched else []
+            if slot is not None and slot.postings is not None:
+                candidates.extend(slot.postings.probe_value(query))
+            if slot is None:  # pragma: no cover - slot existed above
+                slot = probe_slot
+        if slot.unbound:
+            candidates.extend(slot.unbound.items())
+        return self._ordered(candidates)
+
+    def _ordered(
+        self, candidates: List[Tuple[object, ViewEntry]]
+    ) -> Tuple[ViewEntry, ...]:
+        # A sort (not a two-bucket merge) is required for correctness:
+        # ``replace`` keeps the old sequence number but re-files the entry at
+        # the end of its dict bucket, so bucket order alone is not sequence
+        # order.  Timsort is adaptive, so the common nearly-sorted case
+        # stays effectively linear.
+        sequence = self._seq
+        candidates.sort(key=lambda item: sequence[item[0]])
+        return tuple(entry for _, entry in candidates)
+
+    @staticmethod
+    def _ensure_window(slot: _ArgSlot) -> _SortedValueWindow:
+        """Build (or fetch) the slot's sorted bound-value window.
+
+        Built fully, then published with one assignment; duplicate builds by
+        concurrent readers produce identical windows (last write wins).
+        """
+        window = slot.window
+        if window is None:
+            window = _SortedValueWindow()
+            for value in slot.bound:
+                window.add(value)
+            slot.window = window
+        return window
+
+    def _ensure_postings(
+        self, position: int, evaluator: Optional[object], token: object = _NO_TOKEN
+    ) -> Optional[_ArgSlot]:
+        """Build (or fetch) the range postings of one argument slot.
+
+        Gated on the evaluator's identity *and* its version token: a
+        different evaluator could resolve ``index_interval`` hooks
+        differently, and re-registering a function on the same registry
+        installs a different hook (the token changes, exactly like the
+        solver's external memo gating) -- either way the slot's postings
+        rebuild from scratch before they can serve stale intervals.
+
+        The gate lives on the slot itself (``postings_gate``), so both the
+        first build and an evaluator-change rebuild are one and the same
+        operation: construct a complete replacement ``_ArgSlot`` (stale
+        postings dissolved, fresh postings populated, unbound bucket drained
+        of posted entries, gate recorded) and swap it in with a single
+        assignment.  Concurrent readers of a shared shard always see either
+        the previous complete state or the new complete state -- never a
+        half-drained bucket or a slot whose postings disagree with a
+        shard-level gate field.
+        """
+        if token is _NO_TOKEN:
+            token = evaluator_token(evaluator)
+        slot = self._arg.get(position)
+        if slot is None:
+            return None
+        if slot.postings is not None:
+            gate = slot.postings_gate
+            if gate is not None and gate[0] is evaluator and gate[1] == token:
+                return slot
+        unbound = dict(slot.unbound)
+        if slot.postings is not None:
+            # Stale evaluator/token: dissolve the old postings back into the
+            # unbound pool and re-post under the new hooks.
+            for key, entry in slot.postings.entries():
+                unbound[key] = entry
+        postings = _RangePostings()
+        remaining: Dict[object, ViewEntry] = {}
+        for key, entry in unbound.items():
+            interval = entry.arg_intervals(evaluator, token)[position]
+            if interval is not None:
+                postings.add(key, entry, interval)
+            else:
+                remaining[key] = entry
+        fresh = _ArgSlot()
+        fresh.bound = slot.bound
+        fresh.unbound = remaining
+        fresh.postings = postings
+        fresh.postings_gate = (evaluator, token)
+        fresh.window = slot.window
+        self._arg[position] = fresh
+        return fresh
+
+    # ------------------------------------------------------------------
+    # Snapshot rows (merged and sorted by the façade)
+    # ------------------------------------------------------------------
+    def argument_rows(self) -> List[Tuple[str, int, str, Tuple[str, ...]]]:
+        rows = []
+        for position, slot in self._arg.items():
+            for value, members in slot.bound.items():
+                rows.append(
+                    (
+                        self.predicate,
+                        position,
+                        repr(value),
+                        tuple(sorted(str(key) for key in members)),
+                    )
+                )
+            # Entries moved into range postings still belong to the unbound
+            # partition of the value index; merging them back here keeps the
+            # snapshot independent of whether a slot's postings were built.
+            unbound_keys = [str(key) for key in slot.unbound]
+            if slot.postings is not None:
+                unbound_keys.extend(str(key) for key, _ in slot.postings.entries())
+            if unbound_keys:
+                rows.append(
+                    (self.predicate, position, "<unbound>", tuple(sorted(unbound_keys)))
+                )
+        return rows
+
+    def posting_rows(self) -> List[Tuple[str, int, str, str]]:
+        rows = []
+        for position, slot in self._arg.items():
+            if slot.postings is None:
+                continue
+            for interval_repr, key_repr in slot.postings.snapshot_rows():
+                rows.append((self.predicate, position, interval_repr, key_repr))
+        return rows
+
+    def built_postings(self) -> Dict[int, _RangePostings]:
+        """Positions with built range postings (tests and compat accessors)."""
+        return {
+            position: slot.postings
+            for position, slot in self._arg.items()
+            if slot.postings is not None
+        }
+
+    def built_windows(self) -> Dict[int, _SortedValueWindow]:
+        """Positions with built value windows (tests and compat accessors)."""
+        return {
+            position: slot.window
+            for position, slot in self._arg.items()
+            if slot.window is not None
+        }
+
+
 class MaterializedView:
     """An insertion-ordered collection of :class:`ViewEntry` objects.
 
@@ -557,54 +1056,39 @@ class MaterializedView:
     two entries with the same constrained atom but different supports are
     *both* kept, which is exactly the paper's duplicate semantics.
 
-    Four indexes back the container: the key index (membership, removal),
-    a per-predicate index (the fixpoint operators' join pools), a
-    per-support index (StDel's re-fetch of replaced entries) and a
-    child-support index mapping each *direct premise* support to the parent
-    entries whose derivation used it (StDel's upward propagation), so
+    Storage is a copy-on-write façade over per-predicate
+    :class:`PredicateShard` objects.  ``copy()`` shares every shard pointer
+    (both views mark their shards borrowed); the first mutation of a
+    predicate clones just that predicate's shard, so a maintenance pass pays
+    copy cost proportional to the predicates it touches, not the view.
+    Global insertion order is preserved across shards through per-entry
+    sequence numbers allocated by the façade.
+
+    Four index families back each shard: the key index (membership,
+    removal), the insertion-ordered entry sequence (the fixpoint operators'
+    join pools), a per-support index (StDel's re-fetch of replaced entries)
+    and a child-support index mapping each *direct premise* support to the
+    parent entries whose derivation used it (StDel's upward propagation), so
     ``remove``, ``replace``, ``__contains__``, ``find_by_support`` and
-    ``find_parents_of`` are all O(1).
+    ``find_parents_of`` stay O(1) in the shard (support lookups merge the
+    handful of shards).
     """
 
     def __init__(self, entries: Iterable[ViewEntry] = ()) -> None:
-        self._index = _IndexedSlots()
-        self._by_predicate: Dict[str, _IndexedSlots] = {}
-        self._by_support: Dict[Support, _IndexedSlots] = {}
-        # Child-support index: the support of a direct premise maps to the
-        # entries whose derivation used it.  StDel step 3 probes this with
-        # each P_OUT pair's support instead of scanning the whole view.
-        # Built lazily on the first probe (like the range postings): only
-        # StDel consults it, so fixpoint materialization, over-estimates
-        # and baseline copies pay nothing; once built it is maintained
-        # incrementally by every mutation.
-        self._by_child_support: Dict[Support, _IndexedSlots] = {}
-        self._child_support_built = False
-        # Interval range postings: per (predicate, position), a sorted
-        # interval list of the unbound-bucket entries whose constraint
-        # bounds the position numerically.  Built lazily on the first
-        # range-aware probe of a slot (so W_P materialization, which never
-        # probes, never populates them) and maintained incrementally after.
-        self._range_postings: Dict[Tuple[str, int], _RangePostings] = {}
-        self._range_evaluator: Optional[object] = None
-        self._range_version: Optional[object] = None
-        # Hash-join argument index: (predicate, argument position) maps to
-        # per-bound-value entry buckets plus an unbound bucket (entries whose
-        # constraint does not pin that position).  A probe for a value must
-        # return the value's bucket *and* the unbound bucket to stay a
-        # superset of the entries that can join.
-        self._arg_bound: Dict[Tuple[str, int], Dict[object, Dict[object, ViewEntry]]] = {}
-        self._arg_unbound: Dict[Tuple[str, int], Dict[object, ViewEntry]] = {}
-        # Sorted bound-value windows: per slot, the distinct bound values in
-        # sorted order so overlap probes bisect instead of scanning.  Built
-        # lazily on a slot's first overlap probe, maintained incrementally
-        # afterwards.
-        self._arg_value_windows: Dict[Tuple[str, int], _SortedValueWindow] = {}
-        # Global insertion sequence per key, so probe results can be returned
-        # in the same deterministic (insertion) order the positional pools
-        # use.  ``replace`` reuses the old sequence number, mirroring the
-        # in-place semantics of ``_IndexedSlots.replace``.
-        self._seq: Dict[object, int] = {}
+        self._shards: Dict[str, PredicateShard] = {}
+        #: Predicates whose shard object may be shared with another view;
+        #: writing one of these first clones it (copy-on-write).
+        self._borrowed: Set[str] = set()
+        #: When set (by :meth:`checkout`), writes outside these predicates
+        #: raise -- the stream scheduler's guard that a parallel unit never
+        #: writes a shard its publish step would not adopt.
+        self._write_scope: Optional[FrozenSet[str]] = None
         self._next_seq = 0
+        #: Shards cloned by copy-on-write since this lineage started
+        #: (carried through ``copy()``; the scheduler reports deltas).
+        self._shard_checkouts = 0
+        #: Memoized global-order entry tuple; dropped by every mutation.
+        self._entries_cache: Optional[Tuple[ViewEntry, ...]] = None
         for entry in entries:
             self.add(entry)
 
@@ -612,20 +1096,136 @@ class MaterializedView:
     # Container protocol
     # ------------------------------------------------------------------
     def __iter__(self) -> Iterator[ViewEntry]:
-        return iter(self._index)
+        return iter(self._sorted_entries())
 
     def __len__(self) -> int:
-        return len(self._index)
+        return sum(len(shard) for shard in self._shards.values())
 
     def __contains__(self, entry: ViewEntry) -> bool:
-        return entry.key() in self._index
+        shard = self._shards.get(entry.predicate)
+        return shard is not None and shard.contains_key(entry.key())
 
     def __str__(self) -> str:
         return "\n".join(str(entry) for entry in self)
 
     def copy(self) -> "MaterializedView":
-        """Return an independent shallow copy."""
-        return MaterializedView(self)
+        """Return an independent copy (copy-on-write: shards are shared
+        until either side writes them)."""
+        dup = MaterializedView.__new__(MaterializedView)
+        dup._shards = dict(self._shards)
+        dup._borrowed = set(self._shards)
+        dup._write_scope = self._write_scope
+        dup._next_seq = self._next_seq
+        dup._shard_checkouts = self._shard_checkouts
+        # Same entries, same order: the copy can start from the memo.
+        dup._entries_cache = self._entries_cache
+        # The original must treat its shards as shared from now on too:
+        # a later write on either side clones before mutating.
+        self._borrowed.update(self._shards)
+        return dup
+
+    def checkout(self, predicates: Iterable[str]) -> "MaterializedView":
+        """A copy-on-write copy whose writes are fenced to *predicates*.
+
+        The stream scheduler checks out a unit's write closure before
+        applying it: the unit's maintenance pass clones exactly the shards
+        it touches (all inside the closure -- anything else raises
+        :class:`~repro.errors.ProgramError`), and publishing adopts those
+        shard pointers back into the next published view.  A write outside
+        the closure would be silently dropped by that adoption, so the fence
+        turns the bug into a loud failure.
+        """
+        dup = self.copy()
+        dup._write_scope = frozenset(predicates)
+        return dup
+
+    def without_write_scope(self) -> "MaterializedView":
+        """This view with the checkout fence removed (copy-on-write copy)."""
+        if self._write_scope is None:
+            return self
+        dup = self.copy()
+        dup._write_scope = None
+        return dup
+
+    @property
+    def shard_checkouts(self) -> int:
+        """Copy-on-write shard clones made by this view's lineage so far."""
+        return self._shard_checkouts
+
+    def _writable_shard(self, predicate: str) -> PredicateShard:
+        if self._write_scope is not None and predicate not in self._write_scope:
+            raise ProgramError(
+                f"write to predicate {predicate!r} outside this view's "
+                f"checkout scope {sorted(self._write_scope)}"
+            )
+        shard = self._shards.get(predicate)
+        if shard is None:
+            shard = self._shards[predicate] = PredicateShard(predicate)
+            return shard
+        if predicate in self._borrowed:
+            shard = shard.copy()
+            self._shards[predicate] = shard
+            self._borrowed.discard(predicate)
+            self._shard_checkouts += 1
+        return shard
+
+    def adopt_shards(
+        self, source: "MaterializedView", predicates: Iterable[str]
+    ) -> None:
+        """Take *source*'s shard pointers for *predicates* (publish step).
+
+        This is the stream scheduler's merge-free publication: a unit that
+        rewrote its write closure hands the closure's shards over by
+        pointer; untouched predicates keep the base shards.  Both views mark
+        the adopted shards borrowed, and the sequence counter advances past
+        *source*'s so later insertions cannot collide.
+        """
+        for predicate in predicates:
+            shard = source._shards.get(predicate)
+            if shard is None:
+                self._shards.pop(predicate, None)
+                self._borrowed.discard(predicate)
+                continue
+            self._shards[predicate] = shard
+            self._borrowed.add(predicate)
+            source._borrowed.add(predicate)
+        if source._next_seq > self._next_seq:
+            self._next_seq = source._next_seq
+        self._entries_cache = None
+
+    def _sorted_entries(self) -> Tuple[ViewEntry, ...]:
+        """All entries in global insertion order (sequence-number merge).
+
+        Memoized until the next mutation: iteration runs on hot per-batch
+        paths (working-copy snapshots, purges, instance queries) and the
+        entry set only changes through ``add`` / ``remove`` / ``replace`` /
+        ``adopt_shards``, each of which drops the cache.
+        """
+        cached = self._entries_cache
+        if cached is not None:
+            return cached
+        self._entries_cache = merged = self._merge_entries()
+        return merged
+
+    def _merge_entries(self) -> Tuple[ViewEntry, ...]:
+        shards = [shard for shard in self._shards.values() if len(shard)]
+        if not shards:
+            return ()
+        if len(shards) == 1:
+            return shards[0].to_tuple()
+        decorated: List[Tuple[int, str, ViewEntry]] = []
+        for shard in shards:
+            sequence = shard._seq
+            predicate = shard.predicate
+            decorated.extend(
+                (sequence[entry.key()], predicate, entry) for entry in shard
+            )
+        # Sequence numbers are unique within one lineage; after a parallel
+        # publish adopted shards from sibling units they can collide across
+        # predicates, so the predicate tiebreak keeps the order total and
+        # deterministic.
+        decorated.sort(key=lambda item: (item[0], item[1]))
+        return tuple(item[2] for item in decorated)
 
     # ------------------------------------------------------------------
     # Mutation
@@ -635,27 +1235,15 @@ class MaterializedView:
         if not isinstance(entry, ViewEntry):
             raise ProgramError(f"not a view entry: {entry!r}")
         key = entry.key()
-        if key in self._index:
+        existing = self._shards.get(entry.predicate)
+        if existing is not None and existing.contains_key(key):
             return False
-        self._index.add(key, entry)
-        bucket = self._by_predicate.get(entry.predicate)
-        if bucket is None:
-            bucket = self._by_predicate[entry.predicate] = _IndexedSlots()
-        bucket.add(key, entry)
-        group = self._by_support.get(entry.support)
-        if group is None:
-            group = self._by_support[entry.support] = _IndexedSlots()
-        group.add(key, entry)
-        if self._child_support_built:
-            for child in dict.fromkeys(entry.support.children):
-                parents = self._by_child_support.get(child)
-                if parents is None:
-                    parents = self._by_child_support[child] = _IndexedSlots()
-                parents.add(key, entry)
-        if key not in self._seq:
-            self._seq[key] = self._next_seq
+        shard = self._writable_shard(entry.predicate)
+        if key not in shard._seq:
+            shard._seq[key] = self._next_seq
             self._next_seq += 1
-        self._index_arguments(key, entry)
+        shard.add(key, entry)
+        self._entries_cache = None
         return True
 
     def add_all(self, entries: Iterable[ViewEntry]) -> int:
@@ -665,16 +1253,13 @@ class MaterializedView:
     def remove(self, entry: ViewEntry) -> bool:
         """Remove an entry; return False when it was not present."""
         key = entry.key()
-        if key not in self._index:
+        existing = self._shards.get(entry.predicate)
+        if existing is None or not existing.contains_key(key):
             return False
-        self._index.remove(key)
-        self._by_predicate[entry.predicate].remove(key)
-        self._by_support[entry.support].remove(key)
-        if self._child_support_built:
-            for child in dict.fromkeys(entry.support.children):
-                self._by_child_support[child].remove(key)
-        self._unindex_arguments(key, entry)
-        self._seq.pop(key, None)
+        shard = self._writable_shard(entry.predicate)
+        shard.remove(key, entry)
+        shard._seq.pop(key, None)
+        self._entries_cache = None
         return True
 
     def replace(self, old: ViewEntry, new: ViewEntry) -> bool:
@@ -689,45 +1274,39 @@ class MaterializedView:
         a later ``remove`` of either entry dropped both from the key index.
         """
         old_key = old.key()
-        if old_key not in self._index:
+        existing = self._shards.get(old.predicate)
+        if existing is None or not existing.contains_key(old_key):
             raise ProgramError(f"entry not in view: {old}")
         new_key = new.key()
-        if new_key != old_key and new_key in self._index:
-            self.remove(old)
-            return False
-        self._index.replace(old_key, new_key, new)
-        bucket = self._by_predicate[old.predicate]
         if new.predicate == old.predicate:
-            bucket.replace(old_key, new_key, new)
+            if new_key != old_key and existing.contains_key(new_key):
+                self.remove(old)
+                return False
+            shard = self._writable_shard(old.predicate)
+            sequence = shard._seq.pop(old_key, None)
+            if sequence is None:
+                sequence = self._next_seq
+                self._next_seq += 1
+            shard._seq[new_key] = sequence
+            shard.replace(old_key, new_key, old, new)
+            self._entries_cache = None
+            return True
         else:  # pragma: no cover - algorithms never change the predicate
-            bucket.remove(old_key)
-            fresh = self._by_predicate.setdefault(new.predicate, _IndexedSlots())
-            fresh.add(new_key, new)
-        group = self._by_support[old.support]
-        if new.support == old.support:
-            group.replace(old_key, new_key, new)
-            if self._child_support_built:
-                for child in dict.fromkeys(old.support.children):
-                    self._by_child_support[child].replace(old_key, new_key, new)
-        else:  # pragma: no cover - algorithms never change the support
-            group.remove(old_key)
-            fresh = self._by_support.setdefault(new.support, _IndexedSlots())
-            fresh.add(new_key, new)
-            if self._child_support_built:
-                for child in dict.fromkeys(old.support.children):
-                    self._by_child_support[child].remove(old_key)
-                for child in dict.fromkeys(new.support.children):
-                    self._by_child_support.setdefault(child, _IndexedSlots()).add(
-                        new_key, new
-                    )
-        self._unindex_arguments(old_key, old)
-        sequence = self._seq.pop(old_key, None)
-        if sequence is None:
-            sequence = self._next_seq
-            self._next_seq += 1
-        self._seq[new_key] = sequence
-        self._index_arguments(new_key, new)
-        return True
+            target = self._shards.get(new.predicate)
+            if target is not None and target.contains_key(new_key):
+                self.remove(old)
+                return False
+            source = self._writable_shard(old.predicate)
+            sequence = source._seq.pop(old_key, None)
+            source.remove(old_key, old)
+            shard = self._writable_shard(new.predicate)
+            if sequence is None:
+                sequence = self._next_seq
+                self._next_seq += 1
+            shard._seq[new_key] = sequence
+            shard.add(new_key, new)
+            self._entries_cache = None
+            return True
 
     # ------------------------------------------------------------------
     # Lookup
@@ -735,16 +1314,22 @@ class MaterializedView:
     @property
     def entries(self) -> Tuple[ViewEntry, ...]:
         """All entries in insertion order."""
-        return self._index.to_tuple()
+        return self._sorted_entries()
 
     def entries_for(self, predicate: str) -> Tuple[ViewEntry, ...]:
         """Entries whose atom has the given predicate."""
-        bucket = self._by_predicate.get(predicate)
-        return bucket.to_tuple() if bucket is not None else ()
+        shard = self._shards.get(predicate)
+        return shard.to_tuple() if shard is not None else ()
+
+    def shard_for(self, predicate: str) -> Optional[PredicateShard]:
+        """The predicate's shard, when it exists (read-only access)."""
+        return self._shards.get(predicate)
 
     def predicates(self) -> Tuple[str, ...]:
         """Predicates that have at least one entry, sorted."""
-        return tuple(sorted(p for p, bucket in self._by_predicate.items() if len(bucket)))
+        return tuple(
+            sorted(name for name, shard in self._shards.items() if len(shard))
+        )
 
     def constrained_atoms(self) -> Tuple[ConstrainedAtom, ...]:
         """All entries as constrained atoms (supports dropped)."""
@@ -752,8 +1337,16 @@ class MaterializedView:
 
     def find_by_support(self, support: Support) -> Optional[ViewEntry]:
         """Return the (first-inserted) entry carrying exactly this support."""
-        group = self._by_support.get(support)
-        return group.first() if group is not None else None
+        best: Optional[ViewEntry] = None
+        best_rank: Optional[Tuple[int, str]] = None
+        for shard in self._shards.values():
+            entry = shard.first_by_support(support)
+            if entry is None:
+                continue
+            rank = (shard._seq[entry.key()], shard.predicate)
+            if best_rank is None or rank < best_rank:
+                best, best_rank = entry, rank
+        return best
 
     def find_all_by_support(self, support: Support) -> Tuple[ViewEntry, ...]:
         """Every entry carrying exactly this support, in insertion order.
@@ -765,8 +1358,18 @@ class MaterializedView:
         a support (the delta-rederivation seed) must use this, not
         :meth:`find_by_support`.
         """
-        group = self._by_support.get(support)
-        return group.to_tuple() if group is not None else ()
+        decorated: List[Tuple[int, str, ViewEntry]] = []
+        for shard in self._shards.values():
+            group = shard.all_by_support(support)
+            if not group:
+                continue
+            sequence = shard._seq
+            predicate = shard.predicate
+            decorated.extend(
+                (sequence[entry.key()], predicate, entry) for entry in group
+            )
+        decorated.sort(key=lambda item: (item[0], item[1]))
+        return tuple(item[2] for item in decorated)
 
     def find_parents_of(self, support: Support) -> Tuple[ViewEntry, ...]:
         """Entries whose derivation used *support* as a direct premise.
@@ -775,25 +1378,21 @@ class MaterializedView:
         ``P_OUT`` pair, the propagation asks the child-support index for
         exactly the parents the pair can affect.  Results come back in
         insertion order; entries replaced in place keep their slot.  The
-        first probe builds the index from the current entries; mutations
-        maintain it incrementally after that.
+        first probe builds a shard's index from its current entries;
+        mutations maintain it incrementally after that.
         """
-        self._ensure_child_support_index()
-        group = self._by_child_support.get(support)
-        return group.to_tuple() if group is not None else ()
-
-    def _ensure_child_support_index(self) -> None:
-        """Build the child-support index on first use (lazy, then live)."""
-        if self._child_support_built:
-            return
-        self._child_support_built = True
-        for entry in self._index:
-            key = entry.key()
-            for child in dict.fromkeys(entry.support.children):
-                parents = self._by_child_support.get(child)
-                if parents is None:
-                    parents = self._by_child_support[child] = _IndexedSlots()
-                parents.add(key, entry)
+        decorated: List[Tuple[int, str, ViewEntry]] = []
+        for shard in self._shards.values():
+            group = shard.parents_of(support)
+            if not group:
+                continue
+            sequence = shard._seq
+            predicate = shard.predicate
+            decorated.extend(
+                (sequence[entry.key()], predicate, entry) for entry in group
+            )
+        decorated.sort(key=lambda item: (item[0], item[1]))
+        return tuple(item[2] for item in decorated)
 
     def child_support_snapshot(self) -> Tuple[Tuple[str, Tuple[str, ...]], ...]:
         """A canonical, comparable rendering of the child-support index.
@@ -803,64 +1402,20 @@ class MaterializedView:
         ``entries`` after random mutation sequences.  Builds the index if
         it has not been probed yet.
         """
-        self._ensure_child_support_index()
-        rows = []
-        for child, group in self._by_child_support.items():
-            if len(group):
-                rows.append(
-                    (str(child), tuple(sorted(str(entry.key()) for entry in group)))
-                )
-        return tuple(sorted(rows))
+        merged: Dict[str, List[str]] = {}
+        for shard in self._shards.values():
+            for child, group in shard._ensure_child_index().items():
+                if len(group):
+                    merged.setdefault(str(child), []).extend(
+                        str(entry.key()) for entry in group
+                    )
+        return tuple(
+            sorted((child, tuple(sorted(keys))) for child, keys in merged.items())
+        )
 
     # ------------------------------------------------------------------
     # Hash-join argument index
     # ------------------------------------------------------------------
-    def _index_arguments(self, key: object, entry: ViewEntry) -> None:
-        for position, value in enumerate(entry.bound_args()):
-            slot = (entry.predicate, position)
-            if value is UNBOUND:
-                postings = self._range_postings.get(slot)
-                if postings is not None:
-                    interval = entry.arg_intervals(
-                        self._range_evaluator, self._range_version
-                    )[position]
-                    if interval is not None:
-                        postings.add(key, entry, interval)
-                        continue
-                self._arg_unbound.setdefault(slot, {})[key] = entry
-                continue
-            try:
-                buckets = self._arg_bound.setdefault(slot, {})
-                buckets.setdefault(value, {})[key] = entry
-                window = self._arg_value_windows.get(slot)
-                if window is not None:
-                    window.add(value)
-            except TypeError:  # unhashable constant: keep it probe-visible
-                self._arg_unbound.setdefault(slot, {})[key] = entry
-
-    def _unindex_arguments(self, key: object, entry: ViewEntry) -> None:
-        for position, value in enumerate(entry.bound_args()):
-            slot = (entry.predicate, position)
-            unbound = self._arg_unbound.get(slot)
-            if value is not UNBOUND:
-                try:
-                    buckets = self._arg_bound.get(slot)
-                    if buckets is not None and key in buckets.get(value, ()):
-                        del buckets[value][key]
-                        if not buckets[value]:
-                            del buckets[value]
-                            window = self._arg_value_windows.get(slot)
-                            if window is not None:
-                                window.discard(value)
-                        continue
-                except TypeError:
-                    pass  # was filed under the unbound bucket on the way in
-            if unbound is not None and unbound.pop(key, None) is not None:
-                continue
-            postings = self._range_postings.get(slot)
-            if postings is not None:
-                postings.remove(key)
-
     def probe(
         self, predicate: str, position: int, value: object
     ) -> Tuple[ViewEntry, ...]:
@@ -873,28 +1428,13 @@ class MaterializedView:
         insertion order (matching the positional pools).  An unhashable
         *value* falls back to the full pool.
         """
-        slot = (predicate, position)
-        try:
-            matched = self._arg_bound.get(slot, {}).get(value)
-        except TypeError:
-            return self.entries_for(predicate)
-        unbound = self._arg_unbound.get(slot)
-        candidates = list(matched.items()) if matched else []
-        if unbound:
-            candidates.extend(unbound.items())
-        postings = self._range_postings.get(slot)
-        if postings is not None:
-            # A range-unaware probe must stay a superset: posted entries are
-            # returned unfiltered, exactly as if they still sat in the
-            # unbound bucket.
-            candidates.extend(postings.entries())
-        # A sort (not a two-bucket merge) is required for correctness:
-        # ``replace`` keeps the old sequence number but re-files the entry at
-        # the end of its dict bucket, so bucket order alone is not sequence
-        # order.  Timsort is adaptive, so the common nearly-sorted case
-        # stays effectively linear.
-        candidates.sort(key=lambda item: self._seq[item[0]])
-        return tuple(entry for _, entry in candidates)
+        shard = self._shards.get(predicate)
+        if shard is None:
+            return ()
+        result = shard.probe(position, value)
+        if result is None:
+            return shard.to_tuple()
+        return result
 
     def probe_range(
         self,
@@ -922,87 +1462,40 @@ class MaterializedView:
         materialization never calls this, so under ``W_P`` the postings are
         never populated (Theorem 4's byte-invariance is untouched).
         """
-        slot = (predicate, position)
-        if isinstance(query, IntervalQuery):
-            interval = query.as_interval()
-            postings = self._ensure_postings(slot, evaluator, token)
-            candidates: List[Tuple[object, ViewEntry]] = []
-            buckets = self._arg_bound.get(slot)
-            if buckets:
-                # Bisected window over the slot's sorted distinct bound
-                # values (plus the non-numeric stragglers, screened exactly
-                # like the linear scan this replaced) -- logarithmic in the
-                # number of distinct values instead of linear.
-                window = self._ensure_value_window(slot, buckets)
-                candidates.extend(window.candidate_values(interval, buckets))
-            candidates.extend(postings.probe_overlap(interval))
-        else:
-            try:
-                matched = self._arg_bound.get(slot, {}).get(query)
-            except TypeError:
-                return self.entries_for(predicate)
-            postings = self._ensure_postings(slot, evaluator, token)
-            candidates = list(matched.items()) if matched else []
-            candidates.extend(postings.probe_value(query))
-        unbound = self._arg_unbound.get(slot)
-        if unbound:
-            candidates.extend(unbound.items())
-        candidates.sort(key=lambda item: self._seq[item[0]])
-        return tuple(entry for _, entry in candidates)
-
-    def _ensure_value_window(
-        self, slot: Tuple[str, int], buckets: Dict[object, Dict]
-    ) -> _SortedValueWindow:
-        """Build (or fetch) the sorted bound-value window of one index slot."""
-        window = self._arg_value_windows.get(slot)
-        if window is None:
-            window = self._arg_value_windows[slot] = _SortedValueWindow()
-            for value in buckets:
-                window.add(value)
-        return window
-
-    def _ensure_postings(
-        self, slot: Tuple[str, int], evaluator: Optional[object], token: object = _NO_TOKEN
-    ) -> _RangePostings:
-        """Build (or fetch) the range postings of one index slot.
-
-        Gated on the evaluator's identity *and* its version token: a
-        different evaluator could resolve ``index_interval`` hooks
-        differently, and re-registering a function on the same registry
-        installs a different hook (the token changes, exactly like the
-        solver's external memo gating) -- either way the postings rebuild
-        from scratch before they can serve stale intervals.
-        """
+        shard = self._shards.get(predicate)
+        if shard is None:
+            return ()
         if token is _NO_TOKEN:
             token = evaluator_token(evaluator)
-        if self._range_postings and (
-            evaluator is not self._range_evaluator or token != self._range_version
-        ):
-            self._reset_range_postings()
-        postings = self._range_postings.get(slot)
-        if postings is None:
-            self._range_evaluator = evaluator
-            self._range_version = token
-            postings = self._range_postings[slot] = _RangePostings()
-            unbound = self._arg_unbound.get(slot)
-            if unbound:
-                position = slot[1]
-                for key, entry in list(unbound.items()):
-                    interval = entry.arg_intervals(evaluator, token)[position]
-                    if interval is not None:
-                        del unbound[key]
-                        postings.add(key, entry, interval)
-        return postings
+        result = shard.probe_range(position, query, evaluator, token)
+        if result is None:
+            return shard.to_tuple()
+        return result
 
-    def _reset_range_postings(self) -> None:
-        """Dissolve all postings back into the plain unbound buckets."""
-        for slot, postings in self._range_postings.items():
-            unbound = self._arg_unbound.setdefault(slot, {})
-            for key, entry in postings.entries():
-                unbound[key] = entry
-        self._range_postings.clear()
-        self._range_evaluator = None
-        self._range_version = None
+    # ------------------------------------------------------------------
+    # Test / compatibility accessors over the sharded index state
+    # ------------------------------------------------------------------
+    @property
+    def _range_postings(self) -> Dict[Tuple[str, int], _RangePostings]:
+        """Built range postings keyed by ``(predicate, position)``.
+
+        Read-only compatibility accessor (the tests assert build/identity
+        behaviour through it); the authoritative state lives in the shards.
+        """
+        found: Dict[Tuple[str, int], _RangePostings] = {}
+        for shard in self._shards.values():
+            for position, postings in shard.built_postings().items():
+                found[(shard.predicate, position)] = postings
+        return found
+
+    @property
+    def _arg_value_windows(self) -> Dict[Tuple[str, int], _SortedValueWindow]:
+        """Built value windows keyed by ``(predicate, position)`` (read-only)."""
+        found: Dict[Tuple[str, int], _SortedValueWindow] = {}
+        for shard in self._shards.values():
+            for position, window in shard.built_windows().items():
+                found[(shard.predicate, position)] = window
+        return found
 
     def range_posting_snapshot(
         self,
@@ -1013,10 +1506,9 @@ class MaterializedView:
         until the first range-aware probe -- the W_P invariance tests assert
         it *stays* empty under ``W_P`` materialization and source changes.
         """
-        rows = []
-        for (predicate, position), postings in self._range_postings.items():
-            for interval_repr, key_repr in postings.snapshot_rows():
-                rows.append((predicate, position, interval_repr, key_repr))
+        rows: List[Tuple[str, int, str, str]] = []
+        for shard in self._shards.values():
+            rows.extend(shard.posting_rows())
         return tuple(sorted(rows))
 
     def argument_index_snapshot(self) -> Tuple[Tuple[str, int, str, Tuple[str, ...]], ...]:
@@ -1026,30 +1518,9 @@ class MaterializedView:
         keys)``; the W_P invariance tests compare snapshots byte-for-byte
         across external source changes (Theorem 4 extended to the indexes).
         """
-        rows = []
-        for (predicate, position), buckets in self._arg_bound.items():
-            for value, members in buckets.items():
-                rows.append(
-                    (
-                        predicate,
-                        position,
-                        repr(value),
-                        tuple(sorted(str(key) for key in members)),
-                    )
-                )
-        # Entries moved into range postings still belong to the unbound
-        # partition of the value index; merging them back here keeps the
-        # snapshot independent of whether a slot's postings were built.
-        unbound_keys: Dict[Tuple[str, int], List[str]] = {}
-        for slot, members in self._arg_unbound.items():
-            unbound_keys.setdefault(slot, []).extend(str(key) for key in members)
-        for slot, postings in self._range_postings.items():
-            unbound_keys.setdefault(slot, []).extend(
-                str(key) for key, _ in postings.entries()
-            )
-        for (predicate, position), keys in unbound_keys.items():
-            if keys:
-                rows.append((predicate, position, "<unbound>", tuple(sorted(keys))))
+        rows: List[Tuple[str, int, str, Tuple[str, ...]]] = []
+        for shard in self._shards.values():
+            rows.extend(shard.argument_rows())
         return tuple(sorted(rows))
 
     # ------------------------------------------------------------------

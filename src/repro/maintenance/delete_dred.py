@@ -97,6 +97,13 @@ class DRedOptions:
     #: either way; with the pass on, the result is key-identical to the
     #: recomputed ``T_{P'} ↑ ω`` view on the interval family too.
     subsume_rederived: bool = True
+    #: Segment a batch around requests that delete a *derivable* predicate:
+    #: maximal runs of EDB-only requests keep the single-pass batched path,
+    #: and only the derivable-deleting requests run as their own chained
+    #: steps.  Off, any such request used to demote the *whole* batch to the
+    #: one-at-a-time chain (kept, as ``False``, for the differential
+    #: harness's segmented-vs-chained comparison).
+    segment_batches: bool = True
     #: Remove entries whose constraint became unsolvable before returning.
     purge_unsolvable: bool = True
     #: Cap on P_OUT unfolding rounds (defensive; recursion is bounded by the
@@ -158,9 +165,15 @@ class ExtendedDRed:
         chain.
 
         Requests deleting a *derivable* predicate (the head of a rule clause)
-        fall back to the chained one-at-a-time application: their ``Del``
-        sets depend on the previous request's rederivation, which the cheap
-        same-predicate narrowing cannot reproduce.
+        cannot share the single pass: their ``Del`` sets depend on the
+        previous request's rederivation, which the cheap same-predicate
+        narrowing cannot reproduce.  The batch is therefore *segmented*
+        around them (``DRedOptions.segment_batches``): each maximal run of
+        EDB-only requests stays one batched pass, each derivable-deleting
+        request runs as its own chained step, and the rewritten program
+        threads through the segments.  The old behaviour -- one such request
+        demoting the whole batch to the one-at-a-time chain -- remains
+        available with ``segment_batches=False``.
 
         *purge_predicates* restricts the final unsolvability purge to the
         given predicates (the stream scheduler passes the batch's write
@@ -171,6 +184,8 @@ class ExtendedDRed:
         if len(requests) > 1 and any(
             self._is_derivable(request.atom.predicate) for request in requests
         ):
+            if self._options.segment_batches:
+                return self._delete_segmented(view, requests, stats, purge_predicates)
             return self._delete_chained(view, requests, stats, purge_predicates)
 
         factory = make_fresh_factory(
@@ -223,7 +238,11 @@ class ExtendedDRed:
         for atom in p_out:
             p_out_by_signature.setdefault(atom.atom.signature, []).append(atom)
         renamed_cache: Dict[int, ConstrainedAtom] = {}
-        overestimate = MaterializedView()
+        # The over-estimate is a copy-on-write copy of the working view with
+        # only the affected entries replaced: predicates outside the
+        # propagation cone keep their shard pointers, so building M' costs
+        # the narrowed entries, not a re-index of the whole view.
+        overestimate = working.copy()
         narrowed: List[ViewEntry] = []
         for entry in working:
             relevant = p_out_by_signature.get(entry.atom.signature)
@@ -238,7 +257,10 @@ class ExtendedDRed:
                     renamed_cache,
                     drop_redundant_comparisons=self._options.fixpoint.drop_redundant_comparisons,
                 )
-            overestimate.add(replacement)
+            if replacement is not entry:
+                # ``replace`` keeps the slot (insertion order) and merges
+                # key collisions exactly like the old rebuild's ``add`` did.
+                overestimate.replace(entry, replacement)
             if replacement.key() not in original_keys:
                 # Narrowed either by this pass or by the between-request
                 # composition above -- both disturb the entry's derivations.
@@ -296,20 +318,87 @@ class ExtendedDRed:
     ) -> DRedResult:
         """Fallback: apply the requests one at a time, threading the rewrite.
 
-        Used when a batch deletes a derivable predicate; the combined result
-        carries the accumulated Del / P_OUT atoms, the final rewritten
-        program and the last step's over-estimate.  The purge restriction
-        still applies per step (each step must purge -- its successor's Del
-        set depends on it -- but never outside the batch's write closure).
+        Kept (behind ``segment_batches=False``) as the reference the
+        differential harness compares the segmented path against; it is the
+        degenerate segmentation where every request is its own segment.
+        """
+        return self._run_segments(
+            view, [(request,) for request in requests], stats, purge_predicates
+        )
+
+    def _segments(
+        self, requests: Sequence[DeletionRequest]
+    ) -> List[Tuple[DeletionRequest, ...]]:
+        """Split a batch into single-pass-able segments, in stream order.
+
+        Maximal runs of EDB-only requests stay together (they take the
+        batched path); every request deleting a derivable predicate becomes
+        its own segment (its ``Del`` set depends on the preceding segment's
+        rederivation).  Derivability is judged against the original program
+        -- the deletion rewrite only narrows clause constraints, never the
+        clause bodies, so it cannot change which predicates are derivable.
+        """
+        segments: List[Tuple[DeletionRequest, ...]] = []
+        run: List[DeletionRequest] = []
+        for request in requests:
+            if self._is_derivable(request.atom.predicate):
+                if run:
+                    segments.append(tuple(run))
+                    run = []
+                segments.append((request,))
+            else:
+                run.append(request)
+        if run:
+            segments.append(tuple(run))
+        return segments
+
+    def _delete_segmented(
+        self,
+        view: MaterializedView,
+        requests: Sequence[DeletionRequest],
+        stats: MaintenanceStats,
+        purge_predicates: Optional[Sequence[str]] = None,
+    ) -> DRedResult:
+        """Batch around the derivable-predicate requests instead of chaining.
+
+        The old fallback demoted the *whole* batch to one-at-a-time chaining
+        as soon as any request deleted a derivable predicate, so the EDB
+        majority of a mixed batch lost all amortization.  Segmenting keeps
+        every EDB run in the single-pass path and chains only the derivable
+        steps.  Result-equivalent to the chain (each segment sees exactly
+        the view and program a chained run would) at a cost that is at most
+        the chain's.
+        """
+        return self._run_segments(
+            view, self._segments(requests), stats, purge_predicates
+        )
+
+    def _run_segments(
+        self,
+        view: MaterializedView,
+        segments: Sequence[Tuple[DeletionRequest, ...]],
+        stats: MaintenanceStats,
+        purge_predicates: Optional[Sequence[str]] = None,
+    ) -> DRedResult:
+        """Apply *segments* in order, threading the rewritten program.
+
+        The single place the chain-threading logic lives (the chained
+        fallback and the segmented path only differ in how they cut the
+        batch into segments): each segment runs against the program the
+        previous segment's rewrite produced, the purge restriction applies
+        per segment (each segment must purge -- its successor's ``Del`` set
+        depends on it -- but never outside the batch's write closure), and
+        the combined result carries the accumulated Del / P_OUT atoms, the
+        final rewritten program and the last segment's over-estimate.
         """
         program = self._program
         current = view
         del_atoms: List[ConstrainedAtom] = []
         p_out: List[ConstrainedAtom] = []
         result: Optional[DRedResult] = None
-        for request in requests:
+        for segment in segments:
             step = ExtendedDRed(program, self._solver, self._options).delete_many(
-                current, (request,), purge_predicates=purge_predicates
+                current, segment, purge_predicates=purge_predicates
             )
             stats.merge(step.stats)
             del_atoms.extend(step.del_atoms)
@@ -317,7 +406,7 @@ class ExtendedDRed:
             current = step.view
             program = step.rewritten_program
             result = step
-        assert result is not None  # requests is non-empty on this path
+        assert result is not None  # segments are non-empty on this path
         return DRedResult(
             current, tuple(del_atoms), tuple(p_out), result.overestimate, program, stats
         )

@@ -125,7 +125,11 @@ class StraightDelete:
         step 2/3 sees exactly the view state a sequential run would), but the
         per-request view-proportional costs are paid once per batch:
 
-        * one working-view copy instead of one per request,
+        * one working-view copy instead of one per request -- and with the
+          predicate-sharded store that copy is itself copy-on-write, so the
+          batch only ever clones the shards of predicates its steps 2/3/4
+          actually rewrite (the request predicates and their upward
+          closure), never the untouched rest of the view,
         * one fresh-variable factory and one ``originals`` snapshot, updated
           incrementally with the entries each request's propagation replaced
           instead of being rebuilt from the whole view per request,

@@ -14,6 +14,11 @@ net effect:
   :meth:`~repro.constraints.solver.ConstraintSolver.subsumes_instances`)
   cancels: the insertion is dropped, the deletion stays (it still applies
   to whatever the pre-batch view held).
+* **Deletion subsumption** -- a deletion whose instances are covered by a
+  *later, wider* deletion is dropped (the wider one removes everything the
+  narrower one would), *unless* an insertion of the same predicate sits
+  between the two: the narrower delete then still shapes which instances
+  that insertion's ``Add`` set may contribute, so both survive.
 * **Narrowing** -- an insertion *partially* covered by later deletions is
   narrowed by ``not(delta & bindings)`` per overlapping deletion -- the
   same construction Section 3.1 uses to give deletion its declarative
@@ -52,6 +57,8 @@ class CoalesceReport:
     cancelled: int = 0
     #: Insertions narrowed by a later overlapping deletion.
     narrowed: int = 0
+    #: Deletions swallowed by a later, wider deletion of the same predicate.
+    subsumed: int = 0
     #: External notices received / compacted away.
     notices: int = 0
     notices_compacted: int = 0
@@ -65,6 +72,7 @@ class CoalesceReport:
             "deduplicated": self.deduplicated,
             "cancelled": self.cancelled,
             "narrowed": self.narrowed,
+            "subsumed": self.subsumed,
             "notices": self.notices,
             "notices_compacted": self.notices_compacted,
             "solver_calls": self.solver_calls,
@@ -156,6 +164,9 @@ class Coalescer:
         kept_deletions = self._dedupe(
             deletions, opposite=insertions, report=report
         )
+        kept_deletions = self._subsume_deletions(
+            kept_deletions, insertions, report
+        )
         kept_insertions = (
             self._dedupe(insertions, opposite=deletions, report=report)
             if self._dedupe_insertions
@@ -194,6 +205,69 @@ class Coalescer:
             # only needs no opposite request since this one.
             first_seen[key] = position
             kept.append((position, request))
+        return kept
+
+    def _subsume_deletions(self, deletions, insertions, report: CoalesceReport):
+        """Drop deletions covered by a later, wider same-predicate deletion.
+
+        The coalescer previously cancelled *insertions* against later
+        deletions only; a narrow delete followed by a wider one both reached
+        the maintenance pass, and the narrow one's whole ``Del``/``P_OUT``
+        propagation was pure waste (the wider delete removes a superset).
+        A candidate is swallowed only when
+
+        * a later deletion of the same signature subsumes its instances
+          (``instances(narrow) ⊆ instances(wide)``, via
+          :meth:`~repro.constraints.solver.ConstraintSolver.subsumes_instances`),
+          and
+        * no insertion of the predicate sits between the two: an intervening
+          insertion's ``Add`` set is disjointified against the view state
+          the narrow delete produced, so dropping it would change which
+          derivations the insertion contributes (the same guard the
+          deduplication pass applies).
+
+        The *wider, later* request survives -- mirroring cancellation, where
+        the deletion (the later request) also wins.  Quick-reject runs
+        first: profile-disjoint pairs cannot subsume unless the narrow
+        request is empty, which a solver call on an empty request would
+        also conclude, so the skip is sound and counted.
+        """
+        insertion_positions: Dict[str, List[int]] = {}
+        for position, request in insertions:
+            insertion_positions.setdefault(request.atom.predicate, []).append(
+                position
+            )
+        solver = self._solver
+        kept = []
+        for index, (position, request) in enumerate(deletions):
+            atom = request.atom
+            blocking = insertion_positions.get(atom.predicate, ())
+            swallowed = False
+            for later_position, later in deletions[index + 1:]:
+                wider = later.atom
+                if wider.atom.signature != atom.atom.signature:
+                    continue
+                if any(
+                    position < between < later_position for between in blocking
+                ):
+                    continue
+                if solver.quick_reject(
+                    atom.atom.args, atom.constraint,
+                    wider.atom.args, wider.constraint,
+                ):
+                    report.quick_rejects += 1
+                    continue
+                report.solver_calls += 1
+                if solver.subsumes_instances(
+                    atom.atom.args, atom.constraint,
+                    wider.atom.args, wider.constraint,
+                ):
+                    swallowed = True
+                    break
+            if swallowed:
+                report.subsumed += 1
+            else:
+                kept.append((position, request))
         return kept
 
     def _cancel_and_narrow(self, insertions, deletions, report: CoalesceReport):

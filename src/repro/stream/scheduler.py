@@ -20,13 +20,20 @@ batches to it with the batch entry points of the maintenance algorithms:
 Independent strata (disjoint upward closures, see
 :mod:`repro.stream.strata`) are applied as separate units -- concurrently
 on a ``ThreadPoolExecutor`` when ``max_workers > 1`` -- and each unit is
-individually retried and reported.  Readers are snapshot-isolated: the
-scheduler publishes a new view reference only after the whole batch
-applied, so a query served mid-batch sees the complete pre-batch view.
+individually retried and reported.  Each unit *checks out* exactly the
+shards of its write closure from the predicate-sharded view
+(:meth:`~repro.datalog.view.MaterializedView.checkout`): copy-on-write
+clones only the shards the unit actually rewrites, parallel units write
+their clones in place, and the batch publishes by adopting the applied
+units' shard pointers into the next view -- no whole-view copy, no
+entry-by-entry merge.  Readers are snapshot-isolated: the scheduler
+publishes a new view reference only after the whole batch applied, so a
+query served mid-batch sees the complete pre-batch view.
 """
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -49,7 +56,28 @@ from repro.maintenance.requests import (
 )
 from repro.stream.coalesce import CoalescedBatch, CoalesceReport, Coalescer
 from repro.stream.log import ExternalChangeNotice, StreamPayload, Transaction, UpdateLog
-from repro.stream.strata import PredicateStrata, StratumUnit
+from repro.stream.strata import (
+    PredicateStrata,
+    StratumUnit,
+    check_disjoint_write_closures,
+)
+
+
+def _default_max_workers() -> int:
+    """Worker-count default, overridable via ``REPRO_STREAM_MAX_WORKERS``.
+
+    CI sets the variable to force every stream test through the parallel
+    scheduling path (the ``parallel == sequential`` invariant is then
+    exercised on every push, not only where a test opts in); explicit
+    ``max_workers=...`` arguments always win over the environment.
+    """
+    raw = os.environ.get("REPRO_STREAM_MAX_WORKERS", "")
+    if not raw:
+        return 1
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return 1
 
 
 @dataclass(frozen=True)
@@ -63,8 +91,10 @@ class StreamOptions:
     deletion_algorithm: str = "stdel"
     #: Compute the net effect of a batch before applying it.
     coalesce: bool = True
-    #: Threads for independent strata (1 = apply units sequentially).
-    max_workers: int = 1
+    #: Threads for independent strata (1 = apply units sequentially; the
+    #: default honours ``REPRO_STREAM_MAX_WORKERS`` so CI can force the
+    #: parallel path across the whole stream suite).
+    max_workers: int = field(default_factory=_default_max_workers)
     #: How often a failing unit is attempted before it is reported failed.
     max_unit_attempts: int = 2
     stdel: StDelOptions = StDelOptions()
@@ -91,6 +121,11 @@ class UnitReport:
     error: Optional[str] = None
     stats: MaintenanceStats = field(default_factory=MaintenanceStats)
     seconds: float = 0.0
+    #: Every predicate the unit was allowed to rewrite (its checkout scope).
+    write_closure: Tuple[str, ...] = ()
+    #: Predicate shards the unit's passes actually cloned (copy-on-write).
+    #: Untouched predicates -- inside or outside the closure -- cost nothing.
+    shard_checkouts: int = 0
 
 
 @dataclass
@@ -122,6 +157,16 @@ class StreamStats:
     def solver_calls(self) -> int:
         return sum(unit.stats.solver_calls for unit in self.units)
 
+    @property
+    def shard_checkouts(self) -> int:
+        """Predicate shards cloned (copy-on-write) across the batch's units.
+
+        The predicate-sharded store's headline number: bounded by the units'
+        write closures, independent of how many predicates the view holds --
+        untouched predicates are never copied.
+        """
+        return sum(unit.shard_checkouts for unit in self.units)
+
     def as_dict(self) -> Dict[str, object]:
         """Flat rendering for benchmark snapshots."""
         return {
@@ -130,6 +175,7 @@ class StreamStats:
             "units": len(self.units),
             "failed_units": sum(1 for unit in self.units if unit.status != "applied"),
             "external_notices": self.external_notices,
+            "shard_checkouts": self.shard_checkouts,
             "seconds": round(self.seconds, 4),
             "coalesce": self.coalesce.as_dict(),
             "stats": self.totals().as_dict(),
@@ -298,11 +344,11 @@ class StreamScheduler:
                 units = self._strata.partition(phase.deletions, phase.insertions)
                 outcomes = self._run_units(working, units)
 
-                # Merge: each successful unit rewrote only its disjoint
-                # write closure, so its entries replace the phase base's for
-                # exactly those predicates.  (With one unit -- or sequential
-                # application -- the unit result already *is* the merge.)
-                working = self._merge(working, units, outcomes)
+                # Publish: each successful unit rewrote copy-on-write clones
+                # of exactly its disjoint write closure's shards, so the
+                # next view adopts those shard pointers; every other
+                # predicate keeps the phase base's shards untouched.
+                working = self._publish(working, units, outcomes)
 
                 # Thread the programs for the successful units, in unit
                 # order, before the next phase runs (its insertion passes
@@ -410,12 +456,23 @@ class StreamScheduler:
     def _run_units(
         self, base: MaterializedView, units: Sequence[StratumUnit]
     ) -> List[tuple]:
-        """Apply every unit (with retries), concurrently when configured."""
+        """Apply every unit (with retries), concurrently when configured.
+
+        Each unit receives a *checkout* of the current view scoped to its
+        write closure: shards it rewrites are cloned copy-on-write, shards
+        it only reads stay shared with the base (and with the other units),
+        and a write outside the closure raises instead of being silently
+        dropped by the publish step.
+        """
         workers = min(self._options.max_workers, len(units))
         if workers > 1:
             with ThreadPoolExecutor(max_workers=workers) as executor:
                 futures = [
-                    executor.submit(self._apply_unit_with_retry, base, unit)
+                    executor.submit(
+                        self._apply_unit_with_retry,
+                        base.checkout(unit.write_closure),
+                        unit,
+                    )
                     for unit in units
                 ]
                 outcomes = [future.result() for future in futures]
@@ -423,19 +480,28 @@ class StreamScheduler:
             outcomes = []
             current = base
             for unit in units:
-                outcome = self._apply_unit_with_retry(current, unit)
+                outcome = self._apply_unit_with_retry(
+                    current.checkout(unit.write_closure), unit
+                )
                 if outcome[1].status == "applied":
                     current = outcome[0]
                 outcomes.append(outcome)
         return outcomes
 
-    def _merge(
+    def _publish(
         self,
         base: MaterializedView,
         units: Sequence[StratumUnit],
         outcomes: Sequence[tuple],
     ) -> MaterializedView:
-        """Combine unit results into the next published view."""
+        """Combine unit results into the next published view (pointer swap).
+
+        Sequential application already threaded the view through the units,
+        so the last successful unit's result is complete.  Parallel units
+        each hand over the shards of their own write closure; the closures
+        are disjoint (re-checked here), so adoption order cannot matter and
+        no unit's writes can overwrite another's.
+        """
         applied = [
             (unit, outcome)
             for unit, outcome in zip(units, outcomes)
@@ -444,16 +510,11 @@ class StreamScheduler:
         if not applied:
             return base
         if self._options.max_workers <= 1 or len(units) == 1:
-            # Sequential application already threaded the view through the
-            # units; the last successful unit's result is complete.
-            return applied[-1][1][0]
+            return applied[-1][1][0].without_write_scope()
+        check_disjoint_write_closures(unit for unit, _ in applied)
         merged = base.copy()
         for unit, (result_view, _, _, _) in applied:
-            for predicate in sorted(unit.write_closure):
-                for entry in merged.entries_for(predicate):
-                    merged.remove(entry)
-                for entry in result_view.entries_for(predicate):
-                    merged.add(entry)
+            merged.adopt_shards(result_view, sorted(unit.write_closure))
         return merged
 
     def _apply_unit_with_retry(
@@ -480,6 +541,11 @@ class StreamScheduler:
                 status="applied",
                 stats=stats,
                 seconds=time.perf_counter() - started,
+                write_closure=tuple(sorted(unit.write_closure)),
+                # Copy-on-write clones this unit's passes made on top of the
+                # checkout it was handed (the counter is carried through
+                # ``copy()``, so the difference is exactly this unit's own).
+                shard_checkouts=view.shard_checkouts - base.shard_checkouts,
             )
             if self._options.on_unit_complete is not None:
                 self._options.on_unit_complete(report)
@@ -494,6 +560,7 @@ class StreamScheduler:
             status="failed",
             error=error,
             seconds=time.perf_counter() - started,
+            write_closure=tuple(sorted(unit.write_closure)),
         )
         if self._options.on_unit_complete is not None:
             self._options.on_unit_complete(report)

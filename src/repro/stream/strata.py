@@ -21,9 +21,10 @@ individually.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
 
 from repro.datalog.program import ConstrainedDatabase
+from repro.errors import MaintenanceError
 from repro.maintenance.requests import DeletionRequest, InsertionRequest
 
 
@@ -52,6 +53,27 @@ class StratumUnit:
             f"unit[{names}] strata={list(self.strata)} "
             f"({len(self.deletions)} del, {len(self.insertions)} ins)"
         )
+
+
+def check_disjoint_write_closures(units: Iterable[StratumUnit]) -> None:
+    """Assert that no predicate belongs to two units' write closures.
+
+    :meth:`PredicateStrata.partition` guarantees this by construction; the
+    stream scheduler re-checks it immediately before a shard-pointer publish,
+    because two units handing over the *same* predicate's shard would make
+    the publish silently drop one unit's writes -- the one class of bug the
+    merge-free design must turn into a loud failure.
+    """
+    owner: Dict[str, StratumUnit] = {}
+    for unit in units:
+        for predicate in unit.write_closure:
+            claimed = owner.get(predicate)
+            if claimed is not None:
+                raise MaintenanceError(
+                    f"stratum units overlap on predicate {predicate!r}: "
+                    f"{claimed.describe()} vs {unit.describe()}"
+                )
+            owner[predicate] = unit
 
 
 class PredicateStrata:

@@ -1,0 +1,265 @@
+"""Property tests for the predicate-sharded view storage.
+
+The monolithic ``MaterializedView`` became a copy-on-write façade over
+per-predicate :class:`~repro.datalog.view.PredicateShard` objects; these
+tests pin the refactor: after any random ``add`` / ``remove`` / ``replace``
+/ ``prune_unsolvable`` sequence interleaved across several predicates, the
+sharded store must match a naive monolithic reference entry-for-entry
+(global insertion order included) and snapshot-for-snapshot, copies taken
+mid-sequence must stay frozen while the original keeps mutating (the
+copy-on-write contract), and probes must agree with a freshly rebuilt
+monolithic view.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.constraints import ConstraintSolver, Variable, compare, conjoin, equals
+from repro.datalog import Atom, MaterializedView, Support, ViewEntry
+from repro.datalog.view import UNBOUND, IntervalQuery
+from repro.errors import ProgramError
+
+X = Variable("X")
+
+PREDICATES = ("a", "b", "c")
+
+LEAF = [Support(number) for number in range(1, 4)]
+SUPPORTS = LEAF + [
+    Support(5, (LEAF[0], LEAF[1])),
+    Support(6, (LEAF[2],)),
+    Support(6, (LEAF[0], LEAF[0])),
+]
+
+UNSOLVABLE = conjoin(equals(X, 1), equals(X, 2))
+CONSTRAINTS = [
+    equals(X, 0),
+    equals(X, 1),
+    equals(X, 3),
+    compare(X, ">=", 3),
+    conjoin(compare(X, ">=", 1), compare(X, "<=", 7)),
+    conjoin(compare(X, ">", 4), compare(X, "<", 9)),
+    UNSOLVABLE,
+]
+
+entries = st.builds(
+    lambda predicate, constraint_index, support_index: ViewEntry(
+        Atom(predicate, (X,)),
+        CONSTRAINTS[constraint_index],
+        SUPPORTS[support_index],
+    ),
+    predicate=st.sampled_from(PREDICATES),
+    constraint_index=st.integers(min_value=0, max_value=len(CONSTRAINTS) - 1),
+    support_index=st.integers(min_value=0, max_value=len(SUPPORTS) - 1),
+)
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("add"), entries),
+        st.tuples(st.just("remove"), entries),
+        st.tuples(
+            st.just("replace"),
+            entries,
+            st.integers(min_value=0, max_value=len(CONSTRAINTS) - 1),
+        ),
+        st.tuples(st.just("prune"), st.none()),
+        st.tuples(st.just("copy"), st.none()),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+class MonolithicModel:
+    """The pre-shard semantics, as a plain ordered list of entries."""
+
+    def __init__(self) -> None:
+        self.items: list = []
+
+    def _find(self, key):
+        for index, existing in enumerate(self.items):
+            if existing.key() == key:
+                return index
+        return None
+
+    def add(self, entry) -> None:
+        if self._find(entry.key()) is None:
+            self.items.append(entry)
+
+    def remove(self, entry) -> None:
+        index = self._find(entry.key())
+        if index is not None:
+            del self.items[index]
+
+    def replace(self, old, new) -> None:
+        index = self._find(old.key())
+        if index is None:
+            return
+        new_key = new.key()
+        if new_key != old.key() and self._find(new_key) is not None:
+            del self.items[index]  # merge: identical entry already present
+            return
+        self.items[index] = new
+
+    def prune(self, solver) -> None:
+        self.items = [
+            entry for entry in self.items if solver.is_satisfiable(entry.constraint)
+        ]
+
+
+def assert_matches_model(view: MaterializedView, model: MonolithicModel, solver):
+    reference = MaterializedView(model.items)
+    # Entry-for-entry, in global insertion order, across all shards.
+    assert view.entries == tuple(model.items)
+    assert len(view) == len(model.items)
+    assert view.predicates() == reference.predicates()
+    for predicate in PREDICATES:
+        expected = tuple(e for e in model.items if e.predicate == predicate)
+        assert view.entries_for(predicate) == expected
+    for entry in model.items:
+        assert entry in view
+    # Snapshot-for-snapshot against the freshly-rebuilt monolithic view.
+    assert view.argument_index_snapshot() == reference.argument_index_snapshot()
+    assert view.child_support_snapshot() == reference.child_support_snapshot()
+    # Support lookups merge shards back into global insertion order.
+    for support in SUPPORTS:
+        expected_all = tuple(e for e in model.items if e.support == support)
+        assert view.find_all_by_support(support) == expected_all
+        assert view.find_by_support(support) == (
+            expected_all[0] if expected_all else None
+        )
+    # Probes agree with the rebuilt monolithic view (same entries, same
+    # insertion order, same lazily-built indexes).
+    for predicate in PREDICATES:
+        for value in (0, 1, 3, 99):
+            assert view.probe(predicate, 0, value) == reference.probe(
+                predicate, 0, value
+            )
+            assert view.probe_range(predicate, 0, value) == reference.probe_range(
+                predicate, 0, value
+            )
+        query = IntervalQuery(2.0, False, 6.0, False)
+        assert view.probe_range(predicate, 0, query) == reference.probe_range(
+            predicate, 0, query
+        )
+    assert view.range_posting_snapshot() == reference.range_posting_snapshot()
+
+
+@settings(max_examples=60, deadline=None)
+@given(operations)
+def test_sharded_store_matches_monolithic_reference(ops):
+    solver = ConstraintSolver()
+    view = MaterializedView()
+    model = MonolithicModel()
+    frozen = []  # (copy-on-write copy, frozen model state) checkpoints
+    for operation in ops:
+        kind = operation[0]
+        if kind == "add":
+            view.add(operation[1])
+            model.add(operation[1])
+        elif kind == "remove":
+            view.remove(operation[1])
+            model.remove(operation[1])
+        elif kind == "replace":
+            entry = operation[1]
+            if entry in view:
+                live = next(e for e in view if e.key() == entry.key())
+                replacement = live.with_constraint(CONSTRAINTS[operation[2]])
+                view.replace(live, replacement)
+                model.replace(live, replacement)
+        elif kind == "prune":
+            view.prune_unsolvable(solver)
+            model.prune(solver)
+        else:  # copy checkpoint: must stay frozen while the original mutates
+            frozen.append((view.copy(), tuple(model.items)))
+    assert_matches_model(view, model, solver)
+    for copied, items in frozen:
+        assert copied.entries == items
+        # Reads on the copy (including lazy index builds) never leak into
+        # the original, and vice versa.
+        copied.child_support_snapshot()
+        for predicate in PREDICATES:
+            copied.probe_range(predicate, 0, IntervalQuery(0.0, False, 9.0, False))
+        assert copied.entries == items
+    assert_matches_model(view, model, solver)
+
+
+def make_entry(predicate: str, constraint, number: int) -> ViewEntry:
+    return ViewEntry(Atom(predicate, (X,)), constraint, Support(number))
+
+
+class TestCopyOnWrite:
+    def test_copy_shares_shards_until_either_side_writes(self):
+        view = MaterializedView()
+        view.add(make_entry("a", equals(X, 1), 1))
+        view.add(make_entry("b", equals(X, 2), 2))
+        snapshot = view.copy()
+        assert snapshot.shard_for("a") is view.shard_for("a")
+        before = view.shard_checkouts
+        view.add(make_entry("a", equals(X, 3), 3))
+        # The write cloned exactly one shard; the untouched one stays shared.
+        assert view.shard_checkouts == before + 1
+        assert snapshot.shard_for("a") is not view.shard_for("a")
+        assert snapshot.shard_for("b") is view.shard_for("b")
+        assert [str(e) for e in snapshot.entries_for("a")] == [
+            str(make_entry("a", equals(X, 1), 1))
+        ]
+
+    def test_mutating_the_copy_leaves_the_original_alone(self):
+        view = MaterializedView()
+        entry = make_entry("a", equals(X, 1), 1)
+        view.add(entry)
+        copied = view.copy()
+        copied.remove(entry)
+        assert len(copied) == 0
+        assert view.entries == (entry,)
+
+    def test_checkout_fences_writes_to_the_scope(self):
+        view = MaterializedView()
+        view.add(make_entry("a", equals(X, 1), 1))
+        scoped = view.checkout(["a"])
+        scoped.add(make_entry("a", equals(X, 5), 5))  # inside: fine
+        with pytest.raises(ProgramError):
+            scoped.add(make_entry("b", equals(X, 2), 2))
+        # Reads outside the scope stay allowed.
+        assert scoped.entries_for("b") == ()
+        # The fence survives the copies the maintenance algorithms take.
+        inner = scoped.copy()
+        with pytest.raises(ProgramError):
+            inner.add(make_entry("c", equals(X, 3), 3))
+        assert inner.without_write_scope().add(make_entry("c", equals(X, 3), 3))
+
+    def test_adopt_shards_publishes_by_pointer(self):
+        base = MaterializedView()
+        base.add(make_entry("a", equals(X, 1), 1))
+        base.add(make_entry("b", equals(X, 2), 2))
+        unit = base.checkout(["a"])
+        unit.add(make_entry("a", equals(X, 9), 9))
+        published = base.copy()
+        published.adopt_shards(unit, ["a"])
+        assert published.shard_for("a") is unit.shard_for("a")
+        assert published.shard_for("b") is base.shard_for("b")
+        assert {str(e.constraint) for e in published.entries_for("a")} == {
+            str(equals(X, 1)),
+            str(equals(X, 9)),
+        }
+        # Later insertions into the published view cannot collide with the
+        # adopted shard's sequence numbers.
+        assert published.add(make_entry("c", equals(X, 7), 7))
+        assert published.entries[-1].predicate == "c"
+
+    def test_lazy_index_build_on_shared_shard_is_invisible_to_the_sibling(self):
+        view = MaterializedView()
+        view.add(
+            make_entry("a", conjoin(compare(X, ">=", 0), compare(X, "<=", 5)), 1)
+        )
+        copied = view.copy()
+        # Build postings + child index through the copy (reads on a shared
+        # shard)...
+        copied.probe_range("a", 0, 3)
+        copied.find_parents_of(Support(1))
+        # ...the original's snapshots are unchanged (argument snapshot is
+        # build-independent by construction; entries untouched).
+        assert view.entries == copied.entries
+        assert view.argument_index_snapshot() == copied.argument_index_snapshot()

@@ -376,3 +376,54 @@ def test_indexed_materialization_matches_positional(seed):
         <= indexed_engine.stats.derivation_attempts
         <= positional_engine.stats.derivation_attempts
     )
+
+
+@pytest.mark.parametrize("seed", range(0, 30, 3))
+def test_segmented_dred_batches_match_the_chained_fallback(seed):
+    """Batches deleting a *derivable* predicate: segmented vs fully chained.
+
+    ``ExtendedDRed.delete_many`` used to demote the whole batch to the
+    one-at-a-time chain as soon as any request deleted a derivable
+    predicate; it now segments the batch around those requests so the
+    EDB-only majority stays in the single-pass path.  The segmented result
+    must match the chained one -- instance-identical always, key-identical
+    on duplicate-free and interval views -- at a cost (derivation attempts
+    + solver calls) never above the chain's.
+    """
+    spec = build_spec(seed)
+    family = seed % 5
+    solver = ConstraintSolver()
+    initial = compute_tp_fixpoint(spec.program, solver)
+    derivable = sorted(
+        {clause.predicate for clause in spec.program if clause.body}
+    )
+    derived_entries = [
+        entry
+        for predicate in derivable
+        for entry in initial.entries_for(predicate)
+    ]
+    edb_deletions = list(deletion_stream(spec, 3, seed=seed))
+    if len(edb_deletions) < 2 or not derived_entries:
+        pytest.skip("needs >= 2 EDB deletions and a derivable-predicate entry")
+    requests = (
+        edb_deletions[:2]
+        + [DeletionRequest(derived_entries[0].constrained_atom)]
+        + edb_deletions[2:]
+    )
+
+    chained = ExtendedDRed(
+        spec.program, solver, DRedOptions(segment_batches=False)
+    ).delete_many(initial, requests)
+    segmented = ExtendedDRed(spec.program, solver).delete_many(initial, requests)
+
+    universe = range(0, 64)
+    assert segmented.view.instances(solver, universe) == chained.view.instances(
+        solver, universe
+    )
+    if initial.is_duplicate_free(solver) or family in INTERVAL_FAMILIES:
+        assert view_keys(segmented.view) == view_keys(chained.view)
+    cost_chained = chained.stats.derivation_attempts + chained.stats.solver_calls
+    cost_segmented = (
+        segmented.stats.derivation_attempts + segmented.stats.solver_calls
+    )
+    assert cost_segmented <= cost_chained

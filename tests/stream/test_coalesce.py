@@ -157,3 +157,75 @@ class TestNoticesAndGrouping:
         assert set(grouped) == {"b", "c"}
         b_deletions, b_insertions = grouped["b"]
         assert len(b_deletions) == 1 and len(b_insertions) == 1
+
+
+class TestDeletionSubsumption:
+    def test_wider_later_delete_swallows_earlier_narrower_one(self):
+        # The nested-interval pair: [3, 5] is fully inside [1, 10].
+        batch = coalesce(
+            deletion("b(X) <- X >= 3 & X <= 5"),
+            deletion("b(X) <- X >= 1 & X <= 10"),
+        )
+        assert len(batch.deletions) == 1
+        assert batch.report.subsumed == 1
+        # The *wider, later* request is the survivor.
+        survivor = batch.deletions[0]
+        solver = ConstraintSolver()
+        instances = {
+            v
+            for (_, (v,)) in survivor.atom.instances(
+                solver=solver, universe=range(0, 12)
+            )
+        }
+        assert instances == set(range(1, 11))
+
+    def test_narrower_later_delete_does_not_swallow_the_wider_earlier_one(self):
+        batch = coalesce(
+            deletion("b(X) <- X >= 1 & X <= 10"),
+            deletion("b(X) <- X >= 3 & X <= 5"),
+        )
+        assert len(batch.deletions) == 2
+        assert batch.report.subsumed == 0
+
+    def test_intervening_insertion_blocks_subsumption(self):
+        # delete [3, 5], insert X = 4, delete [1, 10]: dropping the narrow
+        # delete would change which derivations the insertion's Add set
+        # contributes, so both deletions must survive.
+        batch = coalesce(
+            deletion("b(X) <- X >= 3 & X <= 5"),
+            insertion("b(X) <- X = 4"),
+            deletion("b(X) <- X >= 1 & X <= 10"),
+        )
+        assert len(batch.deletions) == 2
+        assert batch.report.subsumed == 0
+        # The insertion itself still cancels against the later wide delete.
+        assert batch.insertions == ()
+        assert batch.report.cancelled == 1
+
+    def test_other_predicates_do_not_interfere(self):
+        batch = coalesce(
+            deletion("b(X) <- X >= 3 & X <= 5"),
+            insertion("c(X) <- X = 4"),  # different predicate: no guard
+            deletion("b(X) <- X >= 1 & X <= 10"),
+            deletion("c(X) <- X = 9"),
+        )
+        assert batch.report.subsumed == 1
+        assert len(batch.deletions) == 2  # wide b-delete + the c-delete
+
+    def test_chain_collapses_to_the_widest_delete(self):
+        batch = coalesce(
+            deletion("b(X) <- X = 4"),
+            deletion("b(X) <- X >= 3 & X <= 5"),
+            deletion("b(X) <- X >= 0 & X <= 20"),
+        )
+        assert len(batch.deletions) == 1
+        assert batch.report.subsumed == 2
+
+    def test_disjoint_deletes_survive_with_quick_rejects(self):
+        batch = coalesce(
+            deletion("b(X) <- X >= 0 & X <= 3"),
+            deletion("b(X) <- X >= 10 & X <= 13"),
+        )
+        assert len(batch.deletions) == 2
+        assert batch.report.subsumed == 0
+        assert batch.report.quick_rejects >= 1

@@ -363,3 +363,118 @@ class TestViewMaintainerRebase:
                 ConstraintSolver(),
                 options=StreamOptions(deletion_algorithm="magic"),
             )
+
+
+class TestShardedPublish:
+    def test_untouched_predicate_shards_are_never_copied(self):
+        # Two independent towers, parallel workers: the unit deleting from
+        # `left` must not copy (or even touch) the `right` tower's shards,
+        # and publication must adopt the rewritten shards by pointer.
+        program = parse_program(TWO_TOWER_RULES)
+        scheduler = StreamScheduler(
+            program, ConstraintSolver(), options=StreamOptions(max_workers=4)
+        )
+        before = {
+            predicate: scheduler.view.shard_for(predicate)
+            for predicate in scheduler.view.predicates()
+        }
+        result = scheduler.apply_batch([deletion("left(X) <- X = 1")])
+        assert result.ok
+        after = scheduler.view
+        # Untouched tower: same shard objects, by identity.
+        for predicate in ("right", "other"):
+            assert after.shard_for(predicate) is before[predicate]
+        # Rewritten closure: new shard objects.
+        assert after.shard_for("left") is not before["left"]
+        # The copy-on-write counter stays within the unit's write closure.
+        (unit,) = result.stats.units
+        assert 0 < unit.shard_checkouts <= len(unit.write_closure)
+        assert result.stats.shard_checkouts == unit.shard_checkouts
+
+    @pytest.mark.parametrize("algorithm", ["stdel", "dred"])
+    def test_parallel_and_sequential_agree_on_checkout_counts(self, algorithm):
+        program = parse_program(TWO_TOWER_RULES)
+        requests = [
+            deletion("left(X) <- X = 1"),
+            deletion("right(X) <- X = 11"),
+            insertion("left(X) <- X = 3"),
+            insertion("right(X) <- X = 13"),
+        ]
+        sequential = StreamScheduler(
+            program,
+            ConstraintSolver(),
+            options=StreamOptions(deletion_algorithm=algorithm, max_workers=1),
+        ).apply_batch(requests)
+        parallel = StreamScheduler(
+            program,
+            ConstraintSolver(),
+            options=StreamOptions(deletion_algorithm=algorithm, max_workers=4),
+        ).apply_batch(requests)
+        assert (
+            parallel.stats.shard_checkouts == sequential.stats.shard_checkouts > 0
+        )
+        assert view_keys(parallel.view) == view_keys(sequential.view)
+
+    def test_next_batch_composes_on_the_published_shards(self):
+        # Publication hands out shared shard pointers; a second batch must
+        # clone-before-write again instead of mutating the snapshot a
+        # reader may still hold.
+        program = parse_program(TWO_TOWER_RULES)
+        scheduler = StreamScheduler(
+            program, ConstraintSolver(), options=StreamOptions(max_workers=4)
+        )
+        scheduler.apply_batch([deletion("left(X) <- X = 1")])
+        snapshot = scheduler.view
+        first_left = snapshot.instances_for("left", ConstraintSolver(), UNIVERSE)
+        scheduler.apply_batch([deletion("left(X) <- X = 2")])
+        # The previously published view object is untouched.
+        assert snapshot.instances_for("left", ConstraintSolver(), UNIVERSE) == first_left
+        assert scheduler.query("left", UNIVERSE) == frozenset()
+        assert scheduler.verify(UNIVERSE)
+
+    def test_subsumed_deletions_are_coalesced_before_scheduling(self):
+        # Narrow-then-wider delete pair: only the wide one reaches a
+        # maintenance pass, and the net effect matches applying both.
+        program = parse_program(TWO_TOWER_RULES)
+        scheduler = StreamScheduler(program, ConstraintSolver())
+        result = scheduler.apply_batch(
+            [
+                deletion("left(X) <- X = 1"),
+                deletion("left(X) <- X >= 0 & X <= 5"),
+            ]
+        )
+        assert result.ok
+        assert result.stats.coalesce.subsumed == 1
+        assert result.stats.applied == 1
+        assert scheduler.query("left", UNIVERSE) == frozenset()
+        assert scheduler.query("top", UNIVERSE) == frozenset()
+        assert scheduler.verify(UNIVERSE)
+
+    def test_write_scope_violation_fails_the_unit_loudly(self, monkeypatch):
+        # A unit writing outside its closure must fail its unit (the
+        # publish step would silently drop the write otherwise).
+        from repro.datalog import parse_constrained_atom as parse_atom
+        from repro.datalog.view import ViewEntry
+        from repro.datalog.support import Support as ViewSupport
+
+        program = parse_program(TWO_TOWER_RULES)
+        scheduler = StreamScheduler(
+            program, ConstraintSolver(), options=StreamOptions(max_unit_attempts=1)
+        )
+        original = StraightDelete.delete_many
+
+        def rogue(self, view, requests, purge_predicates=None):
+            result = original(self, view, requests, purge_predicates)
+            rogue_atom = parse_atom("right(X) <- X = 99")
+            result.view.add(
+                ViewEntry(rogue_atom.atom, rogue_atom.constraint, ViewSupport(0))
+            )
+            return result
+
+        monkeypatch.setattr(StraightDelete, "delete_many", rogue)
+        result = scheduler.apply_batch([deletion("left(X) <- X = 1")])
+        assert not result.ok
+        (failed,) = result.failed_units
+        assert "checkout scope" in (failed.error or "")
+        # Nothing published: the batch's closure is untouched.
+        assert scheduler.query("left", UNIVERSE) == {(1,), (2,)}

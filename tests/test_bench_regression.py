@@ -124,3 +124,18 @@ def test_batched_deletion_never_costs_more_than_sequential(baseline, current):
         # insert-then-delete pair never reached a maintenance pass.
         assert mixed["coalesce"]["deduplicated"] >= 1
         assert mixed["coalesce"]["cancelled"] >= 1
+
+
+def test_stream_batch_checks_out_only_its_write_closure(baseline, current):
+    """Predicate-sharded storage: copy-on-write checkouts stay inside the
+    units' write closures (at most one clone per shard per maintenance pass
+    -- one deletion pass, one insertion pass), and on the two-tower
+    sub-measurement the closure is strictly smaller than the view's
+    predicate set, so the untouched tower's shards are provably never
+    copied."""
+    for snapshot in (baseline["results"], current["results"]):
+        mixed = snapshot["stream_mixed_batch"]
+        assert 0 < mixed["shard_checkouts"] <= 2 * mixed["closure_predicates"]
+        tower = mixed["tower"]
+        assert 0 < tower["shard_checkouts"] <= 2 * tower["closure_predicates"]
+        assert tower["closure_predicates"] < tower["view_predicates"]
