@@ -10,7 +10,7 @@ per claim (who wins, by roughly what factor).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict
 
 import pytest
 
@@ -20,7 +20,6 @@ from repro.maintenance import DeletionRequest
 from repro.workloads import (
     WorkloadSpec,
     deletion_stream,
-    insertion_stream,
     make_layered_program,
     make_chain_program,
     make_interval_join_program,

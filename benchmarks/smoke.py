@@ -278,6 +278,44 @@ def run_stream_mixed_batch() -> dict:
     }
 
 
+def run_analysis() -> dict:
+    """Static-analyzer smoke: diagnostics and closure shape per workload.
+
+    The analyzer runs on every mediator build and scheduler construction,
+    so the snapshot records its cost and -- more usefully -- the *shape* of
+    what it infers: diagnostics by severity (all the smoke workloads must
+    stay clean), write-closure sizes, and how many (predicate, position)
+    pairs stay interval-eligible (the range-postings routing table).
+    """
+    from repro.analysis import analyze_program
+
+    families = {
+        "layered": make_layered_program(
+            base_facts=8, layers=2, predicates_per_layer=2, fanin=2, seed=1
+        ).program,
+        "tc14": make_transitive_closure_program(make_path_graph_edges(14)).program,
+        "interval_join": make_interval_join_program(
+            ground_facts=6, intervals_per_predicate=3, pairs=2, width=40, seed=2
+        ).program,
+    }
+    out: dict = {"workload": "analyze_program over the smoke workloads"}
+    for name, program in families.items():
+        seconds, report = timed(analyze_program, program)
+        closures = report.write_closures
+        sizes = [len(closure) for closure in closures.values()]
+        out[name] = {
+            "seconds": round(seconds, 4),
+            "severity": report.severity_counts(),
+            "predicates": len(report.predicates),
+            "components": len(report.components),
+            "closure_groups": len(set(report.closure_groups.values())),
+            "mean_write_closure": round(sum(sizes) / max(1, len(sizes)), 2),
+            "max_write_closure": max(sizes, default=0),
+            "interval_positions": len(report.interval_positions),
+        }
+    return out
+
+
 def run_insertion(scenario) -> dict:
     request = insertion_stream(scenario.spec, 1, seed=5)[0]
     seconds, outcome = timed(
@@ -343,6 +381,7 @@ def run_smoke(include_external: bool = True) -> dict:
     # Batched maintenance: the stream subsystem's amortization claims.
     snapshot["deletion_batch_tc14"] = run_deletion_batch(length=14, deletions=3)
     snapshot["stream_mixed_batch"] = run_stream_mixed_batch()
+    snapshot["static_analysis"] = run_analysis()
     if include_external:
         snapshot["external_layered_small"] = run_external(
             build_layered_deletion_scenario("small").spec

@@ -1,0 +1,14 @@
+"""Static analysis of mediated programs.
+
+Run :func:`analyze_program` over a
+:class:`~repro.datalog.program.ConstrainedDatabase` (optionally with the
+mediator's :class:`~repro.domains.base.DomainRegistry`) to obtain a
+:class:`ProgramReport`: safety/range-restriction diagnostics,
+stratification and negation classification, domain signature inference,
+and the precomputed write/read closures the stream scheduler adopts.
+"""
+
+from repro.analysis.analyzer import analyze_program
+from repro.analysis.report import Diagnostic, ProgramReport
+
+__all__ = ["analyze_program", "Diagnostic", "ProgramReport"]

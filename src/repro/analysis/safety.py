@@ -1,0 +1,152 @@
+"""Safety / range-restriction analysis (analyzer pass 1).
+
+The paper's maintenance algorithms assume every clause is *safe*: a head
+variable must be bound by a positive body atom or pinned by a positive
+constraint conjunct, otherwise the clause derives an unbounded set and the
+fixpoint semantics ``[A(X̄) <- φ]`` of Section 2.3 is not a finite view.
+A variable bound only under a ``not(...)`` does not count -- the negation's
+quantification convention puts such variables *inside* the negation, so
+they never reach the head.
+
+Interval workloads legitimately bind head variables with ordering
+comparisons alone (``iv(X) <- X >= 3``): the view entry stays intensional
+and the solver handles it, so that pattern is reported as *info*, not as a
+violation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.constraints.ast import Comparison, Membership, NegatedConjunction
+from repro.constraints.terms import Variable
+from repro.datalog.clauses import Clause
+from repro.datalog.program import ConstrainedDatabase
+
+from repro.analysis.report import Diagnostic
+
+
+def _positive_binding_sets(clause: Clause) -> tuple:
+    """Classify the clause's constraint variables by binding strength.
+
+    Returns ``(strong, weak, negated)``: variables pinned by an equality or
+    positive membership, variables only bounded by ordering/disequality
+    comparisons, and variables occurring inside negated conjuncts or
+    negative membership literals.
+    """
+    strong: Set[Variable] = set()
+    weak: Set[Variable] = set()
+    negated: Set[Variable] = set()
+    for conjunct in clause.constraint.conjuncts():
+        if isinstance(conjunct, Comparison):
+            if conjunct.is_equality():
+                strong.update(conjunct.variables())
+            else:
+                weak.update(conjunct.variables())
+        elif isinstance(conjunct, Membership):
+            if conjunct.positive:
+                strong.update(conjunct.variables())
+            else:
+                negated.update(conjunct.variables())
+        elif isinstance(conjunct, NegatedConjunction):
+            negated.update(conjunct.variables())
+    return strong, weak, negated
+
+
+def run_safety_pass(program: ConstrainedDatabase) -> List[Diagnostic]:
+    """Check range restriction for every clause of *program*."""
+    diagnostics: List[Diagnostic] = []
+    for clause in program:
+        body_vars: Set[Variable] = set()
+        for atom in clause.body:
+            body_vars.update(atom.variables())
+        strong, weak, negated = _positive_binding_sets(clause)
+        head_vars = clause.head.variables()
+
+        unsafe = sorted(
+            variable.name
+            for variable in head_vars
+            if variable not in body_vars
+            and variable not in strong
+            and variable not in weak
+        )
+        if unsafe:
+            diagnostics.append(
+                Diagnostic(
+                    severity="error",
+                    code="unsafe-head-variable",
+                    message=(
+                        f"head variable(s) {', '.join(unsafe)} are bound by "
+                        "no body atom and no positive constraint conjunct; "
+                        "the clause derives an unbounded set"
+                    ),
+                    predicate=clause.predicate,
+                    clause_number=clause.number,
+                )
+            )
+
+        interval_only = sorted(
+            variable.name
+            for variable in head_vars
+            if variable not in body_vars
+            and variable not in strong
+            and variable in weak
+        )
+        if interval_only:
+            diagnostics.append(
+                Diagnostic(
+                    severity="info",
+                    code="interval-bound-head-variable",
+                    message=(
+                        f"head variable(s) {', '.join(interval_only)} are "
+                        "bound only by ordering comparisons; the entry stays "
+                        "intensional (interval-constrained)"
+                    ),
+                    predicate=clause.predicate,
+                    clause_number=clause.number,
+                )
+            )
+
+        constraint_vars = clause.constraint.variables()
+        constraint_only = sorted(
+            variable.name
+            for variable in constraint_vars
+            if variable not in head_vars and variable not in body_vars
+        )
+        if constraint_only:
+            diagnostics.append(
+                Diagnostic(
+                    severity="info",
+                    code="constraint-only-variable",
+                    message=(
+                        f"variable(s) {', '.join(constraint_only)} occur only "
+                        "in the constraint part (existentially quantified)"
+                    ),
+                    predicate=clause.predicate,
+                    clause_number=clause.number,
+                )
+            )
+
+        negation_scoped = sorted(
+            variable.name
+            for variable in negated
+            if variable not in head_vars
+            and variable not in body_vars
+            and variable not in strong
+            and variable not in weak
+        )
+        if negation_scoped:
+            diagnostics.append(
+                Diagnostic(
+                    severity="info",
+                    code="negation-scoped-variable",
+                    message=(
+                        f"variable(s) {', '.join(negation_scoped)} occur only "
+                        "under not(...); they are quantified inside the "
+                        "negation"
+                    ),
+                    predicate=clause.predicate,
+                    clause_number=clause.number,
+                )
+            )
+    return diagnostics

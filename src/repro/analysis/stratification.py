@@ -1,0 +1,103 @@
+"""Stratification and negation analysis (analyzer pass 2).
+
+The clause language keeps negation at the *constraint* level: body atoms
+are always positive, and ``not(...)`` conjuncts are either deletion-rewrite
+residue (pure comparisons -- the ``not(δ)`` of Algorithm 1/2) or negated
+external guards (a :class:`~repro.constraints.ast.Membership` under the
+negation).  Comparison-only negations are harmless in recursion -- they
+mention no derived predicate.  A negated external guard on a *recursive*
+clause is the constraint-level analogue of negation through recursion: the
+guard's value can flip while the clause's own SCC is still being derived,
+so the duplicate-semantics fixpoint of Theorem 1 is no longer monotone on
+that component.  The analyzer rejects it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.constraints.ast import Constraint, Membership, NegatedConjunction
+from repro.datalog.program import ConstrainedDatabase
+
+from repro.analysis.report import Diagnostic
+
+
+def _contains_membership(constraint: Constraint) -> bool:
+    """True when a Membership literal occurs anywhere under *constraint*."""
+    if isinstance(constraint, Membership):
+        return True
+    if isinstance(constraint, NegatedConjunction):
+        return any(_contains_membership(part) for part in constraint.parts)
+    return False
+
+
+def run_stratification_pass(
+    program: ConstrainedDatabase,
+    components: Tuple[Tuple[str, ...], ...],
+    stratum: Dict[str, int],
+) -> Tuple[List[Diagnostic], int, int]:
+    """Classify every negated conjunct; reject unstratified negation.
+
+    Returns ``(diagnostics, not_delta_conjuncts, negated_guard_conjuncts)``.
+    """
+    diagnostics: List[Diagnostic] = []
+    not_delta = 0
+    negated_guards = 0
+    for clause in program:
+        head_stratum = stratum.get(clause.predicate)
+        # Recursive = some body atom lives in the head's SCC *and* that SCC
+        # is genuinely cyclic (self-edge, or more than one member).
+        recursive = False
+        if head_stratum is not None:
+            for atom in clause.body:
+                if stratum.get(atom.predicate) != head_stratum:
+                    continue
+                if (
+                    atom.predicate == clause.predicate
+                    or len(components[head_stratum]) > 1
+                ):
+                    recursive = True
+                    break
+        for conjunct in clause.constraint.conjuncts():
+            negated_guard = False
+            if isinstance(conjunct, Membership) and not conjunct.positive:
+                negated_guard = True
+            elif isinstance(conjunct, NegatedConjunction):
+                if _contains_membership(conjunct):
+                    negated_guard = True
+                else:
+                    not_delta += 1
+            if not negated_guard:
+                continue
+            negated_guards += 1
+            if recursive:
+                diagnostics.append(
+                    Diagnostic(
+                        severity="error",
+                        code="unstratified-negation",
+                        message=(
+                            "recursive clause carries a negated external "
+                            f"guard ({conjunct}); the guard can flip while "
+                            f"the SCC {components[head_stratum]} is still "
+                            "being derived, so the fixpoint is not monotone "
+                            "on this stratum"
+                        ),
+                        predicate=clause.predicate,
+                        clause_number=clause.number,
+                    )
+                )
+            else:
+                diagnostics.append(
+                    Diagnostic(
+                        severity="info",
+                        code="negated-external-guard",
+                        message=(
+                            f"clause filters through a negated guard "
+                            f"({conjunct}); evaluated once per derivation, "
+                            "outside any recursion"
+                        ),
+                        predicate=clause.predicate,
+                        clause_number=clause.number,
+                    )
+                )
+    return diagnostics, not_delta, negated_guards

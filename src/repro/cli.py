@@ -12,6 +12,7 @@ Examples
     python -m repro query rules.pl b --universe 0:10
     python -m repro delete rules.pl "b(X) <- X = 6" --query b --universe 0:10
     python -m repro insert rules.pl "b(X) <- X = 1" --query c --universe 0:10
+    python -m repro analyze rules.pl --strict
     python -m repro examples          # list the bundled example scripts
 
 External domains cannot be configured from the command line (they are Python
@@ -22,10 +23,12 @@ also everything the paper's worked examples need.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
+from repro.analysis import analyze_program
 from repro.constraints import ConstraintSolver
 from repro.datalog import compute_tp_fixpoint, compute_wp_fixpoint, parse_constrained_atom, parse_program
 from repro.errors import ReproError
@@ -120,6 +123,23 @@ def _cmd_update(args, stream, kind: str) -> int:
     return 0
 
 
+def _cmd_analyze(args, stream) -> int:
+    program = _load_program(args.rules)
+    report = analyze_program(program)
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True, default=str),
+              file=stream)
+    else:
+        for diagnostic in report.diagnostics:
+            print(diagnostic.render(), file=stream)
+        print(f"-- {report.summary()}", file=stream)
+    if report.errors():
+        return 1
+    if args.strict and report.warnings():
+        return 1
+    return 0
+
+
 def _cmd_examples(stream) -> int:
     examples_dir = Path(__file__).resolve().parent.parent.parent / "examples"
     print("Bundled examples (run with `python examples/<name>.py`):", file=stream)
@@ -171,6 +191,21 @@ def build_parser() -> argparse.ArgumentParser:
             help="recompute the declarative semantics and compare",
         )
 
+    analyze = subparsers.add_parser(
+        "analyze",
+        help="statically analyze a rule file (safety, stratification, "
+        "signatures, write closures)",
+    )
+    analyze.add_argument("rules", help="path to a rule file")
+    analyze.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero on warnings too, not only errors",
+    )
+    analyze.add_argument(
+        "--json", action="store_true",
+        help="print the full report as JSON instead of rendered diagnostics",
+    )
+
     subparsers.add_parser("examples", help="list the bundled example scripts")
     return parser
 
@@ -189,6 +224,8 @@ def main(argv: Optional[Sequence[str]] = None, stream=None) -> int:
             return _cmd_update(args, stream, "delete")
         if args.command == "insert":
             return _cmd_update(args, stream, "insert")
+        if args.command == "analyze":
+            return _cmd_analyze(args, stream)
         if args.command == "examples":
             return _cmd_examples(stream)
     except FileNotFoundError as error:

@@ -25,15 +25,13 @@ semantics at later time points.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from repro.constraints.ast import (
     Comparison,
-    Conjunction,
     Constraint,
     FALSE,
     FalseConstraint,
-    Membership,
     NegatedConjunction,
     TRUE,
     TrueConstraint,

@@ -37,7 +37,7 @@ from repro.constraints.ast import (
     NegatedConjunction,
 )
 from repro.constraints.solver import ConstraintSolver
-from repro.constraints.terms import Constant, Substitution, Term, Variable
+from repro.constraints.terms import Constant, Term, Variable
 from repro.errors import SolverError
 
 #: Widest integer interval that is enumerated without an explicit universe.

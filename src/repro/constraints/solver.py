@@ -45,11 +45,9 @@ from repro.constraints.ast import (
     Conjunction,
     Constraint,
     DomainCall,
-    FALSE,
     FalseConstraint,
     Membership,
     NegatedConjunction,
-    TRUE,
     TrueConstraint,
     conjoin,
     negate,

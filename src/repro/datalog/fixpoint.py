@@ -23,7 +23,18 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, TypeVar
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
 
 from repro.constraints.ast import Constraint, conjoin, tuple_equalities
 from repro.constraints.projection import eliminate_variables
@@ -84,6 +95,16 @@ class FixpointOptions:
     #: effective when ``hash_join_index`` is on; like it, never applied under
     #: ``W_P`` (the postings are then never even populated).
     range_postings: bool = True
+    #: Statically-inferred (predicate, position) pairs that can actually
+    #: carry a non-degenerate interval (see
+    #: :func:`repro.analysis.signatures.infer_interval_positions`).  When
+    #: set, pinned-value probes against positions *not* in the table skip the
+    #: range-postings path entirely -- the exact-value index already answers
+    #: them, so maintaining/consulting interval postings there is pure
+    #: overhead.  ``None`` (no analysis available) keeps every position on
+    #: the range-aware path; overlap (:class:`IntervalQuery`) probes always
+    #: stay range-aware regardless.
+    range_eligible: Optional[FrozenSet[Tuple[str, int]]] = None
     #: Hard cap on the number of iterations before giving up.
     max_iterations: int = 200
     #: Hard cap on the total number of view entries before giving up.
@@ -408,6 +429,7 @@ def make_view_probes(
     on_probe: Optional[Callable[[], None]] = None,
     range_postings: bool = False,
     evaluator: Optional[object] = None,
+    range_eligible: Optional[FrozenSet[Tuple[str, int]]] = None,
 ) -> Tuple[Callable, Callable]:
     """Build the ``(probe_old, probe_full)`` pair for indexed delta joins.
 
@@ -424,6 +446,12 @@ def make_view_probes(
     :meth:`~repro.datalog.view.MaterializedView.probe_range` (consulting
     *evaluator*'s ``index_interval`` hooks for DCA-bounded positions) and
     accept :class:`~repro.datalog.view.IntervalQuery` overlap queries.
+    *range_eligible* (the analyzer's interval-position table) routes
+    pinned-value probes of statically interval-free positions straight to
+    the exact-value index: ``probe`` returns bound matches, the unbound
+    bucket AND every interval-posted entry unfiltered, so skipping the
+    range machinery on such positions is unconditionally a superset --
+    only overlap queries must stay on the range-aware path.
     """
 
     token = evaluator_token(evaluator) if range_postings else None
@@ -432,6 +460,12 @@ def make_view_probes(
         if on_probe is not None:
             on_probe()
         if range_postings:
+            if (
+                range_eligible is not None
+                and not isinstance(value, IntervalQuery)
+                and (body_atom.predicate, arg_index) not in range_eligible
+            ):
+                return view.probe(body_atom.predicate, arg_index, value)
             return view.probe_range(
                 body_atom.predicate, arg_index, value, evaluator, token
             )
@@ -687,6 +721,7 @@ class FixpointEngine:
                 on_probe=on_probe,
                 range_postings=self._options.range_postings,
                 evaluator=self._solver.evaluator,
+                range_eligible=self._options.range_eligible,
             )
             # Built once per round, next to the probes: the getter pins the
             # evaluator's version token, which cannot change mid-round.

@@ -8,7 +8,7 @@ algorithms rewrite individual clauses by number.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.datalog.clauses import Clause
 from repro.errors import ProgramError

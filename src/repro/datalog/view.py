@@ -48,7 +48,8 @@ from repro.constraints.solver import (
 from repro.constraints.terms import Constant, FreshVariableFactory, Variable
 from repro.datalog.atoms import Atom, ConstrainedAtom
 from repro.datalog.support import Support
-from repro.errors import ProgramError
+from repro.errors import ProgramError, ShardSanitizerError, WriteScopeError
+from repro.sanitizer import sanitizer_enabled
 
 
 class _UnboundArgument:
@@ -68,6 +69,10 @@ UNBOUND = _UnboundArgument()
 #: round and pass it down, instead of rebuilding the registry's tuple on
 #: every probe.
 _NO_TOKEN = object()
+
+#: Sentinel distinguishing "support never recorded in this lineage" from the
+#: ``None`` hint value ("recorded under several predicates, scan them all").
+_NO_HINT = object()
 
 
 def evaluator_token(evaluator: Optional[object]) -> Optional[object]:
@@ -677,6 +682,7 @@ class PredicateShard:
         "_child_index",
         "_arg",
         "_seq",
+        "_shared",
     )
 
     def __init__(self, predicate: str) -> None:
@@ -689,6 +695,10 @@ class PredicateShard:
         self._arg: Dict[int, _ArgSlot] = {}
         #: entry key -> global sequence number (façade-allocated).
         self._seq: Dict[object, int] = {}
+        #: Sanitizer flag: set (only while ``REPRO_SHARD_SANITIZER`` is on)
+        #: when another view may reference this shard; armed shards refuse
+        #: mutation until copy-on-write clones them.
+        self._shared = False
 
     # ------------------------------------------------------------------
     # Container basics
@@ -719,10 +729,27 @@ class PredicateShard:
         dup._seq = dict(self._seq)
         return dup
 
+    def _reject_shared_write(self) -> None:
+        """Sanitizer trip: a mutator ran on a shard another view references.
+
+        Only reachable while ``REPRO_SHARD_SANITIZER`` armed the flag at
+        share time: every legal write path goes through the façade's
+        copy-on-write (:meth:`MaterializedView._writable_shard`), which
+        clones a borrowed shard -- and the clone is private -- before
+        mutating it.
+        """
+        raise ShardSanitizerError(
+            f"mutation of shared shard {self.predicate!r}: the shard is "
+            "referenced by a published view; writes must go through a "
+            "checked-out copy (copy-on-write), not the shared pointer"
+        )
+
     # ------------------------------------------------------------------
     # Mutation (writable shards only)
     # ------------------------------------------------------------------
     def add(self, key: object, entry: ViewEntry) -> None:
+        if self._shared:
+            self._reject_shared_write()
         self._entries.add(key, entry)
         group = self._by_support.get(entry.support)
         if group is None:
@@ -737,6 +764,8 @@ class PredicateShard:
         self._index_arguments(key, entry)
 
     def remove(self, key: object, entry: ViewEntry) -> None:
+        if self._shared:
+            self._reject_shared_write()
         self._entries.remove(key)
         self._by_support[entry.support].remove(key)
         if self._child_index is not None:
@@ -748,6 +777,8 @@ class PredicateShard:
         self, old_key: object, new_key: object, old: ViewEntry, new: ViewEntry
     ) -> None:
         """Swap *old* for *new* in place (same predicate, slot preserved)."""
+        if self._shared:
+            self._reject_shared_write()
         self._entries.replace(old_key, new_key, new)
         group = self._by_support[old.support]
         if new.support == old.support:
@@ -1089,6 +1120,16 @@ class MaterializedView:
         self._shard_checkouts = 0
         #: Memoized global-order entry tuple; dropped by every mutation.
         self._entries_cache: Optional[Tuple[ViewEntry, ...]] = None
+        #: Support -> owning predicate (``None`` = several predicates have
+        #: carried it, e.g. the shared external support 0).  Shared *by
+        #: reference* across the whole copy lineage and append-only, so it
+        #: is a superset hint: a recorded predicate may no longer hold the
+        #: support (harmless -- the shard probe answers), but a support
+        #: carried by any entry of this lineage is always recorded.
+        self._support_hints: Dict[Support, Optional[str]] = {}
+        #: Child support -> predicates whose entries ever used it as a
+        #: direct premise (same lineage-shared superset discipline).
+        self._parent_hints: Dict[Support, Set[str]] = {}
         for entry in entries:
             self.add(entry)
 
@@ -1119,9 +1160,16 @@ class MaterializedView:
         dup._shard_checkouts = self._shard_checkouts
         # Same entries, same order: the copy can start from the memo.
         dup._entries_cache = self._entries_cache
+        # Hints are shared by reference across the lineage (append-only
+        # supersets; see __init__), so copies stay O(#shards).
+        dup._support_hints = self._support_hints
+        dup._parent_hints = self._parent_hints
         # The original must treat its shards as shared from now on too:
         # a later write on either side clones before mutating.
         self._borrowed.update(self._shards)
+        if sanitizer_enabled():
+            for shard in self._shards.values():
+                shard._shared = True
         return dup
 
     def checkout(self, predicates: Iterable[str]) -> "MaterializedView":
@@ -1154,7 +1202,7 @@ class MaterializedView:
 
     def _writable_shard(self, predicate: str) -> PredicateShard:
         if self._write_scope is not None and predicate not in self._write_scope:
-            raise ProgramError(
+            raise WriteScopeError(
                 f"write to predicate {predicate!r} outside this view's "
                 f"checkout scope {sorted(self._write_scope)}"
             )
@@ -1180,6 +1228,7 @@ class MaterializedView:
         the adopted shards borrowed, and the sequence counter advances past
         *source*'s so later insertions cannot collide.
         """
+        armed = sanitizer_enabled()
         for predicate in predicates:
             shard = source._shards.get(predicate)
             if shard is None:
@@ -1189,9 +1238,46 @@ class MaterializedView:
             self._shards[predicate] = shard
             self._borrowed.add(predicate)
             source._borrowed.add(predicate)
+            if armed:
+                shard._shared = True
         if source._next_seq > self._next_seq:
             self._next_seq = source._next_seq
+        if source._support_hints is not self._support_hints:
+            # Foreign lineage: fold its hints into ours (supersets union).
+            for support, predicate in source._support_hints.items():
+                known = self._support_hints.setdefault(support, predicate)
+                if known is not None and known != predicate:
+                    self._support_hints[support] = None
+            for support, owners in source._parent_hints.items():
+                self._parent_hints.setdefault(support, set()).update(owners)
         self._entries_cache = None
+
+    def assert_publish_scope(
+        self, base: "MaterializedView", allowed: Iterable[str]
+    ) -> None:
+        """Sanitizer check: this view diverges from *base* only in *allowed*.
+
+        Run by the stream scheduler immediately before a scoped
+        ``adopt_shards`` publish.  A shard pointer that differs from the
+        base's outside the unit's declared write closure is a torn publish
+        in the making -- the adoption would silently drop that write -- so
+        it raises :class:`~repro.errors.ShardSanitizerError` instead.
+        """
+        allowed_set = set(allowed)
+        for predicate, shard in self._shards.items():
+            if predicate in allowed_set:
+                continue
+            if base._shards.get(predicate) is not shard:
+                raise ShardSanitizerError(
+                    f"torn publish: shard {predicate!r} was rewritten outside "
+                    f"the declared write closure {sorted(allowed_set)}"
+                )
+        for predicate in base._shards:
+            if predicate not in allowed_set and predicate not in self._shards:
+                raise ShardSanitizerError(
+                    f"torn publish: shard {predicate!r} was dropped outside "
+                    f"the declared write closure {sorted(allowed_set)}"
+                )
 
     def _sorted_entries(self) -> Tuple[ViewEntry, ...]:
         """All entries in global insertion order (sequence-number merge).
@@ -1243,8 +1329,30 @@ class MaterializedView:
             shard._seq[key] = self._next_seq
             self._next_seq += 1
         shard.add(key, entry)
+        self._record_support_hints(entry)
         self._entries_cache = None
         return True
+
+    def _record_support_hints(self, entry: ViewEntry) -> None:
+        """File the entry's support (and premises) in the lineage hints.
+
+        Individual dict/set operations are atomic under the GIL, so
+        concurrent stratum units can record into the shared hints safely;
+        a same-support race across predicates at worst records ``None``
+        (the "several owners" sentinel), which only widens a later probe.
+        """
+        support = entry.support
+        known = self._support_hints.setdefault(support, entry.predicate)
+        if known is not None and known != entry.predicate:
+            self._support_hints[support] = None
+        children = support.children
+        if children:
+            parents = self._parent_hints
+            for child in dict.fromkeys(children):
+                owners = parents.get(child)
+                if owners is None:
+                    owners = parents.setdefault(child, set())
+                owners.add(entry.predicate)
 
     def add_all(self, entries: Iterable[ViewEntry]) -> int:
         """Add several entries; return how many were actually new."""
@@ -1289,6 +1397,7 @@ class MaterializedView:
                 self._next_seq += 1
             shard._seq[new_key] = sequence
             shard.replace(old_key, new_key, old, new)
+            self._record_support_hints(new)
             self._entries_cache = None
             return True
         else:  # pragma: no cover - algorithms never change the predicate
@@ -1305,6 +1414,7 @@ class MaterializedView:
                 self._next_seq += 1
             shard._seq[new_key] = sequence
             shard.add(new_key, new)
+            self._record_support_hints(new)
             self._entries_cache = None
             return True
 
@@ -1336,7 +1446,19 @@ class MaterializedView:
         return tuple(entry.constrained_atom for entry in self)
 
     def find_by_support(self, support: Support) -> Optional[ViewEntry]:
-        """Return the (first-inserted) entry carrying exactly this support."""
+        """Return the (first-inserted) entry carrying exactly this support.
+
+        The lineage's support hints usually name the one shard that can
+        hold the support, so the probe is O(1) instead of per-shard; the
+        ``None`` sentinel (several predicates have carried the support,
+        e.g. the shared external support) falls back to the full merge.
+        """
+        hint = self._support_hints.get(support, _NO_HINT)
+        if hint is _NO_HINT:
+            return None  # no entry of this lineage ever carried the support
+        if hint is not None:
+            shard = self._shards.get(hint)
+            return shard.first_by_support(support) if shard is not None else None
         best: Optional[ViewEntry] = None
         best_rank: Optional[Tuple[int, str]] = None
         for shard in self._shards.values():
@@ -1358,6 +1480,12 @@ class MaterializedView:
         a support (the delta-rederivation seed) must use this, not
         :meth:`find_by_support`.
         """
+        hint = self._support_hints.get(support, _NO_HINT)
+        if hint is _NO_HINT:
+            return ()
+        if hint is not None:
+            shard = self._shards.get(hint)
+            return shard.all_by_support(support) if shard is not None else ()
         decorated: List[Tuple[int, str, ViewEntry]] = []
         for shard in self._shards.values():
             group = shard.all_by_support(support)
@@ -1380,9 +1508,29 @@ class MaterializedView:
         insertion order; entries replaced in place keep their slot.  The
         first probe builds a shard's index from its current entries;
         mutations maintain it incrementally after that.
+
+        The lineage's parent hints name the predicates whose entries ever
+        used *support* as a premise (a superset -- removals leave stale
+        names behind), so only those shards are probed; most supports have
+        no parents at all and return without touching any shard.
         """
+        recorded = self._parent_hints.get(support)
+        if recorded is None:
+            return ()
+        # Snapshot before iterating: the set is lineage-shared and another
+        # unit's thread may be appending to it (tuple() runs atomically
+        # under the GIL; plain iteration would not).
+        owners = tuple(recorded)
+        if len(owners) == 1:
+            shard = self._shards.get(owners[0])
+            return shard.parents_of(support) if shard is not None else ()
+        candidates = [
+            shard
+            for owner in owners
+            if (shard := self._shards.get(owner)) is not None
+        ]
         decorated: List[Tuple[int, str, ViewEntry]] = []
-        for shard in self._shards.values():
+        for shard in candidates:
             group = shard.parents_of(support)
             if not group:
                 continue
@@ -1634,9 +1782,27 @@ class MaterializedView:
             found.update(entry.atom.variables())
         return frozenset(found)
 
-    def all_variable_names(self) -> FrozenSet[str]:
-        """Names of every variable in the view (atoms and constraints)."""
+    def all_variable_names(
+        self, predicates: Optional[Iterable[str]] = None
+    ) -> FrozenSet[str]:
+        """Names of every variable in the view (atoms and constraints).
+
+        With *predicates* the collection walks only those predicates'
+        shards.  Callers that combine fresh variables exclusively with
+        entries of a known predicate set (a maintenance pass scoped to a
+        read closure) can reserve against just that set: a name clash with
+        an entry the pass never reads is harmless, because constraint
+        variables are scoped per entry.
+        """
+        if predicates is None:
+            entries: Iterable[ViewEntry] = self
+        else:
+            entries = (
+                entry
+                for predicate in sorted(set(predicates))
+                for entry in self.entries_for(predicate)
+            )
         names: set = set()
-        for entry in self:
+        for entry in entries:
             names.update(v.name for v in entry.constrained_atom.variables())
         return frozenset(names)

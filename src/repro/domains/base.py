@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, Iterator, Mapping, Optional, Tuple
 
-from repro.constraints.interfaces import CallEvaluator, FrozenResultSet, ResultSetLike
+from repro.constraints.interfaces import FrozenResultSet, ResultSetLike
 from repro.errors import EvaluationError, UnknownDomainError, UnknownFunctionError
 
 

@@ -10,7 +10,7 @@ paper's record field notation ``A.streetnum``.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Tuple
+from typing import Optional, Tuple
 
 from repro.domains.base import Domain
 from repro.errors import EvaluationError

@@ -20,7 +20,7 @@ This module provides:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Tuple
 
 from repro.constraints.ast import DomainCall, Membership
 from repro.constraints.interfaces import ResultSetLike

@@ -44,6 +44,26 @@ class ProgramError(ReproError):
     """A constrained database (program) is malformed (e.g. unbound head vars)."""
 
 
+class WriteScopeError(ProgramError):
+    """A view write targeted a predicate outside the active checkout scope.
+
+    Raised by :meth:`~repro.datalog.view.MaterializedView._writable_shard`
+    when a maintenance step mutates a predicate its stratum unit never
+    declared in its write closure.  Subclasses :class:`ProgramError` so
+    pre-existing callers that catch the broader class keep working.
+    """
+
+
+class ShardSanitizerError(ProgramError):
+    """The shard-write sanitizer detected an illegal shard mutation.
+
+    Only raised when ``REPRO_SHARD_SANITIZER=1``: mutating a shard that a
+    published (shared) view still references, or publishing a unit whose
+    result view touched shards outside its declared write closure, both
+    corrupt concurrent readers silently -- the sanitizer turns them into
+    loud failures naming the offending predicate."""
+
+
 class FixpointDivergenceError(ReproError):
     """A fixpoint iteration exceeded its configured iteration budget."""
 

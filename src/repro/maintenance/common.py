@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.constraints.ast import Constraint, NegatedConjunction, conjoin, negate, tuple_equalities
+from repro.constraints.ast import Constraint, NegatedConjunction, conjoin, tuple_equalities
 from repro.constraints.projection import eliminate_variables
 from repro.constraints.simplify import simplify
 from repro.constraints.solver import ConstraintSolver
@@ -26,9 +26,17 @@ def make_fresh_factory(
     program: ConstrainedDatabase,
     view: MaterializedView,
     extra: Iterable[ConstrainedAtom] = (),
+    predicates: Optional[Iterable[str]] = None,
 ) -> FreshVariableFactory:
-    """A fresh-variable factory avoiding every name used so far."""
-    reserved = set(view.all_variable_names())
+    """A fresh-variable factory avoiding every name used so far.
+
+    With *predicates* only those predicates' entries reserve names.  Sound
+    whenever the caller's pass combines fresh-renamed constraints only with
+    entries of that predicate set (e.g. a deletion pass scoped to its read
+    closure): entry constraints are scoped per entry, so a collision with a
+    never-read entry cannot capture anything.
+    """
+    reserved = set(view.all_variable_names(predicates))
     for clause in program:
         reserved.update(variable.name for variable in clause.variables())
     for atom in extra:

@@ -23,9 +23,9 @@ incremental algorithm against the least model of the rewritten program.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
-from repro.constraints.ast import conjoin, negate, tuple_equalities
+from repro.constraints.ast import conjoin
 from repro.constraints.simplify import simplify
 from repro.constraints.solver import ConstraintSolver
 from repro.constraints.terms import FreshVariableFactory
@@ -33,7 +33,7 @@ from repro.datalog.atoms import ConstrainedAtom
 from repro.datalog.clauses import Clause
 from repro.datalog.program import ConstrainedDatabase
 from repro.datalog.view import MaterializedView
-from repro.maintenance.common import make_fresh_factory, negated_atom_constraint
+from repro.maintenance.common import negated_atom_constraint
 
 
 def deletion_rewrite(

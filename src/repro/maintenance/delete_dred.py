@@ -36,7 +36,6 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.datalog.clauses import Clause
 
-from repro.constraints.simplify import simplify
 from repro.constraints.solver import ConstraintSolver
 from repro.datalog.atoms import ConstrainedAtom
 from repro.datalog.fixpoint import (
@@ -566,6 +565,7 @@ class ExtendedDRed:
             on_probe=on_probe,
             range_postings=use_ranges,
             evaluator=self._solver.evaluator,
+            range_eligible=self._options.fixpoint.range_eligible,
         )
         bound_intervals = (
             make_interval_getter(self._solver.evaluator) if use_ranges else None

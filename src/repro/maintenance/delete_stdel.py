@@ -23,7 +23,7 @@ Theorem 2: the result has the same instances as the deletion rewrite
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.constraints.ast import Constraint, conjoin, negate, tuple_equalities
 from repro.constraints.projection import eliminate_variables
@@ -155,8 +155,25 @@ class StraightDelete:
         requests = tuple(requests)
         stats = MaintenanceStats()
         working = view.copy()
+
+        # The batch setup is scoped by the program's static dependency
+        # structure, not the view: steps 2/3 only ever rewrite entries in the
+        # *write closure* of the request predicates (upward dependency
+        # reachability -- the same closure the stream scheduler checks out),
+        # and only ever *read* premises of those entries, whose predicates
+        # are the body predicates of the closure heads' clauses.  Everything
+        # outside that read scope is untouched and unread, so neither the
+        # fresh-name reservation nor the ``originals`` snapshot needs to walk
+        # it -- the setup cost is proportional to the propagation cone, not
+        # the view.
+        read_scope = self._read_scope(
+            frozenset(request.atom.predicate for request in requests)
+        )
         factory = make_fresh_factory(
-            self._program, working, tuple(request.atom for request in requests)
+            self._program,
+            working,
+            tuple(request.atom for request in requests),
+            predicates=read_scope,
         )
 
         # Snapshot of the original constraints per support: P_OUT pair
@@ -166,7 +183,9 @@ class StraightDelete:
         # the finished request produced, matching the fresh snapshot a
         # sequential run would take.
         originals: Dict[Support, ConstrainedAtom] = {
-            entry.support: entry.constrained_atom for entry in working
+            entry.support: entry.constrained_atom
+            for predicate in sorted(read_scope)
+            for entry in working.entries_for(predicate)
         }
 
         p_out: List[POutPair] = []
@@ -284,6 +303,24 @@ class StraightDelete:
     # ------------------------------------------------------------------
     # Internal steps
     # ------------------------------------------------------------------
+    def _read_scope(self, predicates: FrozenSet[str]) -> FrozenSet[str]:
+        """Write closure of *predicates* plus the closure clauses' body
+        predicates -- everything a batch over *predicates* can read."""
+        edges = self._program.predicate_dependency_edges()
+        write_scope = set(predicates)
+        frontier = list(predicates)
+        while frontier:
+            node = frontier.pop()
+            for successor in edges.get(node, ()):
+                if successor not in write_scope:
+                    write_scope.add(successor)
+                    frontier.append(successor)
+        read_scope = set(write_scope)
+        for predicate in write_scope:
+            for clause in self._program.clauses_for(predicate):
+                read_scope.update(atom.predicate for atom in clause.body)
+        return frozenset(read_scope)
+
     def _replace_parent(
         self,
         entry: ViewEntry,

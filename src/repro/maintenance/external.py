@@ -21,11 +21,10 @@ database gains photographs, ...), the paper contrasts two strategies:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import FrozenSet, Iterable, Optional, Sequence, Tuple
 
 from repro.constraints.solver import ConstraintSolver
 from repro.datalog.fixpoint import (
-    FixpointEngine,
     FixpointOptions,
     WP_OPTIONS,
     compute_tp_fixpoint,

@@ -22,7 +22,7 @@ can still track derivations that depend on them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.constraints.solver import ConstraintSolver
 from repro.datalog.atoms import ConstrainedAtom
@@ -76,6 +76,9 @@ class InsertionOptions:
     #: :attr:`repro.datalog.fixpoint.FixpointOptions.drop_redundant_comparisons`
     #: (keep the two in sync when comparing against recomputation by key).
     drop_redundant_comparisons: bool = True
+    #: Statically-inferred interval-eligible (predicate, position) pairs
+    #: (see :attr:`repro.datalog.fixpoint.FixpointOptions.range_eligible`).
+    range_eligible: Optional[FrozenSet[Tuple[str, int]]] = None
 
 
 DEFAULT_INSERTION_OPTIONS = InsertionOptions()
@@ -217,6 +220,7 @@ class ConstrainedAtomInsertion:
                     on_probe=on_probe,
                     range_postings=use_ranges,
                     evaluator=self._solver.evaluator,
+                    range_eligible=self._options.range_eligible,
                 )
                 if use_ranges:
                     bound_intervals = make_interval_getter(self._solver.evaluator)

@@ -11,7 +11,7 @@ same vocabulary; external changes are handled by
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict
 
 from repro.datalog.atoms import ConstrainedAtom
 

@@ -7,8 +7,9 @@ those call sites readable.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple
 
+from repro.analysis import analyze_program
 from repro.datalog.clauses import Clause
 from repro.datalog.parser import parse_program
 from repro.datalog.program import ConstrainedDatabase
@@ -69,4 +70,18 @@ class MediatorBuilder:
             clause.with_number(None) for clause in clauses
         )
         registry = DomainRegistry(self._domains)
+        # Fail fast on the analysis errors no program should ship with:
+        # unsafe head variables and unstratified negation make the fixpoint
+        # semantics itself ill-defined.  Registry-level errors (unknown
+        # domains / arity conflicts) stay diagnostics -- builders routinely
+        # assemble programs before all their sources are attached.
+        report = analyze_program(program, registry)
+        fatal = [
+            diagnostic
+            for diagnostic in report.errors()
+            if diagnostic.code in ("unsafe-head-variable", "unstratified-negation")
+        ]
+        if fatal:
+            rendered = "; ".join(diagnostic.render() for diagnostic in fatal)
+            raise MediatorError(f"program fails static analysis: {rendered}")
         return Mediator(program, registry, **self._mediator_kwargs)  # type: ignore[arg-type]

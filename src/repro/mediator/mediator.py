@@ -15,12 +15,12 @@ exposes the operations the paper studies:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import FrozenSet, Iterable, Optional, Sequence, Tuple, Union
 
+from repro.analysis import ProgramReport, analyze_program
 from repro.constraints.solver import ConstraintSolver, SolverOptions
 from repro.datalog.atoms import ConstrainedAtom
-from repro.datalog.clauses import Clause
 from repro.datalog.fixpoint import FixpointOptions, compute_tp_fixpoint, compute_wp_fixpoint
 from repro.datalog.parser import parse_constrained_atom, parse_program
 from repro.datalog.program import ConstrainedDatabase
@@ -136,6 +136,27 @@ class Mediator:
         self._dred_options = dred_options or DRedOptions()
         self._stdel_options = stdel_options or StDelOptions()
         self._insertion_options = insertion_options or InsertionOptions()
+        # Static analysis once per mediator: the report's interval-position
+        # table is threaded into every fixpoint/unfolding configuration that
+        # did not set one explicitly, so range postings stop probing
+        # positions that can never carry a non-degenerate interval.
+        # Diagnostics are not gated here -- the builder fails fast on them;
+        # direct construction stays permissive for experiments.
+        self._report = analyze_program(program, self._registry)
+        eligible = self._report.interval_positions
+        if self._fixpoint_options.range_eligible is None:
+            self._fixpoint_options = replace(
+                self._fixpoint_options, range_eligible=eligible
+            )
+        if self._dred_options.fixpoint.range_eligible is None:
+            self._dred_options = replace(
+                self._dred_options,
+                fixpoint=replace(self._dred_options.fixpoint, range_eligible=eligible),
+            )
+        if self._insertion_options.range_eligible is None:
+            self._insertion_options = replace(
+                self._insertion_options, range_eligible=eligible
+            )
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -169,6 +190,11 @@ class Mediator:
     def solver(self) -> ConstraintSolver:
         """The constraint solver bound to the domain registry."""
         return self._solver
+
+    @property
+    def report(self) -> ProgramReport:
+        """The static-analysis report computed at construction time."""
+        return self._report
 
     def add_domain(self, domain: Domain) -> None:
         """Register one more external domain."""

@@ -9,7 +9,7 @@ All operators consume and produce tuples of :class:`Row`.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple
 
 from repro.errors import RelationalError
 from repro.reldb.rows import Row

@@ -8,8 +8,8 @@ what the paper's mediator rules do (``A.streetnum``, ``"name"`` selections).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple, Type
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence, Tuple, Type
 
 from repro.errors import SchemaError
 

@@ -72,7 +72,11 @@ class UpdateLog:
     coalesced batch -- while the full history stays available.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
+        # The clock is injectable so tests (and replay tooling) can stamp
+        # transactions deterministically; the stream layer otherwise bans
+        # direct wall-clock / randomness calls (see tools/lint_rules.py).
+        self._clock: Callable[[], float] = clock if clock is not None else time.time
         self._lock = threading.Lock()
         self._ids = itertools.count(1)
         self._transactions: List[Transaction] = []
@@ -85,7 +89,7 @@ class UpdateLog:
         ):
             raise TypeError(f"not a stream payload: {payload!r}")
         with self._lock:
-            transaction = Transaction(next(self._ids), time.time(), payload)
+            transaction = Transaction(next(self._ids), self._clock(), payload)
             self._transactions.append(transaction)
             return transaction
 

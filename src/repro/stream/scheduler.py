@@ -37,14 +37,16 @@ import os
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.analysis import ProgramReport, analyze_program
 from repro.constraints.solver import ConstraintSolver
 from repro.datalog.fixpoint import compute_tp_fixpoint
 from repro.datalog.program import ConstrainedDatabase
 from repro.datalog.view import MaterializedView
-from repro.errors import MaintenanceError
+from repro.errors import MaintenanceError, ShardSanitizerError, WriteScopeError
+from repro.sanitizer import sanitizer_enabled
 from repro.maintenance.declarative import deletion_rewrite, insertion_rewrite
 from repro.maintenance.delete_dred import DRedOptions, ExtendedDRed
 from repro.maintenance.delete_stdel import StDelOptions, StraightDelete
@@ -223,7 +225,28 @@ class StreamScheduler:
         self._published = (
             view if view is not None else compute_tp_fixpoint(program, self._solver)
         )
-        self._strata = PredicateStrata(program)
+        # Static analysis once, up front: the scheduler consumes the report's
+        # write closures / SCCs / closure groups as precomputed truth (no
+        # runtime dependency walks; under the sanitizer the walks come back
+        # as audits).  Diagnostics are NOT gated here -- the mediator builder
+        # fails fast on them; a bare scheduler only needs the tables.
+        self._report: ProgramReport = analyze_program(program)
+        self._strata = PredicateStrata.from_report(program, self._report)
+        # Thread the interval-position table into the maintenance passes'
+        # configurations (unless a caller pinned one explicitly).
+        eligible = self._report.interval_positions
+        stdel = options.stdel
+        dred = options.dred
+        insertion = options.insertion
+        if dred.fixpoint.range_eligible is None:
+            dred = replace(
+                dred, fixpoint=replace(dred.fixpoint, range_eligible=eligible)
+            )
+        if insertion.range_eligible is None:
+            insertion = replace(insertion, range_eligible=eligible)
+        if dred is not options.dred or insertion is not options.insertion:
+            options = replace(options, stdel=stdel, dred=dred, insertion=insertion)
+        self._options = options
         self._coalescer = Coalescer(
             self._solver,
             dedupe_insertions=options.insertion.exclude_existing,
@@ -274,6 +297,11 @@ class StreamScheduler:
     @property
     def options(self) -> StreamOptions:
         return self._options
+
+    @property
+    def report(self) -> ProgramReport:
+        """The static-analysis report the scheduler's tables come from."""
+        return self._report
 
     @property
     def log(self) -> UpdateLog:
@@ -511,7 +539,15 @@ class StreamScheduler:
             return base
         if self._options.max_workers <= 1 or len(units) == 1:
             return applied[-1][1][0].without_write_scope()
-        check_disjoint_write_closures(unit for unit, _ in applied)
+        check_disjoint_write_closures(
+            (unit for unit, _ in applied), groups=self._strata.groups
+        )
+        if sanitizer_enabled():
+            # Torn-publish check: a unit whose result view rewrote a shard
+            # outside its declared closure would have that write silently
+            # dropped by the scoped adoption below -- fail loudly instead.
+            for unit, (result_view, _, _, _) in applied:
+                result_view.assert_publish_scope(base, unit.write_closure)
         merged = base.copy()
         for unit, (result_view, _, _, _) in applied:
             merged.adopt_shards(result_view, sorted(unit.write_closure))
@@ -528,6 +564,12 @@ class StreamScheduler:
             attempts += 1
             try:
                 view, stats, del_result, ins_result = self._apply_unit(base, unit)
+            except (WriteScopeError, ShardSanitizerError) as exc:
+                # Sanitizer verdicts are deterministic facts about the code,
+                # not transient unit failures: retrying would only repeat
+                # (or worse, mask) the illegal write.  Fail the unit now.
+                error = f"{type(exc).__name__}: {exc}"
+                break
             except Exception as exc:  # individually retryable by design
                 error = f"{type(exc).__name__}: {exc}"
                 continue

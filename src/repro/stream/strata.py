@@ -21,11 +21,12 @@ individually.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.datalog.program import ConstrainedDatabase
 from repro.errors import MaintenanceError
 from repro.maintenance.requests import DeletionRequest, InsertionRequest
+from repro.sanitizer import sanitizer_enabled
 
 
 @dataclass(frozen=True)
@@ -55,7 +56,10 @@ class StratumUnit:
         )
 
 
-def check_disjoint_write_closures(units: Iterable[StratumUnit]) -> None:
+def check_disjoint_write_closures(
+    units: Iterable[StratumUnit],
+    groups: Optional[Mapping[str, int]] = None,
+) -> None:
     """Assert that no predicate belongs to two units' write closures.
 
     :meth:`PredicateStrata.partition` guarantees this by construction; the
@@ -63,7 +67,38 @@ def check_disjoint_write_closures(units: Iterable[StratumUnit]) -> None:
     because two units handing over the *same* predicate's shard would make
     the publish silently drop one unit's writes -- the one class of bug the
     merge-free design must turn into a loud failure.
+
+    With the analyzer's *groups* table (predicate -> connected-component id
+    of the undirected dependency graph) the check is a group-id comparison:
+    every write closure lies inside one component, so units whose group-id
+    sets are pairwise disjoint cannot overlap.  Predicates the analyzer
+    never saw (no group id) keep the exact per-predicate walk.
     """
+    units = tuple(units)
+    if groups is not None:
+        claimed_groups: Dict[int, StratumUnit] = {}
+        table_decided = True
+        for unit in units:
+            unit_groups = set()
+            for predicate in unit.write_closure:
+                group = groups.get(predicate)
+                if group is None:  # predicate unknown to the analyzer
+                    table_decided = False
+                    break
+                unit_groups.add(group)
+            if not table_decided:
+                break
+            for group in unit_groups:
+                if group in claimed_groups:
+                    # Same component twice: possible-but-unproven overlap;
+                    # only the exact walk can tell (and raise accurately).
+                    table_decided = False
+                    break
+                claimed_groups[group] = unit
+            if not table_decided:
+                break
+        if table_decided:
+            return
     owner: Dict[str, StratumUnit] = {}
     for unit in units:
         for predicate in unit.write_closure:
@@ -77,21 +112,65 @@ def check_disjoint_write_closures(units: Iterable[StratumUnit]) -> None:
 
 
 class PredicateStrata:
-    """Stratum indexes and upward closures of a program's predicates."""
+    """Stratum indexes and upward closures of a program's predicates.
 
-    def __init__(self, program: ConstrainedDatabase) -> None:
+    With the static analyzer's precomputed tables (*closures*,
+    *components*, *groups* -- see :func:`repro.analysis.analyze_program`)
+    the runtime never walks the dependency graph: closures are table
+    lookups, and the publish-time disjointness check compares group ids.
+    Without them the class recomputes everything from the program, exactly
+    as before.  Under ``REPRO_SHARD_SANITIZER=1`` every precomputed closure
+    is re-derived by the runtime walk on first use and asserted equal --
+    the analyzer is the source of truth, the walk its auditor.
+    """
+
+    def __init__(
+        self,
+        program: ConstrainedDatabase,
+        closures: Optional[Mapping[str, FrozenSet[str]]] = None,
+        components: Optional[Sequence[Tuple[str, ...]]] = None,
+        groups: Optional[Mapping[str, int]] = None,
+    ) -> None:
         self._edges = program.predicate_dependency_edges()
-        self._components = program.predicate_sccs()
+        self._components = (
+            tuple(tuple(component) for component in components)
+            if components is not None
+            else program.predicate_sccs()
+        )
         self._stratum: Dict[str, int] = {}
         for index, component in enumerate(self._components):
             for predicate in component:
                 self._stratum[predicate] = index
-        self._closures: Dict[str, FrozenSet[str]] = {}
+        self._closures: Dict[str, FrozenSet[str]] = (
+            dict(closures) if closures is not None else {}
+        )
+        self._precomputed = frozenset(self._closures)
+        self._groups: Optional[Dict[str, int]] = (
+            dict(groups) if groups is not None else None
+        )
+        self._audited: set = set()
+
+    @classmethod
+    def from_report(
+        cls, program: ConstrainedDatabase, report: "object"
+    ) -> "PredicateStrata":
+        """Build from an analyzer :class:`~repro.analysis.ProgramReport`."""
+        return cls(
+            program,
+            closures=report.write_closures,
+            components=report.components,
+            groups=report.closure_groups,
+        )
 
     @property
     def components(self) -> Tuple[Tuple[str, ...], ...]:
         """The SCCs in bottom-up order (stratum index = position)."""
         return self._components
+
+    @property
+    def groups(self) -> Optional[Mapping[str, int]]:
+        """The analyzer's closure-group table, when precomputed."""
+        return self._groups
 
     def stratum_of(self, predicate: str) -> int:
         """Stratum index of *predicate* (unknown predicates get a fresh top)."""
@@ -100,11 +179,7 @@ class PredicateStrata:
             return len(self._components)
         return stratum
 
-    def upward_closure(self, predicate: str) -> FrozenSet[str]:
-        """*predicate* plus every predicate an update to it can disturb."""
-        cached = self._closures.get(predicate)
-        if cached is not None:
-            return cached
+    def _walk_closure(self, predicate: str) -> FrozenSet[str]:
         seen = {predicate}
         frontier = [predicate]
         while frontier:
@@ -113,7 +188,27 @@ class PredicateStrata:
                 if successor not in seen:
                     seen.add(successor)
                     frontier.append(successor)
-        closure = frozenset(seen)
+        return frozenset(seen)
+
+    def upward_closure(self, predicate: str) -> FrozenSet[str]:
+        """*predicate* plus every predicate an update to it can disturb."""
+        cached = self._closures.get(predicate)
+        if cached is not None:
+            if (
+                predicate in self._precomputed
+                and predicate not in self._audited
+                and sanitizer_enabled()
+            ):
+                self._audited.add(predicate)
+                walked = self._walk_closure(predicate)
+                if walked != cached:
+                    raise MaintenanceError(
+                        f"analyzer write closure of {predicate!r} "
+                        f"({sorted(cached)}) disagrees with the runtime "
+                        f"dependency walk ({sorted(walked)})"
+                    )
+            return cached
+        closure = self._walk_closure(predicate)
         self._closures[predicate] = closure
         return closure
 

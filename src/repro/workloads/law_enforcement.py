@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from repro.domains.face import FaceDbDomain, FaceExtractDomain, FaceScenario, make_face_scenario
 from repro.domains.relational import RelationalDomain, make_relational_domain

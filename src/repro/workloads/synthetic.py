@@ -19,10 +19,10 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.constraints.ast import TRUE, compare, conjoin, equals
-from repro.constraints.terms import Constant, Variable
+from repro.constraints.terms import Variable
 from repro.datalog.atoms import Atom
 from repro.datalog.clauses import Clause
 from repro.datalog.program import ConstrainedDatabase

@@ -10,7 +10,6 @@ from repro.constraints import (
     Constant,
     DomainCall,
     FALSE,
-    Membership,
     NegatedConjunction,
     Substitution,
     TRUE,

@@ -2,10 +2,8 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.constraints import (
-    Constant,
     ConstraintSolver,
     FALSE,
     NegatedConjunction,

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.constraints import ConstraintSolver, Variable, compare, conjoin, equals, member
+from repro.constraints import ConstraintSolver, Variable, equals
 from repro.datalog import (
     FixpointEngine,
     FixpointOptions,

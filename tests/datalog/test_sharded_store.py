@@ -18,7 +18,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.constraints import ConstraintSolver, Variable, compare, conjoin, equals
 from repro.datalog import Atom, MaterializedView, Support, ViewEntry
-from repro.datalog.view import UNBOUND, IntervalQuery
+from repro.datalog.view import IntervalQuery
 from repro.errors import ProgramError
 
 X = Variable("X")

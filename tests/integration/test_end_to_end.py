@@ -2,11 +2,9 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.constraints import ConstraintSolver
 from repro.datalog import compute_tp_fixpoint
-from repro.domains import DomainRegistry, make_relational_domain
 from repro.maintenance import (
     delete_with_dred,
     delete_with_stdel,
@@ -14,10 +12,9 @@ from repro.maintenance import (
     insert_atom,
     recompute_after_deletion,
 )
-from repro.mediator import DeletionAlgorithm, MediatorBuilder
+from repro.mediator import MediatorBuilder
 from repro.workloads import (
     deletion_stream,
-    insertion_stream,
     make_law_enforcement_scenario,
     make_layered_program,
     make_transitive_closure_program,

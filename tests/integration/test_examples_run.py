@@ -8,7 +8,6 @@ assertion failures inside the examples surface as test failures.
 from __future__ import annotations
 
 import importlib.util
-import sys
 from pathlib import Path
 
 import pytest

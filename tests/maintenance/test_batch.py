@@ -5,14 +5,9 @@ from __future__ import annotations
 import pytest
 
 from repro.constraints import ConstraintSolver
-from repro.datalog import compute_tp_fixpoint, parse_constrained_atom
+from repro.datalog import parse_constrained_atom
 from repro.errors import MaintenanceError
-from repro.maintenance import (
-    DeletionRequest,
-    InsertionRequest,
-    ViewMaintainer,
-    full_recompute,
-)
+from repro.maintenance import DeletionRequest, InsertionRequest, ViewMaintainer
 from repro.workloads import make_layered_program, mixed_stream
 
 UNIVERSE = tuple(range(0, 15))

@@ -2,9 +2,8 @@
 
 from __future__ import annotations
 
-import pytest
 
-from repro.constraints import NegatedConjunction, Variable, compare, conjoin, equals
+from repro.constraints import NegatedConjunction, Variable
 from repro.datalog import compute_tp_fixpoint, parse_constrained_atom, parse_program
 from repro.maintenance import build_add_set, deletion_rewrite, insertion_rewrite
 

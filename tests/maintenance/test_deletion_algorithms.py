@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.constraints import ConstraintSolver, Variable, compare, conjoin, equals
+from repro.constraints import ConstraintSolver, Variable, compare, conjoin
 from repro.datalog import compute_tp_fixpoint, parse_constrained_atom, parse_program
 from repro.maintenance import (
     DRedOptions,

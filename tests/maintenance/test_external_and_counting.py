@@ -4,15 +4,9 @@ from __future__ import annotations
 
 import pytest
 
-from repro.constraints import ConstraintSolver, Variable
+from repro.constraints import ConstraintSolver
 from repro.datalog import compute_tp_fixpoint, parse_constrained_atom, parse_program
-from repro.domains import (
-    Domain,
-    DomainClock,
-    DomainRegistry,
-    VersionedDomain,
-    function_delta,
-)
+from repro.domains import DomainClock, DomainRegistry, VersionedDomain, function_delta
 from repro.errors import CountingDivergenceError, MaintenanceError
 from repro.maintenance import (
     CountingMaintenance,

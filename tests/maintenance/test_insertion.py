@@ -2,9 +2,7 @@
 
 from __future__ import annotations
 
-import pytest
 
-from repro.constraints import ConstraintSolver, Variable
 from repro.datalog import compute_tp_fixpoint, parse_constrained_atom, parse_program
 from repro.maintenance import (
     EXTERNAL_CLAUSE_NUMBER,

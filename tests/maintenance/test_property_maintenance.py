@@ -22,7 +22,6 @@ from repro.maintenance import (
 )
 from repro.workloads import (
     deletion_stream,
-    ground_request_atom,
     insertion_stream,
     make_layered_program,
     make_transitive_closure_program,

@@ -6,7 +6,7 @@ import pytest
 
 from repro.constraints import SolverOptions
 from repro.datalog import parse_constrained_atom
-from repro.domains import Domain, make_relational_domain
+from repro.domains import Domain
 from repro.errors import MediatorError, ParseError
 from repro.maintenance import DRedResult, StDelResult
 from repro.mediator import (

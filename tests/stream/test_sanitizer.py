@@ -1,0 +1,197 @@
+"""Regression tests for the opt-in shard-write sanitizer.
+
+``REPRO_SHARD_SANITIZER=1`` arms the instrumentation; each test toggles the
+environment through ``monkeypatch`` (the gate re-reads it on every call).
+The bug classes covered are exactly the ones
+:mod:`repro.sanitizer` documents: mutation of a published (shared) shard,
+writes outside a unit's checkout scope, torn publishes, and an analyzer
+closure table that disagrees with the runtime dependency walk.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constraints import ConstraintSolver
+from repro.datalog import compute_tp_fixpoint, parse_constrained_atom, parse_program
+from repro.datalog.support import Support
+from repro.datalog.view import ViewEntry
+from repro.errors import MaintenanceError, ShardSanitizerError, WriteScopeError
+from repro.maintenance import DeletionRequest, StraightDelete
+from repro.sanitizer import sanitizer_enabled
+from repro.stream import StreamOptions, StreamScheduler
+from repro.stream.strata import PredicateStrata
+
+RULES = """
+left(X) <- X = 1.
+left(X) <- X = 2.
+right(X) <- X = 11.
+mid(X) <- left(X).
+top(X) <- mid(X).
+other(X) <- right(X).
+"""
+
+UNIVERSE = tuple(range(0, 40))
+
+
+@pytest.fixture
+def armed(monkeypatch):
+    monkeypatch.setenv("REPRO_SHARD_SANITIZER", "1")
+    assert sanitizer_enabled()
+
+
+def make_view():
+    program = parse_program(RULES)
+    return program, compute_tp_fixpoint(program, ConstraintSolver())
+
+
+class TestGate:
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SHARD_SANITIZER", raising=False)
+        assert not sanitizer_enabled()
+
+    @pytest.mark.parametrize("value", ["1", "true", "YES", " on "])
+    def test_truthy_values(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_SHARD_SANITIZER", value)
+        assert sanitizer_enabled()
+
+    @pytest.mark.parametrize("value", ["", "0", "off", "no"])
+    def test_falsy_values(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_SHARD_SANITIZER", value)
+        assert not sanitizer_enabled()
+
+
+class TestSharedShardMutation:
+    def test_direct_mutation_of_a_shared_shard_raises(self, armed):
+        _, view = make_view()
+        snapshot = view.copy()  # marks every shard shared
+        entry = next(iter(view.entries_for("left")))
+        shard = view._shards["left"]
+        with pytest.raises(ShardSanitizerError, match="shared"):
+            shard.remove(entry.key(), entry)
+        # The snapshot saw nothing change.
+        assert len(snapshot.entries_for("left")) == 2
+
+    def test_facade_writes_stay_legal_via_copy_on_write(self, armed):
+        _, view = make_view()
+        snapshot = view.copy()
+        entry = next(iter(view.entries_for("left")))
+        assert view.remove(entry)  # clones the shard first: no error
+        assert len(view.entries_for("left")) == 1
+        assert len(snapshot.entries_for("left")) == 2
+
+    def test_adopted_shards_are_marked_shared(self, armed):
+        _, view = make_view()
+        working = view.checkout({"left", "mid", "top"})
+        working.remove(next(iter(working.entries_for("left"))))
+        view.adopt_shards(working, {"left", "mid", "top"})
+        shard = view._shards["left"]
+        entry = next(iter(view.entries_for("left")))
+        with pytest.raises(ShardSanitizerError):
+            shard.remove(entry.key(), entry)
+
+
+class TestWriteScope:
+    def test_write_outside_checkout_scope_raises(self, armed):
+        _, view = make_view()
+        working = view.checkout({"left", "mid", "top"})
+        rogue = parse_constrained_atom("right(X) <- X = 99")
+        with pytest.raises(WriteScopeError, match="checkout scope"):
+            working.add(ViewEntry(rogue.atom, rogue.constraint, Support(0)))
+
+    def test_scope_fence_holds_without_the_sanitizer(self, monkeypatch):
+        # The checkout fence is always on; the sanitizer only adds the
+        # sharing/publish checks on top.
+        monkeypatch.delenv("REPRO_SHARD_SANITIZER", raising=False)
+        _, view = make_view()
+        working = view.checkout({"left"})
+        rogue = parse_constrained_atom("right(X) <- X = 99")
+        with pytest.raises(WriteScopeError):
+            working.add(ViewEntry(rogue.atom, rogue.constraint, Support(0)))
+
+
+class TestTornPublish:
+    def test_out_of_closure_rewrite_is_a_torn_publish(self, armed):
+        _, view = make_view()
+        working = view.checkout({"left", "mid", "top", "right", "other"})
+        working.remove(next(iter(working.entries_for("right"))))
+        # Publishing only {left, mid, top} would silently drop the right
+        # rewrite: the publish-scope assertion catches it first.
+        with pytest.raises(ShardSanitizerError, match="torn publish"):
+            working.assert_publish_scope(view, ["left", "mid", "top"])
+        # Declaring the full closure makes the same publish legal.
+        working.assert_publish_scope(
+            view, ["left", "mid", "top", "right", "other"]
+        )
+
+    def test_dropped_shard_is_a_torn_publish(self, armed):
+        _, view = make_view()
+        working = view.copy()
+        del working._shards["right"]
+        with pytest.raises(ShardSanitizerError, match="dropped"):
+            working.assert_publish_scope(view, ["left"])
+
+
+class TestStrataAudit:
+    def test_wrong_precomputed_closure_is_caught(self, armed):
+        program = parse_program(RULES)
+        strata = PredicateStrata(
+            program, closures={"left": frozenset({"left"})}  # truth: +mid, top
+        )
+        with pytest.raises(MaintenanceError, match="disagrees"):
+            strata.upward_closure("left")
+
+    def test_wrong_closure_goes_unnoticed_when_disarmed(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SHARD_SANITIZER", raising=False)
+        program = parse_program(RULES)
+        strata = PredicateStrata(program, closures={"left": frozenset({"left"})})
+        assert strata.upward_closure("left") == frozenset({"left"})
+
+    def test_correct_precomputed_closures_pass_the_audit(self, armed):
+        from repro.analysis import analyze_program
+
+        program = parse_program(RULES)
+        report = analyze_program(program)
+        strata = PredicateStrata.from_report(program, report)
+        for predicate in report.predicates:
+            assert strata.upward_closure(predicate) == report.write_closures[
+                predicate
+            ]
+
+
+class TestSchedulerUnderSanitizer:
+    def test_closure_violating_unit_fails_loudly(self, armed, monkeypatch):
+        program = parse_program(RULES)
+        scheduler = StreamScheduler(
+            program, ConstraintSolver(), options=StreamOptions(max_unit_attempts=3)
+        )
+        original = StraightDelete.delete_many
+
+        def rogue(self, view, requests, purge_predicates=None):
+            result = original(self, view, requests, purge_predicates)
+            atom = parse_constrained_atom("right(X) <- X = 99")
+            result.view.add(ViewEntry(atom.atom, atom.constraint, Support(0)))
+            return result
+
+        monkeypatch.setattr(StraightDelete, "delete_many", rogue)
+        request = DeletionRequest(parse_constrained_atom("left(X) <- X = 1"))
+        result = scheduler.apply_batch([request])
+        assert not result.ok
+        (failed,) = result.failed_units
+        assert "WriteScopeError" in (failed.error or "")
+        # Scope violations are not retryable: one attempt, not three.
+        assert failed.attempts == 1
+        # Nothing was published.
+        assert scheduler.query("left", UNIVERSE) == {(1,), (2,)}
+        assert scheduler.query("right", UNIVERSE) == {(11,)}
+
+    def test_clean_batches_pass_under_the_sanitizer(self, armed):
+        program = parse_program(RULES)
+        scheduler = StreamScheduler(program, ConstraintSolver())
+        result = scheduler.apply_batch(
+            [DeletionRequest(parse_constrained_atom("left(X) <- X = 1"))]
+        )
+        assert result.ok
+        assert scheduler.query("left", UNIVERSE) == {(2,)}
+        assert scheduler.query("top", UNIVERSE) == {(2,)}
+        assert scheduler.verify(UNIVERSE)

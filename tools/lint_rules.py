@@ -1,0 +1,98 @@
+"""Repo-specific lint rules the generic linters cannot express.
+
+Two invariant families are load-bearing enough to enforce textually:
+
+1. **Shard encapsulation.**  ``PredicateShard`` objects and the
+   copy-on-write machinery around them (``MaterializedView._shards`` /
+   ``_writable_shard``) may only be touched inside
+   ``src/repro/datalog/view.py``.  Everything else goes through the façade
+   (``add`` / ``remove`` / ``replace`` / ``checkout`` / ``adopt_shards``):
+   a direct shard mutation bypasses the write-scope fence and the shard
+   sanitizer, which is exactly the silent-corruption class the stream
+   scheduler's publish step is designed against.
+
+2. **Stream determinism.**  ``src/repro/stream/`` must not call the wall
+   clock for logic (``time.time()`` / ``time.sleep()``) or use ``random``:
+   transaction order is the stream's total order, timestamps are injected
+   (see ``UpdateLog(clock=...)``), and scheduling must be reproducible.
+   ``time.perf_counter()`` is allowed -- it only feeds duration counters.
+
+Usage::
+
+    python tools/lint_rules.py            # lint src/ (exit 1 on findings)
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+#: (regex, allowed path suffixes, message)
+RULES: Tuple[Tuple[re.Pattern, Tuple[str, ...], str], ...] = (
+    (
+        re.compile(r"\._shards\b"),
+        ("repro/datalog/view.py",),
+        "direct MaterializedView._shards access outside the view facade",
+    ),
+    (
+        re.compile(r"\._writable_shard\s*\("),
+        ("repro/datalog/view.py",),
+        "direct _writable_shard call outside the view facade",
+    ),
+    (
+        re.compile(r"PredicateShard\s*\("),
+        ("repro/datalog/view.py",),
+        "PredicateShard construction outside the view facade",
+    ),
+)
+
+#: Rules scoped to the stream subsystem only.
+STREAM_RULES: Tuple[Tuple[re.Pattern, str], ...] = (
+    (
+        re.compile(r"^\s*(import random\b|from random import)"),
+        "random in the stream layer (scheduling must be deterministic)",
+    ),
+    (
+        re.compile(r"\btime\.time\s*\("),
+        "naked time.time() in the stream layer (inject a clock instead)",
+    ),
+    (
+        re.compile(r"\btime\.sleep\s*\("),
+        "time.sleep() in the stream layer (no wall-clock scheduling)",
+    ),
+)
+
+
+def iter_findings(root: Path) -> Iterator[str]:
+    for path in sorted(root.rglob("*.py")):
+        relative = path.relative_to(root).as_posix()
+        text = path.read_text(encoding="utf-8")
+        for line_number, line in enumerate(text.splitlines(), start=1):
+            for pattern, allowed, message in RULES:
+                if any(relative.endswith(suffix) for suffix in allowed):
+                    continue
+                if pattern.search(line):
+                    yield f"{root.name}/{relative}:{line_number}: {message}"
+            if relative.startswith("repro/stream/"):
+                for pattern, message in STREAM_RULES:
+                    if pattern.search(line):
+                        yield f"{root.name}/{relative}:{line_number}: {message}"
+
+
+def main() -> int:
+    findings: List[str] = list(iter_findings(SRC))
+    if findings:
+        print(f"lint_rules: {len(findings)} finding(s)")
+        for finding in findings:
+            print(f"  {finding}")
+        return 1
+    print("lint_rules: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
