@@ -98,12 +98,82 @@ def compare_snapshots(
     return regressions
 
 
+def check_serve_snapshot(snapshot: dict) -> List[str]:
+    """Shape gate for a ``BENCH_serve.json`` snapshot; returns problems.
+
+    Wall-clock throughput is machine-dependent, but the *relationship* the
+    serving layer exists for is not: over the same latency-dominated update
+    stream, the pipelined configuration (concurrent disjoint-group batches)
+    must beat the serialized baseline on updates/sec, must have actually
+    overlapped commits (``concurrent_commits``), and both runs must converge
+    to the identical final view.  A snapshot violating any of these says the
+    concurrency restructuring regressed -- whatever the hardware.
+    """
+    problems: List[str] = []
+    family = snapshot.get("results", {}).get("serve_mixed_load")
+    if not isinstance(family, dict):
+        return ["serve_mixed_load family missing from the serve snapshot"]
+    for mode in ("serialized", "pipelined"):
+        data = family.get(mode)
+        if not isinstance(data, dict):
+            problems.append(f"serve_mixed_load.{mode} missing")
+            continue
+        for key in ("updates_per_second", "read_p99_ms"):
+            value = data.get(key)
+            if not isinstance(value, (int, float)) or value <= 0:
+                problems.append(
+                    f"serve_mixed_load.{mode}.{key} must be a positive "
+                    f"number, got {value!r}"
+                )
+    if problems:
+        return problems
+    serialized = family["serialized"]
+    pipelined = family["pipelined"]
+    if pipelined["updates_per_second"] <= serialized["updates_per_second"]:
+        problems.append(
+            "pipelined updates/sec must beat the serialized baseline "
+            f"({pipelined['updates_per_second']} <= "
+            f"{serialized['updates_per_second']})"
+        )
+    if pipelined.get("concurrent_commits", 0) < 1:
+        problems.append(
+            "pipelined run never committed batches concurrently "
+            "(concurrent_commits == 0): admission is over-serializing"
+        )
+    if serialized.get("concurrent_commits", 0) != 0:
+        problems.append(
+            "serialized baseline reported concurrent commits; it is no "
+            "longer a baseline"
+        )
+    if family.get("final_state_match") is not True:
+        problems.append(
+            "final views of the serialized and pipelined runs differ: the "
+            "concurrent pipeline is not maintenance-equivalent"
+        )
+    return problems
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--baseline",
         default=str(REPO_ROOT / "BENCH_smoke.json"),
         help="committed snapshot to compare against",
+    )
+    parser.add_argument(
+        "--serve-baseline",
+        default=str(REPO_ROOT / "BENCH_serve.json"),
+        help="committed serve snapshot to shape-check ('' skips)",
+    )
+    parser.add_argument(
+        "--serve-current",
+        default=None,
+        help="freshly-run serve snapshot to shape-check as well",
+    )
+    parser.add_argument(
+        "--only-serve",
+        action="store_true",
+        help="skip the counter gate; check only the serve snapshots",
     )
     parser.add_argument(
         "--current",
@@ -118,30 +188,52 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    baseline = json.loads(Path(args.baseline).read_text())
-    if args.current is not None:
-        current = json.loads(Path(args.current).read_text())
-    else:
-        from benchmarks.smoke import run_smoke
+    failed = False
+    if not args.only_serve:
+        baseline = json.loads(Path(args.baseline).read_text())
+        if args.current is not None:
+            current = json.loads(Path(args.current).read_text())
+        else:
+            from benchmarks.smoke import run_smoke
 
-        current = {"results": run_smoke(include_external=False)}
+            current = {"results": run_smoke(include_external=False)}
 
-    regressions = compare_snapshots(baseline, current, args.threshold)
-    checked = len(dict(iter_counters(baseline.get("results", {}))))
-    if not regressions:
-        print(f"counter regression gate: OK ({checked} counters within budget)")
-        return 0
-    print(f"counter regression gate: {len(regressions)} regression(s) over "
-          f"{args.threshold:.0%} budget")
-    for key, base_value, current_value in regressions:
-        if current_value is None:
-            print(f"  {key}: {base_value} -> MISSING (counter present in the "
-                  "baseline but absent from the fresh run; re-baseline "
-                  "consciously if the family/algorithm was renamed)")
+        regressions = compare_snapshots(baseline, current, args.threshold)
+        checked = len(dict(iter_counters(baseline.get("results", {}))))
+        if not regressions:
+            print(f"counter regression gate: OK ({checked} counters within budget)")
+        else:
+            failed = True
+            print(f"counter regression gate: {len(regressions)} regression(s) over "
+                  f"{args.threshold:.0%} budget")
+            for key, base_value, current_value in regressions:
+                if current_value is None:
+                    print(f"  {key}: {base_value} -> MISSING (counter present in the "
+                          "baseline but absent from the fresh run; re-baseline "
+                          "consciously if the family/algorithm was renamed)")
+                    continue
+                growth = (current_value - base_value) / base_value if base_value else float("inf")
+                print(f"  {key}: {base_value} -> {current_value} (+{growth:.0%})")
+
+    serve_paths = []
+    if args.serve_baseline:
+        serve_paths.append(("committed", Path(args.serve_baseline)))
+    if args.serve_current:
+        serve_paths.append(("fresh", Path(args.serve_current)))
+    for label, path in serve_paths:
+        if not path.exists():
+            failed = True
+            print(f"serve gate ({label}): {path} does not exist")
             continue
-        growth = (current_value - base_value) / base_value if base_value else float("inf")
-        print(f"  {key}: {base_value} -> {current_value} (+{growth:.0%})")
-    return 1
+        problems = check_serve_snapshot(json.loads(path.read_text()))
+        if not problems:
+            print(f"serve gate ({label}): OK ({path.name})")
+            continue
+        failed = True
+        print(f"serve gate ({label}): {len(problems)} problem(s) in {path.name}")
+        for problem in problems:
+            print(f"  {problem}")
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

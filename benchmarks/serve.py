@@ -1,0 +1,304 @@
+"""Serve-layer benchmark: pipelined concurrent batches vs a serialized writer.
+
+Drives the :class:`repro.serve.MediatorService` with a mixed read/write load
+over a *tower farm* -- independent closure groups ``b_t -> ok_t -> top_t``
+whose middle rule consults a simulated external source (a domain function
+with a fixed round-trip latency).  That latency is the honest part: the
+paper's setting is a mediator over remote sources, maintenance passes pay
+DCA round-trips, and a round-trip (``time.sleep``) releases the GIL -- so
+applying batches of *disjoint* closure groups concurrently genuinely
+overlaps the waits, while pure-CPU maintenance under CPython would not.
+
+Two configurations run the identical update stream:
+
+* ``serialized`` -- the pre-pipeline behaviour: one batch at a time
+  (``concurrent_batches=False, max_workers=1``, apply depth 1);
+* ``pipelined`` -- the serving layer's default: prepare/apply split with
+  admission by closure group, apply depth = number of towers.
+
+Concurrent reader tasks hammer snapshot queries throughout, so the snapshot
+also records read latency under write load (reads never take the scheduler's
+locks).  The final views of both runs are compared instance-by-instance;
+``final_state_match`` must be True for the snapshot to mean anything.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/serve.py [--out PATH] [--label TEXT]
+                                              [--towers N] [--rounds N]
+                                              [--latency-ms MS]
+
+The committed ``BENCH_serve.json`` is gated by
+``benchmarks/check_regression.py`` and re-run by
+``tests/test_bench_regression.py``: the pipelined configuration must beat
+the serialized one on updates/sec (the point of the concurrency
+restructuring), with at least one genuinely concurrent commit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT))
+
+from repro.constraints import ConstraintSolver  # noqa: E402
+from repro.datalog import parse_constrained_atom, parse_program  # noqa: E402
+from repro.domains import Domain, DomainRegistry  # noqa: E402
+from repro.maintenance import DeletionRequest, InsertionRequest  # noqa: E402
+from repro.serve import MediatorService, ServeOptions  # noqa: E402
+from repro.stream import StreamOptions, StreamScheduler  # noqa: E402
+
+DEFAULT_TOWERS = 4
+DEFAULT_ROUNDS = 6
+DEFAULT_LATENCY_MS = 5.0
+
+
+def tower_farm_rules(towers: int) -> str:
+    """Independent towers whose middle rule consults the external source."""
+    lines: List[str] = []
+    for tower in range(towers):
+        for value in (1, 2, 3):
+            lines.append(f"b{tower}(X) <- X = {value}.")
+        lines.append(f"ok{tower}(X) <- b{tower}(X), in(X, ext:member()).")
+        lines.append(f"top{tower}(X) <- ok{tower}(X).")
+    return "\n".join(lines)
+
+
+def make_source(latency_seconds: float) -> Tuple[DomainRegistry, Dict[str, int]]:
+    """One external source with a fixed per-call round-trip latency.
+
+    The sleep stands in for the network round-trip of a real mediator
+    source; it releases the GIL, which is exactly why disjoint-group
+    maintenance passes can overlap their source waits.
+    """
+    calls = {"count": 0}
+    members = frozenset(range(0, 256))
+
+    def member():
+        calls["count"] += 1
+        if latency_seconds > 0:
+            time.sleep(latency_seconds)
+        return members
+
+    source = Domain("ext", "simulated remote source with fixed latency")
+    source.register("member", member)
+    return DomainRegistry([source]), calls
+
+
+def stream_payloads(towers: int, rounds: int):
+    """The update stream: round-robin over towers so consecutive batches
+    write disjoint closure groups (an insert+delete churn per round, plus
+    one final insert per tower that stays)."""
+    payloads = []
+    for round_index in range(rounds):
+        value = 10 + round_index
+        for tower in range(towers):
+            payloads.append(
+                InsertionRequest(
+                    parse_constrained_atom(f"b{tower}(X) <- X = {value}")
+                )
+            )
+        for tower in range(towers):
+            payloads.append(
+                DeletionRequest(
+                    parse_constrained_atom(f"b{tower}(X) <- X = {value}")
+                )
+            )
+    for tower in range(towers):
+        payloads.append(
+            InsertionRequest(
+                parse_constrained_atom(f"b{tower}(X) <- X = {100 + tower}")
+            )
+        )
+    return payloads
+
+
+def percentile(samples: List[float], fraction: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, max(0, int(len(ordered) * fraction) - 1))
+    return ordered[index]
+
+
+async def _drive(
+    rules: str,
+    registry: DomainRegistry,
+    stream_options: StreamOptions,
+    serve_options: ServeOptions,
+    payloads,
+    towers: int,
+    readers: int = 2,
+) -> Tuple[dict, Dict[str, frozenset]]:
+    """Run one configuration; returns (metrics, final instance sets)."""
+    scheduler = StreamScheduler(
+        parse_program(rules), ConstraintSolver(registry), options=stream_options
+    )
+    service = MediatorService(scheduler, serve_options)
+    universe = tuple(range(0, 128))
+    read_latencies: List[float] = []
+    stop_reading = asyncio.Event()
+
+    async def reader(reader_index: int) -> None:
+        tower = reader_index % towers
+        while not stop_reading.is_set():
+            started = time.perf_counter()
+            await service.query(f"top{tower}", universe)
+            read_latencies.append(time.perf_counter() - started)
+            await asyncio.sleep(0.002)
+
+    async with service:
+        reader_tasks = [
+            asyncio.ensure_future(reader(index)) for index in range(readers)
+        ]
+        started = time.perf_counter()
+        for payload in payloads:
+            await service.submit(payload)
+            await asyncio.sleep(0)  # interleave reads with every submit
+        await service.drained()
+        wall_seconds = time.perf_counter() - started
+        stop_reading.set()
+        await asyncio.gather(*reader_tasks)
+        stats = service.stats()
+        solver = scheduler.solver
+        final = {
+            predicate: scheduler.view.instances_for(predicate, solver, universe)
+            for tower in range(towers)
+            for predicate in (f"b{tower}", f"top{tower}")
+        }
+    if stats["batch_errors"] or stats["failed_units"]:
+        raise RuntimeError(
+            f"serve benchmark run was not clean: {stats} errors={service.errors}"
+        )
+    metrics = {
+        "wall_seconds": round(wall_seconds, 4),
+        "updates_per_second": round(len(payloads) / wall_seconds, 1),
+        "reads": len(read_latencies),
+        "read_p50_ms": round(percentile(read_latencies, 0.50) * 1000, 3),
+        "read_p99_ms": round(percentile(read_latencies, 0.99) * 1000, 3),
+        "batches_applied": stats["batches_applied"],
+        "inflight_peak": stats["inflight_peak"],
+        "concurrent_commits": stats["concurrent_commits"],
+        "view_entries": stats["view_entries"],
+    }
+    return metrics, final
+
+
+def run_serve_benchmark(
+    towers: int = DEFAULT_TOWERS,
+    rounds: int = DEFAULT_ROUNDS,
+    latency_ms: float = DEFAULT_LATENCY_MS,
+) -> dict:
+    """Run both configurations over the identical stream; one result dict."""
+    rules = tower_farm_rules(towers)
+    payloads = stream_payloads(towers, rounds)
+    latency_seconds = latency_ms / 1000.0
+
+    configurations = {
+        # The pre-pipeline behaviour: exclusive admission, one unit at a
+        # time, apply depth 1 -- every batch waits for the previous one.
+        "serialized": (
+            StreamOptions(concurrent_batches=False, max_workers=1),
+            ServeOptions(apply_workers=1, max_batch=1),
+        ),
+        # The serving layer's default shape: admission by closure group,
+        # enough apply depth to overlap every tower.
+        "pipelined": (
+            StreamOptions(),
+            ServeOptions(apply_workers=max(2, towers), max_batch=1),
+        ),
+    }
+
+    result: dict = {
+        "workload": (
+            f"{towers} towers x {rounds} churn rounds + {towers} final "
+            f"inserts over a {latency_ms}ms-latency source, "
+            f"{len(payloads)} updates, 2 concurrent readers"
+        ),
+        "updates": len(payloads),
+        "towers": towers,
+        "latency_ms": latency_ms,
+    }
+    finals: Dict[str, Dict[str, frozenset]] = {}
+    calls_by_mode: Dict[str, int] = {}
+    for mode, (stream_options, serve_options) in configurations.items():
+        registry, calls = make_source(latency_seconds)
+        metrics, final = asyncio.run(
+            _drive(
+                rules,
+                registry,
+                stream_options,
+                serve_options,
+                stream_payloads(towers, rounds),
+                towers,
+            )
+        )
+        result[mode] = metrics
+        finals[mode] = final
+        calls_by_mode[mode] = calls["count"]
+
+    result["final_state_match"] = finals["serialized"] == finals["pipelined"]
+    result["source_calls"] = calls_by_mode
+    serialized = result["serialized"]["updates_per_second"]
+    pipelined = result["pipelined"]["updates_per_second"]
+    result["speedup"] = round(pipelined / serialized, 2) if serialized else 0.0
+    return result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default=str(REPO_ROOT / "BENCH_serve.json"),
+        help="where to write the snapshot (default: repo root BENCH_serve.json)",
+    )
+    parser.add_argument(
+        "--label", default="", help="free-form label stored in the snapshot"
+    )
+    parser.add_argument("--towers", type=int, default=DEFAULT_TOWERS)
+    parser.add_argument("--rounds", type=int, default=DEFAULT_ROUNDS)
+    parser.add_argument("--latency-ms", type=float, default=DEFAULT_LATENCY_MS)
+    args = parser.parse_args(argv)
+
+    started = time.perf_counter()
+    results = {
+        "serve_mixed_load": run_serve_benchmark(
+            towers=args.towers, rounds=args.rounds, latency_ms=args.latency_ms
+        )
+    }
+    total = time.perf_counter() - started
+
+    snapshot = {
+        "label": args.label,
+        "python": platform.python_version(),
+        "total_seconds": round(total, 2),
+        "results": results,
+    }
+    out_path = Path(args.out)
+    out_path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+    family = results["serve_mixed_load"]
+    print(f"serve benchmark finished in {total:.1f}s -> {out_path}")
+    for mode in ("serialized", "pipelined"):
+        data = family[mode]
+        print(
+            f"  {mode}: {data['updates_per_second']} updates/s "
+            f"(wall {data['wall_seconds']}s, read p99 {data['read_p99_ms']}ms, "
+            f"concurrent commits {data['concurrent_commits']})"
+        )
+    print(
+        f"  speedup: {family['speedup']}x, final views match: "
+        f"{family['final_state_match']}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

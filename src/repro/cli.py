@@ -13,6 +13,7 @@ Examples
     python -m repro delete rules.pl "b(X) <- X = 6" --query b --universe 0:10
     python -m repro insert rules.pl "b(X) <- X = 1" --query c --universe 0:10
     python -m repro analyze rules.pl --strict
+    python -m repro serve rules.pl --port 8737
     python -m repro examples          # list the bundled example scripts
 
 External domains cannot be configured from the command line (they are Python
@@ -35,8 +36,12 @@ from repro.errors import ReproError
 from repro.maintenance import DeletionRequest, InsertionRequest, ViewMaintainer
 
 
-def _parse_universe(spec: Optional[str]) -> Optional[List[object]]:
-    """Parse ``--universe`` values: ``0:10`` (range) or ``a,b,c`` (list)."""
+def parse_universe(spec: Optional[str]) -> Optional[List[object]]:
+    """Parse ``--universe`` values: ``0:10`` (range) or ``a,b,c`` (list).
+
+    Public because the serve layer's request router reuses it for the
+    wire-format ``"universe"`` field.
+    """
     if spec is None:
         return None
     if ":" in spec:
@@ -84,7 +89,7 @@ def _cmd_materialize(args, stream) -> int:
     _print_view(view, stream)
     print(f"-- {len(view)} entries ({args.operator})", file=stream)
     if args.query:
-        _print_instances(view, args.query, solver, _parse_universe(args.universe), stream)
+        _print_instances(view, args.query, solver, parse_universe(args.universe), stream)
     return 0
 
 
@@ -92,7 +97,7 @@ def _cmd_query(args, stream) -> int:
     program = _load_program(args.rules)
     solver = ConstraintSolver()
     view = compute_tp_fixpoint(program, solver)
-    _print_instances(view, args.predicate, solver, _parse_universe(args.universe), stream)
+    _print_instances(view, args.predicate, solver, parse_universe(args.universe), stream)
     return 0
 
 
@@ -111,14 +116,14 @@ def _cmd_update(args, stream, kind: str) -> int:
         file=stream,
     )
     if args.verify:
-        ok = maintainer.verify(_parse_universe(args.universe))
+        ok = maintainer.verify(parse_universe(args.universe))
         print(f"verification against declarative semantics: {'OK' if ok else 'MISMATCH'}",
               file=stream)
         if not ok:
             return 1
     if args.query:
         _print_instances(
-            maintainer.view, args.query, solver, _parse_universe(args.universe), stream
+            maintainer.view, args.query, solver, parse_universe(args.universe), stream
         )
     return 0
 
@@ -138,6 +143,56 @@ def _cmd_analyze(args, stream) -> int:
     if args.strict and report.warnings():
         return 1
     return 0
+
+
+def _cmd_serve(args, stream) -> int:
+    import asyncio
+
+    # Imported lazily: the serve layer pulls in the stream scheduler and
+    # asyncio machinery no other subcommand needs.
+    from repro.serve import MediatorServer, MediatorService, ServeOptions
+    from repro.stream import StreamOptions, StreamScheduler
+
+    program = _load_program(args.rules)
+    scheduler = StreamScheduler(
+        program,
+        ConstraintSolver(),
+        options=StreamOptions(deletion_algorithm=args.algorithm),
+    )
+
+    async def run() -> int:
+        service = MediatorService(scheduler, ServeOptions())
+        await service.start()
+        server = MediatorServer(service, host=args.host, port=args.port)
+        host, port = await server.start()
+        print(f"serving {args.rules} on {host}:{port}", file=stream)
+        print(
+            'protocol: one JSON object per line, e.g. '
+            '{"op": "query", "predicate": "p"}',
+            file=stream,
+        )
+        try:
+            if args.duration is not None:
+                await asyncio.sleep(args.duration)
+            else:
+                await server.serve_forever()
+        except (KeyboardInterrupt, asyncio.CancelledError):
+            pass
+        finally:
+            await server.stop()
+            await service.stop()
+        stats = service.stats()
+        print(
+            f"-- served {stats['batches_applied']} batches, "
+            f"view has {stats['view_entries']} entries",
+            file=stream,
+        )
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:
+        return 0
 
 
 def _cmd_examples(stream) -> int:
@@ -206,6 +261,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the full report as JSON instead of rendered diagnostics",
     )
 
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve a rule file over TCP (JSON lines): concurrent queries "
+        "and update transactions against a maintained view",
+    )
+    serve.add_argument("rules", help="path to a rule file")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (0 = pick a free one and print it)")
+    serve.add_argument(
+        "--algorithm", choices=("stdel", "dred"), default="stdel",
+        help="deletion algorithm for the maintenance pipeline",
+    )
+    serve.add_argument(
+        "--duration", type=float, default=None,
+        help="serve for this many seconds then exit (default: forever)",
+    )
+
     subparsers.add_parser("examples", help="list the bundled example scripts")
     return parser
 
@@ -226,6 +299,8 @@ def main(argv: Optional[Sequence[str]] = None, stream=None) -> int:
             return _cmd_update(args, stream, "insert")
         if args.command == "analyze":
             return _cmd_analyze(args, stream)
+        if args.command == "serve":
+            return _cmd_serve(args, stream)
         if args.command == "examples":
             return _cmd_examples(stream)
     except FileNotFoundError as error:

@@ -342,6 +342,16 @@ class StraightDelete:
                 f"support {entry.support} does not match clause "
                 f"{entry.support.clause_number} of the program"
             )
+        if clause.body[child_position].predicate != pair.atom.predicate:
+            # Supports are not unique across externally inserted atoms (all
+            # carry the reserved clause number 0), so a parent probed through
+            # such a shared child support may have used a *different*
+            # external insertion as this premise.  Only an entry of the body
+            # atom's predicate can have contributed to the derivation;
+            # anything else would subtract the deleted instances from an
+            # unrelated predicate's derivations (mirrors the predicate
+            # filter in ExtendedDRed._rederivation_seed).
+            return None
         # Rename the clause apart so clause-local variables can never collide
         # with variables already occurring in the entry's constraint.
         clause = clause.renamed_apart(factory)

@@ -258,3 +258,43 @@ class Mediator:
         return ConstrainedAtomInsertion(
             self._program, self._solver, self._insertion_options
         ).insert(view, InsertionRequest(atom))
+
+    # ------------------------------------------------------------------
+    # Streaming & serving
+    # ------------------------------------------------------------------
+    def streaming(self, options=None, view: Optional[MaterializedView] = None):
+        """A :class:`~repro.stream.StreamScheduler` over this mediator.
+
+        The scheduler shares the mediator's solver (and therefore its
+        domain registry and memo discipline); *view* defaults to a fresh
+        ``T_P`` materialization.  Batched updates submitted to the
+        scheduler's log maintain the same view the mediator would.
+        """
+        from repro.stream import StreamOptions, StreamScheduler
+
+        return StreamScheduler(
+            self._program,
+            self._solver,
+            view=view,
+            options=options if options is not None else StreamOptions(),
+        )
+
+    def serve(
+        self,
+        serve_options=None,
+        stream_options=None,
+        view: Optional[MaterializedView] = None,
+    ):
+        """A :class:`~repro.serve.MediatorService` over this mediator.
+
+        Returns the (not yet started) asyncio service: concurrent snapshot
+        reads, a pipelined writer draining the update log, watermark
+        backpressure.  Callers ``await service.start()`` (or use it as an
+        async context manager) from their event loop.
+        """
+        from repro.serve import MediatorService, ServeOptions
+
+        return MediatorService(
+            self.streaming(stream_options, view=view),
+            serve_options if serve_options is not None else ServeOptions(),
+        )

@@ -1,0 +1,362 @@
+"""The mediator as a long-lived concurrent service.
+
+:class:`MediatorService` wraps a :class:`~repro.stream.StreamScheduler` in
+an asyncio front end with the concurrency shape the paper's mediator
+implies -- many readers, one logical writer:
+
+* **Reads never block on writers.**  A query grabs the published view
+  pointer (snapshot isolation: mid-batch that is still the complete
+  pre-batch view) and evaluates it on a read thread pool; no query ever
+  takes the scheduler's coalesce or commit lock for more than the commit
+  pointer swap.  :meth:`MediatorService.lease` pins an atomically
+  consistent (view, effective program) pair for multi-query sessions.
+* **The writer is a pipeline, not a lock.**  A coordinator task drains the
+  :class:`~repro.stream.UpdateLog` in bounded batches and splits each into
+  the scheduler's two stages: :meth:`~repro.stream.StreamScheduler.prepare_batch`
+  (coalesce + partition, on its own single thread) and
+  :meth:`~repro.stream.StreamScheduler.apply_prepared` (maintenance +
+  commit, on an apply pool).  Batch ``n+1`` coalesces while batch ``n``
+  applies, and batches writing disjoint closure groups run on the apply
+  pool fully concurrently -- admission is the scheduler's ticket protocol,
+  so conflicting batches still commit in stream order.
+* **Backpressure, not unbounded queues.**  When the update log's backlog
+  crosses the high watermark, :meth:`MediatorService.submit` awaits until
+  the writer drains it below the low watermark; readers are unaffected.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from functools import partial
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.constraints.solver import ConstraintSolver
+from repro.datalog.program import ConstrainedDatabase
+from repro.datalog.view import MaterializedView
+from repro.errors import MediatorError
+from repro.stream import BatchResult, StreamScheduler
+from repro.stream.log import StreamPayload, Transaction
+
+
+@dataclass(frozen=True)
+class ServeOptions:
+    """Tunable behaviour of the serving layer."""
+
+    #: Threads evaluating read queries (snapshot reads are lock-free, so
+    #: this bounds CPU share, not correctness).
+    read_workers: int = 4
+    #: Concurrent batch applications (pipeline depth).  Disjoint-group
+    #: batches actually overlap; conflicting ones queue at admission.
+    apply_workers: int = 2
+    #: Most transactions drained into one batch (None = unbounded).  Keeps
+    #: a burst from becoming one giant maintenance pass.
+    max_batch: Optional[int] = 64
+    #: Backlog (pending transactions) at which ``submit`` starts awaiting.
+    backpressure_high: int = 1024
+    #: Backlog at which awaiting submitters are released again.
+    backpressure_low: int = 256
+
+    def __post_init__(self) -> None:
+        if self.backpressure_low > self.backpressure_high:
+            raise MediatorError(
+                "backpressure_low must not exceed backpressure_high "
+                f"({self.backpressure_low} > {self.backpressure_high})"
+            )
+
+
+@dataclass(frozen=True)
+class SnapshotLease:
+    """A pinned, atomically consistent (view, program) read session.
+
+    Taken under the scheduler's commit lock, so the pair is never torn;
+    held only by reference, so leasing is O(1) and the writer is never
+    blocked by however long the reader keeps it.  The paper's deferred
+    evaluation still applies: DCA constraints are checked against the
+    sources *at query time*, so a lease pins the view's syntactic state,
+    not the external world.
+    """
+
+    view: MaterializedView
+    program: ConstrainedDatabase
+    solver: ConstraintSolver
+    #: How many batches had committed when the lease was taken.
+    sequence: int
+
+    def query(
+        self, predicate: str, universe: Optional[Iterable[object]] = None
+    ) -> FrozenSet[Tuple[object, ...]]:
+        """Ground instances of *predicate* under this lease's snapshot."""
+        return self.view.instances_for(
+            predicate, solver=self.solver, universe=universe
+        )
+
+    def instances(self, universe: Optional[Iterable[object]] = None):
+        """All ground instances of the leased snapshot."""
+        return self.view.instances(self.solver, universe)
+
+
+class MediatorService:
+    """Asyncio façade serving reads and writes over one stream scheduler.
+
+    Lifecycle: ``await start()``, interact via :meth:`query` /
+    :meth:`submit` / :meth:`drained`, then ``await stop()``.  All public
+    coroutines must be called from the event loop that ran ``start()``.
+    """
+
+    def __init__(
+        self,
+        scheduler: StreamScheduler,
+        options: ServeOptions = ServeOptions(),
+    ) -> None:
+        self._scheduler = scheduler
+        self._options = options
+        self._read_pool: Optional[ThreadPoolExecutor] = None
+        self._prepare_pool: Optional[ThreadPoolExecutor] = None
+        self._apply_pool: Optional[ThreadPoolExecutor] = None
+        self._writer_task: Optional[asyncio.Task] = None
+        self._inflight: set = set()
+        self._wake = asyncio.Event()
+        self._idle = asyncio.Event()
+        self._below_low = asyncio.Event()
+        self._idle.set()
+        self._below_low.set()
+        self._stopping = False
+        self._closed = False
+        self._results: List[BatchResult] = []
+        self._errors: List[str] = []
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "MediatorService":
+        """Spin up the thread pools and the writer pipeline."""
+        if self._writer_task is not None:
+            raise MediatorError("service already started")
+        options = self._options
+        self._read_pool = ThreadPoolExecutor(
+            max_workers=max(1, options.read_workers),
+            thread_name_prefix="serve-read",
+        )
+        self._prepare_pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="serve-prepare"
+        )
+        self._apply_pool = ThreadPoolExecutor(
+            max_workers=max(1, options.apply_workers),
+            thread_name_prefix="serve-apply",
+        )
+        self._writer_task = asyncio.ensure_future(self._writer_loop())
+        return self
+
+    async def stop(self) -> None:
+        """Drain the log, wait for in-flight batches, tear down the pools."""
+        if self._writer_task is None:
+            return
+        self._closed = True
+        self._stopping = True
+        self._wake.set()
+        await self._writer_task
+        self._writer_task = None
+        for pool in (self._read_pool, self._prepare_pool, self._apply_pool):
+            if pool is not None:
+                pool.shutdown(wait=True)
+        self._read_pool = self._prepare_pool = self._apply_pool = None
+
+    async def __aenter__(self) -> "MediatorService":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # Reads (never blocked by the writer)
+    # ------------------------------------------------------------------
+    @property
+    def scheduler(self) -> StreamScheduler:
+        return self._scheduler
+
+    @property
+    def view(self) -> MaterializedView:
+        """The currently published snapshot (read-only)."""
+        return self._scheduler.view
+
+    def lease(self) -> SnapshotLease:
+        """Pin an atomically consistent (view, effective program) pair."""
+        view, program = self._scheduler.snapshot_state()
+        return SnapshotLease(
+            view=view,
+            program=program,
+            solver=self._scheduler.solver,
+            sequence=len(self._scheduler.batches),
+        )
+
+    async def query(
+        self, predicate: str, universe: Optional[Iterable[object]] = None
+    ) -> FrozenSet[Tuple[object, ...]]:
+        """Evaluate one predicate against the published snapshot.
+
+        The view pointer is captured first (one atomic read), then the
+        evaluation -- including any DCA round-trips the solver makes --
+        runs on the read pool, so a slow external source stalls only this
+        query's thread, never the event loop or the writer.
+        """
+        if self._read_pool is None:
+            raise MediatorError("service is not running (call start())")
+        view = self._scheduler.view
+        return await asyncio.get_running_loop().run_in_executor(
+            self._read_pool,
+            partial(
+                view.instances_for,
+                predicate,
+                solver=self._scheduler.solver,
+                universe=universe,
+            ),
+        )
+
+    async def query_lease(
+        self,
+        lease: SnapshotLease,
+        predicate: str,
+        universe: Optional[Iterable[object]] = None,
+    ) -> FrozenSet[Tuple[object, ...]]:
+        """Like :meth:`query`, but against a pinned lease."""
+        if self._read_pool is None:
+            raise MediatorError("service is not running (call start())")
+        return await asyncio.get_running_loop().run_in_executor(
+            self._read_pool, partial(lease.query, predicate, universe)
+        )
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    async def submit(self, payload: StreamPayload) -> Transaction:
+        """Log one update for the writer pipeline (awaits backpressure)."""
+        if self._closed or self._writer_task is None:
+            raise MediatorError("service is not accepting updates")
+        await self._below_low.wait()
+        transaction = self._scheduler.submit(payload)
+        self._idle.clear()
+        if (
+            self._scheduler.log.pending_count()
+            >= self._options.backpressure_high
+        ):
+            self._below_low.clear()
+        self._wake.set()
+        return transaction
+
+    async def submit_many(
+        self, payloads: Sequence[StreamPayload]
+    ) -> Tuple[Transaction, ...]:
+        """Log several updates in order (one backpressure gate per call)."""
+        if self._closed or self._writer_task is None:
+            raise MediatorError("service is not accepting updates")
+        await self._below_low.wait()
+        transactions = tuple(
+            self._scheduler.submit(payload) for payload in payloads
+        )
+        if transactions:
+            self._idle.clear()
+            if (
+                self._scheduler.log.pending_count()
+                >= self._options.backpressure_high
+            ):
+                self._below_low.clear()
+            self._wake.set()
+        return transactions
+
+    async def drained(self) -> None:
+        """Await until the log is empty and no batch is in flight."""
+        await self._idle.wait()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def results(self) -> Tuple[BatchResult, ...]:
+        """Applied batches' results, in completion order."""
+        return tuple(self._results)
+
+    @property
+    def errors(self) -> Tuple[str, ...]:
+        """Batch applications that raised (rendered), in completion order."""
+        return tuple(self._errors)
+
+    def stats(self) -> dict:
+        """Service-level counters for operators and the serve benchmark."""
+        scheduler = self._scheduler
+        failed_units = sum(
+            len(result.failed_units) for result in self._results
+        )
+        return {
+            "batches_applied": len(self._results),
+            "batch_errors": len(self._errors),
+            "failed_units": failed_units,
+            "pending": scheduler.log.pending_count(),
+            "inflight_peak": scheduler.inflight_peak,
+            "concurrent_commits": scheduler.concurrent_commits,
+            "view_entries": len(scheduler.view),
+        }
+
+    # ------------------------------------------------------------------
+    # Writer pipeline
+    # ------------------------------------------------------------------
+    async def _writer_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        options = self._options
+        while True:
+            self._wake.clear()
+            payloads = self._scheduler.log.drain(limit=options.max_batch)
+            # The backlog just shrank (or is empty): release awaiting
+            # submitters *before* possibly parking at the pipeline-depth
+            # wait below, or a full pipeline would starve them.
+            self._maybe_release_backpressure()
+            if payloads:
+                self._idle.clear()
+                # Stage 1 on the (single) prepare thread: coalescing batch
+                # n+1 overlaps batch n's maintenance on the apply pool.
+                prepared = await loop.run_in_executor(
+                    self._prepare_pool,
+                    self._scheduler.prepare_batch,
+                    payloads,
+                )
+                # Bound the pipeline depth; admission inside the scheduler
+                # decides which of the in-flight batches truly overlap.
+                while len(self._inflight) >= max(1, options.apply_workers):
+                    await asyncio.wait(
+                        set(self._inflight),
+                        return_when=asyncio.FIRST_COMPLETED,
+                    )
+                future = loop.run_in_executor(
+                    self._apply_pool,
+                    self._scheduler.apply_prepared,
+                    prepared,
+                )
+                self._inflight.add(future)
+                future.add_done_callback(self._on_batch_done)
+                continue
+            if not self._inflight:
+                self._idle.set()
+                if self._stopping:
+                    return
+            await self._wake.wait()
+
+    def _on_batch_done(self, future) -> None:
+        # Runs in the event loop (done callback of a run_in_executor
+        # future), so no locking is needed around the bookkeeping.
+        self._inflight.discard(future)
+        try:
+            result = future.result()
+        except Exception as exc:  # keep serving; surface via .errors
+            self._errors.append(f"{type(exc).__name__}: {exc}")
+        else:
+            self._results.append(result)
+        self._wake.set()
+
+    def _maybe_release_backpressure(self) -> None:
+        if (
+            not self._below_low.is_set()
+            and self._scheduler.log.pending_count()
+            <= self._options.backpressure_low
+        ):
+            self._below_low.set()

@@ -50,6 +50,7 @@ from repro.stream.log import (
 )
 from repro.stream.scheduler import (
     BatchResult,
+    PreparedBatch,
     StreamOptions,
     StreamScheduler,
     StreamStats,
@@ -67,6 +68,7 @@ __all__ = [
     "Coalescer",
     "ExternalChangeNotice",
     "PredicateStrata",
+    "PreparedBatch",
     "StratumUnit",
     "StreamOptions",
     "StreamScheduler",

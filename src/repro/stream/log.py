@@ -119,11 +119,20 @@ class UpdateLog:
         with self._lock:
             return len(self._transactions) - self._consumed
 
-    def drain(self) -> Tuple[Transaction, ...]:
-        """Atomically consume and return the pending transactions."""
+    def drain(self, limit: Optional[int] = None) -> Tuple[Transaction, ...]:
+        """Atomically consume and return the pending transactions.
+
+        With *limit*, at most that many transactions are consumed (oldest
+        first); the rest stay pending for the next drain.  The serve
+        layer's writer uses this to bound batch size under load instead of
+        swallowing an arbitrarily large backlog in one maintenance pass.
+        """
         with self._lock:
-            batch = tuple(self._transactions[self._consumed:])
-            self._consumed = len(self._transactions)
+            end = len(self._transactions)
+            if limit is not None:
+                end = min(end, self._consumed + max(0, limit))
+            batch = tuple(self._transactions[self._consumed:end])
+            self._consumed = end
             return batch
 
 

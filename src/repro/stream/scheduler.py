@@ -29,16 +29,41 @@ units' shard pointers into the next view -- no whole-view copy, no
 entry-by-entry merge.  Readers are snapshot-isolated: the scheduler
 publishes a new view reference only after the whole batch applied, so a
 query served mid-batch sees the complete pre-batch view.
+
+**Batch pipeline.**  Applying a batch is two stages with separate locks:
+
+1. *Prepare* (:meth:`StreamScheduler.prepare_batch`, under the coalesce
+   lock): compute the batch's net effect, partition it into stratum units
+   and register an admission claim.  Preparing batch ``n+1`` runs
+   concurrently with applying batch ``n`` -- the coalescer never waits for
+   a maintenance pass.
+2. *Apply* (:meth:`StreamScheduler.apply_prepared`): wait for admission,
+   run the units against the published view, and commit with a single
+   pointer swap under the (tiny) commit lock.
+
+Admission is decided by the static analyzer's *closure groups* (connected
+components of the undirected dependency graph): two prepared batches whose
+write closures fall in disjoint groups cannot read or write any common
+predicate, so they apply **fully concurrently** and each commits by
+adopting only its own groups' shard pointers onto the latest published
+view.  Conflicting (or group-less) batches are admitted strictly in
+prepare order -- a claim never waits on a later claim, so admission is
+deadlock-free and the stream's total order is preserved wherever it can
+matter.  ``StreamOptions(concurrent_batches=False)`` restores the fully
+serialized one-big-lock behaviour (every batch exclusive); benchmarks use
+it as the baseline.
 """
 
 from __future__ import annotations
 
+import itertools
 import os
 import threading
 import time
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis import ProgramReport, analyze_program
 from repro.constraints.solver import ConstraintSolver
@@ -79,6 +104,15 @@ def _default_max_workers() -> int:
     try:
         return max(1, int(raw))
     except ValueError:
+        # Falling back silently would quietly disable the parallel path CI
+        # exists to force (a typo'd "4x" or "four" used to mean "1 worker,
+        # no warning") -- say so loudly instead.
+        warnings.warn(
+            f"REPRO_STREAM_MAX_WORKERS={raw!r} is not an integer; "
+            "falling back to 1 worker (parallel scheduling disabled)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
         return 1
 
 
@@ -99,6 +133,11 @@ class StreamOptions:
     max_workers: int = field(default_factory=_default_max_workers)
     #: How often a failing unit is attempted before it is reported failed.
     max_unit_attempts: int = 2
+    #: Admit batches whose write closures fall in disjoint closure groups
+    #: concurrently (each commits its own shard pointers).  ``False``
+    #: restores the fully serialized one-batch-at-a-time behaviour -- the
+    #: baseline the serve benchmark measures against.
+    concurrent_batches: bool = True
     stdel: StDelOptions = StDelOptions()
     dred: DRedOptions = DRedOptions()
     insertion: InsertionOptions = InsertionOptions()
@@ -142,7 +181,19 @@ class StreamStats:
     units: List[UnitReport] = field(default_factory=list)
     #: External notices folded in (cost-free under ``W_P``).
     external_notices: int = 0
+    #: Wall time spent *waiting* -- coalesce-lock wait plus admission wait
+    #: behind conflicting in-flight batches.  Kept apart from
+    #: :attr:`apply_seconds` so a batch queued behind another does not
+    #: report inflated apply cost.
+    queue_seconds: float = 0.0
+    #: Wall time spent doing the batch's own work: coalescing, the
+    #: maintenance passes, and the commit pointer swap.
+    apply_seconds: float = 0.0
+    #: Total = queue + apply (the historical ``seconds`` reading).
     seconds: float = 0.0
+    #: True when a disjoint-group batch committed while this one was
+    #: applying, so the commit rebased onto the newer published view.
+    rebased: bool = False
 
     def totals(self) -> MaintenanceStats:
         """All units' maintenance counters, summed."""
@@ -178,7 +229,10 @@ class StreamStats:
             "failed_units": sum(1 for unit in self.units if unit.status != "applied"),
             "external_notices": self.external_notices,
             "shard_checkouts": self.shard_checkouts,
+            "queue_seconds": round(self.queue_seconds, 4),
+            "apply_seconds": round(self.apply_seconds, 4),
             "seconds": round(self.seconds, 4),
+            "rebased": self.rebased,
             "coalesce": self.coalesce.as_dict(),
             "stats": self.totals().as_dict(),
         }
@@ -201,6 +255,41 @@ class BatchResult:
     @property
     def ok(self) -> bool:
         return not self.failed_units
+
+
+@dataclass
+class PreparedBatch:
+    """A coalesced, partitioned batch holding an admission claim.
+
+    Produced by :meth:`StreamScheduler.prepare_batch` (stage 1 of the
+    pipeline) and consumed exactly once by
+    :meth:`StreamScheduler.apply_prepared` -- or released without applying
+    via :meth:`StreamScheduler.abandon_prepared`.  Until one of the two
+    happens, the claim blocks admission of every later *conflicting* batch,
+    so a prepared batch must not be parked indefinitely.
+    """
+
+    coalesced: CoalescedBatch
+    #: ``(phase, units)`` pairs, in application order (one pair when the
+    #: batch was coalesced; one per same-kind run otherwise).
+    phases: Tuple[Tuple[CoalescedBatch, Tuple[StratumUnit, ...]], ...]
+    #: The batch's stats object; prepare fills the coalesce counters, apply
+    #: fills the rest (shared by reference with the scheduler's history).
+    stats: StreamStats
+    #: Closure groups the batch writes -- the admission key.  ``None`` means
+    #: the batch is exclusive (conflicts with everything): concurrent
+    #: admission disabled, no group table, or a predicate the analyzer
+    #: never saw.
+    group_ids: Optional[FrozenSet[int]]
+    #: Admission ticket (prepare order; lower tickets are admitted first
+    #: among conflicting claims).
+    ticket: int
+    #: Time spent inside prepare (coalescing + partitioning); folded into
+    #: :attr:`StreamStats.apply_seconds` when the batch applies.
+    prepare_seconds: float
+
+    def __len__(self) -> int:
+        return len(self.coalesced)
 
 
 class StreamScheduler:
@@ -258,7 +347,23 @@ class StreamScheduler:
         #: The original program composed with every applied rewrite -- the
         #: declarative semantics of everything applied so far (verify()).
         self._effective_program = program
-        self._apply_lock = threading.Lock()
+        # Stage-1 lock: coalescing + partitioning (prepare_batch).  Held
+        # only while computing a batch's net effect -- never during a
+        # maintenance pass, so batch n+1 coalesces while batch n applies.
+        self._coalesce_lock = threading.Lock()
+        # Stage-2 lock: the commit pointer swap plus the program rewrites
+        # (and any reader needing a consistent view/program pair).  Held
+        # for O(#shards) pointer work, never for maintenance.
+        self._commit_lock = threading.Lock()
+        # Admission: prepared batches carry tickets (prepare order) and the
+        # closure groups they write; a batch applies once no earlier ticket
+        # holds a conflicting claim.  Disjoint-group batches overlap fully.
+        self._admission = threading.Condition()
+        self._tickets = itertools.count(1)
+        self._claims: Dict[int, Optional[FrozenSet[int]]] = {}
+        self._active: Set[int] = set()
+        self._inflight_peak = 0
+        self._concurrent_commits = 0
         self._batches: List[StreamStats] = []
 
     # ------------------------------------------------------------------
@@ -334,14 +439,34 @@ class StreamScheduler:
         The batch is coalesced (unless disabled), partitioned into
         independent stratum units, applied -- deletions first, then
         insertions, matching the net-effect construction of the coalescer --
-        and published atomically at the end.
+        and published atomically at the end.  Equivalent to
+        :meth:`prepare_batch` immediately followed by
+        :meth:`apply_prepared`; callers that want the two stages pipelined
+        (the serve layer's writer) call them separately.
         """
-        start = time.perf_counter()
-        with self._apply_lock:
+        return self.apply_prepared(self.prepare_batch(payloads, coalesce))
+
+    def prepare_batch(
+        self,
+        payloads: Sequence[StreamPayload],
+        coalesce: Optional[bool] = None,
+    ) -> PreparedBatch:
+        """Stage 1: coalesce, partition, and claim admission for one batch.
+
+        Runs under the coalesce lock only -- preparing the next batch never
+        waits for an in-flight maintenance pass.  The returned batch holds
+        an admission ticket in prepare order; it must be handed to
+        :meth:`apply_prepared` (or :meth:`abandon_prepared`) because the
+        claim blocks later conflicting batches until released.
+        """
+        queued = time.perf_counter()
+        with self._coalesce_lock:
+            start = time.perf_counter()
+            stats = StreamStats()
+            stats.queue_seconds = start - queued
             effective_coalesce = (
                 self._options.coalesce if coalesce is None else coalesce
             )
-            stats = StreamStats()
             if effective_coalesce:
                 coalesced = self._coalescer.coalesce(payloads)
                 stats.coalesce = coalesced.report
@@ -349,16 +474,50 @@ class StreamScheduler:
                 # One phase: the coalescer's cancel/narrow pass is exactly
                 # what makes deletions-first-then-insertions reproduce the
                 # interleaved stream's net effect.
-                phases = [coalesced]
+                raw_phases = [coalesced]
             else:
                 coalesced = self._raw_batch(payloads)
                 stats.submitted = len(coalesced)
                 # Without coalescing there is no cancel/narrow pass, so the
                 # stream order must be preserved: consecutive same-kind runs
                 # become phases, applied in order.
-                phases = self._raw_phases(payloads)
+                raw_phases = self._raw_phases(payloads)
             stats.applied = len(coalesced)
             stats.external_notices = len(coalesced.notices)
+            phases = tuple(
+                (phase, self._strata.partition(phase.deletions, phase.insertions))
+                for phase in raw_phases
+            )
+            # Register the claim before releasing the coalesce lock: ticket
+            # order is then exactly prepare order, so conflicting batches
+            # are admitted in the order their net effects were computed --
+            # the stream's total order wherever it can matter.
+            group_ids = self._closure_group_ids(phases)
+            ticket = self._register_claim(group_ids)
+            return PreparedBatch(
+                coalesced=coalesced,
+                phases=phases,
+                stats=stats,
+                group_ids=group_ids,
+                ticket=ticket,
+                prepare_seconds=time.perf_counter() - start,
+            )
+
+    def apply_prepared(self, prepared: PreparedBatch) -> BatchResult:
+        """Stage 2: admit, run the units, and commit one prepared batch.
+
+        Blocks until every earlier-ticketed *conflicting* claim has
+        released (committed or abandoned); batches writing disjoint closure
+        groups are admitted immediately and run fully concurrently, each
+        committing its own groups' shard pointers under the commit lock.
+        """
+        stats = prepared.stats
+        queued = time.perf_counter()
+        self._await_admission(prepared.ticket)
+        admitted = time.perf_counter()
+        stats.queue_seconds += admitted - queued
+        try:
+            coalesced = prepared.coalesced
 
             # External changes first: the batch must be maintained against
             # the sources' *current* behaviour.  Under W_P-style memoization
@@ -367,10 +526,28 @@ class StreamScheduler:
             if coalesced.notices:
                 self._solver.invalidate_external_functions()
 
-            working = self._published
-            for phase in phases:
-                units = self._strata.partition(phase.deletions, phase.insertions)
-                outcomes = self._run_units(working, units)
+            # One consistent (view, programs) snapshot to maintain against.
+            # A concurrent batch can commit while this one runs, but only a
+            # *disjoint-group* one -- its view writes and clause rewrites
+            # touch predicates this batch neither reads nor writes (closure
+            # groups are connected components of the undirected dependency
+            # graph), so the stale snapshot is maintenance-equivalent.
+            with self._commit_lock:
+                base = self._published
+                local_effective = self._effective_program
+                local_deletion = self._deletion_program
+
+            working = base
+            # Program rewrites of this batch's applied units, in unit
+            # order; replayed onto the shared programs at commit (rewrites
+            # of disjoint closure groups touch disjoint clause sets, so the
+            # replay commutes with concurrently-committed batches').
+            pending: List[Tuple[str, Tuple]] = []
+            written: Set[str] = set()
+            for phase, units in prepared.phases:
+                outcomes = self._run_units(
+                    working, units, local_effective, local_deletion
+                )
 
                 # Publish: each successful unit rewrote copy-on-write clones
                 # of exactly its disjoint write closure's shards, so the
@@ -387,26 +564,43 @@ class StreamScheduler:
                     stats.units.append(report)
                     if report.status != "applied":
                         continue
-                    del_atoms = getattr(del_result, "del_atoms", ())
+                    written.update(unit.write_closure)
+                    del_atoms = tuple(getattr(del_result, "del_atoms", ()) or ())
                     if del_atoms:
                         # Only DRed results carry Del atoms: StDel needs no
                         # threaded rewrite for its own deletions.
-                        self._deletion_program = deletion_rewrite(
-                            self._deletion_program, del_atoms
+                        local_deletion = deletion_rewrite(
+                            local_deletion, del_atoms
                         )
-                    for request in unit.deletions:
-                        self._effective_program = deletion_rewrite(
-                            self._effective_program, (request.atom,)
+                        pending.append(("deletion", del_atoms))
+                    if unit.deletions:
+                        atoms = tuple(
+                            request.atom for request in unit.deletions
                         )
+                        for atom in atoms:
+                            local_effective = deletion_rewrite(
+                                local_effective, (atom,)
+                            )
+                        pending.append(("effective_delete", atoms))
                     if ins_result is not None and ins_result.add_atoms:
-                        self._effective_program = insertion_rewrite(
-                            self._effective_program, ins_result.add_atoms
+                        add_atoms = tuple(ins_result.add_atoms)
+                        local_effective = insertion_rewrite(
+                            local_effective, add_atoms
                         )
+                        pending.append(("effective_insert", add_atoms))
 
-            self._published = working
-            stats.seconds = time.perf_counter() - start
-            self._batches.append(stats)
-            return BatchResult(working, stats, coalesced)
+            next_view = self._commit(base, working, written, pending, stats)
+        finally:
+            self._release_claim(prepared.ticket)
+        stats.apply_seconds = prepared.prepare_seconds + (
+            time.perf_counter() - admitted
+        )
+        stats.seconds = stats.queue_seconds + stats.apply_seconds
+        return BatchResult(next_view, stats, prepared.coalesced)
+
+    def abandon_prepared(self, prepared: PreparedBatch) -> None:
+        """Release a prepared batch's admission claim without applying it."""
+        self._release_claim(prepared.ticket)
 
     def verify(self, universe=None) -> bool:
         """Cross-check the published view against the effective program.
@@ -417,10 +611,162 @@ class StreamScheduler:
         """
         from repro.maintenance.baselines import full_recompute
 
-        expected = full_recompute(self._effective_program, self._solver).view
-        return self._published.instances(
+        # One atomic (view, program) pair: reading the two attributes
+        # separately races a concurrent commit into a torn snapshot (a
+        # pre-batch view checked against a post-batch program).
+        published, effective = self.snapshot_state()
+        expected = full_recompute(effective, self._solver).view
+        return published.instances(
             self._solver, universe
         ) == expected.instances(self._solver, universe)
+
+    def snapshot_state(self) -> Tuple[MaterializedView, ConstrainedDatabase]:
+        """An atomically consistent (published view, effective program) pair.
+
+        Readers pairing the view with the program it satisfies must come
+        through here; the commit step swaps both under the same lock.
+        """
+        with self._commit_lock:
+            return self._published, self._effective_program
+
+    # ------------------------------------------------------------------
+    # Admission & commit
+    # ------------------------------------------------------------------
+    @property
+    def inflight_peak(self) -> int:
+        """Most batches ever admitted (running) at the same time."""
+        with self._admission:
+            return self._inflight_peak
+
+    @property
+    def concurrent_commits(self) -> int:
+        """Commits that rebased onto a concurrently-published view."""
+        with self._commit_lock:
+            return self._concurrent_commits
+
+    @property
+    def solver(self) -> ConstraintSolver:
+        """The solver shared by maintenance passes and read queries."""
+        return self._solver
+
+    def _closure_group_ids(
+        self,
+        phases: Tuple[Tuple[CoalescedBatch, Tuple[StratumUnit, ...]], ...],
+    ) -> Optional[FrozenSet[int]]:
+        """The closure groups a prepared batch writes; ``None`` = exclusive.
+
+        Concurrent admission is only sound when every written predicate has
+        a group id: the analyzer's groups are connected components of the
+        *undirected* dependency graph, so disjoint group sets guarantee
+        disjoint read *and* write cones.  Any unknown predicate (or
+        ``concurrent_batches=False``) downgrades the batch to exclusive.
+        """
+        if not self._options.concurrent_batches:
+            return None
+        groups = self._strata.groups
+        if groups is None:
+            return None
+        ids: Set[int] = set()
+        for _, units in phases:
+            for unit in units:
+                for predicate in unit.write_closure:
+                    group = groups.get(predicate)
+                    if group is None:
+                        return None
+                    ids.add(group)
+        return frozenset(ids)
+
+    @staticmethod
+    def _claims_conflict(
+        left: Optional[FrozenSet[int]], right: Optional[FrozenSet[int]]
+    ) -> bool:
+        if left is None or right is None:
+            return True
+        return bool(left & right)
+
+    def _register_claim(self, group_ids: Optional[FrozenSet[int]]) -> int:
+        with self._admission:
+            ticket = next(self._tickets)
+            self._claims[ticket] = group_ids
+            return ticket
+
+    def _await_admission(self, ticket: int) -> None:
+        """Block until no earlier-ticketed conflicting claim remains.
+
+        A claim only ever waits on strictly earlier tickets, so admission
+        is deadlock-free, and conflicting batches are admitted in prepare
+        order (FIFO per conflict class).
+        """
+        with self._admission:
+            if ticket not in self._claims:
+                raise MaintenanceError(
+                    f"prepared batch (ticket {ticket}) was already applied "
+                    "or abandoned"
+                )
+            mine = self._claims[ticket]
+            while any(
+                other < ticket and self._claims_conflict(groups, mine)
+                for other, groups in self._claims.items()
+            ):
+                self._admission.wait()
+            self._active.add(ticket)
+            if len(self._active) > self._inflight_peak:
+                self._inflight_peak = len(self._active)
+
+    def _release_claim(self, ticket: int) -> None:
+        with self._admission:
+            self._claims.pop(ticket, None)
+            self._active.discard(ticket)
+            self._admission.notify_all()
+
+    def _commit(
+        self,
+        base: MaterializedView,
+        working: MaterializedView,
+        written: Set[str],
+        pending: List[Tuple[str, Tuple]],
+        stats: StreamStats,
+    ) -> MaterializedView:
+        """Swap in the batch's view and replay its program rewrites.
+
+        The fast path (nothing committed since ``base`` was snapshotted)
+        publishes ``working`` directly.  Otherwise a disjoint-group batch
+        committed concurrently: rebase by copying the *current* published
+        view and adopting only this batch's written closures' shard
+        pointers from ``working`` -- adopting anything more would revert
+        the sibling batch's shards.  Both paths are pointer work.
+        """
+        with self._commit_lock:
+            current = self._published
+            if working is base:
+                # No unit applied; the view is unchanged (but failed-unit
+                # stats still land in the history below).
+                next_view = current
+            elif current is base:
+                next_view = working.without_write_scope()
+                self._published = next_view
+            else:
+                stats.rebased = True
+                self._concurrent_commits += 1
+                next_view = current.copy()
+                next_view.adopt_shards(working, sorted(written))
+                self._published = next_view
+            for kind, atoms in pending:
+                if kind == "deletion":
+                    self._deletion_program = deletion_rewrite(
+                        self._deletion_program, atoms
+                    )
+                elif kind == "effective_delete":
+                    for atom in atoms:
+                        self._effective_program = deletion_rewrite(
+                            self._effective_program, (atom,)
+                        )
+                else:
+                    self._effective_program = insertion_rewrite(
+                        self._effective_program, atoms
+                    )
+            self._batches.append(stats)
+            return next_view
 
     # ------------------------------------------------------------------
     # Internals
@@ -482,7 +828,11 @@ class StreamScheduler:
         return phases
 
     def _run_units(
-        self, base: MaterializedView, units: Sequence[StratumUnit]
+        self,
+        base: MaterializedView,
+        units: Sequence[StratumUnit],
+        effective: ConstrainedDatabase,
+        deletion_program: ConstrainedDatabase,
     ) -> List[tuple]:
         """Apply every unit (with retries), concurrently when configured.
 
@@ -490,7 +840,9 @@ class StreamScheduler:
         write closure: shards it rewrites are cloned copy-on-write, shards
         it only reads stay shared with the base (and with the other units),
         and a write outside the closure raises instead of being silently
-        dropped by the publish step.
+        dropped by the publish step.  The programs are the calling batch's
+        local snapshots -- never the scheduler's shared attributes, which a
+        concurrent disjoint-group commit may be rewriting.
         """
         workers = min(self._options.max_workers, len(units))
         if workers > 1:
@@ -500,6 +852,8 @@ class StreamScheduler:
                         self._apply_unit_with_retry,
                         base.checkout(unit.write_closure),
                         unit,
+                        effective,
+                        deletion_program,
                     )
                     for unit in units
                 ]
@@ -509,7 +863,10 @@ class StreamScheduler:
             current = base
             for unit in units:
                 outcome = self._apply_unit_with_retry(
-                    current.checkout(unit.write_closure), unit
+                    current.checkout(unit.write_closure),
+                    unit,
+                    effective,
+                    deletion_program,
                 )
                 if outcome[1].status == "applied":
                     current = outcome[0]
@@ -554,7 +911,11 @@ class StreamScheduler:
         return merged
 
     def _apply_unit_with_retry(
-        self, base: MaterializedView, unit: StratumUnit
+        self,
+        base: MaterializedView,
+        unit: StratumUnit,
+        effective: ConstrainedDatabase,
+        deletion_program: ConstrainedDatabase,
     ) -> tuple:
         """Run one unit up to ``max_unit_attempts`` times."""
         attempts = 0
@@ -563,7 +924,9 @@ class StreamScheduler:
         while attempts < max(1, self._options.max_unit_attempts):
             attempts += 1
             try:
-                view, stats, del_result, ins_result = self._apply_unit(base, unit)
+                view, stats, del_result, ins_result = self._apply_unit(
+                    base, unit, effective, deletion_program
+                )
             except (WriteScopeError, ShardSanitizerError) as exc:
                 # Sanitizer verdicts are deterministic facts about the code,
                 # not transient unit failures: retrying would only repeat
@@ -608,7 +971,13 @@ class StreamScheduler:
             self._options.on_unit_complete(report)
         return (base, report, None, None)
 
-    def _apply_unit(self, base: MaterializedView, unit: StratumUnit) -> tuple:
+    def _apply_unit(
+        self,
+        base: MaterializedView,
+        unit: StratumUnit,
+        effective: ConstrainedDatabase,
+        deletion_program: ConstrainedDatabase,
+    ) -> tuple:
         """One unit = at most one batched deletion pass + one insertion pass."""
         stats = MaintenanceStats()
         current = base
@@ -625,7 +994,7 @@ class StreamScheduler:
                 ).delete_many(current, unit.deletions, purge_predicates=purge)
             else:
                 del_result = ExtendedDRed(
-                    self._deletion_program, self._solver, self._options.dred
+                    deletion_program, self._solver, self._options.dred
                 ).delete_many(current, unit.deletions, purge_predicates=purge)
             current = del_result.view
             stats.merge(del_result.stats)
@@ -638,7 +1007,7 @@ class StreamScheduler:
             # instances those deletions removed.  Other concurrent units'
             # deletions rewrite clauses outside this unit's closure and
             # cannot affect its unfolding.
-            insert_program = self._effective_program
+            insert_program = effective
             if unit.deletions:
                 insert_program = deletion_rewrite(
                     insert_program,

@@ -318,6 +318,49 @@ class TestStDelKeyConvergence:
         assert len(result.view) == 0
 
 
+class TestCrossPredicateSupportCollision:
+    """Regression: external insertions all share ``Support(0)``, so StDel's
+    step-3 parent probe for a deleted external entry returns parents derived
+    from *other* external insertions too -- including insertions of entirely
+    different predicates whose constraints overlap.  The premise slot's
+    clause body atom names the only predicate that can actually have
+    contributed; without that filter, deleting ``c(X) <- X = 5`` subtracted
+    the instances from ``d``'s derivation through ``b`` as well."""
+
+    def test_deleting_one_external_atom_spares_unrelated_towers(self):
+        from repro.maintenance import insert_atom
+
+        solver = ConstraintSolver()
+        program = parse_program(
+            """
+            seedb(X) <- X = 0.
+            seedc(X) <- X = 0.
+            b(X) <- seedb(X).
+            c(X) <- seedc(X).
+            d(X) <- b(X).
+            e(X) <- c(X).
+            """
+        )
+        view = compute_tp_fixpoint(program, solver)
+        # Two external insertions with identical constraints but different
+        # predicates: both entries carry the shared Support(0).
+        view = insert_atom(
+            program, view, parse_constrained_atom("b(X) <- X = 5"), solver
+        ).view
+        view = insert_atom(
+            program, view, parse_constrained_atom("c(X) <- X = 5"), solver
+        ).view
+
+        request = parse_constrained_atom("c(X) <- X = 5")
+        _, _, stdel = check_both_algorithms(program, view, request, solver)
+        # d(5) survives: its derivation used b's insertion, not c's.
+        assert (5,) in stdel.view.instances_for("d", solver, UNIVERSE)
+        assert (5,) in stdel.view.instances_for("b", solver, UNIVERSE)
+        # e(5) is gone with its premise.
+        assert (5,) not in stdel.view.instances_for("e", solver, UNIVERSE)
+        assert (5,) not in stdel.view.instances_for("c", solver, UNIVERSE)
+
+
 class TestDeltaRederivationWithDuplicateSupports:
     """Regression: external insertions all share Support(0), so the
     delta-rederivation seed must include *every* entry carrying a child

@@ -22,10 +22,16 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 if str(REPO_ROOT) not in sys.path:
     sys.path.insert(0, str(REPO_ROOT))
 
-from benchmarks.check_regression import compare_snapshots, iter_counters  # noqa: E402
+from benchmarks.check_regression import (  # noqa: E402
+    check_serve_snapshot,
+    compare_snapshots,
+    iter_counters,
+)
+from benchmarks.serve import run_serve_benchmark  # noqa: E402
 from benchmarks.smoke import run_smoke  # noqa: E402
 
 BASELINE_PATH = REPO_ROOT / "BENCH_smoke.json"
+SERVE_BASELINE_PATH = REPO_ROOT / "BENCH_serve.json"
 
 
 @pytest.fixture(scope="module")
@@ -124,6 +130,55 @@ def test_batched_deletion_never_costs_more_than_sequential(baseline, current):
         # insert-then-delete pair never reached a maintenance pass.
         assert mixed["coalesce"]["deduplicated"] >= 1
         assert mixed["coalesce"]["cancelled"] >= 1
+
+
+@pytest.fixture(scope="module")
+def serve_baseline():
+    return json.loads(SERVE_BASELINE_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def serve_current():
+    # A reduced stream (3 churn rounds) keeps the tier-1 run short; the
+    # gated relationships (pipelined beats serialized, commits genuinely
+    # overlap, final views match) are scale-independent.
+    return {"results": {"serve_mixed_load": run_serve_benchmark(rounds=3)}}
+
+
+def test_committed_serve_snapshot_passes_the_gate(serve_baseline):
+    assert check_serve_snapshot(serve_baseline) == []
+
+
+def test_fresh_serve_run_passes_the_gate(serve_current):
+    """The serving layer's reason to exist, re-proven on every pytest run:
+    concurrent disjoint-group application beats the serialized writer on
+    the same latency-dominated update stream, commits actually overlapped,
+    and both runs converge to the identical final view."""
+    assert check_serve_snapshot(serve_current) == []
+
+
+def test_serve_gate_flags_a_regressed_pipeline(serve_baseline):
+    slowed = json.loads(json.dumps(serve_baseline))  # deep copy
+    family = slowed["results"]["serve_mixed_load"]
+    family["pipelined"]["updates_per_second"] = (
+        family["serialized"]["updates_per_second"] / 2
+    )
+    problems = check_serve_snapshot(slowed)
+    assert any("beat the serialized baseline" in problem for problem in problems)
+
+
+def test_serve_gate_flags_a_serialized_pipeline(serve_baseline):
+    stuck = json.loads(json.dumps(serve_baseline))  # deep copy
+    stuck["results"]["serve_mixed_load"]["pipelined"]["concurrent_commits"] = 0
+    problems = check_serve_snapshot(stuck)
+    assert any("concurrent_commits" in problem for problem in problems)
+
+
+def test_serve_gate_flags_divergent_final_views(serve_baseline):
+    diverged = json.loads(json.dumps(serve_baseline))  # deep copy
+    diverged["results"]["serve_mixed_load"]["final_state_match"] = False
+    problems = check_serve_snapshot(diverged)
+    assert any("maintenance-equivalent" in problem for problem in problems)
 
 
 def test_stream_batch_checks_out_only_its_write_closure(baseline, current):
