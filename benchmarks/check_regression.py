@@ -153,6 +153,65 @@ def check_serve_snapshot(snapshot: dict) -> List[str]:
     return problems
 
 
+def check_persist_snapshot(snapshot: dict) -> List[str]:
+    """Shape gate for a ``BENCH_persist.json`` snapshot; returns problems.
+
+    Absolute timings are machine-dependent, but the relationship the
+    durability layer exists for is not: cold start from the newest
+    snapshot plus a short WAL-tail replay must beat recomputing the view
+    from the whole update stream, the checkpoints must actually have
+    written bytes and *reused* at least one unchanged shard (the
+    dirty-only rewrite), at least one journaled tail batch must have been
+    replayed (else the WAL path went untested), and both recovery paths
+    must land on the identical view.
+    """
+    problems: List[str] = []
+    family = snapshot.get("results", {}).get("persist_cold_start")
+    if not isinstance(family, dict):
+        return ["persist_cold_start family missing from the persist snapshot"]
+    for key in ("cold_start_seconds", "recompute_seconds"):
+        value = family.get(key)
+        if not isinstance(value, (int, float)) or value <= 0:
+            problems.append(
+                f"persist_cold_start.{key} must be a positive number, "
+                f"got {value!r}"
+            )
+    if problems:
+        return problems
+    if family["cold_start_seconds"] >= family["recompute_seconds"]:
+        problems.append(
+            "cold start from the snapshot must beat full recompute "
+            f"({family['cold_start_seconds']}s >= "
+            f"{family['recompute_seconds']}s): checkpointing buys nothing"
+        )
+    if family.get("state_match") is not True:
+        problems.append(
+            "cold start and recompute landed on different views: recovery "
+            "is not maintenance-equivalent"
+        )
+    if not isinstance(family.get("checkpoint_bytes"), int) or family["checkpoint_bytes"] <= 0:
+        problems.append(
+            "checkpoint_bytes must be a positive integer, got "
+            f"{family.get('checkpoint_bytes')!r}"
+        )
+    if family.get("replayed_batches", 0) < 1:
+        problems.append(
+            "cold start replayed no WAL-tail batches: the replay path "
+            "went unexercised"
+        )
+    if family.get("shards_reused", 0) < 1:
+        problems.append(
+            "second checkpoint reused no shards: the dirty-only rewrite "
+            "is rewriting everything"
+        )
+    if not isinstance(family.get("view_entries"), int) or family["view_entries"] <= 0:
+        problems.append(
+            f"view_entries must be a positive integer, got "
+            f"{family.get('view_entries')!r}"
+        )
+    return problems
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -176,6 +235,21 @@ def main(argv=None) -> int:
         help="skip the counter gate; check only the serve snapshots",
     )
     parser.add_argument(
+        "--persist-baseline",
+        default=str(REPO_ROOT / "BENCH_persist.json"),
+        help="committed persist snapshot to shape-check ('' skips)",
+    )
+    parser.add_argument(
+        "--persist-current",
+        default=None,
+        help="freshly-run persist snapshot to shape-check as well",
+    )
+    parser.add_argument(
+        "--only-persist",
+        action="store_true",
+        help="skip the counter and serve gates; check only the persist snapshots",
+    )
+    parser.add_argument(
         "--current",
         default=None,
         help="snapshot to check; omitted = run the smoke families now",
@@ -189,7 +263,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     failed = False
-    if not args.only_serve:
+    if not args.only_serve and not args.only_persist:
         baseline = json.loads(Path(args.baseline).read_text())
         if args.current is not None:
             current = json.loads(Path(args.current).read_text())
@@ -215,24 +289,45 @@ def main(argv=None) -> int:
                 growth = (current_value - base_value) / base_value if base_value else float("inf")
                 print(f"  {key}: {base_value} -> {current_value} (+{growth:.0%})")
 
-    serve_paths = []
-    if args.serve_baseline:
-        serve_paths.append(("committed", Path(args.serve_baseline)))
-    if args.serve_current:
-        serve_paths.append(("fresh", Path(args.serve_current)))
-    for label, path in serve_paths:
-        if not path.exists():
+    if not args.only_persist:
+        serve_paths = []
+        if args.serve_baseline:
+            serve_paths.append(("committed", Path(args.serve_baseline)))
+        if args.serve_current:
+            serve_paths.append(("fresh", Path(args.serve_current)))
+        for label, path in serve_paths:
+            if not path.exists():
+                failed = True
+                print(f"serve gate ({label}): {path} does not exist")
+                continue
+            problems = check_serve_snapshot(json.loads(path.read_text()))
+            if not problems:
+                print(f"serve gate ({label}): OK ({path.name})")
+                continue
             failed = True
-            print(f"serve gate ({label}): {path} does not exist")
-            continue
-        problems = check_serve_snapshot(json.loads(path.read_text()))
-        if not problems:
-            print(f"serve gate ({label}): OK ({path.name})")
-            continue
-        failed = True
-        print(f"serve gate ({label}): {len(problems)} problem(s) in {path.name}")
-        for problem in problems:
-            print(f"  {problem}")
+            print(f"serve gate ({label}): {len(problems)} problem(s) in {path.name}")
+            for problem in problems:
+                print(f"  {problem}")
+
+    if not args.only_serve:
+        persist_paths = []
+        if args.persist_baseline:
+            persist_paths.append(("committed", Path(args.persist_baseline)))
+        if args.persist_current:
+            persist_paths.append(("fresh", Path(args.persist_current)))
+        for label, path in persist_paths:
+            if not path.exists():
+                failed = True
+                print(f"persist gate ({label}): {path} does not exist")
+                continue
+            problems = check_persist_snapshot(json.loads(path.read_text()))
+            if not problems:
+                print(f"persist gate ({label}): OK ({path.name})")
+                continue
+            failed = True
+            print(f"persist gate ({label}): {len(problems)} problem(s) in {path.name}")
+            for problem in problems:
+                print(f"  {problem}")
     return 1 if failed else 0
 
 

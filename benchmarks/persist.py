@@ -1,0 +1,257 @@
+"""Durability benchmark: cold start from a snapshot vs full recompute.
+
+Drives a :func:`repro.persist.open_scheduler` pipeline over a churn-heavy
+tower workload, checkpoints twice mid-run (the second checkpoint proves
+that shards untouched since the first are *reused*, not rewritten), then
+leaves a short journaled-only WAL tail.  Two recovery paths are timed
+over the identical final state:
+
+* ``cold_start`` -- reopen the data directory: load the newest snapshot,
+  replay only the WAL tail through the maintenance pipeline;
+* ``recompute`` -- a fresh in-memory scheduler reapplies the *entire*
+  update stream from scratch.
+
+The point of checkpointing is that the first path wins: recovery cost is
+proportional to the WAL tail, not to history.  ``state_match`` asserts
+both paths land key-identical, so the speedup is not bought with a wrong
+view.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/persist.py [--out PATH] [--label TEXT]
+                                                [--towers N] [--rounds N]
+
+The committed ``BENCH_persist.json`` is gated by
+``benchmarks/check_regression.py`` and re-run by
+``tests/test_bench_regression.py``: cold start must beat recompute, the
+checkpoint must have written bytes and reused at least one shard, and at
+least one WAL-tail batch must have been replayed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT))
+
+from repro.constraints import ConstraintSolver  # noqa: E402
+from repro.datalog import parse_constrained_atom, parse_program  # noqa: E402
+from repro.maintenance import DeletionRequest, InsertionRequest  # noqa: E402
+from repro.persist import DurabilityOptions, open_scheduler  # noqa: E402
+from repro.stream import StreamOptions, StreamScheduler  # noqa: E402
+
+DEFAULT_TOWERS = 6
+DEFAULT_ROUNDS = 24
+DEPTH = 2
+BATCH_WIDTH = 4
+#: Batches left journaled-only after the last checkpoint: the WAL tail
+#: the cold start replays.
+TAIL_BATCHES = 3
+
+#: Never auto-checkpoint -- the benchmark places both checkpoints itself.
+MANUAL = DurabilityOptions(checkpoint_wal_bytes=1 << 30)
+
+
+def tower_rules(towers: int) -> str:
+    """Chained towers ``b_t -> l_t_* -> top_t``; half of them stay static.
+
+    The static half is written by the first checkpoint and untouched
+    afterwards, so the second checkpoint must *reuse* those shard files
+    (content-addressed, dirty-only rewrite) instead of rewriting them.
+    """
+    lines: List[str] = []
+    for tower in range(towers):
+        for value in (0, 1, 2):
+            lines.append(f"b{tower}(X) <- X = {value}.")
+        previous = f"b{tower}"
+        for layer in range(DEPTH):
+            lines.append(f"l{tower}_{layer}(X) <- {previous}(X).")
+            previous = f"l{tower}_{layer}"
+        lines.append(f"top{tower}(X) <- {previous}(X).")
+    return "\n".join(lines)
+
+
+def stream_payloads(towers: int, rounds: int):
+    """Churn rounds over the *dynamic* half of the towers only."""
+    dynamic = list(range(towers // 2, towers))
+    payloads = []
+    for round_index in range(rounds):
+        value = 10 + round_index
+        for tower in dynamic:
+            payloads.append(
+                InsertionRequest(
+                    parse_constrained_atom(f"b{tower}(X) <- X = {value}")
+                )
+            )
+        for tower in dynamic:
+            payloads.append(
+                DeletionRequest(
+                    parse_constrained_atom(f"b{tower}(X) <- X = {value}")
+                )
+            )
+    for tower in dynamic:
+        payloads.append(
+            InsertionRequest(
+                parse_constrained_atom(f"b{tower}(X) <- X = {100 + tower}")
+            )
+        )
+    return payloads
+
+
+def batch_stream(payloads):
+    return [
+        payloads[index : index + BATCH_WIDTH]
+        for index in range(0, len(payloads), BATCH_WIDTH)
+    ]
+
+
+def view_keys(view):
+    return sorted(str(entry.key()) for entry in view)
+
+
+def run_persist_benchmark(
+    towers: int = DEFAULT_TOWERS, rounds: int = DEFAULT_ROUNDS
+) -> dict:
+    program_text = tower_rules(towers)
+    payloads = stream_payloads(towers, rounds)
+    batches = batch_stream(payloads)
+    if len(batches) <= TAIL_BATCHES + 2:
+        raise SystemExit("workload too small: raise --rounds")
+    first_checkpoint_at = (len(batches) - TAIL_BATCHES) // 2
+    second_checkpoint_at = len(batches) - TAIL_BATCHES
+
+    with tempfile.TemporaryDirectory() as raw:
+        data_dir = Path(raw) / "data"
+
+        # -- write path: apply every batch durably, checkpoint twice ----
+        writer = open_scheduler(
+            data_dir, parse_program(program_text), durability_options=MANUAL
+        )
+        started = time.perf_counter()
+        for number, batch in enumerate(batches, start=1):
+            for payload in batch:
+                writer.submit(payload)
+            result = writer.flush()
+            if not result.ok:
+                raise RuntimeError(f"batch {number} failed: {result}")
+            if number in (first_checkpoint_at, second_checkpoint_at):
+                info = writer.checkpoint()
+                if info is None:
+                    raise RuntimeError(f"checkpoint after batch {number} wrote nothing")
+        write_seconds = time.perf_counter() - started
+        stats = writer.durability.stats
+        reference = view_keys(writer.view)
+
+        # -- cold start: newest snapshot + WAL-tail replay --------------
+        started = time.perf_counter()
+        recovered = open_scheduler(
+            data_dir, parse_program(program_text), durability_options=MANUAL
+        )
+        cold_start_seconds = time.perf_counter() - started
+        replayed_batches = recovered._replayed_batches
+
+        # -- recompute: the whole stream again, from nothing ------------
+        started = time.perf_counter()
+        fresh = StreamScheduler(
+            parse_program(program_text),
+            ConstraintSolver(),
+            options=StreamOptions(),
+        )
+        for batch in batches:
+            if not fresh.apply_batch(batch).ok:
+                raise RuntimeError("recompute batch failed")
+        recompute_seconds = time.perf_counter() - started
+
+        state_match = (
+            view_keys(recovered.view) == reference == view_keys(fresh.view)
+        )
+        wal_tail_bytes = recovered.durability.wal.size_bytes()
+
+    return {
+        "workload": (
+            f"{towers} towers (half static) x {rounds} churn rounds, "
+            f"{len(payloads)} updates in {len(batches)} batches, "
+            f"2 mid-run checkpoints, {TAIL_BATCHES}-batch WAL tail"
+        ),
+        "updates": len(payloads),
+        "batches": len(batches),
+        "write_seconds": round(write_seconds, 4),
+        "cold_start_seconds": round(cold_start_seconds, 4),
+        "recompute_seconds": round(recompute_seconds, 4),
+        "speedup": (
+            round(recompute_seconds / cold_start_seconds, 2)
+            if cold_start_seconds
+            else 0.0
+        ),
+        "replayed_batches": replayed_batches,
+        "journaled_batches": stats.journaled_batches,
+        "checkpoints": stats.checkpoints,
+        "checkpoint_bytes": stats.checkpoint_bytes,
+        "shards_written": stats.shards_written,
+        "shards_reused": stats.shards_reused,
+        "segments_pruned": stats.segments_pruned,
+        "wal_tail_bytes": wal_tail_bytes,
+        "state_match": state_match,
+        "view_entries": len(recovered.view),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default=str(REPO_ROOT / "BENCH_persist.json"),
+        help="where to write the snapshot (default: repo root BENCH_persist.json)",
+    )
+    parser.add_argument(
+        "--label", default="", help="free-form label stored in the snapshot"
+    )
+    parser.add_argument("--towers", type=int, default=DEFAULT_TOWERS)
+    parser.add_argument("--rounds", type=int, default=DEFAULT_ROUNDS)
+    args = parser.parse_args(argv)
+
+    started = time.perf_counter()
+    results = {
+        "persist_cold_start": run_persist_benchmark(
+            towers=args.towers, rounds=args.rounds
+        )
+    }
+    total = time.perf_counter() - started
+
+    snapshot = {
+        "label": args.label,
+        "python": platform.python_version(),
+        "total_seconds": round(total, 2),
+        "results": results,
+    }
+    out_path = Path(args.out)
+    out_path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+    family = results["persist_cold_start"]
+    print(f"persist benchmark finished in {total:.1f}s -> {out_path}")
+    print(
+        f"  cold start: {family['cold_start_seconds']}s "
+        f"({family['replayed_batches']} WAL-tail batches replayed) vs "
+        f"recompute: {family['recompute_seconds']}s "
+        f"-> {family['speedup']}x"
+    )
+    print(
+        f"  checkpoints: {family['checkpoints']} "
+        f"({family['checkpoint_bytes']} bytes, "
+        f"{family['shards_written']} shards written, "
+        f"{family['shards_reused']} reused), state match: "
+        f"{family['state_match']}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -154,11 +154,26 @@ def _cmd_serve(args, stream) -> int:
     from repro.stream import StreamOptions, StreamScheduler
 
     program = _load_program(args.rules)
-    scheduler = StreamScheduler(
-        program,
-        ConstraintSolver(),
-        options=StreamOptions(deletion_algorithm=args.algorithm),
-    )
+    stream_options = StreamOptions(deletion_algorithm=args.algorithm)
+    if args.data_dir:
+        # Durable serving: recover the newest snapshot + WAL tail from the
+        # data directory, journal every drained batch, checkpoint on exit.
+        from repro.persist import open_scheduler
+
+        scheduler = open_scheduler(
+            args.data_dir, program, options=stream_options
+        )
+        print(
+            f"recovered {args.data_dir}: view has {len(scheduler.view)} "
+            f"entries, watermark txn {scheduler.durability.watermark}",
+            file=stream,
+        )
+    else:
+        scheduler = StreamScheduler(
+            program,
+            ConstraintSolver(),
+            options=stream_options,
+        )
 
     async def run() -> int:
         service = MediatorService(scheduler, ServeOptions())
@@ -277,6 +292,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--duration", type=float, default=None,
         help="serve for this many seconds then exit (default: forever)",
+    )
+    serve.add_argument(
+        "--data-dir", default=None,
+        help="durable data directory: recover the newest snapshot + WAL "
+        "tail on start, journal updates, checkpoint on exit",
     )
 
     subparsers.add_parser("examples", help="list the bundled example scripts")

@@ -1279,6 +1279,75 @@ class MaterializedView:
                     f"the declared write closure {sorted(allowed_set)}"
                 )
 
+    # ------------------------------------------------------------------
+    # Shard export / import (the durability layer's codec surface)
+    # ------------------------------------------------------------------
+    def export_shard_rows(
+        self, predicate: str
+    ) -> Tuple[Tuple[ViewEntry, int], ...]:
+        """One predicate's entries in insertion order with their global
+        sequence numbers -- everything a shard codec needs to persist.
+        Indexes are deliberately absent: they rebuild lazily on load."""
+        shard = self._shards.get(predicate)
+        if shard is None:
+            return ()
+        sequence = shard._seq
+        return tuple((entry, sequence[entry.key()]) for entry in shard)
+
+    def import_shard_rows(
+        self, predicate: str, rows: Iterable[Tuple["ViewEntry", int]]
+    ) -> int:
+        """Rebuild one predicate's shard from exported ``(entry, seq)`` rows.
+
+        The recovery path's inverse of :meth:`export_shard_rows`: entries
+        are added in the stored order and keep their *original* sequence
+        numbers, so the reloaded view's global iteration order -- and its
+        re-encoded bytes -- are identical to the persisted ones.  The view
+        must not already hold the predicate (recovery builds into an empty
+        view); duplicate keys within the rows are rejected."""
+        existing = self._shards.get(predicate)
+        if existing is not None and len(existing):
+            raise ProgramError(
+                f"cannot import shard {predicate!r}: the view already holds "
+                "entries for it"
+            )
+        shard = self._writable_shard(predicate)
+        imported = 0
+        for entry, seq in rows:
+            if not isinstance(entry, ViewEntry):
+                raise ProgramError(f"not a view entry: {entry!r}")
+            if entry.predicate != predicate:
+                raise ProgramError(
+                    f"entry for {entry.predicate!r} cannot be imported into "
+                    f"shard {predicate!r}"
+                )
+            if not isinstance(seq, int) or isinstance(seq, bool) or seq < 0:
+                raise ProgramError(
+                    f"sequence number must be a non-negative int: {seq!r}"
+                )
+            key = entry.key()
+            if shard.contains_key(key):
+                raise ProgramError(
+                    f"duplicate entry key in imported shard {predicate!r}: {entry}"
+                )
+            shard._seq[key] = seq
+            shard.add(key, entry)
+            self._record_support_hints(entry)
+            if seq >= self._next_seq:
+                self._next_seq = seq + 1
+            imported += 1
+        self._entries_cache = None
+        return imported
+
+    def next_sequence_number(self) -> int:
+        """The façade's sequence counter (persisted in snapshot manifests)."""
+        return self._next_seq
+
+    def advance_sequence_number(self, floor: int) -> None:
+        """Raise the sequence counter to at least *floor* (recovery only)."""
+        if floor > self._next_seq:
+            self._next_seq = floor
+
     def _sorted_entries(self) -> Tuple[ViewEntry, ...]:
         """All entries in global insertion order (sequence-number merge).
 

@@ -110,6 +110,38 @@ class UnknownColumnError(RelationalError):
     """A query referenced a column that does not exist."""
 
 
+class PersistError(ReproError):
+    """Base class for errors raised by the durability layer (:mod:`repro.persist`)."""
+
+
+class CodecError(PersistError):
+    """A persisted payload is malformed: unknown format version, unknown
+    structural tag, truncated or bit-flipped bytes.  Decoders raise this --
+    never return a partially-decoded or wrong view."""
+
+
+class SnapshotIntegrityError(PersistError):
+    """A snapshot failed validation at recovery time: a shard file's checksum
+    does not match the manifest, or the manifest references a missing file.
+    Recovery fails loudly instead of serving a corrupt view."""
+
+
+class ProgramHashMismatchError(PersistError):
+    """The program on disk is not the program the caller opened the data
+    directory with (or the analyzer's report digest changed), so replaying
+    the WAL through the current pipeline would not reproduce the view."""
+
+
+class WalError(PersistError):
+    """The write-ahead log is corrupt in a way torn-tail recovery cannot
+    explain (e.g. non-monotonic transaction ids in decoded records)."""
+
+
+class RecoveryError(PersistError):
+    """Recovery could not produce a scheduler (empty directory without a
+    program, unreadable manifest, replay failure)."""
+
+
 class MediatorError(ReproError):
     """The mediator was configured or queried incorrectly."""
 

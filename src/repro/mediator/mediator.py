@@ -136,6 +136,9 @@ class Mediator:
         self._dred_options = dred_options or DRedOptions()
         self._stdel_options = stdel_options or StDelOptions()
         self._insertion_options = insertion_options or InsertionOptions()
+        #: Set by :meth:`open`: the recovered durable scheduler over the
+        #: mediator's data directory (``None`` for in-memory mediators).
+        self._durable_scheduler = None
         # Static analysis once per mediator: the report's interval-position
         # table is threaded into every fixpoint/unfolding configuration that
         # did not set one explicitly, so range postings stop probing
@@ -173,6 +176,61 @@ class Mediator:
         registry = DomainRegistry(domains)
         return cls(program, registry, **kwargs)
 
+    @classmethod
+    def open(
+        cls,
+        path,
+        domains: Sequence[Domain] = (),
+        rules: Optional[str] = None,
+        stream_options=None,
+        durability_options=None,
+        **kwargs,
+    ) -> "Mediator":
+        """Open (or initialize) a durable mediator over a data directory.
+
+        Recovery is the persistence layer's contract: the newest valid
+        snapshot is loaded (checksums and program hash verified loudly),
+        the WAL tail is replayed through the ordinary scheduler pipeline,
+        and fresh transaction ids continue above the persisted high-water
+        mark.  *rules* is required the first time (an empty directory has
+        no program to recover) and optional afterwards -- when given, it
+        must hash-identically match the program the directory was built
+        from.  The durable scheduler is available as
+        :attr:`durable_scheduler`; :meth:`serve` picks it up automatically.
+        """
+        from repro.persist import open_scheduler
+        from repro.persist.manager import DurabilityOptions
+        from repro.persist.snapshot import SnapshotStore
+        from repro.stream import StreamOptions
+
+        program = parse_program(rules) if rules is not None else None
+        if program is None:
+            # Recover the program from the manifest so the mediator can be
+            # constructed before the scheduler (shared solver/registry).
+            state = SnapshotStore(path).load_current()
+            if state is None:
+                raise MediatorError(
+                    f"data directory {str(path)!r} holds no snapshot; "
+                    "pass rules to initialize it"
+                )
+            program = state.program
+        registry = DomainRegistry(domains)
+        mediator = cls(program, registry, **kwargs)
+        mediator._durable_scheduler = open_scheduler(
+            path,
+            program,
+            solver=mediator._solver,
+            options=(
+                stream_options if stream_options is not None else StreamOptions()
+            ),
+            durability_options=(
+                durability_options
+                if durability_options is not None
+                else DurabilityOptions()
+            ),
+        )
+        return mediator
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
@@ -195,6 +253,11 @@ class Mediator:
     def report(self) -> ProgramReport:
         """The static-analysis report computed at construction time."""
         return self._report
+
+    @property
+    def durable_scheduler(self):
+        """The recovered durable scheduler (:meth:`open` only), else ``None``."""
+        return self._durable_scheduler
 
     def add_domain(self, domain: Domain) -> None:
         """Register one more external domain."""
@@ -269,9 +332,20 @@ class Mediator:
         domain registry and memo discipline); *view* defaults to a fresh
         ``T_P`` materialization.  Batched updates submitted to the
         scheduler's log maintain the same view the mediator would.
+
+        A mediator built by :meth:`open` hands out its recovered durable
+        scheduler instead (options/view arguments then must be left unset:
+        both were decided by recovery).
         """
         from repro.stream import StreamOptions, StreamScheduler
 
+        if self._durable_scheduler is not None:
+            if options is not None or view is not None:
+                raise MediatorError(
+                    "a durable mediator's scheduler was configured at open() "
+                    "time; streaming() takes no options/view here"
+                )
+            return self._durable_scheduler
         return StreamScheduler(
             self._program,
             self._solver,

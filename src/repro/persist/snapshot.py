@@ -1,0 +1,330 @@
+"""Atomic, shard-granular snapshot checkpoints of a materialized view.
+
+On-disk layout of a data directory::
+
+    <data_dir>/
+      CURRENT                  # name of the newest durable manifest
+      snapshots/<n>.json       # manifests, monotonically numbered
+      shards/<sha256>.json     # content-addressed shard payloads
+      wal/wal-<n>.log          # write-ahead log segments (see wal.py)
+
+A checkpoint writes every *dirty* shard as a new content-addressed file
+(an unchanged shard -- same :class:`~repro.datalog.view.PredicateShard`
+object as the previous checkpoint, courtesy of the copy-on-write
+pointer-swap publish -- is referenced by checksum without rewriting a
+byte), then the manifest, then atomically swings ``CURRENT``.  A crash at
+any point leaves ``CURRENT`` pointing at the previous complete snapshot;
+the WAL tail then carries everything since.
+
+The manifest is self-contained: the base program (encoded), its hash, the
+analyzer report digest, the scheduler's effective/deletion programs (the
+composed rewrites -- without them, replayed insertions could re-derive
+deleted instances), the shard table with checksums, the view's sequence
+counter, and the transaction watermark/high-water mark.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from repro.datalog.program import ConstrainedDatabase
+from repro.datalog.view import MaterializedView, PredicateShard
+from repro.errors import (
+    CodecError,
+    ProgramHashMismatchError,
+    SnapshotIntegrityError,
+)
+from repro.persist import codec
+from repro.persist.faults import fire
+
+
+@dataclass(frozen=True)
+class CheckpointInfo:
+    """What one checkpoint did (the persist benchmark's raw numbers)."""
+
+    manifest: str
+    watermark: int
+    shards_written: int
+    shards_reused: int
+    bytes_written: int
+
+
+@dataclass
+class RecoveredState:
+    """Everything :func:`SnapshotStore.load_current` reconstructs."""
+
+    view: MaterializedView
+    program: ConstrainedDatabase
+    effective_program: ConstrainedDatabase
+    deletion_program: ConstrainedDatabase
+    watermark: int
+    txn_high: int
+    program_hash: str
+    report_digest: str
+
+
+class SnapshotStore:
+    """Reader/writer of the snapshot half of a data directory."""
+
+    def __init__(self, root: Path) -> None:
+        self._root = Path(root)
+        self._snapshots = self._root / "snapshots"
+        self._shard_dir = self._root / "shards"
+        self._snapshots.mkdir(parents=True, exist_ok=True)
+        self._shard_dir.mkdir(parents=True, exist_ok=True)
+        #: predicate -> (shard object, checksum, byte size) as of the last
+        #: checkpoint.  Identity of the *object* is the dirtiness test: the
+        #: stream scheduler publishes by pointer swap, so an untouched
+        #: predicate keeps the same shard object across commits.  Holding
+        #: the reference (not ``id()``) makes the test immune to id reuse.
+        self._last_shards: Dict[str, Tuple[PredicateShard, str, int]] = {}
+
+    @property
+    def root(self) -> Path:
+        return self._root
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def _next_manifest_number(self) -> int:
+        highest = 0
+        for path in self._snapshots.iterdir():
+            stem = path.name
+            if stem.endswith(".json"):
+                try:
+                    highest = max(highest, int(stem[:-5]))
+                except ValueError:
+                    continue
+        return highest + 1
+
+    @staticmethod
+    def _write_atomic(path: Path, data: bytes) -> None:
+        tmp = path.with_name(path.name + ".tmp")
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+
+    def write_checkpoint(
+        self,
+        view: MaterializedView,
+        *,
+        program: ConstrainedDatabase,
+        report_digest: str,
+        effective_program: ConstrainedDatabase,
+        deletion_program: ConstrainedDatabase,
+        watermark: int,
+        txn_high: int,
+    ) -> CheckpointInfo:
+        """Write one snapshot (dirty shards + manifest) and publish it."""
+        fire("checkpoint.write")
+        shard_table: Dict[str, Dict[str, object]] = {}
+        next_last: Dict[str, Tuple[PredicateShard, str, int]] = {}
+        shards_written = 0
+        shards_reused = 0
+        bytes_written = 0
+        for predicate in sorted(view.predicates()):
+            shard = view.shard_for(predicate)
+            if shard is None or not len(shard):
+                continue
+            cached = self._last_shards.get(predicate)
+            if cached is not None and cached[0] is shard:
+                digest, size = cached[1], cached[2]
+                shards_reused += 1
+            else:
+                payload = codec.encode_shard(
+                    predicate, view.export_shard_rows(predicate)
+                )
+                digest = codec.checksum(payload)
+                size = len(payload)
+                target = self._shard_dir / f"{digest}.json"
+                if not target.exists():
+                    self._write_atomic(target, payload)
+                    bytes_written += size
+                shards_written += 1
+            next_last[predicate] = (shard, digest, size)
+            shard_table[predicate] = {
+                "file": f"{digest}.json",
+                "checksum": digest,
+                "entries": len(shard),
+            }
+        program_bytes = codec.encode_program(program)
+        manifest = {
+            "format": codec.FORMAT_VERSION,
+            "program": json.loads(program_bytes.decode("utf-8")),
+            "program_hash": codec.checksum(program_bytes),
+            "report_digest": report_digest,
+            "effective_program": json.loads(
+                codec.encode_program(effective_program).decode("utf-8")
+            ),
+            "deletion_program": json.loads(
+                codec.encode_program(deletion_program).decode("utf-8")
+            ),
+            "shards": shard_table,
+            "next_seq": view.next_sequence_number(),
+            "txn_watermark": watermark,
+            "txn_high": txn_high,
+        }
+        manifest_bytes = codec.canonical_bytes(manifest)
+        fire("checkpoint.manifest")
+        number = self._next_manifest_number()
+        name = f"{number:08d}.json"
+        self._write_atomic(self._snapshots / name, manifest_bytes)
+        bytes_written += len(manifest_bytes)
+        fire("checkpoint.rename")
+        self._write_atomic(self._root / "CURRENT", (name + "\n").encode("ascii"))
+        self._last_shards = next_last
+        self._prune_snapshots(keep=2)
+        return CheckpointInfo(
+            manifest=name,
+            watermark=watermark,
+            shards_written=shards_written,
+            shards_reused=shards_reused,
+            bytes_written=bytes_written,
+        )
+
+    def _prune_snapshots(self, keep: int) -> None:
+        """Drop manifests older than the newest *keep*, then orphan shards."""
+        manifests = sorted(
+            path for path in self._snapshots.iterdir() if path.name.endswith(".json")
+        )
+        current = self._current_name()
+        doomed = manifests[:-keep] if keep > 0 else manifests
+        survivors = [path for path in manifests if path not in doomed]
+        referenced = set()
+        for path in survivors:
+            try:
+                manifest = json.loads(path.read_text())
+            except ValueError:
+                continue
+            for meta in manifest.get("shards", {}).values():
+                referenced.add(meta.get("file"))
+        for path in doomed:
+            if path.name == current:
+                continue
+            path.unlink(missing_ok=True)
+        for path in self._shard_dir.iterdir():
+            if path.name.endswith(".tmp"):
+                continue
+            if path.name not in referenced:
+                path.unlink(missing_ok=True)
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    def _current_name(self) -> Optional[str]:
+        try:
+            name = (self._root / "CURRENT").read_text().strip()
+        except FileNotFoundError:
+            return None
+        return name or None
+
+    def load_current(
+        self, expected_program: Optional[ConstrainedDatabase] = None
+    ) -> Optional[RecoveredState]:
+        """Load the snapshot ``CURRENT`` points at; ``None`` when fresh.
+
+        Validation is strict and loud: a missing or checksum-mismatched
+        shard file raises :class:`~repro.errors.SnapshotIntegrityError`;
+        a program whose hash differs from *expected_program*'s raises
+        :class:`~repro.errors.ProgramHashMismatchError`.  Silent fallback
+        to recompute-on-start would mask exactly the corruption this layer
+        exists to catch.
+        """
+        name = self._current_name()
+        if name is None:
+            return None
+        path = self._snapshots / name
+        if not path.exists():
+            raise SnapshotIntegrityError(
+                f"CURRENT points at missing manifest {name!r}"
+            )
+        try:
+            manifest = json.loads(path.read_text())
+        except ValueError as exc:
+            raise SnapshotIntegrityError(f"manifest {name!r} is unreadable: {exc}") from exc
+        if manifest.get("format") != codec.FORMAT_VERSION:
+            raise CodecError(
+                f"manifest {name!r} has format version "
+                f"{manifest.get('format')!r}; this codec reads "
+                f"{codec.FORMAT_VERSION}"
+            )
+        program = codec.decode_program(
+            codec.canonical_bytes(manifest["program"])
+        )
+        stored_hash = manifest.get("program_hash")
+        actual_hash = codec.program_hash(program)
+        if stored_hash != actual_hash:
+            raise SnapshotIntegrityError(
+                f"manifest {name!r} program hash {stored_hash!r} does not "
+                f"match its own program ({actual_hash!r})"
+            )
+        if expected_program is not None:
+            expected_hash = codec.program_hash(expected_program)
+            if expected_hash != stored_hash:
+                raise ProgramHashMismatchError(
+                    f"data directory was built from program {stored_hash!r} "
+                    f"but was opened with program {expected_hash!r}; refusing "
+                    "to replay a foreign WAL"
+                )
+        effective_program = codec.decode_program(
+            codec.canonical_bytes(manifest["effective_program"])
+        )
+        deletion_program = codec.decode_program(
+            codec.canonical_bytes(manifest["deletion_program"])
+        )
+        view = MaterializedView()
+        shard_table = manifest.get("shards", {})
+        if not isinstance(shard_table, dict):
+            raise SnapshotIntegrityError(f"manifest {name!r} shard table is malformed")
+        for predicate in sorted(shard_table):
+            meta = shard_table[predicate]
+            shard_path = self._shard_dir / meta["file"]
+            try:
+                data = shard_path.read_bytes()
+            except FileNotFoundError as exc:
+                raise SnapshotIntegrityError(
+                    f"shard file {meta['file']!r} for {predicate!r} is missing"
+                ) from exc
+            if codec.checksum(data) != meta["checksum"]:
+                raise SnapshotIntegrityError(
+                    f"shard file {meta['file']!r} for {predicate!r} fails its "
+                    "checksum; the snapshot is corrupt"
+                )
+            decoded_predicate, rows = codec.decode_shard(data)
+            if decoded_predicate != predicate:
+                raise SnapshotIntegrityError(
+                    f"shard file {meta['file']!r} holds predicate "
+                    f"{decoded_predicate!r}, manifest says {predicate!r}"
+                )
+            if len(rows) != meta.get("entries"):
+                raise SnapshotIntegrityError(
+                    f"shard {predicate!r} holds {len(rows)} entries, manifest "
+                    f"says {meta.get('entries')!r}"
+                )
+            view.import_shard_rows(predicate, rows)
+            cached = view.shard_for(predicate)
+            if cached is not None:
+                self._last_shards[predicate] = (
+                    cached,
+                    meta["checksum"],
+                    len(data),
+                )
+        next_seq = manifest.get("next_seq")
+        if isinstance(next_seq, int) and not isinstance(next_seq, bool):
+            view.advance_sequence_number(next_seq)
+        return RecoveredState(
+            view=view,
+            program=program,
+            effective_program=effective_program,
+            deletion_program=deletion_program,
+            watermark=int(manifest.get("txn_watermark", 0)),
+            txn_high=int(manifest.get("txn_high", 0)),
+            program_hash=stored_hash,
+            report_digest=str(manifest.get("report_digest", "")),
+        )

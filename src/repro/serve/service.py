@@ -57,6 +57,10 @@ class ServeOptions:
     backpressure_high: int = 1024
     #: Backlog at which awaiting submitters are released again.
     backpressure_low: int = 256
+    #: Write a final snapshot when :meth:`MediatorService.stop` has drained
+    #: everything (durable schedulers only; a no-op otherwise).  Crash
+    #: tests disable it to leave a WAL tail for the next life to replay.
+    checkpoint_on_stop: bool = True
 
     def __post_init__(self) -> None:
         if self.backpressure_low > self.backpressure_high:
@@ -158,6 +162,17 @@ class MediatorService:
         self._wake.set()
         await self._writer_task
         self._writer_task = None
+        # Everything is drained and committed: write a parting snapshot so
+        # the next life cold-starts from disk instead of replaying the WAL
+        # (durable schedulers only -- plain schedulers have no checkpoint).
+        checkpoint = getattr(self._scheduler, "checkpoint", None)
+        if self._options.checkpoint_on_stop and checkpoint is not None:
+            try:
+                await asyncio.get_running_loop().run_in_executor(
+                    self._apply_pool, checkpoint
+                )
+            except Exception as exc:  # surface via .errors, still tear down
+                self._errors.append(f"{type(exc).__name__}: {exc}")
         for pool in (self._read_pool, self._prepare_pool, self._apply_pool):
             if pool is not None:
                 pool.shutdown(wait=True)
@@ -288,7 +303,7 @@ class MediatorService:
         failed_units = sum(
             len(result.failed_units) for result in self._results
         )
-        return {
+        data = {
             "batches_applied": len(self._results),
             "batch_errors": len(self._errors),
             "failed_units": failed_units,
@@ -297,6 +312,14 @@ class MediatorService:
             "concurrent_commits": scheduler.concurrent_commits,
             "view_entries": len(scheduler.view),
         }
+        durability = getattr(scheduler, "durability", None)
+        if durability is not None:
+            data["txn_watermark"] = durability.watermark
+            data["txn_high"] = durability.txn_high
+            data["journaled_batches"] = durability.stats.journaled_batches
+            data["checkpoints"] = durability.stats.checkpoints
+            data["wal_bytes"] = durability.wal.size_bytes()
+        return data
 
     # ------------------------------------------------------------------
     # Writer pipeline
@@ -306,7 +329,13 @@ class MediatorService:
         options = self._options
         while True:
             self._wake.clear()
-            payloads = self._scheduler.log.drain(limit=options.max_batch)
+            # Drain through the scheduler's seam (not the log directly): a
+            # durable scheduler journals + fsyncs the drained batch there,
+            # so it runs on the prepare thread, never on the event loop.
+            payloads = await loop.run_in_executor(
+                self._prepare_pool,
+                partial(self._scheduler.drain, limit=options.max_batch),
+            )
             # The backlog just shrank (or is empty): release awaiting
             # submitters *before* possibly parking at the pipeline-depth
             # wait below, or a full pipeline would starve them.
@@ -336,9 +365,27 @@ class MediatorService:
                 future.add_done_callback(self._on_batch_done)
                 continue
             if not self._inflight:
-                self._idle.set()
-                if self._stopping:
-                    return
+                # Idle checkpoint coordinator: with nothing to apply, give
+                # the durability layer a chance to turn a grown WAL into a
+                # snapshot (off the event loop; a no-op for plain
+                # schedulers and for small WALs).
+                checkpoint_if_due = getattr(
+                    self._scheduler, "checkpoint_if_due", None
+                )
+                if checkpoint_if_due is not None:
+                    try:
+                        await loop.run_in_executor(
+                            self._apply_pool, checkpoint_if_due
+                        )
+                    except Exception as exc:  # surface, keep serving
+                        self._errors.append(f"{type(exc).__name__}: {exc}")
+                # The drain and checkpoint awaits above can interleave with
+                # a submit: only declare idle if the backlog is still empty
+                # at this (await-free) instant, else loop and drain again.
+                if self._scheduler.log.pending_count() == 0:
+                    self._idle.set()
+                    if self._stopping:
+                        return
             await self._wake.wait()
 
     def _on_batch_done(self, future) -> None:

@@ -72,13 +72,25 @@ class UpdateLog:
     coalesced batch -- while the full history stays available.
     """
 
-    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
+    def __init__(
+        self,
+        clock: Optional[Callable[[], float]] = None,
+        first_txn_id: int = 1,
+    ) -> None:
         # The clock is injectable so tests (and replay tooling) can stamp
         # transactions deterministically; the stream layer otherwise bans
         # direct wall-clock / randomness calls (see tools/lint_rules.py).
         self._clock: Callable[[], float] = clock if clock is not None else time.time
         self._lock = threading.Lock()
-        self._ids = itertools.count(1)
+        # ``first_txn_id`` exists for recovery: a fresh process's log would
+        # otherwise restart ids at 1, colliding with the journaled/replayed
+        # transactions of its previous life.  The durability layer passes
+        # the persisted high-water mark + 1.
+        if not isinstance(first_txn_id, int) or first_txn_id < 1:
+            raise ValueError(
+                f"first_txn_id must be a positive int: {first_txn_id!r}"
+            )
+        self._ids = itertools.count(first_txn_id)
         self._transactions: List[Transaction] = []
         self._consumed = 0
 

@@ -287,6 +287,11 @@ class PreparedBatch:
     #: Time spent inside prepare (coalescing + partitioning); folded into
     #: :attr:`StreamStats.apply_seconds` when the batch applies.
     prepare_seconds: float
+    #: Ids of the logged transactions this batch drains (empty when the
+    #: payloads were raw requests, e.g. direct ``apply_batch`` calls).  The
+    #: durability layer marks these committed -- and advances the snapshot
+    #: watermark -- from the commit hook.
+    txn_ids: Tuple[int, ...] = ()
 
     def __len__(self) -> int:
         return len(self.coalesced)
@@ -302,6 +307,8 @@ class StreamScheduler:
         view: Optional[MaterializedView] = None,
         options: StreamOptions = StreamOptions(),
         log: Optional[UpdateLog] = None,
+        effective_program: Optional[ConstrainedDatabase] = None,
+        deletion_program: Optional[ConstrainedDatabase] = None,
     ) -> None:
         if options.deletion_algorithm not in ("stdel", "dred"):
             raise MaintenanceError(
@@ -343,10 +350,17 @@ class StreamScheduler:
         self._log = log if log is not None else UpdateLog()
         #: The program DRed deletions run against (threads the rewrites the
         #: algorithm's rederivation step requires; == original for StDel).
-        self._deletion_program = program
+        #: Recovery passes the persisted rewritten program explicitly --
+        #: starting from the base program would lose every pre-snapshot
+        #: rewrite and let replayed insertions re-derive deleted instances.
+        self._deletion_program = (
+            deletion_program if deletion_program is not None else program
+        )
         #: The original program composed with every applied rewrite -- the
         #: declarative semantics of everything applied so far (verify()).
-        self._effective_program = program
+        self._effective_program = (
+            effective_program if effective_program is not None else program
+        )
         # Stage-1 lock: coalescing + partitioning (prepare_batch).  Held
         # only while computing a batch's net effect -- never during a
         # maintenance pass, so batch n+1 coalesces while batch n applies.
@@ -425,9 +439,19 @@ class StreamScheduler:
         """Log one request / notice for the next :meth:`flush`."""
         return self._log.append(payload)
 
+    def drain(self, limit: Optional[int] = None) -> Tuple[Transaction, ...]:
+        """Consume the log's pending transactions for one batch.
+
+        The single seam between the update log and the batch pipeline: the
+        serve layer's writer and :meth:`flush` both come through here, so a
+        subclass that journals drained batches (the durability layer's
+        scheduler) interposes once and covers every write path.
+        """
+        return self._log.drain(limit=limit)
+
     def flush(self) -> BatchResult:
         """Drain the log and apply the pending transactions as one batch."""
-        return self.apply_batch(self._log.drain())
+        return self.apply_batch(self.drain())
 
     def apply_batch(
         self,
@@ -501,6 +525,11 @@ class StreamScheduler:
                 group_ids=group_ids,
                 ticket=ticket,
                 prepare_seconds=time.perf_counter() - start,
+                txn_ids=tuple(
+                    payload.txn_id
+                    for payload in payloads
+                    if isinstance(payload, Transaction)
+                ),
             )
 
     def apply_prepared(self, prepared: PreparedBatch) -> BatchResult:
@@ -589,7 +618,9 @@ class StreamScheduler:
                         )
                         pending.append(("effective_insert", add_atoms))
 
-            next_view = self._commit(base, working, written, pending, stats)
+            next_view = self._commit(
+                base, working, written, pending, stats, prepared
+            )
         finally:
             self._release_claim(prepared.ticket)
         stats.apply_seconds = prepared.prepare_seconds + (
@@ -726,6 +757,7 @@ class StreamScheduler:
         written: Set[str],
         pending: List[Tuple[str, Tuple]],
         stats: StreamStats,
+        prepared: Optional[PreparedBatch] = None,
     ) -> MaterializedView:
         """Swap in the batch's view and replay its program rewrites.
 
@@ -766,7 +798,21 @@ class StreamScheduler:
                         self._effective_program, atoms
                     )
             self._batches.append(stats)
+            self._commit_hook(prepared, next_view)
             return next_view
+
+    def _commit_hook(
+        self, prepared: Optional[PreparedBatch], next_view: MaterializedView
+    ) -> None:
+        """Called under the commit lock after every batch commits.
+
+        The published view, effective program and deletion program are all
+        current when this runs, so an override observes an atomically
+        consistent post-commit state -- the durability layer uses it to
+        mark the batch's transactions committed and capture checkpoint
+        candidates.  The base implementation does nothing.  Overrides must
+        stay cheap and must not call back into the scheduler: the commit
+        lock is held."""
 
     # ------------------------------------------------------------------
     # Internals

@@ -23,15 +23,18 @@ if str(REPO_ROOT) not in sys.path:
     sys.path.insert(0, str(REPO_ROOT))
 
 from benchmarks.check_regression import (  # noqa: E402
+    check_persist_snapshot,
     check_serve_snapshot,
     compare_snapshots,
     iter_counters,
 )
+from benchmarks.persist import run_persist_benchmark  # noqa: E402
 from benchmarks.serve import run_serve_benchmark  # noqa: E402
 from benchmarks.smoke import run_smoke  # noqa: E402
 
 BASELINE_PATH = REPO_ROOT / "BENCH_smoke.json"
 SERVE_BASELINE_PATH = REPO_ROOT / "BENCH_serve.json"
+PERSIST_BASELINE_PATH = REPO_ROOT / "BENCH_persist.json"
 
 
 @pytest.fixture(scope="module")
@@ -179,6 +182,61 @@ def test_serve_gate_flags_divergent_final_views(serve_baseline):
     diverged["results"]["serve_mixed_load"]["final_state_match"] = False
     problems = check_serve_snapshot(diverged)
     assert any("maintenance-equivalent" in problem for problem in problems)
+
+
+@pytest.fixture(scope="module")
+def persist_baseline():
+    return json.loads(PERSIST_BASELINE_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def persist_current():
+    # A reduced churn keeps the tier-1 run short; the gated relationships
+    # (cold start beats recompute, dirty-only shard rewrite, WAL tail
+    # actually replayed, state identical) are scale-independent.
+    return {"results": {"persist_cold_start": run_persist_benchmark(rounds=10)}}
+
+
+def test_committed_persist_snapshot_passes_the_gate(persist_baseline):
+    assert check_persist_snapshot(persist_baseline) == []
+
+
+def test_fresh_persist_run_passes_the_gate(persist_current):
+    """The durability layer's reason to exist, re-proven on every pytest
+    run: recovering from the newest snapshot plus a short WAL tail beats
+    recomputing the view from the full update stream, the second
+    checkpoint reused unchanged shards, and recovery lands key-identical
+    to the recompute."""
+    assert check_persist_snapshot(persist_current) == []
+
+
+def test_persist_gate_flags_a_slow_cold_start(persist_baseline):
+    slowed = json.loads(json.dumps(persist_baseline))  # deep copy
+    family = slowed["results"]["persist_cold_start"]
+    family["cold_start_seconds"] = family["recompute_seconds"] * 2
+    problems = check_persist_snapshot(slowed)
+    assert any("beat full recompute" in problem for problem in problems)
+
+
+def test_persist_gate_flags_divergent_recovery(persist_baseline):
+    diverged = json.loads(json.dumps(persist_baseline))  # deep copy
+    diverged["results"]["persist_cold_start"]["state_match"] = False
+    problems = check_persist_snapshot(diverged)
+    assert any("maintenance-equivalent" in problem for problem in problems)
+
+
+def test_persist_gate_flags_full_shard_rewrites(persist_baseline):
+    rewriting = json.loads(json.dumps(persist_baseline))  # deep copy
+    rewriting["results"]["persist_cold_start"]["shards_reused"] = 0
+    problems = check_persist_snapshot(rewriting)
+    assert any("dirty-only rewrite" in problem for problem in problems)
+
+
+def test_persist_gate_flags_an_unexercised_replay_path(persist_baseline):
+    no_tail = json.loads(json.dumps(persist_baseline))  # deep copy
+    no_tail["results"]["persist_cold_start"]["replayed_batches"] = 0
+    problems = check_persist_snapshot(no_tail)
+    assert any("unexercised" in problem for problem in problems)
 
 
 def test_stream_batch_checks_out_only_its_write_closure(baseline, current):
