@@ -212,6 +212,79 @@ def check_persist_snapshot(snapshot: dict) -> List[str]:
     return problems
 
 
+def check_obs_snapshot(snapshot: dict) -> List[str]:
+    """Shape gate for a ``BENCH_obs.json`` snapshot; returns problems.
+
+    Absolute throughput is machine-dependent, but the contract the
+    observability layer makes is not: over the identical latency-dominated
+    update stream, the ``REPRO_OBS=1`` configuration must stay within the
+    overhead budget of the uninstrumented run (default 10%), the enabled
+    run's traces must verify clean (every applied batch a complete
+    drain -> commit span tree -- low overhead bought by dropping spans is a
+    regression, not a win), and both exporters must report positive drain
+    rates.
+    """
+    problems: List[str] = []
+    results = snapshot.get("results", {})
+    family = results.get("obs_overhead")
+    if not isinstance(family, dict):
+        return ["obs_overhead family missing from the obs snapshot"]
+    for mode in ("disabled", "enabled"):
+        data = family.get(mode)
+        if not isinstance(data, dict):
+            problems.append(f"obs_overhead.{mode} missing")
+            continue
+        value = data.get("updates_per_second")
+        if not isinstance(value, (int, float)) or value <= 0:
+            problems.append(
+                f"obs_overhead.{mode}.updates_per_second must be a positive "
+                f"number, got {value!r}"
+            )
+    if problems:
+        return problems
+    disabled = family["disabled"]["updates_per_second"]
+    enabled_data = family["enabled"]
+    enabled = enabled_data["updates_per_second"]
+    budget = family.get("budget_fraction")
+    if not isinstance(budget, (int, float)) or not 0 < budget < 1:
+        problems.append(
+            f"obs_overhead.budget_fraction must be in (0, 1), got {budget!r}"
+        )
+        budget = 0.10
+    if enabled < disabled * (1.0 - budget):
+        overhead = (disabled - enabled) / disabled
+        problems.append(
+            f"enabled throughput lost {overhead:.1%} vs disabled "
+            f"({enabled} < {disabled} updates/s, budget {budget:.0%}): "
+            "instrumentation is no longer near-zero-overhead"
+        )
+    if enabled_data.get("trace_problems", None) != 0:
+        problems.append(
+            "enabled run's traces did not verify clean "
+            f"(trace_problems={enabled_data.get('trace_problems')!r}); see "
+            "trace_problems_detail in the snapshot"
+        )
+    if not isinstance(enabled_data.get("traces_complete"), int) or (
+        enabled_data["traces_complete"] < 1
+    ):
+        problems.append(
+            "enabled run produced no complete traces "
+            f"(traces_complete={enabled_data.get('traces_complete')!r}): "
+            "the tracing path went unexercised"
+        )
+    exporters = results.get("obs_exporters")
+    if not isinstance(exporters, dict):
+        problems.append("obs_exporters family missing from the obs snapshot")
+        return problems
+    for key in ("file_events_per_second", "ring_events_per_second"):
+        value = exporters.get(key)
+        if not isinstance(value, (int, float)) or value <= 0:
+            problems.append(
+                f"obs_exporters.{key} must be a positive number, got {value!r}"
+            )
+    return problems
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -250,6 +323,21 @@ def main(argv=None) -> int:
         help="skip the counter and serve gates; check only the persist snapshots",
     )
     parser.add_argument(
+        "--obs-baseline",
+        default=str(REPO_ROOT / "BENCH_obs.json"),
+        help="committed observability snapshot to shape-check ('' skips)",
+    )
+    parser.add_argument(
+        "--obs-current",
+        default=None,
+        help="freshly-run observability snapshot to shape-check as well",
+    )
+    parser.add_argument(
+        "--only-obs",
+        action="store_true",
+        help="skip the other gates; check only the observability snapshots",
+    )
+    parser.add_argument(
         "--current",
         default=None,
         help="snapshot to check; omitted = run the smoke families now",
@@ -263,7 +351,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     failed = False
-    if not args.only_serve and not args.only_persist:
+    if not args.only_serve and not args.only_persist and not args.only_obs:
         baseline = json.loads(Path(args.baseline).read_text())
         if args.current is not None:
             current = json.loads(Path(args.current).read_text())
@@ -289,7 +377,7 @@ def main(argv=None) -> int:
                 growth = (current_value - base_value) / base_value if base_value else float("inf")
                 print(f"  {key}: {base_value} -> {current_value} (+{growth:.0%})")
 
-    if not args.only_persist:
+    if not args.only_persist and not args.only_obs:
         serve_paths = []
         if args.serve_baseline:
             serve_paths.append(("committed", Path(args.serve_baseline)))
@@ -309,7 +397,7 @@ def main(argv=None) -> int:
             for problem in problems:
                 print(f"  {problem}")
 
-    if not args.only_serve:
+    if not args.only_serve and not args.only_obs:
         persist_paths = []
         if args.persist_baseline:
             persist_paths.append(("committed", Path(args.persist_baseline)))
@@ -326,6 +414,26 @@ def main(argv=None) -> int:
                 continue
             failed = True
             print(f"persist gate ({label}): {len(problems)} problem(s) in {path.name}")
+            for problem in problems:
+                print(f"  {problem}")
+
+    if not args.only_serve and not args.only_persist:
+        obs_paths = []
+        if args.obs_baseline:
+            obs_paths.append(("committed", Path(args.obs_baseline)))
+        if args.obs_current:
+            obs_paths.append(("fresh", Path(args.obs_current)))
+        for label, path in obs_paths:
+            if not path.exists():
+                failed = True
+                print(f"obs gate ({label}): {path} does not exist")
+                continue
+            problems = check_obs_snapshot(json.loads(path.read_text()))
+            if not problems:
+                print(f"obs gate ({label}): OK ({path.name})")
+                continue
+            failed = True
+            print(f"obs gate ({label}): {len(problems)} problem(s) in {path.name}")
             for problem in problems:
                 print(f"  {problem}")
     return 1 if failed else 0

@@ -1,0 +1,273 @@
+"""Observability overhead benchmark: instrumented vs bare serve throughput.
+
+Runs the serve benchmark's tower-farm workload (``benchmarks/serve.py``)
+through the identical pipelined configuration in two modes: observability
+disabled (the default ``NullMetrics`` / no-tracer path every
+un-instrumented deployment takes) and the exact bundle ``REPRO_OBS=1``
+activates -- metrics registry plus the in-memory trace ring.  Runs of the
+two modes are *interleaved* (disabled, enabled, disabled, ...) and each
+mode keeps its best run, so machine drift during the benchmark hits both
+sides equally.
+
+The default source latency is 10ms -- twice the serve benchmark's -- which
+is the honest frame for the overhead question: the paper's setting is a
+mediator over remote sources, so instrumentation cost matters relative to
+real batch work (a DCA round-trip), not relative to an empty loop.  The
+per-batch instrumentation cost is fixed (~a dozen registry ops and eight
+span emissions), so against 5ms batches the noise floor of the workload
+itself (~±5%) would swamp the signal the 10% gate looks for.
+
+The enabled run's ring is then verified: every applied batch must have a
+complete drain -> commit span tree (``verify_batch_traces``), so the
+snapshot cannot report low overhead by silently dropping spans.
+
+A second family measures the exporters raw: events/sec drained through
+``JsonLinesExporter`` (append + flush per event) and ``RingExporter``
+(bounded deque), so a regression in the hot emit path is visible even when
+the serve workload would hide it behind source latency.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/obs.py [--out PATH] [--label TEXT]
+                                            [--towers N] [--rounds N]
+                                            [--latency-ms MS] [--repeat N]
+
+The committed ``BENCH_obs.json`` is gated by
+``benchmarks/check_regression.py --only-obs``: enabled updates/sec must be
+within 10% of disabled, the traces must verify clean, and both exporters
+must report positive drain rates.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT))
+
+from benchmarks.serve import (  # noqa: E402
+    DEFAULT_TOWERS,
+    _drive,
+    make_source,
+    stream_payloads,
+    tower_farm_rules,
+)
+from repro.obs import (  # noqa: E402
+    JsonLinesExporter,
+    Observability,
+    RingExporter,
+    Tracer,
+    group_traces,
+    verify_batch_traces,
+)
+from repro.serve import ServeOptions  # noqa: E402
+from repro.stream import StreamOptions  # noqa: E402
+
+#: Fraction of disabled throughput the enabled run may lose (the gate).
+OVERHEAD_BUDGET = 0.10
+
+DEFAULT_OBS_ROUNDS = 8
+DEFAULT_OBS_LATENCY_MS = 10.0
+DEFAULT_REPEAT = 3
+DEFAULT_EXPORT_EVENTS = 20000
+
+
+def _one_run(
+    rules: str,
+    towers: int,
+    rounds: int,
+    latency_seconds: float,
+    obs: Optional[Observability],
+) -> dict:
+    registry, _calls = make_source(latency_seconds)
+    metrics, _final = asyncio.run(
+        _drive(
+            rules,
+            registry,
+            StreamOptions(),
+            ServeOptions(apply_workers=max(2, towers), max_batch=1),
+            stream_payloads(towers, rounds),
+            towers,
+            obs=obs,
+        )
+    )
+    return metrics
+
+
+def run_overhead_benchmark(
+    towers: int = DEFAULT_TOWERS,
+    rounds: int = DEFAULT_OBS_ROUNDS,
+    latency_ms: float = DEFAULT_OBS_LATENCY_MS,
+    repeat: int = DEFAULT_REPEAT,
+) -> dict:
+    """Identical workload, observability off vs ``REPRO_OBS=1`` on."""
+    rules = tower_farm_rules(towers)
+    payloads = stream_payloads(towers, rounds)
+    latency_seconds = latency_ms / 1000.0
+    repeat = max(1, repeat)
+
+    # The bundle REPRO_OBS=1 builds: registry + ring, no file exporter.
+    # Reused across the enabled repeats; the ring is sized to hold every
+    # span of every repeat, so verification below sees only whole traces.
+    obs = Observability.enabled_with(
+        ring_capacity=max(4096, repeat * len(payloads) * 16),
+        slow_batch_seconds=600.0,
+    )
+
+    best: dict = {}
+    for _ in range(repeat):
+        for mode, bundle in (("disabled", None), ("enabled", obs)):
+            metrics = _one_run(rules, towers, rounds, latency_seconds, bundle)
+            held = best.get(mode)
+            if held is None or metrics["updates_per_second"] > held["updates_per_second"]:
+                best[mode] = metrics
+
+    events = list(obs.ring.events())
+    traces = [view for view in group_traces(events) if view.root is not None]
+    problems = verify_batch_traces(events, require_drain=True)
+
+    enabled = dict(best["enabled"])
+    enabled["trace_events"] = len(events)
+    enabled["traces_complete"] = len(traces)
+    enabled["trace_problems"] = len(problems)
+    disabled = best["disabled"]
+    disabled_ups = disabled["updates_per_second"]
+    enabled_ups = enabled["updates_per_second"]
+    overhead = (
+        (disabled_ups - enabled_ups) / disabled_ups if disabled_ups else 0.0
+    )
+    return {
+        "workload": (
+            f"{towers} towers x {rounds} churn rounds + {towers} final "
+            f"inserts over a {latency_ms}ms-latency source, "
+            f"{len(payloads)} updates, interleaved best of {repeat} runs "
+            "per mode"
+        ),
+        "updates": len(payloads),
+        "towers": towers,
+        "latency_ms": latency_ms,
+        "disabled": disabled,
+        "enabled": enabled,
+        "overhead_fraction": round(overhead, 4),
+        "budget_fraction": OVERHEAD_BUDGET,
+        "trace_problems_detail": problems[:5],
+    }
+
+
+def _drain_events(exporter, counter, target: int) -> float:
+    """Emit span events through *exporter* until *counter*() >= target."""
+    tracer = Tracer([exporter])
+    started = time.perf_counter()
+    index = 0
+    while counter() < target:
+        trace = tracer.start_trace("bench")
+        for _ in range(9):
+            trace.span("unit").set(solver_calls=index, status="applied").finish()
+            index += 1
+        trace.finish()
+    return time.perf_counter() - started
+
+
+def run_exporter_benchmark(events_target: int = DEFAULT_EXPORT_EVENTS) -> dict:
+    """Raw exporter drain rates, isolated from any pipeline work."""
+    with tempfile.TemporaryDirectory(prefix="repro-obs-bench-") as tmp:
+        file_exporter = JsonLinesExporter(Path(tmp) / "events.jsonl")
+        try:
+            file_seconds = _drain_events(
+                file_exporter, lambda: file_exporter.events_written, events_target
+            )
+            file_events = file_exporter.events_written
+        finally:
+            file_exporter.close()
+    ring = RingExporter(capacity=4096)
+    ring_seconds = _drain_events(ring, lambda: ring.events_seen, events_target)
+    return {
+        "events_target": events_target,
+        "file_events": file_events,
+        "file_seconds": round(file_seconds, 4),
+        "file_events_per_second": round(file_events / file_seconds, 1)
+        if file_seconds
+        else 0.0,
+        "ring_events": ring.events_seen,
+        "ring_seconds": round(ring_seconds, 4),
+        "ring_events_per_second": round(ring.events_seen / ring_seconds, 1)
+        if ring_seconds
+        else 0.0,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default=str(REPO_ROOT / "BENCH_obs.json"),
+        help="where to write the snapshot (default: repo root BENCH_obs.json)",
+    )
+    parser.add_argument(
+        "--label", default="", help="free-form label stored in the snapshot"
+    )
+    parser.add_argument("--towers", type=int, default=DEFAULT_TOWERS)
+    parser.add_argument("--rounds", type=int, default=DEFAULT_OBS_ROUNDS)
+    parser.add_argument(
+        "--latency-ms", type=float, default=DEFAULT_OBS_LATENCY_MS
+    )
+    parser.add_argument("--repeat", type=int, default=DEFAULT_REPEAT)
+    parser.add_argument(
+        "--export-events", type=int, default=DEFAULT_EXPORT_EVENTS
+    )
+    args = parser.parse_args(argv)
+
+    started = time.perf_counter()
+    results = {
+        "obs_overhead": run_overhead_benchmark(
+            towers=args.towers,
+            rounds=args.rounds,
+            latency_ms=args.latency_ms,
+            repeat=args.repeat,
+        ),
+        "obs_exporters": run_exporter_benchmark(args.export_events),
+    }
+    total = time.perf_counter() - started
+
+    snapshot = {
+        "label": args.label,
+        "python": platform.python_version(),
+        "total_seconds": round(total, 2),
+        "results": results,
+    }
+    out_path = Path(args.out)
+    out_path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+    overhead = results["obs_overhead"]
+    exporters = results["obs_exporters"]
+    print(f"obs benchmark finished in {total:.1f}s -> {out_path}")
+    for mode in ("disabled", "enabled"):
+        data = overhead[mode]
+        print(
+            f"  {mode}: {data['updates_per_second']} updates/s "
+            f"(wall {data['wall_seconds']}s, read p99 {data['read_p99_ms']}ms)"
+        )
+    print(
+        f"  overhead: {overhead['overhead_fraction']:+.1%} "
+        f"(budget {overhead['budget_fraction']:.0%}), "
+        f"{overhead['enabled']['trace_events']} trace events, "
+        f"{overhead['enabled']['traces_complete']} complete traces, "
+        f"{overhead['enabled']['trace_problems']} problems"
+    )
+    print(
+        f"  exporters: file {exporters['file_events_per_second']} ev/s, "
+        f"ring {exporters['ring_events_per_second']} ev/s"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

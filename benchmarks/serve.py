@@ -137,10 +137,19 @@ async def _drive(
     payloads,
     towers: int,
     readers: int = 2,
+    obs=None,
 ) -> Tuple[dict, Dict[str, frozenset]]:
-    """Run one configuration; returns (metrics, final instance sets)."""
+    """Run one configuration; returns (metrics, final instance sets).
+
+    *obs* is an optional :class:`repro.obs.Observability` bundle; the
+    observability overhead benchmark (``benchmarks/obs.py``) reuses this
+    driver to run the identical workload with and without instrumentation.
+    """
     scheduler = StreamScheduler(
-        parse_program(rules), ConstraintSolver(registry), options=stream_options
+        parse_program(rules),
+        ConstraintSolver(registry),
+        options=stream_options,
+        obs=obs,
     )
     service = MediatorService(scheduler, serve_options)
     universe = tuple(range(0, 128))

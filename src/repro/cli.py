@@ -14,6 +14,8 @@ Examples
     python -m repro insert rules.pl "b(X) <- X = 1" --query c --universe 0:10
     python -m repro analyze rules.pl --strict
     python -m repro serve rules.pl --port 8737
+    python -m repro stats --data-dir ./data      # durability summary
+    python -m repro trace trace.jsonl --top 5    # batch waterfalls
     python -m repro examples          # list the bundled example scripts
 
 External domains cannot be configured from the command line (they are Python
@@ -153,15 +155,30 @@ def _cmd_serve(args, stream) -> int:
     from repro.serve import MediatorServer, MediatorService, ServeOptions
     from repro.stream import StreamOptions, StreamScheduler
 
+    from repro.obs import Observability
+
     program = _load_program(args.rules)
     stream_options = StreamOptions(deletion_algorithm=args.algorithm)
+    # REPRO_OBS / REPRO_OBS_TRACE_PATH / REPRO_OBS_SLOW_BATCH_MS activate
+    # the observability bundle; --trace-file forces file export on.
+    if args.trace_file:
+        obs = Observability.enabled_with(trace_path=args.trace_file)
+    else:
+        obs = Observability.from_env()
+    if obs.enabled:
+        where = (
+            f", tracing to {obs.file_exporter.path}"
+            if obs.file_exporter is not None
+            else ""
+        )
+        print(f"observability enabled{where}", file=stream)
     if args.data_dir:
         # Durable serving: recover the newest snapshot + WAL tail from the
         # data directory, journal every drained batch, checkpoint on exit.
         from repro.persist import open_scheduler
 
         scheduler = open_scheduler(
-            args.data_dir, program, options=stream_options
+            args.data_dir, program, options=stream_options, obs=obs
         )
         print(
             f"recovered {args.data_dir}: view has {len(scheduler.view)} "
@@ -173,6 +190,7 @@ def _cmd_serve(args, stream) -> int:
             program,
             ConstraintSolver(),
             options=stream_options,
+            obs=obs,
         )
 
     async def run() -> int:
@@ -208,6 +226,80 @@ def _cmd_serve(args, stream) -> int:
         return asyncio.run(run())
     except KeyboardInterrupt:
         return 0
+    finally:
+        obs.close()
+
+
+def _cmd_stats(args, stream) -> int:
+    """Durability summary of a data directory, without starting a server."""
+    from repro.persist.snapshot import SnapshotStore
+    from repro.persist.wal import WriteAheadLog
+
+    root = Path(args.data_dir)
+    if not root.is_dir():
+        print(f"error: {args.data_dir!r} is not a directory", file=sys.stderr)
+        return 2
+    store = SnapshotStore(root)
+    wal = WriteAheadLog(root / "wal")
+    segments = wal.segments()
+    data = {
+        "data_dir": str(root),
+        "snapshot_id": store.current_name(),
+        "wal_segments": len(segments),
+        "wal_bytes": sum(path.stat().st_size for path in segments),
+    }
+    name = store.current_name()
+    if name is not None:
+        manifest_path = root / "snapshots" / name
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except (OSError, ValueError) as error:
+            print(f"error: manifest {name!r} unreadable: {error}", file=sys.stderr)
+            return 2
+        data["txn_watermark"] = manifest.get("txn_watermark")
+        data["txn_high"] = manifest.get("txn_high")
+        data["shards"] = len(manifest.get("shards", ()))
+        data["format"] = manifest.get("format")
+    print(json.dumps(data, indent=2, sort_keys=True), file=stream)
+    return 0
+
+
+def _cmd_trace(args, stream) -> int:
+    """Render a JSON-lines trace file: waterfalls + slowest spans."""
+    from repro.obs import (
+        group_traces,
+        read_events,
+        render_top_spans,
+        render_waterfall,
+        verify_batch_traces,
+    )
+
+    try:
+        events = read_events(args.file)
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if not events:
+        print("no trace events found", file=stream)
+        return 1
+    views = group_traces(events)
+    shown = views if args.limit is None else views[-args.limit:]
+    for view in shown:
+        print(render_waterfall(view), file=stream)
+        print(file=stream)
+    print(render_top_spans(events, k=args.top), file=stream)
+    complete = [view for view in views if view.root is not None]
+    print(
+        f"-- {len(events)} events, {len(views)} traces "
+        f"({len(complete)} complete)",
+        file=stream,
+    )
+    if args.check:
+        problems = verify_batch_traces(events, require_drain=False)
+        for problem in problems:
+            print(f"problem: {problem}", file=stream)
+        return 1 if problems else 0
+    return 0
 
 
 def _cmd_examples(stream) -> int:
@@ -298,6 +390,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="durable data directory: recover the newest snapshot + WAL "
         "tail on start, journal updates, checkpoint on exit",
     )
+    serve.add_argument(
+        "--trace-file", default=None,
+        help="enable observability and append batch-lifecycle trace events "
+        "to this JSON-lines file (also honours REPRO_OBS/REPRO_OBS_TRACE_PATH)",
+    )
+
+    stats = subparsers.add_parser(
+        "stats",
+        help="print a durability summary (snapshot id, watermark, WAL "
+        "segments/bytes) of a data directory without starting a server",
+    )
+    stats.add_argument("--data-dir", required=True,
+                       help="data directory to inspect")
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="render a JSON-lines batch trace file: per-batch waterfalls "
+        "and the top-k slowest spans",
+    )
+    trace.add_argument("file", help="trace file written by serve --trace-file")
+    trace.add_argument("--top", type=int, default=10,
+                       help="how many slowest spans to list (default 10)")
+    trace.add_argument("--limit", type=int, default=None,
+                       help="render only the newest N traces")
+    trace.add_argument(
+        "--check", action="store_true",
+        help="verify span-tree integrity and exit non-zero on problems",
+    )
 
     subparsers.add_parser("examples", help="list the bundled example scripts")
     return parser
@@ -321,6 +441,10 @@ def main(argv: Optional[Sequence[str]] = None, stream=None) -> int:
             return _cmd_analyze(args, stream)
         if args.command == "serve":
             return _cmd_serve(args, stream)
+        if args.command == "stats":
+            return _cmd_stats(args, stream)
+        if args.command == "trace":
+            return _cmd_trace(args, stream)
         if args.command == "examples":
             return _cmd_examples(stream)
     except FileNotFoundError as error:

@@ -58,6 +58,7 @@ from repro.maintenance.common import (
 from repro.maintenance.declarative import deletion_rewrite
 from repro.maintenance.insert import EXTERNAL_CLAUSE_NUMBER
 from repro.maintenance.requests import DeletionRequest, MaintenanceStats
+from repro.obs.metrics import NULL_METRICS
 
 
 @dataclass
@@ -123,10 +124,17 @@ class ExtendedDRed:
         program: ConstrainedDatabase,
         solver: Optional[ConstraintSolver] = None,
         options: DRedOptions = DEFAULT_DRED_OPTIONS,
+        metrics=None,
     ) -> None:
         self._program = program
         self._solver = solver or ConstraintSolver()
         self._options = options
+        self._metrics = metrics if metrics is not None else NULL_METRICS
+
+    def _record(self, result: "DRedResult") -> "DRedResult":
+        """Mirror a finished pass's counters into the metrics registry."""
+        self._metrics.record_maintenance("dred", result.stats)
+        return result
 
     def delete(
         self, view: MaterializedView, request: DeletionRequest
@@ -184,8 +192,12 @@ class ExtendedDRed:
             self._is_derivable(request.atom.predicate) for request in requests
         ):
             if self._options.segment_batches:
-                return self._delete_segmented(view, requests, stats, purge_predicates)
-            return self._delete_chained(view, requests, stats, purge_predicates)
+                return self._record(
+                    self._delete_segmented(view, requests, stats, purge_predicates)
+                )
+            return self._record(
+                self._delete_chained(view, requests, stats, purge_predicates)
+            )
 
         factory = make_fresh_factory(
             self._program, view, tuple(request.atom for request in requests)
@@ -219,8 +231,8 @@ class ExtendedDRed:
         if not del_atoms:
             # Nothing to delete: the view is returned unchanged (but copied,
             # to keep the no-mutation contract).
-            return DRedResult(
-                view.copy(), (), (), view.copy(), self._program, stats
+            return self._record(
+                DRedResult(view.copy(), (), (), view.copy(), self._program, stats)
             )
 
         # Step 1: P_OUT -- unfold the deletions upward through the program.
@@ -300,7 +312,9 @@ class ExtendedDRed:
         if self._options.subsume_rederived:
             self._subsume_rederived(result_view, narrowed, stats)
 
-        return DRedResult(result_view, del_atoms, p_out, overestimate, rewritten, stats)
+        return self._record(
+            DRedResult(result_view, del_atoms, p_out, overestimate, rewritten, stats)
+        )
 
     def _is_derivable(self, predicate: str) -> bool:
         """True when some rule clause (non-empty body) derives *predicate*."""

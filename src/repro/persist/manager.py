@@ -35,13 +35,15 @@ from repro.constraints.solver import ConstraintSolver
 from repro.datalog.program import ConstrainedDatabase
 from repro.datalog.view import MaterializedView
 from repro.errors import ProgramHashMismatchError, RecoveryError
+from repro.obs import Observability
+from repro.obs.metrics import NULL_METRICS
+from repro.obs.trace import monotonic
 from repro.persist import codec
 from repro.persist.faults import fire
 from repro.persist.snapshot import CheckpointInfo, SnapshotStore
 from repro.persist.wal import WriteAheadLog
 from repro.stream.log import Transaction, UpdateLog
 from repro.stream.scheduler import (
-    BatchResult,
     PreparedBatch,
     StreamOptions,
     StreamScheduler,
@@ -101,6 +103,11 @@ class DurabilityManager:
         self._report_digest = ""
         self.stats = DurabilityStats()
         self.stats.last_watermark = watermark
+        self._metrics = NULL_METRICS
+
+    def attach_metrics(self, metrics) -> None:
+        """Point the manager at a live registry (the owning scheduler's)."""
+        self._metrics = metrics
 
     def bind(self, program: ConstrainedDatabase, report_digest: str) -> None:
         """Attach the base program identity the manifests carry."""
@@ -161,6 +168,10 @@ class DurabilityManager:
             for txn in transactions:
                 if txn.txn_id > self._txn_high:
                     self._txn_high = txn.txn_id
+        if self._metrics.enabled:
+            self._metrics.inc("repro_wal_journaled_batches_total")
+            self._metrics.inc("repro_wal_journaled_txns_total", len(transactions))
+            self._metrics.gauge("repro_wal_bytes", self._wal.size_bytes())
 
     def note_commit(
         self,
@@ -190,6 +201,8 @@ class DurabilityManager:
                     deletion_program,
                 )
             self.stats.last_watermark = self._watermark
+            watermark = self._watermark
+        self._metrics.gauge("repro_txn_watermark", watermark)
         fire("commit.after")
 
     # ------------------------------------------------------------------
@@ -236,6 +249,25 @@ class DurabilityManager:
                 self.stats.shards_written += info.shards_written
                 self.stats.shards_reused += info.shards_reused
                 self.stats.segments_pruned += pruned
+            if self._metrics.enabled:
+                self._metrics.inc("repro_checkpoints_total")
+                self._metrics.inc(
+                    "repro_checkpoint_bytes_total", info.bytes_written
+                )
+                self._metrics.inc(
+                    "repro_checkpoint_shards_total",
+                    info.shards_written,
+                    outcome="written",
+                )
+                self._metrics.inc(
+                    "repro_checkpoint_shards_total",
+                    info.shards_reused,
+                    outcome="reused",
+                )
+                self._metrics.gauge("repro_wal_bytes", self._wal.size_bytes())
+                self._metrics.gauge(
+                    "repro_wal_segments", self._wal.segment_count()
+                )
             return info
 
 
@@ -259,6 +291,7 @@ class DurableScheduler(StreamScheduler):
         durability: DurabilityManager,
         effective_program: Optional[ConstrainedDatabase] = None,
         deletion_program: Optional[ConstrainedDatabase] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         super().__init__(
             program,
@@ -268,9 +301,11 @@ class DurableScheduler(StreamScheduler):
             log=log,
             effective_program=effective_program,
             deletion_program=deletion_program,
+            obs=obs,
         )
         self._durability = durability
         durability.bind(program, codec.report_digest(self.report))
+        durability.attach_metrics(self._obs.metrics)
         durability.seed_candidate(
             self.view, self._effective_program, self._deletion_program
         )
@@ -282,7 +317,16 @@ class DurableScheduler(StreamScheduler):
     def drain(self, limit: Optional[int] = None) -> Tuple[Transaction, ...]:
         transactions = super().drain(limit)
         if transactions:
-            self._durability.journal(transactions)
+            # The batch's trace was parked by the base drain; the WAL
+            # append happens between drain and prepare, so its span hangs
+            # directly off the trace root.
+            trace = self._pending_trace_for(transactions)
+            if trace is not None:
+                with trace.span("journal") as span:
+                    span.set(records=len(transactions))
+                    self._durability.journal(transactions)
+            else:
+                self._durability.journal(transactions)
         return transactions
 
     def _commit_hook(
@@ -295,13 +339,23 @@ class DurableScheduler(StreamScheduler):
             self._deletion_program,
         )
 
-    def apply_prepared(self, prepared: PreparedBatch) -> BatchResult:
-        result = super().apply_prepared(prepared)
+    def _batch_epilogue(self, prepared: PreparedBatch) -> None:
         # Policy check off the commit lock, on the applying thread (the
         # serve layer's apply pool): disk I/O never blocks the event loop
-        # or the commit pointer swap.
-        self._durability.maybe_checkpoint()
-        return result
+        # or the commit pointer swap.  Runs before super() so a triggered
+        # checkpoint lands inside the batch's trace before it seals.
+        started = monotonic()
+        info = self._durability.maybe_checkpoint()
+        if info is not None and prepared.trace is not None:
+            prepared.trace.record_span(
+                "checkpoint",
+                started,
+                monotonic(),
+                watermark=info.watermark,
+                shards_written=info.shards_written,
+                shards_reused=info.shards_reused,
+            )
+        super()._batch_epilogue(prepared)
 
     def checkpoint(self) -> Optional[CheckpointInfo]:
         """Force a snapshot of the latest clean commit."""
@@ -319,6 +373,7 @@ def open_scheduler(
     options: StreamOptions = StreamOptions(),
     durability_options: DurabilityOptions = DurabilityOptions(),
     clock=None,
+    obs: Optional[Observability] = None,
 ) -> DurableScheduler:
     """Open (or initialize) a durable scheduler over *data_dir*.
 
@@ -389,6 +444,7 @@ def open_scheduler(
         durability=manager,
         effective_program=effective_program,
         deletion_program=deletion_program,
+        obs=obs,
     )
     replayed = 0
     for batch in journaled:

@@ -217,6 +217,12 @@ class SnapshotStore:
     # ------------------------------------------------------------------
     # Loading
     # ------------------------------------------------------------------
+    def current_name(self) -> Optional[str]:
+        """The manifest name ``CURRENT`` points at (``None`` when fresh).
+
+        The operator surface reports this as the active snapshot id."""
+        return self._current_name()
+
     def _current_name(self) -> Optional[str]:
         try:
             name = (self._root / "CURRENT").read_text().strip()

@@ -212,6 +212,10 @@ class WriteAheadLog:
         with self._lock:
             return self._total_bytes
 
+    def segment_count(self) -> int:
+        """How many live segment files the WAL currently holds."""
+        return len(self.segments())
+
     # ------------------------------------------------------------------
     # Rotation & pruning (checkpoint time)
     # ------------------------------------------------------------------

@@ -12,6 +12,8 @@ Operations::
     {"op": "notice", "source": "faces"}
     {"op": "flush"}          # await until the update log is fully applied
     {"op": "stats"}
+    {"op": "metrics"}        # {"format": "prometheus"} for text exposition
+    {"op": "trace", "limit": 5}   # recent batch traces from the live ring
     {"op": "ping"}
 
 Every reply carries ``"ok"``; failures add ``"error"`` and never take the
@@ -87,6 +89,43 @@ class RequestRouter:
 
     async def _op_stats(self, request: dict) -> dict:
         return {"ok": True, **self._service.stats()}
+
+    async def _op_metrics(self, request: dict) -> dict:
+        """The metrics registry, as JSON or Prometheus text exposition."""
+        obs = self._service.obs
+        fmt = self._optional_str(request, "format") or "json"
+        if fmt == "prometheus":
+            return {
+                "ok": True,
+                "enabled": obs.metrics.enabled,
+                "exposition": obs.metrics.render_prometheus(),
+            }
+        if fmt != "json":
+            return {"ok": False, "error": f"unknown metrics format: {fmt!r}"}
+        return {
+            "ok": True,
+            "enabled": obs.metrics.enabled,
+            "metrics": obs.metrics.as_dict(),
+        }
+
+    async def _op_trace(self, request: dict) -> dict:
+        """Recent complete batch traces from the in-memory ring."""
+        obs = self._service.obs
+        if obs.ring is None:
+            return {
+                "ok": True,
+                "enabled": False,
+                "traces": [],
+                "note": "tracing is disabled (set REPRO_OBS=1)",
+            }
+        limit = request.get("limit")
+        if limit is not None:
+            limit = int(limit)
+        return {
+            "ok": True,
+            "enabled": True,
+            "traces": obs.ring.traces(limit=limit),
+        }
 
     async def _op_ping(self, request: dict) -> dict:
         return {"ok": True, "pong": True}

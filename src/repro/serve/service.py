@@ -27,10 +27,11 @@ implies -- many readers, one logical writer:
 from __future__ import annotations
 
 import asyncio
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from functools import partial
-from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import Deque, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from repro.constraints.solver import ConstraintSolver
 from repro.datalog.program import ConstrainedDatabase
@@ -61,12 +62,20 @@ class ServeOptions:
     #: everything (durable schedulers only; a no-op otherwise).  Crash
     #: tests disable it to leave a WAL tail for the next life to replay.
     checkpoint_on_stop: bool = True
+    #: Most recent batch errors kept for :attr:`MediatorService.errors`
+    #: (a ring: older ones are dropped and counted, so a long-lived
+    #: service's error memory stays bounded).
+    error_history: int = 256
 
     def __post_init__(self) -> None:
         if self.backpressure_low > self.backpressure_high:
             raise MediatorError(
                 "backpressure_low must not exceed backpressure_high "
                 f"({self.backpressure_low} > {self.backpressure_high})"
+            )
+        if self.error_history < 1:
+            raise MediatorError(
+                f"error_history must be positive (got {self.error_history})"
             )
 
 
@@ -129,7 +138,12 @@ class MediatorService:
         self._stopping = False
         self._closed = False
         self._results: List[BatchResult] = []
-        self._errors: List[str] = []
+        #: Bounded error memory: the newest ``error_history`` renderings
+        #: stay, older ones are dropped and counted (a long-lived service
+        #: must not grow a list forever).
+        self._errors: Deque[str] = deque(maxlen=options.error_history)
+        self._errors_seen = 0
+        self._obs = scheduler.obs
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -172,7 +186,7 @@ class MediatorService:
                     self._apply_pool, checkpoint
                 )
             except Exception as exc:  # surface via .errors, still tear down
-                self._errors.append(f"{type(exc).__name__}: {exc}")
+                self._record_error(f"{type(exc).__name__}: {exc}")
         for pool in (self._read_pool, self._prepare_pool, self._apply_pool):
             if pool is not None:
                 pool.shutdown(wait=True)
@@ -294,8 +308,23 @@ class MediatorService:
 
     @property
     def errors(self) -> Tuple[str, ...]:
-        """Batch applications that raised (rendered), in completion order."""
+        """The newest batch errors (rendered), oldest first.
+
+        Bounded by ``ServeOptions.error_history``; ``stats()`` reports how
+        many older ones were dropped."""
         return tuple(self._errors)
+
+    @property
+    def errors_dropped(self) -> int:
+        """Errors evicted from the bounded history."""
+        return max(0, self._errors_seen - len(self._errors))
+
+    def _record_error(self, message: str) -> None:
+        # Runs on the event loop only (writer loop + done callbacks), so a
+        # plain counter and deque append are race-free.
+        self._errors_seen += 1
+        self._errors.append(message)
+        self._obs.metrics.inc("repro_serve_errors_total")
 
     def stats(self) -> dict:
         """Service-level counters for operators and the serve benchmark."""
@@ -305,7 +334,8 @@ class MediatorService:
         )
         data = {
             "batches_applied": len(self._results),
-            "batch_errors": len(self._errors),
+            "batch_errors": self._errors_seen,
+            "errors_dropped": self.errors_dropped,
             "failed_units": failed_units,
             "pending": scheduler.log.pending_count(),
             "inflight_peak": scheduler.inflight_peak,
@@ -319,7 +349,14 @@ class MediatorService:
             data["journaled_batches"] = durability.stats.journaled_batches
             data["checkpoints"] = durability.stats.checkpoints
             data["wal_bytes"] = durability.wal.size_bytes()
+            data["wal_segments"] = durability.wal.segment_count()
+            data["snapshot_id"] = durability.store.current_name()
         return data
+
+    @property
+    def obs(self):
+        """The observability bundle (the scheduler's)."""
+        return self._obs
 
     # ------------------------------------------------------------------
     # Writer pipeline
@@ -378,7 +415,7 @@ class MediatorService:
                             self._apply_pool, checkpoint_if_due
                         )
                     except Exception as exc:  # surface, keep serving
-                        self._errors.append(f"{type(exc).__name__}: {exc}")
+                        self._record_error(f"{type(exc).__name__}: {exc}")
                 # The drain and checkpoint awaits above can interleave with
                 # a submit: only declare idle if the backlog is still empty
                 # at this (await-free) instant, else loop and drain again.
@@ -395,7 +432,7 @@ class MediatorService:
         try:
             result = future.result()
         except Exception as exc:  # keep serving; surface via .errors
-            self._errors.append(f"{type(exc).__name__}: {exc}")
+            self._record_error(f"{type(exc).__name__}: {exc}")
         else:
             self._results.append(result)
         self._wake.set()

@@ -81,6 +81,8 @@ from repro.maintenance.requests import (
     InsertionRequest,
     MaintenanceStats,
 )
+from repro.obs import Observability
+from repro.obs.trace import Span, Trace
 from repro.stream.coalesce import CoalescedBatch, CoalesceReport, Coalescer
 from repro.stream.log import ExternalChangeNotice, StreamPayload, Transaction, UpdateLog
 from repro.stream.strata import (
@@ -114,6 +116,14 @@ def _default_max_workers() -> int:
             stacklevel=2,
         )
         return 1
+
+
+def _describe_groups(group_ids: Optional[FrozenSet[int]]) -> str:
+    """Closure-group claim as a span attribute ('exclusive' = conflicts
+    with everything)."""
+    if group_ids is None:
+        return "exclusive"
+    return ",".join(str(gid) for gid in sorted(group_ids)) or "-"
 
 
 @dataclass(frozen=True)
@@ -292,6 +302,10 @@ class PreparedBatch:
     #: durability layer marks these committed -- and advances the snapshot
     #: watermark -- from the commit hook.
     txn_ids: Tuple[int, ...] = ()
+    #: The batch's lifecycle trace (``None`` when tracing is off).  Born at
+    #: drain (or at prepare for raw batches), finished by the scheduler's
+    #: batch epilogue after commit.
+    trace: Optional[Trace] = None
 
     def __len__(self) -> int:
         return len(self.coalesced)
@@ -309,6 +323,7 @@ class StreamScheduler:
         log: Optional[UpdateLog] = None,
         effective_program: Optional[ConstrainedDatabase] = None,
         deletion_program: Optional[ConstrainedDatabase] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         if options.deletion_algorithm not in ("stdel", "dred"):
             raise MaintenanceError(
@@ -379,6 +394,13 @@ class StreamScheduler:
         self._inflight_peak = 0
         self._concurrent_commits = 0
         self._batches: List[StreamStats] = []
+        # Observability: one bundle threaded through every seam.  Traces
+        # created at drain wait here (keyed by first txn id) for the
+        # prepare stage to claim -- drain and prepare may run on different
+        # threads (the serve layer's writer pipeline).
+        self._obs = obs if obs is not None else Observability.disabled()
+        self._trace_lock = threading.Lock()
+        self._pending_traces: Dict[int, Trace] = {}
 
     # ------------------------------------------------------------------
     # Introspection & snapshot-isolated reads
@@ -432,6 +454,11 @@ class StreamScheduler:
         """Per-batch statistics, in application order."""
         return tuple(self._batches)
 
+    @property
+    def obs(self) -> Observability:
+        """The observability bundle this scheduler reports into."""
+        return self._obs
+
     # ------------------------------------------------------------------
     # Submitting & applying
     # ------------------------------------------------------------------
@@ -446,8 +473,59 @@ class StreamScheduler:
         serve layer's writer and :meth:`flush` both come through here, so a
         subclass that journals drained batches (the durability layer's
         scheduler) interposes once and covers every write path.
+
+        When tracing is on, the batch's trace is born here -- drain is the
+        first thing that happens to a batch -- and parked until
+        :meth:`prepare_batch` claims it by the first transaction id (the
+        serve writer drains and prepares on different pool threads).
         """
-        return self._log.drain(limit=limit)
+        if not self._obs.trace_enabled:
+            return self._log.drain(limit=limit)
+        trace = self._obs.start_trace("batch")
+        span = trace.span("drain")
+        transactions = self._log.drain(limit=limit)
+        if not transactions:
+            # Nothing drained: drop the trace unfinished (no span was
+            # finished, so no event was emitted).
+            return transactions
+        span.set(
+            transactions=len(transactions),
+            txn_first=transactions[0].txn_id,
+            txn_last=transactions[-1].txn_id,
+        ).finish()
+        with self._trace_lock:
+            self._pending_traces[transactions[0].txn_id] = trace
+        return transactions
+
+    def _pending_trace_for(
+        self, transactions: Sequence[Transaction]
+    ) -> Optional[Trace]:
+        """Peek (without claiming) the trace a drain parked for a batch.
+
+        The durability subclass wraps its WAL append in a child span while
+        the batch is between drain and prepare."""
+        if not transactions:
+            return None
+        with self._trace_lock:
+            return self._pending_traces.get(transactions[0].txn_id)
+
+    def _trace_for_payloads(
+        self, payloads: Sequence[StreamPayload]
+    ) -> Optional[Trace]:
+        """Claim the batch's parked trace, or start one for raw payloads.
+
+        Batches that bypass drain (direct ``apply_batch`` calls, recovery
+        replay) still get a trace -- just without a drain span, which is
+        why trace verification takes a ``require_drain`` flag."""
+        if not self._obs.trace_enabled or not payloads:
+            return None
+        first = payloads[0]
+        if isinstance(first, Transaction):
+            with self._trace_lock:
+                trace = self._pending_traces.pop(first.txn_id, None)
+            if trace is not None:
+                return trace
+        return self._obs.start_trace("batch")
 
     def flush(self) -> BatchResult:
         """Drain the log and apply the pending transactions as one batch."""
@@ -488,11 +566,25 @@ class StreamScheduler:
             start = time.perf_counter()
             stats = StreamStats()
             stats.queue_seconds = start - queued
+            trace = self._trace_for_payloads(payloads)
+            prepare_span = (
+                trace.span("prepare") if trace is not None else None
+            )
             effective_coalesce = (
                 self._options.coalesce if coalesce is None else coalesce
             )
             if effective_coalesce:
+                coalesce_span = (
+                    trace.span("coalesce", parent=prepare_span)
+                    if trace is not None
+                    else None
+                )
                 coalesced = self._coalescer.coalesce(payloads)
+                if coalesce_span is not None:
+                    coalesce_span.set(
+                        raw_ops=coalesced.report.submitted,
+                        coalesced_ops=len(coalesced),
+                    ).finish()
                 stats.coalesce = coalesced.report
                 stats.submitted = coalesced.report.submitted
                 # One phase: the coalescer's cancel/narrow pass is exactly
@@ -518,18 +610,29 @@ class StreamScheduler:
             # the stream's total order wherever it can matter.
             group_ids = self._closure_group_ids(phases)
             ticket = self._register_claim(group_ids)
+            prepare_seconds = time.perf_counter() - start
+            if prepare_span is not None:
+                prepare_span.set(
+                    units=sum(len(units) for _, units in phases),
+                    groups=_describe_groups(group_ids),
+                ).finish()
+            metrics = self._obs.metrics
+            if metrics.enabled:
+                metrics.inc("repro_batches_prepared_total")
+                metrics.observe("repro_prepare_seconds", prepare_seconds)
             return PreparedBatch(
                 coalesced=coalesced,
                 phases=phases,
                 stats=stats,
                 group_ids=group_ids,
                 ticket=ticket,
-                prepare_seconds=time.perf_counter() - start,
+                prepare_seconds=prepare_seconds,
                 txn_ids=tuple(
                     payload.txn_id
                     for payload in payloads
                     if isinstance(payload, Transaction)
                 ),
+                trace=trace,
             )
 
     def apply_prepared(self, prepared: PreparedBatch) -> BatchResult:
@@ -541,12 +644,20 @@ class StreamScheduler:
         committing its own groups' shard pointers under the commit lock.
         """
         stats = prepared.stats
+        trace = prepared.trace
         queued = time.perf_counter()
+        admit_span = trace.span("admit") if trace is not None else None
         self._await_admission(prepared.ticket)
         admitted = time.perf_counter()
         stats.queue_seconds += admitted - queued
+        if admit_span is not None:
+            admit_span.set(
+                ticket=prepared.ticket,
+                groups=_describe_groups(prepared.group_ids),
+            ).finish()
         try:
             coalesced = prepared.coalesced
+            apply_span = trace.span("apply") if trace is not None else None
 
             # External changes first: the batch must be maintained against
             # the sources' *current* behaviour.  Under W_P-style memoization
@@ -575,7 +686,12 @@ class StreamScheduler:
             written: Set[str] = set()
             for phase, units in prepared.phases:
                 outcomes = self._run_units(
-                    working, units, local_effective, local_deletion
+                    working,
+                    units,
+                    local_effective,
+                    local_deletion,
+                    trace=trace,
+                    parent=apply_span,
                 )
 
                 # Publish: each successful unit rewrote copy-on-write clones
@@ -618,16 +734,75 @@ class StreamScheduler:
                         )
                         pending.append(("effective_insert", add_atoms))
 
+            if apply_span is not None:
+                apply_span.set(
+                    units=len(stats.units),
+                    failed=sum(
+                        1 for unit in stats.units if unit.status != "applied"
+                    ),
+                ).finish()
+            commit_span = trace.span("commit") if trace is not None else None
             next_view = self._commit(
                 base, working, written, pending, stats, prepared
             )
+            if commit_span is not None:
+                commit_span.set(
+                    shards=len(written), rebased=stats.rebased
+                ).finish()
         finally:
             self._release_claim(prepared.ticket)
         stats.apply_seconds = prepared.prepare_seconds + (
             time.perf_counter() - admitted
         )
         stats.seconds = stats.queue_seconds + stats.apply_seconds
+        self._batch_epilogue(prepared)
         return BatchResult(next_view, stats, prepared.coalesced)
+
+    def _batch_epilogue(self, prepared: PreparedBatch) -> None:
+        """Called once per batch after apply completes (timings final).
+
+        The durability subclass interposes here to run its checkpoint
+        policy inside the batch's trace before the trace seals.  The base
+        implementation records the batch's metrics, finishes the trace,
+        and applies the slow-batch policy."""
+        stats = prepared.stats
+        metrics = self._obs.metrics
+        if metrics.enabled:
+            metrics.inc("repro_batches_total")
+            metrics.inc("repro_updates_applied_total", stats.applied)
+            metrics.observe("repro_batch_seconds", stats.seconds)
+            metrics.observe("repro_batch_queue_seconds", stats.queue_seconds)
+            metrics.observe("repro_batch_apply_seconds", stats.apply_seconds)
+            for unit in stats.units:
+                metrics.inc("repro_units_total", status=unit.status)
+            if stats.shard_checkouts:
+                metrics.inc(
+                    "repro_shard_checkouts_total", stats.shard_checkouts
+                )
+            if stats.rebased:
+                metrics.inc("repro_rebased_commits_total")
+        trace = prepared.trace
+        if trace is not None:
+            # Totals on the root are a convenience reading; reconciliation
+            # sums the unit spans (TraceView.counter_totals skips roots).
+            trace.root.set(
+                applied=stats.applied,
+                units=len(stats.units),
+                failed=sum(
+                    1 for unit in stats.units if unit.status != "applied"
+                ),
+                solver_calls=stats.solver_calls,
+                derivation_attempts=stats.derivation_attempts,
+                shard_checkouts=stats.shard_checkouts,
+                rebased=stats.rebased,
+            )
+            trace.finish()
+        self._obs.note_slow_batch(
+            stats.seconds,
+            trace=trace.trace_id if trace is not None else "-",
+            applied=stats.applied,
+            units=len(stats.units),
+        )
 
     def abandon_prepared(self, prepared: PreparedBatch) -> None:
         """Release a prepared batch's admission claim without applying it."""
@@ -879,6 +1054,8 @@ class StreamScheduler:
         units: Sequence[StratumUnit],
         effective: ConstrainedDatabase,
         deletion_program: ConstrainedDatabase,
+        trace: Optional[Trace] = None,
+        parent: Optional[Span] = None,
     ) -> List[tuple]:
         """Apply every unit (with retries), concurrently when configured.
 
@@ -900,6 +1077,8 @@ class StreamScheduler:
                         unit,
                         effective,
                         deletion_program,
+                        trace,
+                        parent,
                     )
                     for unit in units
                 ]
@@ -913,6 +1092,8 @@ class StreamScheduler:
                     unit,
                     effective,
                     deletion_program,
+                    trace,
+                    parent,
                 )
                 if outcome[1].status == "applied":
                     current = outcome[0]
@@ -962,11 +1143,16 @@ class StreamScheduler:
         unit: StratumUnit,
         effective: ConstrainedDatabase,
         deletion_program: ConstrainedDatabase,
+        trace: Optional[Trace] = None,
+        parent: Optional[Span] = None,
     ) -> tuple:
         """Run one unit up to ``max_unit_attempts`` times."""
         attempts = 0
         error: Optional[str] = None
         started = time.perf_counter()
+        # The unit span is born *here*, on the worker thread, so the span's
+        # thread field records the actual pool handoff.
+        span = trace.span("unit", parent=parent) if trace is not None else None
         while attempts < max(1, self._options.max_unit_attempts):
             attempts += 1
             try:
@@ -998,6 +1184,18 @@ class StreamScheduler:
                 # ``copy()``, so the difference is exactly this unit's own).
                 shard_checkouts=view.shard_checkouts - base.shard_checkouts,
             )
+            if span is not None:
+                # Counter deltas come from the same stats object StreamStats
+                # sums, so span deltas reconcile with scheduler totals
+                # exactly, by construction.
+                span.set(
+                    unit=unit.describe(),
+                    attempts=attempts,
+                    status="applied",
+                    solver_calls=stats.solver_calls,
+                    derivation_attempts=stats.derivation_attempts,
+                    shard_checkouts=report.shard_checkouts,
+                ).finish()
             if self._options.on_unit_complete is not None:
                 self._options.on_unit_complete(report)
             return (view, report, del_result, ins_result)
@@ -1013,6 +1211,20 @@ class StreamScheduler:
             seconds=time.perf_counter() - started,
             write_closure=tuple(sorted(unit.write_closure)),
         )
+        if span is not None:
+            # Failed units contributed nothing to StreamStats' counters
+            # (their attempts' work was discarded), so the span records
+            # explicit zeros -- reconciliation stays exact.
+            span.status = "error"
+            span.set(
+                unit=unit.describe(),
+                attempts=attempts,
+                status="failed",
+                error=error,
+                solver_calls=0,
+                derivation_attempts=0,
+                shard_checkouts=0,
+            ).finish()
         if self._options.on_unit_complete is not None:
             self._options.on_unit_complete(report)
         return (base, report, None, None)
@@ -1036,11 +1248,17 @@ class StreamScheduler:
             purge = tuple(sorted(unit.write_closure))
             if self._options.deletion_algorithm == "stdel":
                 del_result = StraightDelete(
-                    self._program, self._solver, self._options.stdel
+                    self._program,
+                    self._solver,
+                    self._options.stdel,
+                    metrics=self._obs.metrics,
                 ).delete_many(current, unit.deletions, purge_predicates=purge)
             else:
                 del_result = ExtendedDRed(
-                    deletion_program, self._solver, self._options.dred
+                    deletion_program,
+                    self._solver,
+                    self._options.dred,
+                    metrics=self._obs.metrics,
                 ).delete_many(current, unit.deletions, purge_predicates=purge)
             current = del_result.view
             stats.merge(del_result.stats)
@@ -1063,6 +1281,7 @@ class StreamScheduler:
                 insert_program,
                 self._solver,
                 self._options.insertion,
+                metrics=self._obs.metrics,
             ).insert_many(current, unit.insertions)
             current = ins_result.view
             stats.merge(ins_result.stats)

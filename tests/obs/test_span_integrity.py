@@ -1,0 +1,161 @@
+"""Span integrity under parallel unit application (satellite of PR 9).
+
+The acceptance criterion, as a test: with ``max_workers=4`` and batches of
+four disjoint closure groups, every applied batch's trace must be a
+complete drain -> commit span tree -- correctly nested, no orphan spans, no
+cross-batch leakage -- whose per-span counter deltas sum *exactly* to the
+scheduler's ``StreamStats`` totals.
+"""
+
+from __future__ import annotations
+
+from repro.constraints import ConstraintSolver
+from repro.datalog import parse_constrained_atom, parse_program
+from repro.maintenance import DeletionRequest, InsertionRequest
+from repro.obs import (
+    COUNTER_ATTRS,
+    Observability,
+    group_traces,
+    verify_batch_traces,
+)
+from repro.stream import StreamOptions, StreamScheduler
+
+TOWERS = 4
+
+TOWER_RULES = "\n".join(
+    line
+    for tower in range(TOWERS)
+    for line in (
+        f"b{tower}(X) <- X = {tower + 1}.",
+        f"mid{tower}(X) <- b{tower}(X).",
+        f"top{tower}(X) <- mid{tower}(X).",
+    )
+)
+
+
+def make_scheduler():
+    obs = Observability.enabled_with()
+    scheduler = StreamScheduler(
+        parse_program(TOWER_RULES),
+        ConstraintSolver(),
+        options=StreamOptions(max_workers=4),
+        obs=obs,
+    )
+    return scheduler, obs
+
+
+def run_mixed_batches(scheduler):
+    """Three flushed batches, each touching all four towers."""
+    for value in (10, 11):
+        for tower in range(TOWERS):
+            scheduler.submit(
+                InsertionRequest(
+                    parse_constrained_atom(f"b{tower}(X) <- X = {value}")
+                )
+            )
+        scheduler.flush()
+    for tower in range(TOWERS):
+        scheduler.submit(
+            DeletionRequest(parse_constrained_atom(f"b{tower}(X) <- X = 10"))
+        )
+    scheduler.flush()
+
+
+def scheduler_totals(scheduler):
+    return {
+        attr: sum(getattr(batch, attr) for batch in scheduler.batches)
+        for attr in COUNTER_ATTRS
+    }
+
+
+class TestSpanIntegrityUnderParallelApply:
+    def test_every_batch_has_a_complete_verified_span_tree(self):
+        scheduler, obs = make_scheduler()
+        run_mixed_batches(scheduler)
+        events = list(obs.ring.events())
+        problems = verify_batch_traces(
+            events,
+            require_drain=True,
+            expected_totals=scheduler_totals(scheduler),
+        )
+        assert problems == []
+        assert len(group_traces(events)) == len(scheduler.batches) == 3
+
+    def test_unit_spans_nest_under_apply_and_never_leak_across_batches(self):
+        scheduler, obs = make_scheduler()
+        run_mixed_batches(scheduler)
+        views = group_traces(list(obs.ring.events()))
+        batches = scheduler.batches
+        assert len(views) == len(batches)
+        for view, batch in zip(views, batches):
+            # One unit span per stratum unit of *this* batch -- a leaked
+            # span from a concurrent batch would break the count.
+            units = view.find("unit")
+            assert len(units) == len(batch.units)
+            (apply_span,) = view.find("apply")
+            assert all(u["parent"] == apply_span["span"] for u in units)
+            # Everything hangs off this trace's root; no orphans.
+            assert view.root is not None
+            assert all(
+                e["parent"] in view.by_id
+                for e in view.spans
+                if e is not view.root
+            )
+
+    def test_unit_spans_record_the_worker_thread_handoff(self):
+        scheduler, obs = make_scheduler()
+        run_mixed_batches(scheduler)
+        for view in group_traces(list(obs.ring.events())):
+            unit_threads = {e["thread"] for e in view.find("unit")}
+            # Four disjoint towers, max_workers=4: units run on executor
+            # threads, never on the flushing (root) thread.
+            assert unit_threads
+            assert view.root["thread"] not in unit_threads
+
+    def test_per_batch_counter_deltas_reconcile_exactly(self):
+        scheduler, obs = make_scheduler()
+        run_mixed_batches(scheduler)
+        views = group_traces(list(obs.ring.events()))
+        for view, batch in zip(views, scheduler.batches):
+            totals = view.counter_totals()
+            assert totals["solver_calls"] == batch.solver_calls
+            assert totals["derivation_attempts"] == batch.derivation_attempts
+            assert totals["shard_checkouts"] == batch.shard_checkouts
+
+    def test_root_attrs_summarize_their_batch(self):
+        scheduler, obs = make_scheduler()
+        run_mixed_batches(scheduler)
+        views = group_traces(list(obs.ring.events()))
+        for view, batch in zip(views, scheduler.batches):
+            attrs = view.root["attrs"]
+            assert attrs["applied"] == batch.applied
+            assert attrs["units"] == len(batch.units)
+            assert attrs["solver_calls"] == batch.solver_calls
+
+    def test_registry_counters_match_scheduler_history(self):
+        scheduler, obs = make_scheduler()
+        run_mixed_batches(scheduler)
+        metrics = obs.metrics
+        batches = scheduler.batches
+        assert metrics.counter_value("repro_batches_total") == len(batches)
+        assert metrics.counter_value("repro_updates_applied_total") == sum(
+            batch.applied for batch in batches
+        )
+        assert metrics.counter_value(
+            "repro_units_total", status="applied"
+        ) == sum(len(batch.units) for batch in batches)
+        assert metrics.counter_value("repro_shard_checkouts_total") == sum(
+            batch.shard_checkouts for batch in batches
+        )
+
+    def test_disabled_observability_emits_nothing(self):
+        scheduler = StreamScheduler(
+            parse_program(TOWER_RULES),
+            ConstraintSolver(),
+            options=StreamOptions(max_workers=4),
+        )
+        run_mixed_batches(scheduler)
+        obs = scheduler.obs
+        assert obs.enabled is False
+        assert obs.tracer is None and obs.ring is None
+        assert len(scheduler.batches) == 3  # pipeline unaffected

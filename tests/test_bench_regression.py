@@ -23,10 +23,15 @@ if str(REPO_ROOT) not in sys.path:
     sys.path.insert(0, str(REPO_ROOT))
 
 from benchmarks.check_regression import (  # noqa: E402
+    check_obs_snapshot,
     check_persist_snapshot,
     check_serve_snapshot,
     compare_snapshots,
     iter_counters,
+)
+from benchmarks.obs import (  # noqa: E402
+    run_exporter_benchmark,
+    run_overhead_benchmark,
 )
 from benchmarks.persist import run_persist_benchmark  # noqa: E402
 from benchmarks.serve import run_serve_benchmark  # noqa: E402
@@ -35,6 +40,7 @@ from benchmarks.smoke import run_smoke  # noqa: E402
 BASELINE_PATH = REPO_ROOT / "BENCH_smoke.json"
 SERVE_BASELINE_PATH = REPO_ROOT / "BENCH_serve.json"
 PERSIST_BASELINE_PATH = REPO_ROOT / "BENCH_persist.json"
+OBS_BASELINE_PATH = REPO_ROOT / "BENCH_obs.json"
 
 
 @pytest.fixture(scope="module")
@@ -237,6 +243,64 @@ def test_persist_gate_flags_an_unexercised_replay_path(persist_baseline):
     no_tail["results"]["persist_cold_start"]["replayed_batches"] = 0
     problems = check_persist_snapshot(no_tail)
     assert any("unexercised" in problem for problem in problems)
+
+
+@pytest.fixture(scope="module")
+def obs_baseline():
+    return json.loads(OBS_BASELINE_PATH.read_text())
+
+
+def test_committed_obs_snapshot_passes_the_gate(obs_baseline):
+    assert check_obs_snapshot(obs_baseline) == []
+
+
+def test_fresh_obs_run_traces_verify_and_exporters_drain():
+    """The deterministic half of the obs gate, re-proven on every pytest
+    run: a reduced instrumented workload still yields a complete, clean
+    drain -> commit span tree for every applied batch, and the exporters
+    drain events.  The throughput comparison itself stays in the dedicated
+    CI job at full scale -- at this reduced scale it would be noise, and
+    asserting on noise makes tier-1 flaky."""
+    overhead = run_overhead_benchmark(rounds=2, repeat=1)
+    enabled = overhead["enabled"]
+    assert enabled["trace_problems"] == 0
+    assert enabled["traces_complete"] >= 1
+    assert enabled["updates_per_second"] > 0
+    assert overhead["disabled"]["updates_per_second"] > 0
+    exporters = run_exporter_benchmark(events_target=2000)
+    assert exporters["file_events_per_second"] > 0
+    assert exporters["ring_events_per_second"] > 0
+
+
+def test_obs_gate_flags_overhead_beyond_budget(obs_baseline):
+    slowed = json.loads(json.dumps(obs_baseline))  # deep copy
+    family = slowed["results"]["obs_overhead"]
+    family["enabled"]["updates_per_second"] = (
+        family["disabled"]["updates_per_second"] / 2
+    )
+    problems = check_obs_snapshot(slowed)
+    assert any("near-zero-overhead" in problem for problem in problems)
+
+
+def test_obs_gate_flags_unverified_traces(obs_baseline):
+    dropped = json.loads(json.dumps(obs_baseline))  # deep copy
+    dropped["results"]["obs_overhead"]["enabled"]["trace_problems"] = 3
+    problems = check_obs_snapshot(dropped)
+    assert any("verify clean" in problem for problem in problems)
+
+
+def test_obs_gate_flags_an_unexercised_tracing_path(obs_baseline):
+    untraced = json.loads(json.dumps(obs_baseline))  # deep copy
+    untraced["results"]["obs_overhead"]["enabled"]["traces_complete"] = 0
+    problems = check_obs_snapshot(untraced)
+    assert any("unexercised" in problem for problem in problems)
+
+
+def test_obs_gate_flags_dead_exporters(obs_baseline):
+    stalled = json.loads(json.dumps(obs_baseline))  # deep copy
+    stalled["results"]["obs_exporters"]["file_events_per_second"] = 0
+    problems = check_obs_snapshot(stalled)
+    assert any("file_events_per_second" in problem for problem in problems)
 
 
 def test_stream_batch_checks_out_only_its_write_closure(baseline, current):

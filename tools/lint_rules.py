@@ -17,6 +17,12 @@ Two invariant families are load-bearing enough to enforce textually:
    (see ``UpdateLog(clock=...)``), and scheduling must be reproducible.
    ``time.perf_counter()`` is allowed -- it only feeds duration counters.
 
+3. **Monotonic trace timestamps.**  ``src/repro/obs/`` must never call
+   ``time.time()``: a trace is a timeline, not a calendar, and the wall
+   clock can step backwards mid-batch (NTP), producing spans that end
+   before they start.  Everything in the package goes through the single
+   ``repro.obs.trace.monotonic`` clock.
+
 Usage::
 
     python tools/lint_rules.py            # lint src/ (exit 1 on findings)
@@ -50,6 +56,15 @@ RULES: Tuple[Tuple[re.Pattern, Tuple[str, ...], str], ...] = (
     ),
 )
 
+#: Rules scoped to the observability package only.
+OBS_RULES: Tuple[Tuple[re.Pattern, str], ...] = (
+    (
+        re.compile(r"\btime\.time\s*\("),
+        "time.time() in the obs package (spans are monotonic-only; use "
+        "repro.obs.trace.monotonic)",
+    ),
+)
+
 #: Rules scoped to the stream subsystem only.
 STREAM_RULES: Tuple[Tuple[re.Pattern, str], ...] = (
     (
@@ -79,6 +94,10 @@ def iter_findings(root: Path) -> Iterator[str]:
                     yield f"{root.name}/{relative}:{line_number}: {message}"
             if relative.startswith("repro/stream/"):
                 for pattern, message in STREAM_RULES:
+                    if pattern.search(line):
+                        yield f"{root.name}/{relative}:{line_number}: {message}"
+            if relative.startswith("repro/obs/"):
+                for pattern, message in OBS_RULES:
                     if pattern.search(line):
                         yield f"{root.name}/{relative}:{line_number}: {message}"
 
