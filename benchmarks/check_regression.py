@@ -98,6 +98,66 @@ def compare_snapshots(
     return regressions
 
 
+def check_interning_family(snapshot: dict) -> List[str]:
+    """Shape gate for the ``constraint_interning`` smoke family; returns problems.
+
+    Intern-table deltas depend on what the process interned before the
+    family ran (warm weak tables turn misses into hits), so the gate holds
+    the *direction* of every number, not its exact value:
+
+    * the identity fast paths actually fired (``identity_hits`` > 0) -- a
+      refactor that silently stops short-circuiting pointer-identical
+      subsumptions/subtractions re-inflates counted solver calls;
+    * the per-node canonical and satisfiability memos were hit;
+    * term/constraint construction actually shared structure
+      (``hit_ratio`` at least 0.2 -- ~0.3 cold, higher warm);
+    * the coalescer's cancellation spent **zero** solver calls: the mixed
+      batch's insert-then-delete pair is pointer-identical, so any counted
+      call there means the identity check regressed.
+    """
+    problems: List[str] = []
+    family = snapshot.get("results", {}).get("constraint_interning")
+    if not isinstance(family, dict):
+        return ["constraint_interning family missing from the snapshot"]
+    intern = family.get("intern")
+    if not isinstance(intern, dict):
+        return ["constraint_interning.intern block missing"]
+    events = intern.get("events", {})
+    if intern.get("identity_hits", 0) < 1:
+        problems.append(
+            "identity fast paths never fired (identity_hits == 0): "
+            "pointer-identical subsumptions/subtractions are paying "
+            "solver calls again"
+        )
+    if events.get("canonical_hits", 0) < 1:
+        problems.append(
+            "per-node canonical memo never hit (canonical_hits == 0)"
+        )
+    if events.get("sat_node_hits", 0) + events.get("simplify_node_hits", 0) < 1:
+        problems.append(
+            "per-node solver memos never hit (sat_node_hits + "
+            "simplify_node_hits == 0)"
+        )
+    ratio = intern.get("hit_ratio")
+    if not isinstance(ratio, (int, float)) or ratio < 0.2:
+        problems.append(
+            f"intern-table hit ratio {ratio!r} below the 0.2 floor: "
+            "construction is not sharing structure"
+        )
+    coalesce = family.get("coalesce", {})
+    if coalesce.get("cancelled", 0) < 1:
+        problems.append(
+            "the mixed batch's insert-then-delete pair did not cancel"
+        )
+    if coalesce.get("solver_calls", 0) != 0:
+        problems.append(
+            "coalescing the identity-cancellable batch spent "
+            f"{coalesce.get('solver_calls')} solver call(s); the identity "
+            "short-circuit should have spent none"
+        )
+    return problems
+
+
 def check_serve_snapshot(snapshot: dict) -> List[str]:
     """Shape gate for a ``BENCH_serve.json`` snapshot; returns problems.
 
@@ -359,6 +419,16 @@ def main(argv=None) -> int:
             from benchmarks.smoke import run_smoke
 
             current = {"results": run_smoke(include_external=False)}
+
+        for label, snapshot in (("committed", baseline), ("fresh", current)):
+            problems = check_interning_family(snapshot)
+            if not problems:
+                print(f"interning gate ({label}): OK")
+                continue
+            failed = True
+            print(f"interning gate ({label}): {len(problems)} problem(s)")
+            for problem in problems:
+                print(f"  {problem}")
 
         regressions = compare_snapshots(baseline, current, args.threshold)
         checked = len(dict(iter_counters(baseline.get("results", {}))))

@@ -316,6 +316,82 @@ def run_analysis() -> dict:
     return out
 
 
+def run_interning() -> dict:
+    """Hash-consing effectiveness on a churny maintenance workload.
+
+    Snapshots the intern tables and the identity fast-path event counters
+    (:func:`repro.constraints.intern.intern_stats`) around a recursive
+    deletion pass per algorithm plus a coalesced mixed stream batch, and
+    reports the deltas: intern hit ratio, pointer-identity subsumptions and
+    subtractions (each one a counted solver call that did not happen), and
+    the per-node canonical/satisfiability memo hits.  The embedded
+    ``stdel``/``dred`` stats feed the ordinary counter gate, so solver-call
+    regressions in the identity paths show up here like everywhere else.
+
+    The stream batch runs with ``max_workers=1``: the event counters are
+    plain ints bumped without a lock, exact only single-threaded, and this
+    family exists to *gate* them.
+    """
+    from repro.constraints.intern import intern_stats
+
+    before = intern_stats()
+    start = time.perf_counter()
+
+    scenario = build_tc_deletion_scenario(length=10)
+    results: dict = {
+        "workload": f"{scenario.spec.description} churn "
+        "(per-algorithm deletion + coalesced mixed batch, max_workers=1)",
+    }
+    for algorithm, fn in (
+        ("stdel", delete_with_stdel),
+        ("dred", delete_with_dred),
+    ):
+        seconds, outcome = timed(
+            fn, scenario.program, scenario.view, scenario.request.atom, scenario.solver
+        )
+        results[algorithm] = {
+            "seconds": round(seconds, 4),
+            "stats": outcome.stats.as_dict(),
+        }
+
+    spec = make_layered_program(
+        base_facts=6, layers=2, predicates_per_layer=2, fanin=2, seed=9
+    )
+    batch = stream_batches(
+        spec, 1, deletions=2, insertions=2, seed=9, duplicates=1, cancellations=1
+    )[0]
+    scheduler = StreamScheduler(
+        spec.program, ConstraintSolver(), options=StreamOptions(max_workers=1)
+    )
+    result = scheduler.apply_batch(batch.requests)
+    results["coalesce"] = result.stats.as_dict()["coalesce"]
+
+    after = intern_stats()
+    events = {
+        name: after["events"][name] - before["events"].get(name, 0)
+        for name in after["events"]
+    }
+    hits = after["hits"] - before["hits"]
+    misses = after["misses"] - before["misses"]
+    results["seconds"] = round(time.perf_counter() - start, 4)
+    results["intern"] = {
+        "hits": hits,
+        "misses": misses,
+        # Reuse ratio across all tables; prior in-process interning can only
+        # raise it (nodes already live), so the gate's floor is stable.
+        "hit_ratio": round(hits / max(1, hits + misses), 4),
+        "identity_hits": events["identity_subsumptions"]
+        + events["identity_subtractions"],
+        "events": events,
+        # Live-node counts (absolute, not a delta): weak tables, so this is
+        # whatever the whole process keeps alive -- informational only.
+        "table_sizes": {
+            name: row["size"] for name, row in after["tables"].items()
+        },
+    }
+    return results
+
+
 def run_insertion(scenario) -> dict:
     request = insertion_stream(scenario.spec, 1, seed=5)[0]
     seconds, outcome = timed(
@@ -381,6 +457,7 @@ def run_smoke(include_external: bool = True) -> dict:
     # Batched maintenance: the stream subsystem's amortization claims.
     snapshot["deletion_batch_tc14"] = run_deletion_batch(length=14, deletions=3)
     snapshot["stream_mixed_batch"] = run_stream_mixed_batch()
+    snapshot["constraint_interning"] = run_interning()
     snapshot["static_analysis"] = run_analysis()
     if include_external:
         snapshot["external_layered_small"] = run_external(

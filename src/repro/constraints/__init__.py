@@ -6,6 +6,9 @@ atoms and constrained clauses:
 * :mod:`repro.constraints.terms` -- variables, constants, substitutions,
 * :mod:`repro.constraints.ast` -- the constraint expressions themselves
   (comparisons, DCA-atoms, conjunctions and negated conjunctions),
+* :mod:`repro.constraints.intern` -- the hash-consing substrate: every term
+  and constraint node is interned at construction, so structural equality
+  is pointer identity (see ``README.md`` in this package),
 * :mod:`repro.constraints.solver` -- satisfiability / entailment checking,
 * :mod:`repro.constraints.simplify` -- redundancy removal,
 * :mod:`repro.constraints.solutions` -- instance enumeration,
@@ -33,6 +36,7 @@ from repro.constraints.ast import (
     not_equals,
     tuple_equalities,
 )
+from repro.constraints.intern import InternTable, intern_stats
 from repro.constraints.interfaces import (
     CallEvaluator,
     EMPTY_RESULT_SET,
@@ -71,6 +75,7 @@ __all__ = [
     "FalseConstraint",
     "FreshVariableFactory",
     "FrozenResultSet",
+    "InternTable",
     "Membership",
     "NegatedConjunction",
     "ResultSetLike",
@@ -89,6 +94,7 @@ __all__ = [
     "equals",
     "equivalent_on_universe",
     "extract_bindings",
+    "intern_stats",
     "is_constant",
     "is_variable",
     "make_term",

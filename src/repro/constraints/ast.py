@@ -18,15 +18,21 @@ The AST below covers exactly these forms:
 * :class:`Conjunction` -- flattened conjunction,
 * :data:`TRUE` / :data:`FALSE` -- the trivial constraints.
 
-Every node is immutable and hashable, supports variable collection,
-substitution, and pretty printing matching the paper's notation.
+Every node is immutable, hashable and **hash-consed** (see
+:mod:`repro.constraints.intern`): construction normalises, validates and
+interns, so structurally equal nodes are the *same object* and equality is
+pointer identity.  Each node also carries memo slots -- canonical form,
+scoped form, pure satisfiability/simplification, cached variable set --
+whose lifetime is the node's own weak-table lifetime; they replace the old
+module-global caches in ``simplify.py``/``projection.py`` and the solver's
+pure dictionaries with pointer-keyed per-node lookups.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import FrozenSet, Iterable, Sequence, Tuple
 
+from repro.constraints.intern import table
 from repro.constraints.terms import (
     Constant,
     Substitution,
@@ -58,17 +64,62 @@ FLIPPED_OPERATOR = {
     ">=": "<=",
 }
 
+_COMPARISONS = table("comparison")
+_CALLS = table("domain_call")
+_MEMBERSHIPS = table("membership")
+_NEGATIONS = table("negation")
+_CONJUNCTIONS = table("conjunction")
+
+#: Per-node memo slots initialised to None by :func:`_prime`.  ``_canonical``
+#: and ``_scoped`` are written by ``simplify``/``projection``; ``_sat`` /
+#: ``_simplify0`` / ``_simplify1`` by the solver's pure paths; ``_vars`` and
+#: ``_str`` lazily by the node itself; ``_elim`` holds a small bounded dict
+#: of projection results.  All writes are idempotent (the value is a pure
+#: function of the node), so racing threads are benign.
+_MEMO_SLOTS = (
+    "_str",
+    "_vars",
+    "_canonical",
+    "_scoped",
+    "_sat",
+    "_simplify0",
+    "_simplify1",
+    "_elim",
+)
+
 
 class Constraint:
-    """Base class of every constraint node."""
+    """Base class of every constraint node (interned, immutable)."""
+
+    __slots__ = ("_hash", "_membership") + _MEMO_SLOTS + ("__weakref__",)
 
     def variables(self) -> FrozenSet[Variable]:
         """Return the set of variables occurring in the constraint."""
+        cached = self._vars
+        if cached is None:
+            cached = self._compute_variables()
+            object.__setattr__(self, "_vars", cached)
+        return cached
+
+    def _compute_variables(self) -> FrozenSet[Variable]:
         raise NotImplementedError
 
     def substitute(self, subst: Substitution) -> "Constraint":
-        """Return a copy with *subst* applied to every term."""
+        """Return a copy with *subst* applied to every term.
+
+        Every node returns ``self`` unchanged when the substitution binds
+        none of its terms, so renaming-apart against disjoint variables is
+        a pointer-preserving no-op.
+        """
         raise NotImplementedError
+
+    def mentions_membership(self) -> bool:
+        """True when a DCA-atom occurs anywhere in the constraint.
+
+        Computed once at construction (children are already interned), this
+        is the solver's pure-versus-external cache discriminator.
+        """
+        return self._membership
 
     def conjuncts(self) -> Tuple["Constraint", ...]:
         """Return the top-level conjuncts (a non-conjunction is its own)."""
@@ -81,12 +132,48 @@ class Constraint:
     def __and__(self, other: "Constraint") -> "Constraint":
         return conjoin(self, other)
 
+    def __hash__(self) -> int:
+        return self._hash
 
-@dataclass(frozen=True)
+    def __setattr__(self, name: str, value: object) -> None:
+        raise ConstraintError(f"{type(self).__name__} is immutable")
+
+    def __delattr__(self, name: str) -> None:
+        raise ConstraintError(f"{type(self).__name__} is immutable")
+
+    def __copy__(self):
+        return self
+
+    def __deepcopy__(self, memo):
+        return self
+
+
+def _prime(node: Constraint, hash_value: int, membership: bool) -> None:
+    """Initialise the base slots of a freshly allocated node."""
+    object.__setattr__(node, "_hash", hash_value)
+    object.__setattr__(node, "_membership", membership)
+    for slot in _MEMO_SLOTS:
+        object.__setattr__(node, slot, None)
+
+
 class TrueConstraint(Constraint):
-    """The always-satisfied constraint (empty conjunction)."""
+    """The always-satisfied constraint (empty conjunction).  A singleton."""
 
-    def variables(self) -> FrozenSet[Variable]:
+    __slots__ = ()
+    _instance: "TrueConstraint | None" = None
+
+    def __new__(cls) -> "TrueConstraint":
+        inst = cls._instance
+        if inst is None:
+            inst = object.__new__(cls)
+            _prime(inst, hash(("true",)), False)
+            cls._instance = inst
+        return inst
+
+    def __reduce__(self):
+        return (TrueConstraint, ())
+
+    def _compute_variables(self) -> FrozenSet[Variable]:
         return frozenset()
 
     def substitute(self, subst: Substitution) -> "Constraint":
@@ -98,12 +185,28 @@ class TrueConstraint(Constraint):
     def __str__(self) -> str:
         return "true"
 
+    def __repr__(self) -> str:
+        return "TrueConstraint()"
 
-@dataclass(frozen=True)
+
 class FalseConstraint(Constraint):
-    """The unsatisfiable constraint."""
+    """The unsatisfiable constraint.  A singleton."""
 
-    def variables(self) -> FrozenSet[Variable]:
+    __slots__ = ()
+    _instance: "FalseConstraint | None" = None
+
+    def __new__(cls) -> "FalseConstraint":
+        inst = cls._instance
+        if inst is None:
+            inst = object.__new__(cls)
+            _prime(inst, hash(("false",)), False)
+            cls._instance = inst
+        return inst
+
+    def __reduce__(self):
+        return (FalseConstraint, ())
+
+    def _compute_variables(self) -> FrozenSet[Variable]:
         return frozenset()
 
     def substitute(self, subst: Substitution) -> "Constraint":
@@ -112,27 +215,41 @@ class FalseConstraint(Constraint):
     def __str__(self) -> str:
         return "false"
 
+    def __repr__(self) -> str:
+        return "FalseConstraint()"
+
 
 TRUE = TrueConstraint()
 FALSE = FalseConstraint()
 
 
-@dataclass(frozen=True)
 class Comparison(Constraint):
     """A binary comparison ``left op right`` between two terms."""
 
-    left: Term
-    op: str
-    right: Term
+    __slots__ = ("left", "op", "right")
 
-    def __post_init__(self) -> None:
-        if self.op not in COMPARISON_OPERATORS:
-            raise ConstraintError(f"unknown comparison operator: {self.op!r}")
-        for term in (self.left, self.right):
+    def __new__(cls, left: Term, op: str, right: Term) -> "Comparison":
+        if op not in COMPARISON_OPERATORS:
+            raise ConstraintError(f"unknown comparison operator: {op!r}")
+        for term in (left, right):
             if not isinstance(term, (Variable, Constant)):
                 raise ConstraintError(f"comparison operand is not a term: {term!r}")
+        key = ("cmp", left, op, right)
 
-    def variables(self) -> FrozenSet[Variable]:
+        def build() -> "Comparison":
+            self = object.__new__(cls)
+            object.__setattr__(self, "left", left)
+            object.__setattr__(self, "op", op)
+            object.__setattr__(self, "right", right)
+            _prime(self, hash(key), False)
+            return self
+
+        return _COMPARISONS.intern(key, build)
+
+    def __reduce__(self):
+        return (Comparison, (self.left, self.op, self.right))
+
+    def _compute_variables(self) -> FrozenSet[Variable]:
         found = set()
         for term in (self.left, self.right):
             if isinstance(term, Variable):
@@ -140,7 +257,11 @@ class Comparison(Constraint):
         return frozenset(found)
 
     def substitute(self, subst: Substitution) -> "Comparison":
-        return Comparison(subst.apply(self.left), self.op, subst.apply(self.right))
+        left = subst.apply(self.left)
+        right = subst.apply(self.right)
+        if left is self.left and right is self.right:
+            return self
+        return Comparison(left, self.op, right)
 
     def is_primitive(self) -> bool:
         return True
@@ -163,34 +284,77 @@ class Comparison(Constraint):
         return self.op in ("<", "<=", ">", ">=")
 
     def __str__(self) -> str:
-        return f"{self.left} {self.op} {self.right}"
+        cached = self._str
+        if cached is None:
+            cached = f"{self.left} {self.op} {self.right}"
+            object.__setattr__(self, "_str", cached)
+        return cached
+
+    def __repr__(self) -> str:
+        return (
+            f"Comparison(left={self.left!r}, op={self.op!r}, "
+            f"right={self.right!r})"
+        )
 
 
-@dataclass(frozen=True)
 class DomainCall:
     """A call ``domain:function(arg1, ..., argn)`` into an external source.
 
     The call itself is not a constraint; it only appears as the second
-    argument of the ``in`` predicate (:class:`Membership`).
+    argument of the ``in`` predicate (:class:`Membership`).  Interned like
+    every other node.
     """
 
-    domain: str
-    function: str
-    args: Tuple[Term, ...] = field(default_factory=tuple)
+    __slots__ = ("domain", "function", "args", "_hash", "_str", "__weakref__")
 
-    def __post_init__(self) -> None:
-        if not self.domain or not self.function:
+    def __new__(
+        cls, domain: str, function: str, args: Iterable[Term] = ()
+    ) -> "DomainCall":
+        if not domain or not function:
             raise ConstraintError("domain calls need a domain and a function name")
-        object.__setattr__(self, "args", tuple(self.args))
-        for arg in self.args:
+        args = tuple(args)
+        for arg in args:
             if not isinstance(arg, (Variable, Constant)):
                 raise ConstraintError(f"domain-call argument is not a term: {arg!r}")
+        key = ("call", domain, function, args)
+
+        def build() -> "DomainCall":
+            self = object.__new__(cls)
+            object.__setattr__(self, "domain", domain)
+            object.__setattr__(self, "function", function)
+            object.__setattr__(self, "args", args)
+            object.__setattr__(self, "_hash", hash(key))
+            object.__setattr__(self, "_str", None)
+            return self
+
+        return _CALLS.intern(key, build)
+
+    def __reduce__(self):
+        return (DomainCall, (self.domain, self.function, self.args))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise ConstraintError("DomainCall is immutable")
+
+    def __delattr__(self, name: str) -> None:
+        raise ConstraintError("DomainCall is immutable")
+
+    def __copy__(self):
+        return self
+
+    def __deepcopy__(self, memo):
+        return self
 
     def variables(self) -> FrozenSet[Variable]:
         return frozenset(arg for arg in self.args if isinstance(arg, Variable))
 
     def substitute(self, subst: Substitution) -> "DomainCall":
-        return DomainCall(self.domain, self.function, subst.apply_all(self.args))
+        args = subst.apply_all(self.args)
+        if args is self.args:
+            return self
+        return DomainCall(self.domain, self.function, args)
 
     def is_ground(self) -> bool:
         """True when every argument is a constant."""
@@ -203,11 +367,20 @@ class DomainCall:
         return tuple(arg.value for arg in self.args)  # type: ignore[union-attr]
 
     def __str__(self) -> str:
-        rendered = ", ".join(str(arg) for arg in self.args)
-        return f"{self.domain}:{self.function}({rendered})"
+        cached = self._str
+        if cached is None:
+            rendered = ", ".join(str(arg) for arg in self.args)
+            cached = f"{self.domain}:{self.function}({rendered})"
+            object.__setattr__(self, "_str", cached)
+        return cached
+
+    def __repr__(self) -> str:
+        return (
+            f"DomainCall(domain={self.domain!r}, function={self.function!r}, "
+            f"args={self.args!r})"
+        )
 
 
-@dataclass(frozen=True)
 class Membership(Constraint):
     """The DCA-atom ``in(element, call)`` or its negation.
 
@@ -216,26 +389,43 @@ class Membership(Constraint):
     conjunction that contains DCA-atoms.
     """
 
-    element: Term
-    call: DomainCall
-    positive: bool = True
+    __slots__ = ("element", "call", "positive")
 
-    def __post_init__(self) -> None:
-        if not isinstance(self.element, (Variable, Constant)):
-            raise ConstraintError(f"membership element is not a term: {self.element!r}")
-        if not isinstance(self.call, DomainCall):
-            raise ConstraintError(f"membership target is not a domain call: {self.call!r}")
+    def __new__(
+        cls, element: Term, call: DomainCall, positive: bool = True
+    ) -> "Membership":
+        if not isinstance(element, (Variable, Constant)):
+            raise ConstraintError(f"membership element is not a term: {element!r}")
+        if not isinstance(call, DomainCall):
+            raise ConstraintError(f"membership target is not a domain call: {call!r}")
+        positive = bool(positive)
+        key = ("in", element, call, positive)
 
-    def variables(self) -> FrozenSet[Variable]:
+        def build() -> "Membership":
+            self = object.__new__(cls)
+            object.__setattr__(self, "element", element)
+            object.__setattr__(self, "call", call)
+            object.__setattr__(self, "positive", positive)
+            _prime(self, hash(key), True)
+            return self
+
+        return _MEMBERSHIPS.intern(key, build)
+
+    def __reduce__(self):
+        return (Membership, (self.element, self.call, self.positive))
+
+    def _compute_variables(self) -> FrozenSet[Variable]:
         found = set(self.call.variables())
         if isinstance(self.element, Variable):
             found.add(self.element)
         return frozenset(found)
 
     def substitute(self, subst: Substitution) -> "Membership":
-        return Membership(
-            subst.apply(self.element), self.call.substitute(subst), self.positive
-        )
+        element = subst.apply(self.element)
+        call = self.call.substitute(subst)
+        if element is self.element and call is self.call:
+            return self
+        return Membership(element, call, self.positive)
 
     def is_primitive(self) -> bool:
         return True
@@ -245,11 +435,20 @@ class Membership(Constraint):
         return Membership(self.element, self.call, not self.positive)
 
     def __str__(self) -> str:
-        literal = f"in({self.element}, {self.call})"
-        return literal if self.positive else f"not {literal}"
+        cached = self._str
+        if cached is None:
+            literal = f"in({self.element}, {self.call})"
+            cached = literal if self.positive else f"not {literal}"
+            object.__setattr__(self, "_str", cached)
+        return cached
+
+    def __repr__(self) -> str:
+        return (
+            f"Membership(element={self.element!r}, call={self.call!r}, "
+            f"positive={self.positive!r})"
+        )
 
 
-@dataclass(frozen=True)
 class NegatedConjunction(Constraint):
     """``not(c1 & ... & cn)`` over primitive constraints.
 
@@ -272,13 +471,16 @@ class NegatedConjunction(Constraint):
     under ``not(...)`` together with the binding equalities that tie them to
     the entry's own variables.  All other variables are free (top-level
     existential, as in the paper's ``[A(X̄) <- φ]`` instance semantics).
+
+    Construction flattens inner conjunctions and drops ``true`` conjuncts
+    *before* interning, so the table only ever sees the normal form.
     """
 
-    parts: Tuple[Constraint, ...]
+    __slots__ = ("parts",)
 
-    def __post_init__(self) -> None:
+    def __new__(cls, parts: Iterable[Constraint]) -> "NegatedConjunction":
         flattened: list[Constraint] = []
-        for part in self.parts:
+        for part in tuple(parts):
             if isinstance(part, Conjunction):
                 flattened.extend(part.parts)
             elif isinstance(part, TrueConstraint):
@@ -294,43 +496,50 @@ class NegatedConjunction(Constraint):
                     "negated conjunctions may only contain primitive constraints "
                     f"or nested negations, got: {part!r}"
                 )
-        object.__setattr__(self, "parts", tuple(flattened))
+        normal = tuple(flattened)
+        key = ("not", normal)
 
-    def variables(self) -> FrozenSet[Variable]:
+        def build() -> "NegatedConjunction":
+            self = object.__new__(cls)
+            object.__setattr__(self, "parts", normal)
+            _prime(self, hash(key), any(part._membership for part in normal))
+            return self
+
+        return _NEGATIONS.intern(key, build)
+
+    def __reduce__(self):
+        return (NegatedConjunction, (self.parts,))
+
+    def _compute_variables(self) -> FrozenSet[Variable]:
         found: set[Variable] = set()
         for part in self.parts:
             found.update(part.variables())
         return frozenset(found)
 
     def substitute(self, subst: Substitution) -> "Constraint":
-        return NegatedConjunction(tuple(part.substitute(subst) for part in self.parts))
+        parts = tuple(part.substitute(subst) for part in self.parts)
+        if all(new is old for new, old in zip(parts, self.parts)):
+            return self
+        return NegatedConjunction(parts)
 
     def inner(self) -> Constraint:
         """Return the conjunction being negated."""
         return conjoin(*self.parts)
 
-    def __hash__(self) -> int:
-        # Nodes are immutable but deeply nested; the generated dataclass hash
-        # recurses over the whole subtree on every dict/set lookup, which the
-        # solver memo and view keys do constantly.  Compute once, cache.
-        cached = self.__dict__.get("_hash")
-        if cached is None:
-            cached = hash(("not", self.parts))
-            object.__setattr__(self, "_hash", cached)
-        return cached
-
     def __str__(self) -> str:
         # Canonicalization sorts conjuncts by their rendering, so deep
-        # negation nodes get stringified over and over; cache like the hash.
-        cached = self.__dict__.get("_str")
+        # negation nodes get stringified over and over; cache once.
+        cached = self._str
         if cached is None:
             inner = " & ".join(str(part) for part in self.parts) or "true"
             cached = f"not({inner})"
             object.__setattr__(self, "_str", cached)
         return cached
 
+    def __repr__(self) -> str:
+        return f"NegatedConjunction(parts={self.parts!r})"
 
-@dataclass(frozen=True)
+
 class Conjunction(Constraint):
     """A flattened conjunction of constraints.
 
@@ -338,38 +547,54 @@ class Conjunction(Constraint):
     conjunctions, drops ``true`` and collapses to ``false`` eagerly.
     """
 
-    parts: Tuple[Constraint, ...]
+    __slots__ = ("parts",)
 
-    def __post_init__(self) -> None:
-        object.__setattr__(self, "parts", tuple(self.parts))
-        for part in self.parts:
+    def __new__(cls, parts: Iterable[Constraint]) -> "Conjunction":
+        parts = tuple(parts)
+        for part in parts:
             if isinstance(part, (Conjunction, TrueConstraint)):
                 raise ConstraintError(
                     "Conjunction must be flat; build it with conjoin()"
                 )
+            if not isinstance(part, Constraint):
+                raise ConstraintError(f"not a constraint: {part!r}")
+        key = ("and", parts)
 
-    def variables(self) -> FrozenSet[Variable]:
+        def build() -> "Conjunction":
+            self = object.__new__(cls)
+            object.__setattr__(self, "parts", parts)
+            _prime(self, hash(key), any(part._membership for part in parts))
+            return self
+
+        return _CONJUNCTIONS.intern(key, build)
+
+    def __reduce__(self):
+        return (Conjunction, (self.parts,))
+
+    def _compute_variables(self) -> FrozenSet[Variable]:
         found: set[Variable] = set()
         for part in self.parts:
             found.update(part.variables())
         return frozenset(found)
 
     def substitute(self, subst: Substitution) -> "Constraint":
-        return conjoin(*(part.substitute(subst) for part in self.parts))
+        parts = tuple(part.substitute(subst) for part in self.parts)
+        if all(new is old for new, old in zip(parts, self.parts)):
+            return self
+        return conjoin(*parts)
 
     def conjuncts(self) -> Tuple[Constraint, ...]:
         return self.parts
 
-    def __hash__(self) -> int:
-        # See NegatedConjunction.__hash__: hashed constantly, cached once.
-        cached = self.__dict__.get("_hash")
+    def __str__(self) -> str:
+        cached = self._str
         if cached is None:
-            cached = hash(("and", self.parts))
-            object.__setattr__(self, "_hash", cached)
+            cached = " & ".join(str(part) for part in self.parts)
+            object.__setattr__(self, "_str", cached)
         return cached
 
-    def __str__(self) -> str:
-        return " & ".join(str(part) for part in self.parts)
+    def __repr__(self) -> str:
+        return f"Conjunction(parts={self.parts!r})"
 
 
 def conjoin(*constraints: Constraint) -> Constraint:

@@ -16,7 +16,7 @@ because ``∃V (V = t ∧ φ)`` is equivalent to ``φ[V := t]``.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.constraints.ast import (
     Comparison,
@@ -27,11 +27,12 @@ from repro.constraints.ast import (
 )
 from repro.constraints.terms import Constant, Substitution, Term, Variable
 
-#: Memo for :func:`eliminate_variables`.  Projection is deterministic and
-#: purely syntactic, and the fixpoint/maintenance hot paths project the same
-#: (constraint, head-variables) pairs over and over.
-_ELIMINATION_CACHE: Dict[Tuple[Constraint, FrozenSet[Variable]], Constraint] = {}
-_ELIMINATION_CACHE_LIMIT = 200_000
+#: Cap on the per-node projection memo (``_elim`` slot): one constraint is
+#: typically projected onto a handful of keep-sets (its clause heads), so a
+#: small bound suffices; the dict is dropped wholesale when full.  The memo
+#: itself lives on the interned node and dies with it -- projection is
+#: deterministic and purely syntactic, so entries never go stale.
+_ELIMINATION_MEMO_LIMIT = 16
 
 
 def eliminate_variables(
@@ -57,16 +58,14 @@ def eliminate_variables(
     if isinstance(constraint, (TrueConstraint, FalseConstraint)):
         return constraint
 
-    cache_key: Optional[Tuple[Constraint, FrozenSet[Variable]]] = None
+    cache_key: Optional[FrozenSet[Variable]] = None
     if max_rounds is None:
-        try:
-            cache_key = (constraint, frozenset(protected))
-            cached = _ELIMINATION_CACHE.get(cache_key)
-        except TypeError:  # unhashable constant value somewhere inside
-            cache_key = None
-            cached = None
-        if cached is not None:
-            return cached
+        cache_key = frozenset(protected)
+        memo = constraint._elim
+        if memo is not None:
+            cached = memo.get(cache_key)
+            if cached is not None:
+                return cached
 
     parts: List[Constraint] = list(constraint.conjuncts())
     rounds = max_rounds if max_rounds is not None else len(parts) + 1
@@ -84,9 +83,11 @@ def eliminate_variables(
         ]
     result = conjoin(*_drop_trivial(parts))
     if cache_key is not None:
-        if len(_ELIMINATION_CACHE) >= _ELIMINATION_CACHE_LIMIT:
-            _ELIMINATION_CACHE.clear()
-        _ELIMINATION_CACHE[cache_key] = result
+        memo = constraint._elim
+        if memo is None or len(memo) >= _ELIMINATION_MEMO_LIMIT:
+            memo = {}
+            object.__setattr__(constraint, "_elim", memo)
+        memo[cache_key] = result
     return result
 
 
@@ -106,21 +107,19 @@ def scope_negations(constraint: Constraint) -> Constraint:
     parts = list(constraint.conjuncts())
     if not parts:
         return constraint
-    try:
-        cached = _SCOPING_CACHE.get(constraint)
-    except TypeError:
-        return _scope_negations_uncached(constraint, parts)
+    # Per-node memo (the ``_scoped`` slot): scoping is pure and runs on
+    # every satisfiability check, so a pointer read here is the common case.
+    cached = constraint._scoped
     if cached is not None:
         return cached
     result = _scope_negations_uncached(constraint, parts)
-    if len(_SCOPING_CACHE) >= _ELIMINATION_CACHE_LIMIT:
-        _SCOPING_CACHE.clear()
-    _SCOPING_CACHE[constraint] = result
+    object.__setattr__(constraint, "_scoped", result)
+    if result is not constraint and not isinstance(
+        result, (TrueConstraint, FalseConstraint)
+    ):
+        # Scoping is idempotent: mark the result as its own scoped form.
+        object.__setattr__(result, "_scoped", result)
     return result
-
-
-#: Memo for :func:`scope_negations` (pure; run by every satisfiability check).
-_SCOPING_CACHE: Dict[Constraint, Constraint] = {}
 
 
 def _scope_negations_uncached(

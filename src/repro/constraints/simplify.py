@@ -38,6 +38,7 @@ from repro.constraints.ast import (
     conjoin,
     negate,
 )
+from repro.constraints.intern import EVENTS
 from repro.constraints.projection import scope_negations
 from repro.constraints.solver import ConstraintSolver
 from repro.constraints.terms import Constant, Variable
@@ -113,13 +114,6 @@ def _simplify_conjuncts(
     return conjoin(*reduced)
 
 
-#: Memo for :func:`canonical_form`.  Constraints are immutable and the form
-#: is purely syntactic, so results never go stale; the cache is cleared
-#: wholesale at the (generous) cap to bound memory.
-_CANONICAL_CACHE: "dict[Constraint, Constraint]" = {}
-_CANONICAL_CACHE_LIMIT = 200_000
-
-
 def canonical_form(constraint: Constraint) -> Constraint:
     """Return a canonical ordering of conjuncts for duplicate detection.
 
@@ -127,26 +121,33 @@ def canonical_form(constraint: Constraint) -> Constraint:
     are sorted by their textual rendering; this gives a stable, purely
     syntactic normal form (no solver reasoning), adequate for detecting
     literally repeated view entries.  Every view-entry key, solver memo hit
-    and maintenance dedup goes through here, so results are memoized.
+    and maintenance dedup goes through here.
+
+    The memo lives *on the node* (the ``_canonical`` slot of the interned
+    constraint): the form is purely syntactic, so it can never go stale --
+    in particular ``invalidate_external_functions`` rightly leaves it alone
+    -- and because nodes are hash-consed into weak tables, the memo's size
+    policy is the node's own lifetime.  This replaced the old module-global
+    ``_CANONICAL_CACHE`` dict, which a long-lived serve process could grow
+    to its 200k cap and whose wholesale clears threw away every form at
+    once.  A canonical result is also its *own* canonical form, so repeated
+    canonicalization is one slot read.
     """
     if isinstance(constraint, (TrueConstraint, FalseConstraint)):
         return constraint
-    try:
-        cached = _CANONICAL_CACHE.get(constraint)
-        cacheable = True
-    except TypeError:  # a constant holds an unhashable value
-        cached = None
-        cacheable = False
+    cached = constraint._canonical
     if cached is not None:
+        EVENTS.canonical_hits += 1
         return cached
+    EVENTS.canonical_misses += 1
     oriented = [_orient(part) for part in constraint.conjuncts()]
     unique = _dedupe(oriented)
     ordered = sorted(unique, key=str)
     result = conjoin(*ordered)
-    if cacheable:
-        if len(_CANONICAL_CACHE) >= _CANONICAL_CACHE_LIMIT:
-            _CANONICAL_CACHE.clear()
-        _CANONICAL_CACHE[constraint] = result
+    if not isinstance(result, (TrueConstraint, FalseConstraint)):
+        # The fixpoint: canonical_form(canonical_form(c)) is a pointer read.
+        object.__setattr__(result, "_canonical", result)
+    object.__setattr__(constraint, "_canonical", result)
     return result
 
 

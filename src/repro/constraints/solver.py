@@ -253,6 +253,18 @@ class ConstraintSolver:
     ) -> None:
         self._evaluator = evaluator
         self._options = options
+        # Pure results for membership-free constraints are a function of the
+        # node alone (no evaluator can be consulted, and the branch/round
+        # limits are the only options that matter); with default limits they
+        # are stored *on the interned node* (``_sat`` / ``_simplify{0,1}``
+        # slots), shared by every solver in the process and dropped exactly
+        # when the node dies.  Solvers with non-default limits fall back to
+        # the per-solver dictionaries below.
+        self._node_memo = (
+            options.memoize_satisfiability
+            and options.max_branches == DEFAULT_OPTIONS.max_branches
+            and options.propagation_rounds == DEFAULT_OPTIONS.propagation_rounds
+        )
         # Satisfiability memo, split by what the result depends on.  Pure
         # results (no DCA-atom consults the evaluator) are time-invariant and
         # survive source changes; external results are valid while the
@@ -307,7 +319,9 @@ class ConstraintSolver:
         source changes: satisfiability of a constraint containing DCA-atoms
         is a function of the sources' current behaviour, so those cached
         results are stale the moment a behaviour changes.  Pure comparison
-        results are time-invariant and are kept.
+        results are time-invariant and are kept -- including the per-node
+        ``_sat``/``_simplify*`` slots, which are only ever written for
+        membership-free constraints and therefore can never go stale.
         """
         self._external_sat_cache.clear()
         self._external_simplify_cache.clear()
@@ -318,6 +332,28 @@ class ConstraintSolver:
             return True
         if isinstance(constraint, FalseConstraint):
             return False
+        if self._node_memo and not constraint._membership:
+            # Membership-free satisfiability is a pure function of the
+            # interned node: the memo lives on the node itself (shared by
+            # every solver in the process) and the two-level probe --
+            # constraint, then canonical form -- is two pointer reads.
+            from repro.constraints.intern import EVENTS
+            from repro.constraints.simplify import canonical_form
+
+            cached = constraint._sat
+            if cached is not None:
+                EVENTS.sat_node_hits += 1
+                return cached
+            key = canonical_form(constraint)
+            cached = key._sat
+            if cached is not None:
+                EVENTS.sat_node_hits += 1
+                object.__setattr__(constraint, "_sat", cached)
+                return cached
+            result = self._decide_satisfiable(constraint)
+            object.__setattr__(key, "_sat", result)
+            object.__setattr__(constraint, "_sat", result)
+            return result
         cache = self._cache_for(constraint)
         key: Optional[Constraint] = None
         if cache is not None:
@@ -326,14 +362,10 @@ class ConstraintSolver:
             # Two-level probe: the constraint itself first (its hash is
             # cached on the node, so this is nearly free), then the
             # canonical form, which also catches reordered conjunctions.
-            try:
-                cached = cache.get(constraint)
-                if cached is None:
-                    key = canonical_form(constraint)
-                    cached = cache.get(key)
-            except TypeError:  # unhashable constant value somewhere inside
-                cache = None
-                cached = None
+            cached = cache.get(constraint)
+            if cached is None:
+                key = canonical_form(constraint)
+                cached = cache.get(key)
             if cached is not None:
                 return cached
         result = self._decide_satisfiable(constraint)
@@ -406,28 +438,35 @@ class ConstraintSolver:
 
         *variant* distinguishes simplification modes (e.g. whether redundant
         comparisons are dropped); gating mirrors the satisfiability memo.
+        Pure (membership-free) results live on the interned node itself --
+        one slot per variant -- so every solver in the process shares them.
         """
+        if self._node_memo and not constraint._membership and isinstance(variant, bool):
+            cached = constraint._simplify1 if variant else constraint._simplify0
+            if cached is not None:
+                from repro.constraints.intern import EVENTS
+
+                EVENTS.simplify_node_hits += 1
+            return cached
         cache = self._simplify_cache_for(constraint)
         if cache is None:
             return None
-        try:
-            return cache.get((constraint, variant))
-        except TypeError:
-            return None
+        return cache.get((constraint, variant))
 
     def cache_simplification(
         self, constraint: Constraint, variant: object, result: Constraint
     ) -> None:
         """Store a simplification result in the memo (see ``simplify``)."""
+        if self._node_memo and not constraint._membership and isinstance(variant, bool):
+            slot = "_simplify1" if variant else "_simplify0"
+            object.__setattr__(constraint, slot, result)
+            return
         cache = self._simplify_cache_for(constraint)
         if cache is None:
             return
         if len(cache) >= self._options.max_memoized_results:
             cache.clear()
-        try:
-            cache[(constraint, variant)] = result
-        except TypeError:
-            pass
+        cache[(constraint, variant)] = result
 
     def _simplify_cache_for(
         self, constraint: Constraint
@@ -546,9 +585,18 @@ class ConstraintSolver:
         proves nothing -- the procedure errs on the side of satisfiable, so
         subsumption errs on the side of "not subsumed", which only costs
         keeping a redundant entry.
+
+        Identity fast path: when the two atoms are the *same* constrained
+        atom -- equal argument tuples and pointer-identical (canonical)
+        constraints, which hash-consing makes an O(1) check -- the instance
+        sets are equal and the answer is True without touching the solver.
         """
         if len(left_args) != len(right_args):
             return False
+        if self.identical_instances(
+            left_args, left_constraint, right_args, right_constraint
+        ):
+            return True
         reserved = {v.name for v in left_constraint.variables()}
         reserved.update(v.name for v in right_constraint.variables())
         for arg in itertools.chain(left_args, right_args):
@@ -568,22 +616,64 @@ class ConstraintSolver:
         negated = NegatedConjunction(tuple(matched.conjuncts()))
         return not self.is_satisfiable(conjoin(left_constraint, negated))
 
+    def identical_instances(
+        self,
+        left_args: Sequence[Term],
+        left_constraint: Constraint,
+        right_args: Sequence[Term],
+        right_constraint: Constraint,
+    ) -> bool:
+        """Pointer-identity test for "these two atoms denote the same set".
+
+        With hash-consed nodes, structural equality *is* identity, so equal
+        argument tuples plus an identical constraint (directly or after
+        canonicalization, itself a per-node slot read) prove the instance
+        sets equal -- mutual subsumption without a solver call.  A False
+        result proves nothing, exactly like :meth:`quick_reject`'s contract
+        in the other direction.  Callers use this to skip counted solver
+        calls on the self-overlap pairs every deletion batch produces.
+        """
+        if tuple(left_args) != tuple(right_args):
+            return False
+        if left_constraint is not right_constraint:
+            from repro.constraints.simplify import canonical_form
+
+            if canonical_form(left_constraint) is not canonical_form(
+                right_constraint
+            ):
+                return False
+        from repro.constraints.intern import EVENTS
+
+        EVENTS.identity_subsumptions += 1
+        return True
+
     def entails(self, context: Constraint, fact: Constraint) -> bool:
         """Return True if every solution of *context* satisfies *fact*.
 
         Implemented as unsatisfiability of ``context & not(fact)``; *fact*
         must lie in the negatable fragment (primitives and conjunctions of
-        primitives).
+        primitives).  ``context is fact`` short-circuits: with interned
+        nodes a constraint trivially entails itself.
         """
         from repro.constraints.ast import conjoin
 
+        if context is fact or isinstance(fact, TrueConstraint):
+            return True
         return not self.is_satisfiable(conjoin(context, negate(fact)))
 
     def equivalent(self, left: Constraint, right: Constraint) -> bool:
         """Return True if the two constraints have the same solutions.
 
         Only supported when both sides are in the negatable fragment.
+        Pointer-identical (or canonically identical) sides are equivalent
+        by construction -- no solver call.
         """
+        if left is right:
+            return True
+        from repro.constraints.simplify import canonical_form
+
+        if canonical_form(left) is canonical_form(right):
+            return True
         return self.entails(left, right) and self.entails(right, left)
 
     def evaluate_ground(
@@ -1211,12 +1301,12 @@ def _ground_term(term: Term, assignment: Mapping[Variable, object]) -> object:
 
 
 def _mentions_membership(constraint: Constraint) -> bool:
-    """True when a DCA-atom occurs anywhere in the constraint."""
-    if isinstance(constraint, Membership):
-        return True
-    if isinstance(constraint, (Conjunction, NegatedConjunction)):
-        return any(_mentions_membership(part) for part in constraint.parts)
-    return False
+    """True when a DCA-atom occurs anywhere in the constraint.
+
+    Precomputed at construction on every interned node (the ``_membership``
+    flag), so this is an attribute read, not a tree walk.
+    """
+    return constraint._membership
 
 
 def _is_number(value: object) -> bool:

@@ -5,6 +5,12 @@ from *terms*.  A term is either a :class:`Variable` or a :class:`Constant`
 wrapping an arbitrary hashable Python value (strings, numbers, tuples used as
 records, ...).
 
+Terms are **hash-consed** (see :mod:`repro.constraints.intern`): ``__new__``
+interns every construction, so two structurally equal terms are the same
+object, equality is pointer identity, and the hash is computed once.  The
+classes stay immutable; ``copy``/``deepcopy`` return the receiver and
+unpickling re-interns.
+
 Substitutions map variables to terms and are used for unification-free
 parameter passing: the fixpoint operators of the paper never unify -- they add
 explicit equality constraints ``X = t`` instead -- but renaming-apart and
@@ -15,29 +21,69 @@ from __future__ import annotations
 
 import itertools
 import re
-from dataclasses import dataclass
 from typing import Dict, Hashable, Iterable, Iterator, Mapping, Tuple, Union
 
+from repro.constraints.intern import table
 from repro.errors import TermError
 
 _VARIABLE_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_']*$")
 
+_VARIABLES = table("variable")
+_CONSTANTS = table("constant")
 
-@dataclass(frozen=True, order=True)
-class Variable:
-    """A logical variable, identified by its name.
 
-    Variables are immutable and hashable; two variables with the same name are
-    the same variable.  Names must look like identifiers (optionally with a
-    prime suffix such as ``X'`` which the paper uses when standardizing
-    apart).
+class _InternedTerm:
+    """Shared machinery of interned term nodes.
+
+    Subclasses intern in ``__new__``; equality is the default pointer
+    identity, the structural hash is cached in ``_hash`` at construction,
+    and instances are deeply immutable (``__setattr__`` raises).
     """
 
-    name: str
+    __slots__ = ("_hash", "__weakref__")
 
-    def __post_init__(self) -> None:
-        if not isinstance(self.name, str) or not _VARIABLE_NAME_RE.match(self.name):
-            raise TermError(f"invalid variable name: {self.name!r}")
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise TermError(f"{type(self).__name__} is immutable")
+
+    def __delattr__(self, name: str) -> None:
+        raise TermError(f"{type(self).__name__} is immutable")
+
+    def __copy__(self):
+        return self
+
+    def __deepcopy__(self, memo):
+        return self
+
+
+class Variable(_InternedTerm):
+    """A logical variable, identified by its name.
+
+    Variables are immutable and hashable; two variables with the same name
+    are the *same object*.  Names must look like identifiers (optionally
+    with a prime suffix such as ``X'`` which the paper uses when
+    standardizing apart).  Variables order by name, matching the old
+    dataclass ``order=True`` behaviour.
+    """
+
+    __slots__ = ("name",)
+
+    def __new__(cls, name: str) -> "Variable":
+        if not isinstance(name, str) or not _VARIABLE_NAME_RE.match(name):
+            raise TermError(f"invalid variable name: {name!r}")
+
+        def build() -> "Variable":
+            self = object.__new__(cls)
+            object.__setattr__(self, "name", name)
+            object.__setattr__(self, "_hash", hash(("var", name)))
+            return self
+
+        return _VARIABLES.intern(name, build)
+
+    def __reduce__(self):
+        return (Variable, (self.name,))
 
     def __str__(self) -> str:
         return self.name
@@ -45,18 +91,60 @@ class Variable:
     def __repr__(self) -> str:
         return f"Variable({self.name!r})"
 
+    # Ordering (by name), as the frozen dataclass's order=True provided.
+    def __lt__(self, other: object) -> bool:
+        if not isinstance(other, Variable):
+            return NotImplemented
+        return self.name < other.name
 
-@dataclass(frozen=True)
-class Constant:
-    """A constant term wrapping a hashable Python value."""
+    def __le__(self, other: object) -> bool:
+        if not isinstance(other, Variable):
+            return NotImplemented
+        return self.name <= other.name
 
-    value: Hashable
+    def __gt__(self, other: object) -> bool:
+        if not isinstance(other, Variable):
+            return NotImplemented
+        return self.name > other.name
 
-    def __post_init__(self) -> None:
+    def __ge__(self, other: object) -> bool:
+        if not isinstance(other, Variable):
+            return NotImplemented
+        return self.name >= other.name
+
+
+class Constant(_InternedTerm):
+    """A constant term wrapping a hashable Python value.
+
+    The intern key is ``(type(value), value)``: ``Constant(1)``,
+    ``Constant(True)`` and ``Constant(1.0)`` are distinct nodes (they render
+    differently and the solver compares *values* where numeric equality
+    matters, see ``_values_equal``).
+    """
+
+    __slots__ = ("value",)
+
+    def __new__(cls, value: Hashable) -> "Constant":
         try:
-            hash(self.value)
-        except TypeError as exc:  # pragma: no cover - defensive
-            raise TermError(f"constant value must be hashable: {self.value!r}") from exc
+            value_hash = hash(value)
+        except TypeError as exc:
+            raise TermError(
+                f"constant value must be hashable: {value!r}"
+            ) from exc
+        key = (value.__class__, value)
+
+        def build() -> "Constant":
+            self = object.__new__(cls)
+            object.__setattr__(self, "value", value)
+            object.__setattr__(
+                self, "_hash", hash(("const", value.__class__.__name__, value_hash))
+            )
+            return self
+
+        return _CONSTANTS.intern(key, build)
+
+    def __reduce__(self):
+        return (Constant, (self.value,))
 
     def __str__(self) -> str:
         if isinstance(self.value, str):
@@ -163,8 +251,18 @@ class Substitution(Mapping[Variable, Term]):
         return term
 
     def apply_all(self, terms: Iterable[Term]) -> Tuple[Term, ...]:
-        """Apply the substitution to a sequence of terms."""
-        return tuple(self.apply(term) for term in terms)
+        """Apply the substitution to a sequence of terms.
+
+        When nothing is bound -- the common renamed-apart no-op case -- the
+        input tuple is returned unchanged, so callers can detect "no change"
+        by pointer identity and keep sharing the original structure.
+        """
+        if not isinstance(terms, tuple):
+            terms = tuple(terms)
+        bindings = self._bindings
+        if not bindings or not any(term in bindings for term in terms):
+            return terms
+        return tuple(bindings.get(term, term) for term in terms)
 
     def compose(self, other: "Substitution") -> "Substitution":
         """Return ``self`` followed by *other* (``other`` applied after)."""

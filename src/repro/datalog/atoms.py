@@ -56,8 +56,16 @@ class Atom:
         return frozenset(arg for arg in self.args if isinstance(arg, Variable))
 
     def substitute(self, subst: Substitution) -> "Atom":
-        """Apply a substitution to the arguments."""
-        return Atom(self.predicate, subst.apply_all(self.args))
+        """Apply a substitution to the arguments.
+
+        When no argument is bound, ``apply_all`` hands the argument tuple
+        back unchanged and the atom itself is returned, preserving sharing
+        (and any equality caches keyed on it) through no-op renamings.
+        """
+        args = subst.apply_all(self.args)
+        if args is self.args:
+            return self
+        return Atom(self.predicate, args)
 
     def is_ground(self) -> bool:
         """True when every argument is a constant."""
@@ -104,10 +112,17 @@ class ConstrainedAtom:
         return self.atom.variables() | self.constraint.variables()
 
     def substitute(self, subst: Substitution) -> "ConstrainedAtom":
-        """Apply a substitution to atom and constraint."""
-        return ConstrainedAtom(
-            self.atom.substitute(subst), self.constraint.substitute(subst)
-        )
+        """Apply a substitution to atom and constraint.
+
+        Both components detect no-op substitutions by identity (interned
+        constraint nodes return themselves when no bound variable occurs),
+        in which case this constrained atom is returned unchanged.
+        """
+        atom = self.atom.substitute(subst)
+        constraint = self.constraint.substitute(subst)
+        if atom is self.atom and constraint is self.constraint:
+            return self
+        return ConstrainedAtom(atom, constraint)
 
     def renamed_apart(
         self, factory: FreshVariableFactory

@@ -291,7 +291,11 @@ class ViewEntry:
 
         The canonical form is computed once and cached on the entry: every
         membership test, add and remove goes through the key, and entries are
-        immutable, so recomputing it per lookup was pure waste.
+        immutable, so recomputing it per lookup was pure waste.  The
+        constraint component is the *interned* canonical node (a per-node
+        slot read), so key hashing mixes cached ints and key equality
+        degenerates to pointer comparisons -- two entries are duplicates
+        exactly when their key components are the same objects.
         """
         cached = self.__dict__.get("_cached_key")
         if cached is None:

@@ -10,7 +10,14 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.constraints.ast import Constraint, NegatedConjunction, conjoin, tuple_equalities
+from repro.constraints.ast import (
+    Constraint,
+    FALSE,
+    NegatedConjunction,
+    conjoin,
+    tuple_equalities,
+)
+from repro.constraints.intern import EVENTS
 from repro.constraints.projection import eliminate_variables
 from repro.constraints.simplify import simplify
 from repro.constraints.solver import ConstraintSolver
@@ -105,10 +112,24 @@ def restrict_entry_to_instances(
         entry.atom, request_atom, factory, renamed_cache
     )
     combined = conjoin(entry.constraint, positive)
-    if stats is not None:
-        stats.solver_calls += 1
-    if not solver.is_satisfiable(combined):
-        return None
+    if solver.identical_instances(
+        entry.atom.args, entry.constraint,
+        request_atom.atom.args, request_atom.constraint,
+    ):
+        # The request is the entry itself (pointer-identical interned
+        # constraint): the overlap is the whole entry, and the combined
+        # constraint ``φ & φ' & (Ȳ = Ȳ')`` is solvable iff ``φ`` is (give
+        # the renamed copy the same witness).  Checking ``φ`` instead is a
+        # per-node ``_sat`` slot read in the common case, so the counted
+        # solver call is skipped; the returned atom is built through the
+        # same ``simplify(combined)`` path so differential keys match.
+        if not solver.is_satisfiable(entry.constraint):
+            return None
+    else:
+        if stats is not None:
+            stats.solver_calls += 1
+        if not solver.is_satisfiable(combined):
+            return None
     simplified = simplify(combined, solver)
     return ConstrainedAtom(entry.atom, simplified)
 
@@ -263,6 +284,18 @@ def subtract_instances(
     for atom in removed:
         if atom.atom.signature != entry.atom.signature:
             continue
+        if solver.identical_instances(
+            entry.atom.args, entry.constraint, atom.atom.args, atom.constraint
+        ):
+            # The removed atom *is* this entry (interned constraints are
+            # pointer-identical): every instance is subtracted.  Any prior
+            # narrowing in this loop only shrank the instance set, so the
+            # result collapses to FALSE outright -- no overlap check, no
+            # negation build, and the remaining removed atoms are moot.
+            EVENTS.identity_subtractions += 1
+            constraint = FALSE
+            subtracted = True
+            break
         if solver.quick_reject(
             entry.atom.args, entry.constraint, atom.atom.args, atom.constraint
         ):

@@ -170,6 +170,56 @@ class Metrics:
                     algorithm=algorithm,
                 )
 
+    def set_counter(self, name: str, value: float, **labels: object) -> None:
+        """Advance the counter *name* to the absolute *value*.
+
+        For sources that keep their own monotonic totals (the intern
+        tables' lock-protected hit/miss ints): the series is set to the
+        observed total, never moved backwards, so scrapes stay monotonic
+        even when several recording points race.
+        """
+        key = _label_key(labels)
+        with self._lock:
+            series = self._counters.setdefault(name, {})
+            current = series.get(key, 0)
+            if value > current:
+                series[key] = value
+
+    def record_intern(self, stats: Optional[Mapping[str, object]] = None) -> None:
+        """Mirror the hash-consing tables' totals into the registry.
+
+        *stats* defaults to a fresh
+        :func:`repro.constraints.intern.intern_stats` snapshot.  Per-table
+        hit/miss totals become the
+        ``repro_constraints_intern_{hits,misses}_total`` counters (labelled
+        by table) and the live node count becomes the
+        ``repro_constraints_intern_table_size`` gauge -- the table set is
+        closed (one per node kind), so cardinality stays bounded.
+        """
+        if stats is None:
+            from repro.constraints.intern import intern_stats
+
+            stats = intern_stats()
+        tables = stats.get("tables", {})
+        for table_name, row in tables.items():
+            self.set_counter(
+                "repro_constraints_intern_hits_total",
+                row["hits"],
+                table=table_name,
+            )
+            self.set_counter(
+                "repro_constraints_intern_misses_total",
+                row["misses"],
+                table=table_name,
+            )
+            self.gauge(
+                "repro_constraints_intern_table_size",
+                row["size"],
+                table=table_name,
+            )
+        for event, value in stats.get("events", {}).items():
+            self.set_counter(f"repro_constraints_{event}_total", value)
+
     # ------------------------------------------------------------------
     # Readers (operator surface)
     # ------------------------------------------------------------------
@@ -279,6 +329,12 @@ class NullMetrics(Metrics):
         pass
 
     def record_maintenance(self, algorithm: str, stats) -> None:
+        pass
+
+    def set_counter(self, name: str, value: float, **labels: object) -> None:
+        pass
+
+    def record_intern(self, stats: Optional[Mapping[str, object]] = None) -> None:
         pass
 
 

@@ -22,6 +22,13 @@ Design rules:
   :class:`~repro.errors.CodecError` on malformed input (unknown format
   version, unknown tag, truncated or bit-flipped payload).  A decode never
   returns a wrong value.
+* **Decoding interns.**  The decoders build nodes through the public
+  constructors, and the constraint language hash-conses in ``__new__``
+  (see :mod:`repro.constraints.intern`), so sharing survives the disk
+  seam for free: replaying a WAL or loading a snapshot yields the *same*
+  term and constraint objects the live process uses, and every
+  pointer-identity fast path (solver memos, view-entry keys, coalescer
+  dedup) applies to persisted state exactly as to freshly built state.
 """
 
 from __future__ import annotations

@@ -116,12 +116,19 @@ class CoalescedBatch:
         return grouped
 
 
-def _request_key(request) -> Tuple[str, str, str]:
+def _request_key(request) -> Tuple[str, object, object]:
+    """Dedup key: request kind, interned atom, interned canonical constraint.
+
+    With hash-consed nodes the atom and the canonical form *are* identity
+    keys -- hashing mixes cached ints and equality is pointer comparison --
+    so the old double render (``str(atom)`` + ``str(canonical_form(...))``)
+    that re-serialized every request per batch is gone.
+    """
     atom = request.atom
     return (
         type(request).__name__,
-        str(atom.atom),
-        str(canonical_form(atom.constraint)),
+        atom.atom,
+        canonical_form(atom.constraint),
     )
 
 
@@ -191,7 +198,7 @@ class Coalescer:
         opposite_positions: Dict[str, List[int]] = {}
         for position, request in opposite:
             opposite_positions.setdefault(request.atom.predicate, []).append(position)
-        first_seen: Dict[Tuple[str, str, str], int] = {}
+        first_seen: Dict[Tuple[str, object, object], int] = {}
         kept = []
         for position, request in requests:
             key = _request_key(request)
@@ -251,6 +258,15 @@ class Coalescer:
                     position < between < later_position for between in blocking
                 ):
                     continue
+                if solver.identical_instances(
+                    atom.atom.args, atom.constraint,
+                    wider.atom.args, wider.constraint,
+                ):
+                    # A later repeat of the same deletion (pointer-identical
+                    # interned constraint) trivially subsumes it -- no
+                    # counted solver call.
+                    swallowed = True
+                    break
                 if solver.quick_reject(
                     atom.atom.args, atom.constraint,
                     wider.atom.args, wider.constraint,
@@ -291,6 +307,16 @@ class Coalescer:
                 deleted = deletion.atom
                 if deleted.atom.signature != atom.atom.signature:
                     continue
+                if solver.identical_instances(
+                    atom.atom.args, constraint,
+                    deleted.atom.args, deleted.constraint,
+                ):
+                    # Insert-then-delete of the very same constrained atom is
+                    # the classic churn pattern: with interned nodes it is a
+                    # pointer comparison, so the pair cancels without a
+                    # counted subsumption call.
+                    cancelled = True
+                    break
                 if solver.quick_reject(
                     atom.atom.args, constraint,
                     deleted.atom.args, deleted.constraint,

@@ -781,6 +781,10 @@ class StreamScheduler:
                 )
             if stats.rebased:
                 metrics.inc("repro_rebased_commits_total")
+            # Mirror the hash-consing tables once per batch: the intern
+            # layer keeps its own monotonic totals, so this is a cheap
+            # absolute-value sync, not a per-construction hot-path hook.
+            metrics.record_intern()
         trace = prepared.trace
         if trace is not None:
             # Totals on the root are a convenience reading; reconciliation

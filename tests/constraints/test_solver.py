@@ -293,7 +293,14 @@ class TestSolverConfiguration:
 
 
 class TestSatisfiabilityMemoization:
-    """The satisfiability memo must never change observable answers."""
+    """The satisfiability memo must never change observable answers.
+
+    The decision-count tests use variables no other test touches: pure
+    membership-free results now live in slots on the interned node itself,
+    shared by every solver in the process, so a constraint another test
+    already decided would be answered without any ``_decide_satisfiable``
+    call here.
+    """
 
     def test_pure_results_are_cached_and_stable(self):
         calls = []
@@ -305,7 +312,8 @@ class TestSatisfiabilityMemoization:
             return original(constraint)
 
         solver._decide_satisfiable = counting
-        constraint = conjoin(compare(X, ">=", 3), compare(X, "<=", 1))
+        fresh = Variable("MemoStable")
+        constraint = conjoin(compare(fresh, ">=", 3), compare(fresh, "<=", 1))
         assert not solver.is_satisfiable(constraint)
         assert not solver.is_satisfiable(constraint)
         # Second call answered from the memo.
@@ -321,8 +329,9 @@ class TestSatisfiabilityMemoization:
             return original(constraint)
 
         solver._decide_satisfiable = counting
-        assert not solver.is_satisfiable(conjoin(equals(X, 1), equals(X, 2)))
-        assert not solver.is_satisfiable(conjoin(equals(X, 2), equals(X, 1)))
+        fresh = Variable("MemoReorder")
+        assert not solver.is_satisfiable(conjoin(equals(fresh, 1), equals(fresh, 2)))
+        assert not solver.is_satisfiable(conjoin(equals(fresh, 2), equals(fresh, 1)))
         assert len(calls) == 1
 
     def test_external_results_cached_under_registry_version_token(self):

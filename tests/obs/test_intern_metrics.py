@@ -1,0 +1,139 @@
+"""The hash-consing tables' operator surface: counters, gauge, exposition."""
+
+from __future__ import annotations
+
+from repro.constraints import Variable, compare, conjoin, intern_stats
+from repro.obs import NULL_METRICS, Metrics
+
+
+def _stats(tables):
+    """A synthetic intern_stats() snapshot with fixed totals."""
+    return {
+        "tables": tables,
+        "events": {"identity_subsumptions": 4, "canonical_hits": 9},
+        "hits": sum(row["hits"] for row in tables.values()),
+        "misses": sum(row["misses"] for row in tables.values()),
+        "size": sum(row["size"] for row in tables.values()),
+    }
+
+
+class TestSetCounter:
+    def test_sets_absolute_value(self):
+        metrics = Metrics()
+        metrics.set_counter("total", 7, table="variable")
+        assert metrics.counter_value("total", table="variable") == 7
+
+    def test_never_moves_backwards(self):
+        """Racing recording points may observe the totals out of order; the
+        series must stay monotonic regardless."""
+        metrics = Metrics()
+        metrics.set_counter("total", 9)
+        metrics.set_counter("total", 5)
+        assert metrics.counter_value("total") == 9
+        metrics.set_counter("total", 12)
+        assert metrics.counter_value("total") == 12
+
+
+class TestRecordIntern:
+    def test_mirrors_per_table_totals_and_sizes(self):
+        metrics = Metrics()
+        metrics.record_intern(
+            _stats(
+                {
+                    "variable": {"hits": 10, "misses": 3, "size": 3},
+                    "comparison": {"hits": 20, "misses": 6, "size": 5},
+                }
+            )
+        )
+        assert (
+            metrics.counter_value(
+                "repro_constraints_intern_hits_total", table="variable"
+            )
+            == 10
+        )
+        assert (
+            metrics.counter_value(
+                "repro_constraints_intern_misses_total", table="comparison"
+            )
+            == 6
+        )
+        gauges = metrics.as_dict()["gauges"]
+        assert gauges["repro_constraints_intern_table_size"] == {
+            "table=comparison": 5,
+            "table=variable": 3,
+        }
+
+    def test_mirrors_event_counters(self):
+        metrics = Metrics()
+        metrics.record_intern(_stats({}))
+        assert (
+            metrics.counter_value("repro_constraints_identity_subsumptions_total")
+            == 4
+        )
+        assert (
+            metrics.counter_value("repro_constraints_canonical_hits_total") == 9
+        )
+
+    def test_repeated_recording_stays_monotonic(self):
+        metrics = Metrics()
+        tables = {"variable": {"hits": 10, "misses": 3, "size": 3}}
+        metrics.record_intern(_stats(tables))
+        tables["variable"] = {"hits": 8, "misses": 2, "size": 2}
+        metrics.record_intern(_stats(tables))
+        assert (
+            metrics.counter_value(
+                "repro_constraints_intern_hits_total", table="variable"
+            )
+            == 10
+        )
+        # The size gauge is last-write-wins by design (nodes are weakly
+        # held, so the live count genuinely shrinks).
+        gauges = metrics.as_dict()["gauges"]
+        assert gauges["repro_constraints_intern_table_size"] == {
+            "table=variable": 2
+        }
+
+    def test_defaults_to_the_live_tables(self):
+        """Called with no snapshot it reads the process's real intern
+        layer, whose variable table has certainly moved by now."""
+        conjoin(compare(Variable("MetricsProbe"), "=", 1))
+        metrics = Metrics()
+        metrics.record_intern()
+        live = intern_stats()
+        recorded = sum(
+            metrics.counter_value(
+                "repro_constraints_intern_hits_total", table=name
+            )
+            + metrics.counter_value(
+                "repro_constraints_intern_misses_total", table=name
+            )
+            for name in live["tables"]
+        )
+        assert recorded > 0
+
+    def test_null_metrics_is_a_no_op(self):
+        NULL_METRICS.set_counter("x", 5)
+        NULL_METRICS.record_intern()
+        assert NULL_METRICS.as_dict()["counters"] == {}
+
+
+class TestPrometheusExposition:
+    def test_intern_series_render_with_types_and_labels(self):
+        metrics = Metrics()
+        metrics.record_intern(
+            _stats({"variable": {"hits": 10, "misses": 3, "size": 3}})
+        )
+        text = metrics.render_prometheus()
+        assert "# TYPE repro_constraints_intern_hits_total counter" in text
+        assert 'repro_constraints_intern_hits_total{table="variable"} 10' in text
+        assert "# TYPE repro_constraints_intern_misses_total counter" in text
+        assert 'repro_constraints_intern_misses_total{table="variable"} 3' in text
+        assert "# TYPE repro_constraints_intern_table_size gauge" in text
+        assert 'repro_constraints_intern_table_size{table="variable"} 3' in text
+
+    def test_event_series_render(self):
+        metrics = Metrics()
+        metrics.record_intern(_stats({}))
+        text = metrics.render_prometheus()
+        assert "repro_constraints_identity_subsumptions_total 4" in text
+        assert "repro_constraints_canonical_hits_total 9" in text

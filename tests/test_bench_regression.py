@@ -23,6 +23,7 @@ if str(REPO_ROOT) not in sys.path:
     sys.path.insert(0, str(REPO_ROOT))
 
 from benchmarks.check_regression import (  # noqa: E402
+    check_interning_family,
     check_obs_snapshot,
     check_persist_snapshot,
     check_serve_snapshot,
@@ -111,6 +112,37 @@ def test_compare_snapshots_ignores_families_absent_from_current(baseline):
     gutted["results"].pop("deletion_recursive_tc6")
     regressions = compare_snapshots(baseline, gutted, threshold=0.2)
     assert not any(key.startswith("deletion_recursive_tc6.") for key, _, _ in regressions)
+
+
+def test_interning_family_passes_the_gate(baseline, current):
+    """Hash-consing's acceptance bar, on the committed and the fresh
+    snapshot: the pointer-identity fast paths fired (subsumption and
+    subtraction answered without counted solver calls), the per-node
+    canonical/satisfiability memos were hit, construction shared structure,
+    and the coalescer cancelled the identity pair for free."""
+    assert check_interning_family(baseline) == []
+    assert check_interning_family(current) == []
+
+
+def test_interning_gate_flags_dead_identity_paths(baseline):
+    stalled = json.loads(json.dumps(baseline))  # deep copy
+    stalled["results"]["constraint_interning"]["intern"]["identity_hits"] = 0
+    problems = check_interning_family(stalled)
+    assert any("identity_hits" in problem for problem in problems)
+
+
+def test_interning_gate_flags_paid_coalescer_cancellation(baseline):
+    paying = json.loads(json.dumps(baseline))  # deep copy
+    paying["results"]["constraint_interning"]["coalesce"]["solver_calls"] = 2
+    problems = check_interning_family(paying)
+    assert any("identity short-circuit" in problem for problem in problems)
+
+
+def test_interning_gate_flags_unshared_construction(baseline):
+    cold = json.loads(json.dumps(baseline))  # deep copy
+    cold["results"]["constraint_interning"]["intern"]["hit_ratio"] = 0.05
+    problems = check_interning_family(cold)
+    assert any("hit ratio" in problem for problem in problems)
 
 
 def test_batched_deletion_never_costs_more_than_sequential(baseline, current):

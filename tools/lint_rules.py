@@ -23,6 +23,16 @@ Two invariant families are load-bearing enough to enforce textually:
    before they start.  Everything in the package goes through the single
    ``repro.obs.trace.monotonic`` clock.
 
+4. **Interning integrity.**  Term and constraint nodes are hash-consed:
+   the *only* way to build one is the public constructor, whose
+   ``__new__`` interns it.  Bypassing that (``object.__new__(Comparison)``
+   and friends, or ``dataclasses.replace`` on a node) would mint an
+   un-interned twin, silently breaking the pointer-identity equality the
+   solver fast paths and view-entry keys rely on.  Only
+   ``src/repro/constraints/`` itself (the interning build functions) may
+   use ``object.__new__`` on node classes; ``dataclasses.replace`` on
+   nodes is banned everywhere (the classes are no longer dataclasses).
+
 Usage::
 
     python tools/lint_rules.py            # lint src/ (exit 1 on findings)
@@ -53,6 +63,28 @@ RULES: Tuple[Tuple[re.Pattern, Tuple[str, ...], str], ...] = (
         re.compile(r"PredicateShard\s*\("),
         ("repro/datalog/view.py",),
         "PredicateShard construction outside the view facade",
+    ),
+    (
+        re.compile(
+            r"object\.__new__\s*\(\s*(?:Variable|Constant|Comparison|"
+            r"DomainCall|Membership|NegatedConjunction|Conjunction|"
+            r"TrueConstraint|FalseConstraint)\b"
+        ),
+        (
+            "repro/constraints/terms.py",
+            "repro/constraints/ast.py",
+        ),
+        "raw allocation of an interned term/constraint node outside the "
+        "intern layer (construct through the class; __new__ interns)",
+    ),
+    (
+        re.compile(
+            r"(?:dataclasses\.replace|\breplace)\s*\(\s*[A-Za-z_][\w.]*"
+            r"(?:term|constraint|atom_constraint|node)\b"
+        ),
+        (),
+        "dataclasses.replace on a term/constraint node (nodes are interned, "
+        "not dataclasses; build a new node through its constructor)",
     ),
 )
 
